@@ -1,0 +1,87 @@
+//===- bench/BenchCommon.h - Shared figure-bench helpers --------*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark binaries. Every benchmark
+/// runs one full workload on a fresh simulated cluster and reports the
+/// paper's two metrics as google-benchmark counters:
+///
+///   tput_ops_us   throughput (total calls / time to full replication)
+///   resp_us       mean response time over all calls
+///   resp_upd_us   mean response time over update calls
+///   resp_qry_us   mean response time over query calls
+///
+/// Environment knobs: HAMBAND_OPS (calls per run; default per figure) and
+/// HAMBAND_REPS (repetitions averaged per point; default 1 -- the
+/// simulation is deterministic, so repetitions mostly smooth workload
+/// randomness as in the paper's 3-run averages).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_BENCH_BENCHCOMMON_H
+#define HAMBAND_BENCH_BENCHCOMMON_H
+
+#include "hamband/benchlib/Runner.h"
+#include "hamband/core/TypeRegistry.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace hamband {
+namespace bench {
+
+inline unsigned repsFromEnv() {
+  const char *Env = std::getenv("HAMBAND_REPS");
+  if (!Env || !*Env)
+    return 1;
+  return static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+}
+
+inline benchlib::RunnerOptions makeOptions(benchlib::RuntimeKind Kind,
+                                           unsigned Nodes) {
+  benchlib::RunnerOptions Opts;
+  Opts.Kind = Kind;
+  Opts.NumNodes = Nodes;
+  Opts.Repetitions = repsFromEnv();
+  return Opts;
+}
+
+inline void reportResult(benchmark::State &St,
+                         const benchlib::RunResult &R) {
+  St.counters["tput_ops_us"] = R.ThroughputOpsPerUs;
+  St.counters["resp_us"] = R.MeanResponseUs;
+  St.counters["resp_upd_us"] = R.MeanUpdateResponseUs;
+  St.counters["resp_qry_us"] = R.MeanQueryResponseUs;
+  St.counters["rejected"] = static_cast<double>(R.RejectedOps);
+  St.counters["stale_mean"] = R.MeanBacklogCalls;
+  St.counters["stale_max"] = R.MaxBacklogCalls;
+  if (!R.Completed)
+    St.SkipWithError("run hit the simulated-time safety cap");
+}
+
+/// Runs one figure point inside a google-benchmark body (one iteration).
+inline benchlib::RunResult
+runPoint(benchmark::State &St, const std::string &TypeName,
+         benchlib::RuntimeKind Kind, unsigned Nodes,
+         const benchlib::WorkloadSpec &Workload,
+         const runtime::HambandConfig *Cfg = nullptr) {
+  auto Type = makeType(TypeName);
+  benchlib::RunnerOptions Opts = makeOptions(Kind, Nodes);
+  if (Cfg)
+    Opts.Cfg = *Cfg;
+  benchlib::RunResult R;
+  for (auto _ : St)
+    R = benchlib::runWorkload(*Type, Workload, Opts);
+  reportResult(St, R);
+  return R;
+}
+
+} // namespace bench
+} // namespace hamband
+
+#endif // HAMBAND_BENCH_BENCHCOMMON_H

@@ -1,0 +1,67 @@
+//===- bench/fig11_mixed_schema.cpp - Figure 11 -----------------------------==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 11: the project-management schema mixes all three method
+/// categories (addProject/deleteProject/worksOn conflicting, addEmployee
+/// reducible, query local). 50/25/10% update ratios on 4 nodes, Hamband
+/// vs Mu.
+///
+///  (a) throughput: Hamband up to ~21% above Mu (the conflicting group
+///      still needs consensus; only addEmployee and queries dodge it).
+///  (b) per-method response: all methods comparable except worksOn, whose
+///      calls carry dependencies on addProject/addEmployee and may wait
+///      for them to be delivered.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace hamband;
+using namespace hamband::bench;
+using benchlib::RuntimeKind;
+using benchlib::WorkloadSpec;
+
+namespace {
+
+void registerPoint(RuntimeKind Kind, double UpdatePct) {
+  std::string Name = "Fig11/project-management/" +
+                     std::string(benchlib::runtimeKindName(Kind)) +
+                     "/nodes:4/upd:" +
+                     std::to_string(static_cast<int>(UpdatePct));
+  benchmark::RegisterBenchmark(
+      Name.c_str(),
+      [Kind, UpdatePct](benchmark::State &St) {
+        WorkloadSpec W;
+        W.NumOps = 24000;
+        W.UpdateRatio = UpdatePct / 100.0;
+        benchlib::RunResult R =
+            runPoint(St, "project-management", Kind, 4, W);
+        // Figure 11(b): response time per method.
+        std::printf("# Fig11b %s upd=%d%%:", benchlib::runtimeKindName(Kind),
+                    static_cast<int>(UpdatePct));
+        for (const auto &[Method, Stat] : R.PerMethod)
+          std::printf(" %s=%.2fus", Method.c_str(), Stat.mean());
+        std::printf("\n");
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (double Pct : {50.0, 25.0, 10.0}) {
+    registerPoint(RuntimeKind::Hamband, Pct);
+    registerPoint(RuntimeKind::MuSmr, Pct);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- bench/fig13_failure_courseware.cpp - Figure 13 ------------------------=//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 13: failures on the courseware schema, which has methods in all
+/// three categories. Three scenarios on 4 nodes: no failure, follower
+/// failure, and failure of the synchronization group's *leader* (which
+/// triggers Mu leader change). The paper reports ~6% throughput loss for
+/// a follower failure, ~53% for a leader failure, near-constant response
+/// for the conflict-free registerStudent, and roughly doubled response
+/// for the conflicting methods while the new leader is installed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace hamband;
+using namespace hamband::bench;
+using benchlib::RuntimeKind;
+using benchlib::WorkloadSpec;
+
+namespace {
+
+enum class Scenario { None, Follower, Leader };
+
+const char *scenarioName(Scenario S) {
+  switch (S) {
+  case Scenario::None:
+    return "none";
+  case Scenario::Follower:
+    return "follower";
+  case Scenario::Leader:
+    return "leader";
+  }
+  return "?";
+}
+
+void registerPoint(Scenario S) {
+  std::string Name = std::string("Fig13/courseware/hamband/nodes:4/fail:") +
+                     scenarioName(S);
+  benchmark::RegisterBenchmark(
+      Name.c_str(),
+      [S](benchmark::State &St) {
+        WorkloadSpec W;
+        W.NumOps = 24000;
+        W.UpdateRatio = 0.25;
+        if (S != Scenario::None) {
+          // Group 0's initial leader is node 0; node 3 is a follower.
+          W.FailNode = S == Scenario::Leader ? 0u : 3u;
+          W.FailAtFraction = 0.4;
+        }
+        // Detection scaled to the (shortened) run the same way the
+        // paper's millisecond-scale timeouts relate to its runs.
+        runtime::HambandConfig Cfg;
+        Cfg.Heartbeat.CheckInterval = sim::micros(400);
+        Cfg.Heartbeat.SuspectAfter = 6;
+        benchlib::RunResult R =
+            runPoint(St, "courseware", RuntimeKind::Hamband, 4, W, &Cfg);
+        std::printf("# Fig13b fail=%s:", scenarioName(S));
+        for (const auto &[Method, Stat] : R.PerMethod)
+          std::printf(" %s=%.2fus", Method.c_str(), Stat.mean());
+        std::printf("\n");
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  registerPoint(Scenario::None);
+  registerPoint(Scenario::Follower);
+  registerPoint(Scenario::Leader);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

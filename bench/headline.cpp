@@ -1,0 +1,98 @@
+//===- bench/headline.cpp - The abstract's headline claims ---------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's headline numbers directly: "Hamband
+/// outperforms the throughput of existing message-based and strongly
+/// consistent implementations by more than 17x and 2.7x respectively
+/// [with almost the same response time as Mu and ~23x lower than MSG]".
+/// The aggregate averages Hamband/MSG and Hamband/Mu over the conflict-
+/// free matrix of Figures 8 and 9 (types x update ratios x node counts)
+/// and prints one summary table.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace hamband;
+using namespace hamband::bench;
+using benchlib::RunResult;
+using benchlib::RuntimeKind;
+using benchlib::WorkloadSpec;
+
+namespace {
+
+struct Aggregate {
+  double TputRatioSum = 0;
+  double RespRatioSum = 0;
+  unsigned Points = 0;
+
+  void add(const RunResult &H, const RunResult &Other) {
+    if (!H.Completed || !Other.Completed ||
+        Other.ThroughputOpsPerUs <= 0 || H.MeanResponseUs <= 0)
+      return;
+    TputRatioSum += H.ThroughputOpsPerUs / Other.ThroughputOpsPerUs;
+    RespRatioSum += Other.MeanResponseUs / H.MeanResponseUs;
+    ++Points;
+  }
+  double tput() const { return Points ? TputRatioSum / Points : 0; }
+  double resp() const { return Points ? RespRatioSum / Points : 0; }
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Aggregate VsMsg, VsMu;
+
+  benchmark::RegisterBenchmark(
+      "Headline/conflict-free-average",
+      [&](benchmark::State &St) {
+        const char *Types[] = {"counter", "lww-register", "gset", "orset",
+                               "shopping-cart"};
+        const double Ratios[] = {0.25, 0.15, 0.05};
+        const unsigned NodeCounts[] = {4, 7};
+        for (auto _ : St) {
+          for (const char *TypeName : Types) {
+            auto Type = makeType(TypeName);
+            for (double Ratio : Ratios) {
+              for (unsigned Nodes : NodeCounts) {
+                WorkloadSpec W;
+                W.NumOps = 12000;
+                W.UpdateRatio = Ratio;
+                RunResult H = benchlib::runWorkload(
+                    *Type, W, makeOptions(RuntimeKind::Hamband, Nodes));
+                RunResult M = benchlib::runWorkload(
+                    *Type, W, makeOptions(RuntimeKind::Msg, Nodes));
+                RunResult Mu = benchlib::runWorkload(
+                    *Type, W, makeOptions(RuntimeKind::MuSmr, Nodes));
+                VsMsg.add(H, M);
+                VsMu.add(H, Mu);
+              }
+            }
+          }
+        }
+        St.counters["tput_vs_msg"] = VsMsg.tput();
+        St.counters["tput_vs_mu"] = VsMu.tput();
+        St.counters["resp_vs_msg"] = VsMsg.resp();
+        St.counters["resp_vs_mu"] = VsMu.resp();
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n# Headline (paper: >17x MSG, >2.7x Mu throughput; ~23x "
+              "lower response than MSG, ~= Mu)\n");
+  std::printf("# measured: %.1fx MSG and %.2fx Mu throughput; %.1fx lower "
+              "response than MSG, %.2fx lower than Mu (%u points)\n",
+              VsMsg.tput(), VsMu.tput(), VsMsg.resp(), VsMu.resp(),
+              VsMsg.Points);
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- examples/quickstart.cpp - Five-minute tour ---------------------------==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: replicate a Counter CRDT on a simulated 3-node RDMA
+/// cluster, issue update and query calls at different replicas, and watch
+/// the summaries converge.
+///
+/// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+///               ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "hamband/runtime/HambandCluster.h"
+#include "hamband/types/Counter.h"
+
+#include <cstdio>
+
+using namespace hamband;
+using namespace hamband::runtime;
+using types::Counter;
+
+int main() {
+  // 1. A simulator owns virtual time; the cluster owns the fabric and one
+  //    Hamband replica per node.
+  sim::Simulator Sim;
+  Counter Type;
+  HambandCluster Cluster(Sim, /*NumNodes=*/3, Type);
+  Cluster.start();
+
+  std::printf("== Hamband quickstart: counter on 3 simulated nodes ==\n");
+  std::printf("add() is %s: it propagates as a single remote write.\n",
+              categoryName(Type.coordination().category(Counter::Add)));
+
+  // 2. Issue add() calls at different replicas. Each call gets a unique
+  //    request id; the callback fires when the node finished the call.
+  RequestId Req = 1;
+  for (int I = 1; I <= 3; ++I) {
+    rdma::NodeId Origin = static_cast<rdma::NodeId>(I % 3);
+    Call Add(Counter::Add, {I * 10}, Origin, Req++);
+    Cluster.submit(Origin, Add, [I, Origin](bool Ok, Value) {
+      std::printf("  add(%d) at node %u -> %s\n", I * 10, Origin,
+                  Ok ? "ok" : "rejected");
+    });
+  }
+
+  // 3. Run the simulation until every update is replicated everywhere.
+  while (!Cluster.fullyReplicated())
+    Sim.run(Sim.now() + sim::micros(20));
+  std::printf("fully replicated after %.1f simulated us\n",
+              sim::toMicros(Sim.now()));
+
+  // 4. Queries execute locally at any replica and agree.
+  for (rdma::NodeId N = 0; N < 3; ++N) {
+    Cluster.submit(N, Call(Counter::Read, {}, N, Req++),
+                   [N](bool, Value V) {
+                     std::printf("  node %u reads %lld\n", N,
+                                 static_cast<long long>(V));
+                   });
+  }
+  Sim.run(Sim.now() + sim::millis(1));
+
+  std::printf("converged: %s\n", Cluster.converged() ? "yes" : "no");
+  return Cluster.converged() ? 0 : 1;
+}

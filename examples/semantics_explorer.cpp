@@ -1,0 +1,104 @@
+//===- examples/semantics_explorer.cpp - Verifying the theorems -------------==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The formal side of the project as an application: take the paper's
+/// bank account, run random executions of the concrete RDMA semantics
+/// against the abstract WRDT semantics (Lemma 3), then exhaustively model
+/// check every interleaving of a small call budget -- and finally show
+/// the machinery catching a deliberately unsound coordination spec.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hamband/semantics/ModelChecker.h"
+#include "hamband/semantics/Refinement.h"
+#include "hamband/types/BankAccount.h"
+
+#include <cstdio>
+
+using namespace hamband;
+using namespace hamband::semantics;
+using types::BankAccount;
+
+namespace {
+
+/// The bank account with its coordination metadata stripped: withdraw is
+/// (unsoundly) declared conflict-free and dependence-free.
+class UncoordinatedAccount : public BankAccount {
+public:
+  UncoordinatedAccount() : Broken(3) {
+    Broken.setQuery(BankAccount::Balance);
+    Broken.setSumGroup(BankAccount::Deposit, 0);
+    Broken.finalize();
+  }
+  std::string name() const override { return "uncoordinated-account"; }
+  const CoordinationSpec &coordination() const override { return Broken; }
+
+private:
+  CoordinationSpec Broken;
+};
+
+} // namespace
+
+int main() {
+  BankAccount Account;
+
+  std::printf("== 1. Random exploration (refinement, Lemma 3) ==\n");
+  unsigned TotalCalls = 0;
+  for (std::uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    ExplorationOptions Opts;
+    Opts.NumProcesses = 3;
+    Opts.Steps = 250;
+    Opts.Seed = Seed;
+    ExplorationResult R = exploreRandomly(Account, Opts);
+    if (!R.ok()) {
+      std::printf("  seed %llu FAILED: %s\n",
+                  static_cast<unsigned long long>(Seed), R.Error.c_str());
+      return 1;
+    }
+    TotalCalls += R.ClientCalls;
+  }
+  std::printf("  20 random executions, %u client calls: integrity, "
+              "convergence and refinement all hold\n",
+              TotalCalls);
+
+  std::printf("\n== 2. Bounded model checking (all interleavings) ==\n");
+  ModelCheckOptions Opts;
+  Opts.NumProcesses = 2;
+  ModelCheckResult R =
+      modelCheck(Account, defaultBudget(Account, 2, 2), Opts);
+  if (!R.Ok) {
+    std::printf("  FAILED: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("  explored %llu configurations / %llu transitions, "
+              "%llu quiescent leaves: all theorems hold\n",
+              static_cast<unsigned long long>(R.Configurations),
+              static_cast<unsigned long long>(R.Transitions),
+              static_cast<unsigned long long>(R.QuiescentLeaves));
+
+  std::printf("\n== 3. The same checker on an unsound spec ==\n");
+  UncoordinatedAccount Broken;
+  std::vector<ScheduledCall> Budget = {
+      {0, Call(BankAccount::Deposit, {1}, 0, 1)},
+      {0, Call(BankAccount::Withdraw, {1}, 0, 2)},
+      {1, Call(BankAccount::Withdraw, {1}, 1, 3)},
+  };
+  ModelCheckOptions BrokenOpts;
+  BrokenOpts.NumProcesses = 2;
+  BrokenOpts.CheckRefinement = false;
+  ModelCheckResult Bad = modelCheck(Broken, Budget, BrokenOpts);
+  if (Bad.Ok) {
+    std::printf("  unexpectedly safe -- the checker missed the bug!\n");
+    return 1;
+  }
+  std::printf("  counterexample found, as it should be:\n%s\n",
+              Bad.Error.c_str());
+  std::printf("\nwithout the withdraw-withdraw conflict edge, two "
+              "replicas can overdraft together -- exactly why the paper "
+              "synchronizes that pair.\n");
+  return 0;
+}

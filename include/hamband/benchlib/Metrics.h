@@ -1,0 +1,72 @@
+//===- hamband/benchlib/Metrics.h - Experiment metrics ----------*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistics helpers for the benchmark harness: running mean /
+/// max / percentile-ish summaries of per-call response times, and the
+/// run-level result record every figure bench prints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_BENCHLIB_METRICS_H
+#define HAMBAND_BENCHLIB_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hamband {
+namespace benchlib {
+
+/// Streaming summary of a series of samples (response times in us).
+class Stat {
+public:
+  void add(double X);
+
+  std::uint64_t count() const { return N; }
+  double mean() const { return N ? Sum / static_cast<double>(N) : 0.0; }
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return Max; }
+
+private:
+  std::uint64_t N = 0;
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+};
+
+/// The outcome of one workload run (one point in a figure).
+struct RunResult {
+  /// Total calls / time until full replication, in ops per simulated us.
+  double ThroughputOpsPerUs = 0;
+  /// Mean response time over all calls, simulated us.
+  double MeanResponseUs = 0;
+  double MeanUpdateResponseUs = 0;
+  double MeanQueryResponseUs = 0;
+  /// Response-time summary per method name.
+  std::map<std::string, Stat> PerMethod;
+  std::uint64_t CompletedOps = 0;
+  std::uint64_t RejectedOps = 0;
+  /// Simulated wall time from first issue until full replication, us.
+  double DurationUs = 0;
+  /// True when the run reached full replication before the safety cap.
+  bool Completed = false;
+  /// Staleness: replication backlog (calls applied somewhere but not
+  /// everywhere), sampled every driver slice. A recency measure in the
+  /// spirit of Hampa [58].
+  double MeanBacklogCalls = 0;
+  double MaxBacklogCalls = 0;
+};
+
+/// Averages the scalar fields of several runs (the paper reports the
+/// average of 3 repetitions).
+RunResult averageRuns(const std::vector<RunResult> &Runs);
+
+} // namespace benchlib
+} // namespace hamband
+
+#endif // HAMBAND_BENCHLIB_METRICS_H

@@ -1,0 +1,58 @@
+//===- hamband/benchlib/Runner.h - Experiment driver ------------*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives one workload against one runtime (Hamband, MSG, or Mu SMR) on a
+/// fresh simulated cluster and reports throughput and response times the
+/// way the paper computes them: throughput is the total number of calls
+/// divided by the time it takes for all update calls to be replicated on
+/// all nodes; response time is the mean over all calls. Each experiment
+/// is repeated and averaged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_BENCHLIB_RUNNER_H
+#define HAMBAND_BENCHLIB_RUNNER_H
+
+#include "hamband/benchlib/Metrics.h"
+#include "hamband/benchlib/Workload.h"
+#include "hamband/rdma/NetworkModel.h"
+#include "hamband/runtime/HambandNode.h"
+
+namespace hamband {
+namespace benchlib {
+
+/// Which system to run.
+enum class RuntimeKind { Hamband, Msg, MuSmr };
+
+/// Short display name ("hamband", "msg", "mu").
+const char *runtimeKindName(RuntimeKind K);
+
+/// Cluster-level options for a run.
+struct RunnerOptions {
+  RuntimeKind Kind = RuntimeKind::Hamband;
+  unsigned NumNodes = 4;
+  rdma::NetworkModel Model;
+  runtime::HambandConfig Cfg;
+  /// Repetitions averaged per data point (the paper uses 3).
+  unsigned Repetitions = 3;
+  /// Give up (marking the run incomplete) after this much simulated time.
+  sim::SimDuration SafetyCap = sim::millis(30000);
+};
+
+/// Runs the workload once with the given seed.
+RunResult runOnce(const ObjectType &Type, const WorkloadSpec &Workload,
+                  const RunnerOptions &Opts, std::uint64_t Seed);
+
+/// Runs Opts.Repetitions times (seeds derived from Workload.Seed) and
+/// averages.
+RunResult runWorkload(const ObjectType &Type, const WorkloadSpec &Workload,
+                      const RunnerOptions &Opts);
+
+} // namespace benchlib
+} // namespace hamband
+
+#endif // HAMBAND_BENCHLIB_RUNNER_H

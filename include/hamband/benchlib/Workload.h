@@ -1,0 +1,75 @@
+//===- hamband/benchlib/Workload.h - Workload generation --------*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workload specification and call generation matching the paper's setup
+/// (Section 5, "Platform and setup"): randomly generated method calls,
+/// updates uniformly distributed over the update methods, conflicting
+/// calls redirected to the group leader, all other calls divided equally
+/// between the nodes. Closed-loop clients with a configurable pipeline
+/// depth per node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_BENCHLIB_WORKLOAD_H
+#define HAMBAND_BENCHLIB_WORKLOAD_H
+
+#include "hamband/core/ObjectType.h"
+#include "hamband/sim/Rng.h"
+
+#include <optional>
+
+namespace hamband {
+namespace benchlib {
+
+/// Parameters of one workload run.
+struct WorkloadSpec {
+  /// Total calls across the cluster. Scaled down from the paper's 4M so
+  /// that a whole figure sweeps in seconds; HAMBAND_OPS overrides.
+  std::uint64_t NumOps = 60000;
+  /// Fraction of calls that are updates.
+  double UpdateRatio = 0.25;
+  /// Outstanding calls per client node (closed loop).
+  unsigned PipelineDepth = 8;
+  std::uint64_t Seed = 42;
+  /// Restrict updates to these methods (empty = all update methods).
+  std::vector<MethodId> UpdateMethods;
+  /// Restrict queries to these methods (empty = all query methods).
+  std::vector<MethodId> QueryMethods;
+  /// Inject a failure into this node when FailAtFraction of ops issued.
+  std::optional<unsigned> FailNode;
+  double FailAtFraction = 0.4;
+};
+
+/// Per-node call generator (deterministic from the seed).
+class CallGenerator {
+public:
+  CallGenerator(const ObjectType &Type, const WorkloadSpec &Spec,
+                unsigned NodeIndex);
+
+  /// Draws the next client call for this node's stream; \p Req must be a
+  /// globally unique request id.
+  Call next(ProcessId Issuer, RequestId Req);
+
+  /// True if the last drawn call was an update.
+  bool lastWasUpdate() const { return LastWasUpdate; }
+
+private:
+  const ObjectType &Type;
+  const WorkloadSpec &Spec;
+  sim::Rng Rng;
+  std::vector<MethodId> Updates;
+  std::vector<MethodId> Queries;
+  bool LastWasUpdate = false;
+};
+
+/// Reads the HAMBAND_OPS environment override (0 = unset).
+std::uint64_t opsOverrideFromEnv();
+
+} // namespace benchlib
+} // namespace hamband
+
+#endif // HAMBAND_BENCHLIB_WORKLOAD_H

@@ -1,0 +1,111 @@
+//===- hamband/core/Analysis.h - Coordination analysis ----------*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sampling-based implementations of the coordination conditions of
+/// Section 3.2: S-commutation, permissibility, invariant-sufficiency,
+/// permissible-right/left-commutativity, the derived conflict and
+/// dependency relations, and a method-level inference that re-derives a
+/// CoordinationSpec from an object's semantics.
+///
+/// The paper notes that checking these relations is an active research
+/// topic (Hamsaz/CISE/Indigo use SMT solvers); this module follows the
+/// testing route: the universally quantified definitions are evaluated
+/// over a finite sample of reachable states and representative calls.
+/// Sampling makes conflict/dependency *detection* sound (a found
+/// counterexample is real) and freedom claims empirical; the property
+/// tests use it to validate every declared spec in `types/`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_CORE_ANALYSIS_H
+#define HAMBAND_CORE_ANALYSIS_H
+
+#include "hamband/core/ObjectType.h"
+
+#include <vector>
+
+namespace hamband {
+namespace analysis {
+
+/// Evaluates the call-level relations of Section 3.2 over sampled states.
+class CallRelationOracle {
+public:
+  /// Uses the type's own sampleStates().
+  explicit CallRelationOracle(const ObjectType &Type);
+
+  /// Uses caller-provided states (e.g. from a longer exploration).
+  CallRelationOracle(const ObjectType &Type, std::vector<StatePtr> States);
+
+  const ObjectType &type() const { return Type; }
+  const std::vector<StatePtr> &states() const { return States; }
+
+  /// c1 <~>_S c2: applying the calls in either order yields equal states,
+  /// over every sampled state.
+  bool sCommute(const Call &C1, const Call &C2) const;
+
+  /// P(σ, c) for a specific sampled state.
+  bool permissible(const ObjectState &S, const Call &C) const {
+    return Type.permissible(S, C);
+  }
+
+  /// c is invariant-sufficient: I(σ) implies P(σ, c) on every sample.
+  bool invariantSufficient(const Call &C) const;
+
+  /// c1 |>_P c2: if P(σ, c1) then P(c2(σ), c1) on every sample.
+  bool prCommutes(const Call &C1, const Call &C2) const;
+
+  /// c1 P-concurs with c2: invariant-sufficient or P-R-commutes.
+  bool pConcurs(const Call &C1, const Call &C2) const;
+
+  /// c2 <|_P c1: if P(c1(σ), c2) then P(σ, c2) on every sample.
+  bool plCommutes(const Call &C2, const Call &C1) const;
+
+  /// c1 >< c2: not (S-commute and mutual P-concurrence).
+  bool conflict(const Call &C1, const Call &C2) const;
+
+  /// c2 is dependent on c1: not (invariant-sufficient or P-L-commutes).
+  bool dependent(const Call &C2, const Call &C1) const;
+
+private:
+  const ObjectType &Type;
+  std::vector<StatePtr> States;
+};
+
+/// Result of method-level inference.
+struct InferredCoordination {
+  /// Conflict matrix over methods (row-major NumMethods^2), via exists
+  /// over sampled call pairs.
+  std::vector<char> Conflicts;
+  /// Dep sets per method.
+  std::vector<std::vector<MethodId>> Dependencies;
+  unsigned NumMethods = 0;
+
+  bool conflicts(MethodId A, MethodId B) const {
+    return Conflicts[static_cast<std::size_t>(A) * NumMethods + B] != 0;
+  }
+};
+
+/// Re-derives the method-level conflict and dependency relations of
+/// \p Type from its semantics by sampling (Section 3.3 lifts the
+/// call-level relations with an existential over arguments).
+InferredCoordination inferCoordination(const ObjectType &Type);
+
+/// Checks that the declared spec of \p Type covers everything inference
+/// finds: every inferred conflict edge is declared and every inferred
+/// dependency is declared. Returns a human-readable list of violations
+/// (empty when sound).
+std::vector<std::string> checkDeclaredSpec(const ObjectType &Type);
+
+/// Validates the declared summarization groups: for sampled same-group
+/// call pairs (c, c'), summarize must produce c'' with c''(σ) == c'(c(σ))
+/// on every sampled state. Returns violations (empty when correct).
+std::vector<std::string> checkSummarization(const ObjectType &Type);
+
+} // namespace analysis
+} // namespace hamband
+
+#endif // HAMBAND_CORE_ANALYSIS_H

@@ -1,0 +1,77 @@
+//===- hamband/core/Call.h - Method calls and identifiers ------*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The basic syntax of the paper (Figure 3): values, update/query method
+/// calls decorated with an issuing process and a request identifier, and
+/// labels for traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_CORE_CALL_H
+#define HAMBAND_CORE_CALL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hamband {
+
+/// Values passed to and returned from methods. Types encode richer data
+/// (elements, tags, timestamps, row ids) as int64 tuples in Call::Args.
+using Value = std::int64_t;
+
+/// Index of a method within its object class.
+using MethodId = std::uint16_t;
+
+/// Identifier of a replica process (paper: p in P).
+using ProcessId = std::uint32_t;
+
+/// Globally unique request identifier (paper: r in R).
+using RequestId = std::uint64_t;
+
+/// A method call `u(v)_{p,r}` (or `q(v)` for queries).
+///
+/// The pair (Issuer, Req) uniquely identifies an update call; Args carries
+/// the parameter tuple. Calls are plain values: they are what the runtime
+/// serializes into remote buffers and what the semantics stores in
+/// execution histories.
+struct Call {
+  MethodId Method = 0;
+  std::vector<Value> Args;
+  ProcessId Issuer = 0;
+  RequestId Req = 0;
+
+  Call() = default;
+  Call(MethodId Method, std::vector<Value> Args, ProcessId Issuer = 0,
+       RequestId Req = 0)
+      : Method(Method), Args(std::move(Args)), Issuer(Issuer), Req(Req) {}
+
+  /// Identity comparison (method, args, issuer, request).
+  bool operator==(const Call &O) const {
+    return Method == O.Method && Issuer == O.Issuer && Req == O.Req &&
+           Args == O.Args;
+  }
+  bool operator!=(const Call &O) const { return !(*this == O); }
+
+  /// Renders e.g. "m2(5,7)@p0#12" for debugging and trace dumps.
+  std::string str() const;
+};
+
+/// A trace label: the issuing process paired with the call (Figure 3).
+struct Label {
+  ProcessId Process = 0;
+  Call TheCall;
+  bool IsQuery = false;
+  Value QueryResult = 0;
+};
+
+/// A trace is a sequence of labels.
+using Trace = std::vector<Label>;
+
+} // namespace hamband
+
+#endif // HAMBAND_CORE_CALL_H

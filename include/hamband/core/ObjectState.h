@@ -1,0 +1,70 @@
+//===- hamband/core/ObjectState.h - Type-erased object state ---*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type-erased state Σ of a replicated object. Each data type in
+/// `types/` defines a concrete subclass; the semantics, runtime and tests
+/// manipulate states only through this interface (clone for replication,
+/// equals/hash for the convergence oracle and state-space exploration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_CORE_OBJECTSTATE_H
+#define HAMBAND_CORE_OBJECTSTATE_H
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace hamband {
+
+/// Abstract state of one replica of an object.
+class ObjectState {
+public:
+  virtual ~ObjectState();
+
+  /// Deep copy.
+  virtual std::unique_ptr<ObjectState> clone() const = 0;
+
+  /// Structural equality. Precondition: \p O has the same dynamic type
+  /// (states are only ever compared within a single object class).
+  virtual bool equals(const ObjectState &O) const = 0;
+
+  /// Structural hash consistent with equals().
+  virtual std::size_t hash() const = 0;
+
+  /// Human-readable rendering for diagnostics.
+  virtual std::string str() const = 0;
+};
+
+/// Owning pointer to an object state.
+using StatePtr = std::unique_ptr<ObjectState>;
+
+/// CRTP helper that implements clone/equals/hash on top of the derived
+/// class's operator== and hashValue(). Derived classes must be copyable.
+template <typename DerivedT> class StateBase : public ObjectState {
+public:
+  std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<DerivedT>(static_cast<const DerivedT &>(*this));
+  }
+  bool equals(const ObjectState &O) const override {
+    // See ObjectState::equals precondition: same dynamic type.
+    return static_cast<const DerivedT &>(*this) ==
+           static_cast<const DerivedT &>(O);
+  }
+  std::size_t hash() const override {
+    return static_cast<const DerivedT &>(*this).hashValue();
+  }
+};
+
+/// Combines a hash value into a seed (boost-style).
+inline std::size_t hashCombine(std::size_t Seed, std::size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2));
+}
+
+} // namespace hamband
+
+#endif // HAMBAND_CORE_OBJECTSTATE_H

@@ -1,0 +1,128 @@
+//===- hamband/core/ObjectType.h - Object data types ------------*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The object data type model of Section 3.1: a class is the tuple
+/// `<Σ, I, updates, queries>`. An ObjectType bundles the state factory, the
+/// integrity invariant I, the update/query method definitions, the declared
+/// CoordinationSpec, the summarization function, and sampling hooks used by
+/// the coordination analysis and the property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_CORE_OBJECTTYPE_H
+#define HAMBAND_CORE_OBJECTTYPE_H
+
+#include "hamband/core/Call.h"
+#include "hamband/core/CoordinationSpec.h"
+#include "hamband/core/ObjectState.h"
+#include "hamband/sim/Rng.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hamband {
+
+/// Whether a method mutates the state or only observes it.
+enum class MethodKind { Update, Query };
+
+/// Static description of one method of an object class.
+struct MethodInfo {
+  std::string Name;
+  MethodKind Kind = MethodKind::Update;
+  /// Number of int64 parameters sampleCalls() should generate by default.
+  unsigned Arity = 0;
+};
+
+/// An object class `<Σ, I, u := d, q := d>` (Figure 3) together with its
+/// coordination metadata.
+///
+/// Implementations must make apply() a *total, deterministic* function of
+/// (state, call args): permissibility is enforced by the semantics and the
+/// runtime via invariant(), never inside apply(). Calls that would break
+/// the invariant must still produce a well-defined (invariant-violating)
+/// state so that the analysis can evaluate P(σ, c).
+class ObjectType {
+public:
+  virtual ~ObjectType();
+
+  /// Class name, e.g. "counter".
+  virtual std::string name() const = 0;
+
+  virtual unsigned numMethods() const = 0;
+  virtual const MethodInfo &method(MethodId M) const = 0;
+
+  /// Looks a method up by name; asserts when absent.
+  MethodId methodId(std::string_view Name) const;
+
+  /// σ0: the initial state; must satisfy the invariant.
+  virtual StatePtr initialState() const = 0;
+
+  /// The integrity property I(σ).
+  virtual bool invariant(const ObjectState &S) const = 0;
+
+  /// Executes update call \p C on \p S in place.
+  virtual void apply(ObjectState &S, const Call &C) const = 0;
+
+  /// Executes query call \p C against \p S.
+  virtual Value query(const ObjectState &S, const Call &C) const = 0;
+
+  /// Op-based "prepare" hook: rewrites a client call at the issuing
+  /// replica using its local state before the call is applied/propagated
+  /// (e.g. the ORSet turns remove(e) into removeTags(e, observed tags)).
+  /// The default is the identity.
+  virtual Call prepare(const ObjectState &S, const Call &C) const;
+
+  /// The declared coordination relations (finalized).
+  virtual const CoordinationSpec &coordination() const = 0;
+
+  /// Summarize(c, c') from Section 3.3: produces \p Out such that
+  /// Out(σ) == c'(c(σ)) for all σ. Returns false when the calls cannot be
+  /// summarized (different groups or non-summarizable methods).
+  virtual bool summarize(const Call &First, const Call &Second,
+                         Call &Out) const;
+
+  /// Whether two calls can ever be issued *concurrently* at two replicas.
+  /// The conflict relation only matters for concurrent pairs: a pair that
+  /// is causally ordered by construction (e.g. an ORSet removeTags and the
+  /// very addTag whose unique tag it observed) is ordered by the
+  /// dependency machinery and never races. The default is true.
+  virtual bool concurrentlyIssuable(const Call &A, const Call &B) const;
+
+  /// Sample update calls on \p M for the sampling-based analysis. The
+  /// default generates small argument tuples from the method's arity.
+  virtual std::vector<Call> sampleCalls(MethodId M) const;
+
+  /// Sample states for the analysis: by default, states reachable from σ0
+  /// via short permissible sequences of sampled calls (bounded).
+  virtual std::vector<StatePtr> sampleStates() const;
+
+  /// Generates a random *client-form* call on \p M (before prepare()),
+  /// stamped with \p Issuer and \p Req. Used by the semantics explorer and
+  /// the benchmark workload generator. The default draws each argument
+  /// uniformly from a small key space; types with structured arguments
+  /// (e.g. the LWW register's unique timestamps) override it.
+  virtual Call randomClientCall(MethodId M, ProcessId Issuer, RequestId Req,
+                                sim::Rng &R) const;
+
+  // -- Convenience helpers ------------------------------------------------
+
+  /// P(σ, c): the invariant holds after applying \p C to \p S.
+  bool permissible(const ObjectState &S, const Call &C) const;
+
+  /// Applies \p C to a clone of \p S and returns the result.
+  StatePtr applyCopy(const ObjectState &S, const Call &C) const;
+
+  /// The category of method \p M per the coordination spec.
+  MethodCategory category(MethodId M) const {
+    return coordination().category(M);
+  }
+};
+
+} // namespace hamband
+
+#endif // HAMBAND_CORE_OBJECTTYPE_H

@@ -1,0 +1,39 @@
+//===- hamband/core/TypeRegistry.h - Data type registry ---------*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of the data types shipped in `types/` so that the property
+/// tests and benchmark harness can iterate over every type by name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_CORE_TYPEREGISTRY_H
+#define HAMBAND_CORE_TYPEREGISTRY_H
+
+#include "hamband/core/ObjectType.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hamband {
+
+/// Factory producing a fresh ObjectType instance.
+using TypeFactory = std::function<std::unique_ptr<ObjectType>()>;
+
+/// Names of all registered data types (sorted).
+std::vector<std::string> registeredTypeNames();
+
+/// Creates the named type; asserts when the name is unknown.
+std::unique_ptr<ObjectType> makeType(const std::string &Name);
+
+/// True when the name is registered.
+bool isTypeRegistered(const std::string &Name);
+
+} // namespace hamband
+
+#endif // HAMBAND_CORE_TYPEREGISTRY_H

@@ -1,0 +1,194 @@
+//===- hamband/rdma/Fabric.h - Simulated RDMA fabric -----------*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated RDMA cluster: N nodes, each with a CPU and a registered
+/// memory region, connected by Reliable-Connection queue pairs. The fabric
+/// exposes the verbs the Hamband runtime needs:
+///
+///  - one-sided WRITE / READ: remote memory is accessed after wire latency
+///    with *no* remote CPU involvement, mirroring ibverbs RDMA_WRITE/READ;
+///  - two-sided SEND / RECV: the receiver's CPU runs a handler and pays
+///    kernel-network-stack costs (used by the message-passing baseline);
+///  - per-region write permissions, which the Mu-style consensus uses to
+///    guarantee at most one leader can append to replicated logs;
+///  - failure injection: a crashed node's CPU stops and its two-sided
+///    traffic is dropped, but its registered memory remains remotely
+///    readable/writable (the RDMA failure model the paper builds on).
+///
+/// Delivery between each ordered pair of nodes is FIFO, as on an RC queue
+/// pair, and each node's CPU is a serial resource: closures handed to
+/// runOnCpu() execute one at a time, which is what actually bounds
+/// throughput in the experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_RDMA_FABRIC_H
+#define HAMBAND_RDMA_FABRIC_H
+
+#include "hamband/rdma/MemoryRegion.h"
+#include "hamband/rdma/NetworkModel.h"
+#include "hamband/sim/Simulator.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace hamband {
+namespace rdma {
+
+/// Identifier of a node (process) in the cluster.
+using NodeId = std::uint32_t;
+
+/// Identifier of a protected memory region for permission checks.
+using RegionKey = std::uint32_t;
+
+/// Region key meaning "no permission check".
+inline constexpr RegionKey UnprotectedRegion = 0;
+
+/// Completion status of a posted verb.
+enum class WcStatus {
+  Success,
+  /// The responder rejected the access (permission revoked). This is how a
+  /// deposed Mu leader learns it can no longer append to follower logs.
+  AccessError,
+};
+
+/// Completion callback for writes and sends.
+using CompletionFn = std::function<void(WcStatus)>;
+
+/// Completion callback for reads; Data is empty on error.
+using ReadCompletionFn =
+    std::function<void(WcStatus, std::vector<std::uint8_t> Data)>;
+
+/// Handler invoked on the receiver CPU for two-sided messages.
+using RecvHandler =
+    std::function<void(NodeId Src, const std::vector<std::uint8_t> &Msg)>;
+
+/// Simulated RDMA cluster over a discrete-event simulator.
+class Fabric {
+public:
+  /// Each node models a small multi-core host (the paper's nodes have 8
+  /// cores and run dedicated threads). Work on different lanes proceeds in
+  /// parallel; work on one lane is serial.
+  enum CpuLane : unsigned {
+    /// Client-request handling and protocol leader work.
+    LaneClient = 0,
+    /// The buffer-traversal threads (F/L/mailbox polling).
+    LanePoller = 1,
+    /// Heartbeats, failure detection, recovery, leader change.
+    LaneBackground = 2,
+  };
+  static constexpr unsigned NumCpuLanes = 3;
+
+  Fabric(sim::Simulator &Sim, unsigned NumNodes,
+         NetworkModel Model = NetworkModel(),
+         std::size_t MemBytesPerNode = 64u << 20);
+  ~Fabric();
+
+  Fabric(const Fabric &) = delete;
+  Fabric &operator=(const Fabric &) = delete;
+
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+  sim::Simulator &simulator() { return Sim; }
+  const NetworkModel &model() const { return Model; }
+
+  /// Direct access to a node's registered memory. Local code uses this for
+  /// its *own* memory; remote access must go through the verbs so that it
+  /// pays wire latency.
+  MemoryRegion &memory(NodeId Node);
+  const MemoryRegion &memory(NodeId Node) const;
+
+  /// Posts a one-sided RDMA WRITE of \p Data to (\p Dst, \p DstOff).
+  /// The bytes become visible in the destination memory after wire latency
+  /// without involving the destination CPU. \p OnComplete (optional) fires
+  /// on the source after the completion-queue delay. Writes from the same
+  /// source to the same destination are delivered in post order (RC FIFO).
+  void postWrite(NodeId Src, NodeId Dst, MemOffset DstOff,
+                 std::vector<std::uint8_t> Data,
+                 RegionKey Key = UnprotectedRegion,
+                 CompletionFn OnComplete = nullptr,
+                 unsigned Lane = LaneClient);
+
+  /// Posts a one-sided RDMA READ of \p Len bytes from (\p Dst, \p DstOff).
+  /// The remote memory is sampled after wire latency; the data reaches the
+  /// issuer with the completion.
+  void postRead(NodeId Src, NodeId Dst, MemOffset DstOff, std::size_t Len,
+                ReadCompletionFn OnComplete, unsigned Lane = LaneClient);
+
+  /// Sends a two-sided message through the (simulated) kernel stack. The
+  /// receiver's RecvHandler runs on its CPU; if the receiver has crashed
+  /// the message is silently dropped and the completion still succeeds
+  /// (TCP-like: the sender cannot tell).
+  void send(NodeId Src, NodeId Dst, std::vector<std::uint8_t> Msg,
+            CompletionFn OnComplete = nullptr, unsigned Lane = LaneClient);
+
+  /// Installs the two-sided receive handler for \p Node.
+  void setRecvHandler(NodeId Node, RecvHandler Handler);
+
+  /// Runs \p Fn on \p Node's CPU lane \p Lane after the lane has executed
+  /// everything already queued, charging \p Cost of CPU time. Work within
+  /// a lane is serial; lanes run in parallel. If the node crashed, \p Fn
+  /// is dropped.
+  void runOnCpu(NodeId Node, sim::SimDuration Cost, std::function<void()> Fn,
+                unsigned Lane = LaneClient);
+
+  /// Allocates a fresh region key for permission-controlled writes.
+  RegionKey createRegionKey();
+
+  /// Grants or revokes \p Writer's permission to WRITE regions tagged
+  /// \p Key on \p Target. Checked at delivery time on the responder, like
+  /// ibverbs memory-window permissions.
+  void setWritePermission(NodeId Target, NodeId Writer, RegionKey Key,
+                          bool Allowed);
+
+  /// Returns whether \p Writer may write \p Key-tagged regions on
+  /// \p Target.
+  bool hasWritePermission(NodeId Target, NodeId Writer, RegionKey Key) const;
+
+  /// Crashes \p Node: its CPU stops (pending and future closures dropped)
+  /// and incoming two-sided messages are discarded. One-sided access to its
+  /// memory keeps working, per the RDMA failure model.
+  void crash(NodeId Node);
+
+  /// True if the node has not crashed.
+  bool isAlive(NodeId Node) const;
+
+  /// Diagnostic counters.
+  std::uint64_t totalWritesPosted() const { return WritesPosted; }
+  std::uint64_t totalReadsPosted() const { return ReadsPosted; }
+  std::uint64_t totalSendsPosted() const { return SendsPosted; }
+  std::uint64_t totalBytesWritten() const { return BytesWritten; }
+
+private:
+  struct NodeCtx;
+
+  NodeCtx &node(NodeId Id);
+  const NodeCtx &node(NodeId Id) const;
+
+  /// Computes the FIFO delivery time for the (Src, Dst) channel.
+  sim::SimTime channelDeliveryTime(NodeId Src, NodeId Dst,
+                                   sim::SimDuration Wire);
+
+  sim::Simulator &Sim;
+  NetworkModel Model;
+  std::vector<std::unique_ptr<NodeCtx>> Nodes;
+  /// Last delivery time per ordered (src, dst) pair, for RC FIFO order.
+  std::vector<sim::SimTime> ChannelLast;
+  RegionKey NextRegionKey = 1;
+
+  std::uint64_t WritesPosted = 0;
+  std::uint64_t ReadsPosted = 0;
+  std::uint64_t SendsPosted = 0;
+  std::uint64_t BytesWritten = 0;
+};
+
+} // namespace rdma
+} // namespace hamband
+
+#endif // HAMBAND_RDMA_FABRIC_H

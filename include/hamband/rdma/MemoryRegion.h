@@ -1,0 +1,76 @@
+//===- hamband/rdma/MemoryRegion.h - Registered memory region --*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A node's registered RDMA memory: a flat, bounds-checked byte array with
+/// little-endian integer accessors and a bump allocator that hands out
+/// offsets for protocol structures (rings, summary slots, counters, ...).
+/// Remote peers address this memory by (node, offset), exactly like an
+/// (rkey, addr) pair addresses an ibverbs memory region.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_RDMA_MEMORYREGION_H
+#define HAMBAND_RDMA_MEMORYREGION_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace hamband {
+namespace rdma {
+
+/// Byte offset within a node's registered memory.
+using MemOffset = std::uint64_t;
+
+/// A node's registered, remotely accessible memory.
+class MemoryRegion {
+public:
+  explicit MemoryRegion(std::size_t Size);
+
+  std::size_t size() const { return Bytes.size(); }
+
+  /// Bump-allocates \p Size bytes aligned to \p Align; returns the offset.
+  /// Asserts (and aborts) on exhaustion -- region sizing is a configuration
+  /// decision, not a runtime condition.
+  MemOffset alloc(std::size_t Size, std::size_t Align = 8);
+
+  /// Bytes remaining in the allocator.
+  std::size_t remaining() const { return Bytes.size() - Brk; }
+
+  /// Copies \p Len bytes starting at \p Off into \p Dst.
+  void read(MemOffset Off, void *Dst, std::size_t Len) const;
+
+  /// Copies \p Len bytes from \p Src into the region at \p Off.
+  void write(MemOffset Off, const void *Src, std::size_t Len);
+
+  /// Reads a little-endian uint64 at \p Off.
+  std::uint64_t readU64(MemOffset Off) const;
+
+  /// Writes a little-endian uint64 at \p Off.
+  void writeU64(MemOffset Off, std::uint64_t V);
+
+  /// Reads a single byte.
+  std::uint8_t readU8(MemOffset Off) const;
+
+  /// Writes a single byte.
+  void writeU8(MemOffset Off, std::uint8_t V);
+
+  /// Returns a copy of the byte range [Off, Off+Len).
+  std::vector<std::uint8_t> slice(MemOffset Off, std::size_t Len) const;
+
+  /// Zero-fills [Off, Off+Len).
+  void zero(MemOffset Off, std::size_t Len);
+
+private:
+  std::vector<std::uint8_t> Bytes;
+  std::size_t Brk = 0;
+};
+
+} // namespace rdma
+} // namespace hamband
+
+#endif // HAMBAND_RDMA_MEMORYREGION_H

@@ -1,0 +1,87 @@
+//===- hamband/runtime/HambandCluster.h - Hamband cluster -------*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns a simulated fabric plus one HambandNode per process and implements
+/// the ReplicaRuntime interface the benchmark harness drives. This is the
+/// top-level public API: construct a cluster around an ObjectType, start
+/// it, submit calls at any node, and run the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_RUNTIME_HAMBANDCLUSTER_H
+#define HAMBAND_RUNTIME_HAMBANDCLUSTER_H
+
+#include "hamband/runtime/HambandNode.h"
+
+#include <memory>
+#include <vector>
+
+namespace hamband {
+namespace runtime {
+
+/// A Hamband deployment: N replicas of one object over one fabric.
+class HambandCluster : public ReplicaRuntime {
+public:
+  HambandCluster(sim::Simulator &Sim, unsigned NumNodes,
+                 const ObjectType &Type,
+                 rdma::NetworkModel Model = rdma::NetworkModel(),
+                 HambandConfig Cfg = HambandConfig());
+  ~HambandCluster() override;
+
+  /// Starts pollers, heartbeats and detectors on every node.
+  void start();
+
+  HambandNode &node(rdma::NodeId Id) { return *Nodes[Id]; }
+  unsigned numSyncGroups() const {
+    return Type.coordination().numSyncGroups();
+  }
+
+  /// The symmetric per-node memory layout (tests and tools).
+  const MemoryMap &memoryMap() const { return *Map; }
+  const HambandConfig &config() const { return Cfg; }
+
+  // -- ReplicaRuntime ------------------------------------------------------
+  unsigned numNodes() const override {
+    return static_cast<unsigned>(Nodes.size());
+  }
+  sim::Simulator &simulator() override { return Sim; }
+  rdma::Fabric &fabric() override { return *Fab; }
+  const ObjectType &objectType() const override { return Type; }
+  void submit(rdma::NodeId Origin, const Call &C,
+              SubmitCallback Done) override;
+  bool fullyReplicated() const override;
+  void injectFailure(rdma::NodeId Node) override;
+  bool isFailed(rdma::NodeId Node) const override { return Failed[Node]; }
+  rdma::NodeId leaderOf(unsigned Group,
+                        rdma::NodeId Observer) const override;
+  std::uint64_t replicationBacklog() const override;
+
+  /// Number of submitted calls whose completion is still pending.
+  std::uint64_t outstanding() const { return Outstanding; }
+
+  /// Test helper: all nodes' visible states are equal.
+  bool converged();
+
+  /// Test helper: all nodes' applied tables are equal.
+  bool appliedTablesEqual() const;
+
+private:
+  sim::Simulator &Sim;
+  const ObjectType &Type;
+  HambandConfig Cfg;
+  std::unique_ptr<MemoryMap> Map;
+  std::unique_ptr<rdma::Fabric> Fab;
+  std::vector<rdma::RegionKey> ConfKeys;
+  std::vector<std::unique_ptr<HambandNode>> Nodes;
+  std::vector<bool> Failed;
+  std::uint64_t Outstanding = 0;
+};
+
+} // namespace runtime
+} // namespace hamband
+
+#endif // HAMBAND_RUNTIME_HAMBANDCLUSTER_H

@@ -1,0 +1,268 @@
+//===- hamband/runtime/HambandNode.h - Hamband replica node -----*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One Hamband replica: the runtime of Section 4 implementing the concrete
+/// RDMA WRDT semantics (Figure 7) over the simulated fabric.
+///
+/// Request processing ("Processing requests", Section 4):
+///  1. queries execute locally against Apply(S)(σ);
+///  2. reducible calls fold into the local summary and are remotely
+///     overwritten into every peer's summary slot (reliable broadcast via
+///     the backup slot);
+///  3. irreducible conflict-free calls apply locally and are appended to
+///     the remote F rings (reliable broadcast);
+///  4. conflicting calls go to the synchronization group's Mu consensus
+///     instance -- local calls directly when this node leads, otherwise
+///     through a single-writer mailbox ring to the leader.
+///
+/// Two logical poller threads (one CPU lane here) traverse the F and L
+/// buffers and apply calls whose dependency arrays are satisfied by the
+/// local applied-counts table A.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_RUNTIME_HAMBANDNODE_H
+#define HAMBAND_RUNTIME_HAMBANDNODE_H
+
+#include "hamband/core/ObjectType.h"
+#include "hamband/runtime/HeartbeatDetector.h"
+#include "hamband/runtime/MemoryMap.h"
+#include "hamband/runtime/MuConsensus.h"
+#include "hamband/runtime/ReliableBroadcast.h"
+#include "hamband/runtime/RingBuffer.h"
+#include "hamband/runtime/Runtime.h"
+#include "hamband/runtime/WireFormat.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hamband {
+namespace runtime {
+
+/// Tunables of the Hamband runtime.
+struct HambandConfig {
+  RingGeometry FreeGeom{4096, 256};
+  RingGeometry ConfGeom{4096, 256};
+  RingGeometry MailGeom{4096, 256};
+  std::uint32_t SummarySlotBytes = 512;
+  std::uint32_t BackupSlotBytes = 1024;
+  /// Period of the buffer-traversal loop.
+  sim::SimDuration PollInterval = sim::micros(0.5);
+  /// Origin-side retry timeout for redirected conflicting calls.
+  sim::SimDuration ConfRetryTimeout = sim::micros(400);
+  /// How long the leader holds a conflicting call that is not yet
+  /// permissible (e.g. a worksOn whose addProject has not been delivered)
+  /// before rejecting it. This is what makes dependent methods slower in
+  /// Figure 11(b).
+  sim::SimDuration PermissibilityWait = sim::micros(150);
+  HeartbeatDetector::Config Heartbeat;
+  /// Ablation: stage broadcasts in the backup slot (reliable) or not.
+  bool UseBackupSlot = true;
+  /// Ablation: complete client calls after remote-write completions
+  /// (true, default) or right after the local apply (unsafe-fast).
+  bool RespondAfterCompletion = true;
+};
+
+/// One replica node of a Hamband cluster.
+class HambandNode {
+public:
+  HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
+              const ObjectType &Type, const MemoryMap &Map,
+              const HambandConfig &Cfg,
+              const std::vector<rdma::RegionKey> &ConfKeys);
+  ~HambandNode();
+
+  HambandNode(const HambandNode &) = delete;
+  HambandNode &operator=(const HambandNode &) = delete;
+
+  /// Starts the pollers, heartbeat and detector.
+  void start();
+
+  /// Handles a client call arriving at this node.
+  void submit(const Call &C, SubmitCallback Done);
+
+  /// Failure injection: stop the heartbeat thread (peers will suspect us).
+  void suspendHeartbeat() { Detector->suspendBeating(); }
+
+  /// Failure injection, second half: the node stops serving new client
+  /// calls and ignores forwarded requests, modeling the paper's injected
+  /// node being taken out of service ("all the requests of the failed
+  /// node are redirected"). Its pollers keep applying one-sided traffic
+  /// and in-flight work completes, matching a process whose service
+  /// threads stalled while its memory stays registered.
+  void setOutOfService() { OutOfService = true; }
+  bool isOutOfService() const { return OutOfService; }
+
+  // -- Introspection (metrics, tests) -------------------------------------
+
+  rdma::NodeId id() const { return Self; }
+
+  /// The state a query at this node observes: Apply(S)(σ).
+  const ObjectState &visibleState();
+
+  /// A(from, u).
+  std::uint64_t applied(ProcessId From, MethodId U) const {
+    return Applied[From][U];
+  }
+
+  /// The full applied table (row per process).
+  const std::vector<std::vector<std::uint64_t>> &appliedTable() const {
+    return Applied;
+  }
+
+  /// True when no buffered or pending work remains at this node.
+  bool idle() const;
+
+  /// Current leader of \p Group as known by this node.
+  rdma::NodeId knownLeader(unsigned Group) const;
+
+  MuConsensus *consensus(unsigned Group) {
+    return Group < Consensus.size() ? Consensus[Group].get() : nullptr;
+  }
+  HeartbeatDetector &detector() { return *Detector; }
+
+  /// Counts of processed calls (diagnostics / tests).
+  std::uint64_t localUpdates() const { return NumLocalUpdates; }
+  std::uint64_t appliedBuffered() const { return NumAppliedBuffered; }
+  std::uint64_t recoveredBroadcasts() const { return NumRecovered; }
+
+  /// Diagnostic sizes of the pending structures (tests, stall debugging).
+  std::size_t pendingFreeTotal() const;
+  std::size_t pendingConfTotal() const;
+  std::size_t leaderQueueTotal() const;
+  std::size_t awaitingResponseCount() const {
+    return AwaitingResponse.size();
+  }
+
+private:
+  struct PendingConfRequest {
+    Call TheCall;
+    SubmitCallback Done;
+    unsigned Group = 0;
+    sim::SimTime SentAt = 0;
+    rdma::NodeId SentTo = 0;
+    /// Leader-side: give up waiting for permissibility after this time
+    /// (0 = not yet assigned).
+    sim::SimTime WaitDeadline = 0;
+  };
+
+  // Request paths.
+  void handleQuery(const Call &C, SubmitCallback Done);
+  void handleReduce(Call C, SubmitCallback Done);
+  void handleFree(Call C, SubmitCallback Done);
+  void handleConf(Call C, SubmitCallback Done);
+  /// Leader-side processing of a conflicting call (local or forwarded).
+  /// \p WaitDeadline carries the permissibility-wait deadline across
+  /// retries (0 on first arrival).
+  void leaderProcessConf(unsigned Group, ProcessId Origin, RequestId ReqId,
+                         Call C, SubmitCallback LocalDone,
+                         sim::SimTime WaitDeadline = 0);
+  void retryLeaderQueue(unsigned Group);
+  /// Leader-side outcome of a conflicting call.
+  enum class ConfOutcome : std::uint8_t {
+    /// Rejected: impermissible; terminal for the client.
+    Rejected = 0,
+    /// Committed by a majority.
+    Committed = 1,
+    /// This node cannot decide (deposed / epoch changed); the origin
+    /// should retry against the current leader.
+    Retry = 2,
+  };
+  void respondConf(ProcessId Origin, RequestId ReqId, ConfOutcome Outcome,
+                   SubmitCallback LocalDone);
+  /// Re-sends timed-out redirected calls to the (possibly new) leader.
+  void checkConfTimeouts();
+
+  // Poller.
+  void schedulePoll();
+  void pollOnce();
+  unsigned pollFreeRings();
+  unsigned pollSummaries();
+  unsigned pollConfRings();
+  unsigned pollMailboxes();
+  unsigned applyPendingFree();
+  unsigned applyPendingConf();
+  void handleMail(ProcessId From, const MailMsg &Msg);
+
+  // State helpers.
+  void markVisibleDirty() { VisibleDirty = true; }
+  void applyToStored(const Call &C);
+  bool depsSatisfied(const semantics::DepMap &D) const;
+  semantics::DepMap projectDeps(MethodId U) const;
+  void installSummary(unsigned Group, ProcessId From,
+                      const SummaryImage &Img);
+  void bumpConfContig(unsigned Group);
+
+  // Broadcast recovery.
+  void onPeerSuspected(rdma::NodeId Peer);
+
+  rdma::Fabric &Fabric;
+  rdma::NodeId Self;
+  const ObjectType &Type;
+  const CoordinationSpec &Spec;
+  const MemoryMap &Map;
+  HambandConfig Cfg;
+
+  // Object state.
+  StatePtr Stored;
+  StatePtr VisibleCache;
+  bool VisibleDirty = true;
+  std::vector<std::vector<std::uint64_t>> Applied; // [proc][method]
+
+  // Summaries: cached deserialized images per (sum group, source).
+  std::vector<std::vector<std::optional<Call>>> SummaryCache;
+  std::vector<std::vector<std::uint64_t>> SummarySeqSeen;
+  /// This node's own folded summary and outgoing sequence per group.
+  std::vector<std::optional<Call>> OwnSummary;
+  std::vector<std::uint64_t> OwnSummarySeq;
+
+  // Rings.
+  std::vector<std::unique_ptr<RingReader>> FreeReaders;  // [issuer]
+  std::vector<std::unique_ptr<RingWriter>> FreeWriters;  // [peer]
+  std::vector<std::unique_ptr<RingReader>> ConfReaders;  // [group]
+  std::vector<std::unique_ptr<RingReader>> MailReaders;  // [peer]
+  std::vector<std::unique_ptr<RingWriter>> MailWriters;  // [peer]
+
+  // Pending (received, unapplied) calls.
+  std::vector<std::deque<WireCall>> FreePending;            // [issuer]
+  std::vector<std::map<std::uint64_t, WireCall>> ConfPending; // [group]
+  std::vector<std::uint64_t> ConfReceivedContig; // [group]
+  std::vector<std::uint64_t> ConfAppliedIdx;     // [group]
+  std::vector<std::unordered_set<RequestId>> ConfSeen; // [group] dedup
+  /// Conflicting calls this (leader) node appended but not yet applied,
+  /// used for speculative permissibility checks.
+  std::vector<std::deque<Call>> LeaderSpeculative; // [group]
+  /// Leader-side queue when the consensus instance is busy/full.
+  std::vector<std::deque<PendingConfRequest>> LeaderQueue; // [group]
+
+  // Redirected conflicting calls awaiting a response.
+  std::unordered_map<RequestId, PendingConfRequest> AwaitingResponse;
+
+  // Components.
+  std::unique_ptr<HeartbeatDetector> Detector;
+  std::unique_ptr<ReliableBroadcast> Broadcast;
+  std::vector<std::unique_ptr<MuConsensus>> Consensus; // [group]
+
+  // Broadcast bookkeeping.
+  std::uint64_t BcastSeqOut = 0;
+
+  sim::SimDuration PollBaseCost = 0;
+  bool Started = false;
+  bool OutOfService = false;
+
+  std::uint64_t NumLocalUpdates = 0;
+  std::uint64_t NumAppliedBuffered = 0;
+  std::uint64_t NumRecovered = 0;
+};
+
+} // namespace runtime
+} // namespace hamband
+
+#endif // HAMBAND_RUNTIME_HAMBANDNODE_H

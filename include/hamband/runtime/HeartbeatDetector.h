@@ -1,0 +1,78 @@
+//===- hamband/runtime/HeartbeatDetector.h - Failure detection --*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heartbeat failure detector of Section 4: "each node has a heartbeat
+/// thread that periodically updates a local counter. This counter is
+/// periodically read by other nodes to determine whether that node is
+/// still alive or not." Beats are plain local stores; checks are one-sided
+/// RDMA reads of the peers' counters, so detection needs no CPU on the
+/// monitored node. A peer whose counter stays unchanged for SuspectAfter
+/// consecutive checks is suspected (once); suspicion drives broadcast
+/// recovery and consensus leader change.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_RUNTIME_HEARTBEATDETECTOR_H
+#define HAMBAND_RUNTIME_HEARTBEATDETECTOR_H
+
+#include "hamband/rdma/Fabric.h"
+
+#include <functional>
+#include <vector>
+
+namespace hamband {
+namespace runtime {
+
+/// Per-node heartbeat thread plus detector of all peers.
+class HeartbeatDetector {
+public:
+  struct Config {
+    sim::SimDuration BeatInterval = sim::micros(20);
+    sim::SimDuration CheckInterval = sim::micros(60);
+    unsigned SuspectAfter = 4;
+  };
+
+  /// \p HeartbeatOff is the offset of the counter in every node's memory
+  /// (the layout is symmetric).
+  HeartbeatDetector(rdma::Fabric &Fabric, rdma::NodeId Self,
+                    rdma::MemOffset HeartbeatOff, Config Cfg);
+
+  /// Starts the beat timer and the peer checks.
+  void start();
+
+  /// Failure injection per the paper: the heartbeat thread stops beating;
+  /// everything else on the node keeps running.
+  void suspendBeating() { Beating = false; }
+  bool isBeating() const { return Beating; }
+
+  /// Registers a suspicion callback; fired at most once per peer.
+  void onSuspect(std::function<void(rdma::NodeId)> Fn) {
+    SuspectFn = std::move(Fn);
+  }
+
+  bool isSuspected(rdma::NodeId Peer) const { return Suspected[Peer]; }
+
+private:
+  void beat();
+  void checkPeers();
+
+  rdma::Fabric &Fabric;
+  rdma::NodeId Self;
+  rdma::MemOffset HeartbeatOff;
+  Config Cfg;
+  bool Beating = true;
+  std::uint64_t Counter = 0;
+  std::vector<std::uint64_t> LastSeen;
+  std::vector<unsigned> Misses;
+  std::vector<bool> Suspected;
+  std::function<void(rdma::NodeId)> SuspectFn;
+};
+
+} // namespace runtime
+} // namespace hamband
+
+#endif // HAMBAND_RUNTIME_HEARTBEATDETECTOR_H

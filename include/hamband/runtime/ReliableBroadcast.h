@@ -1,0 +1,77 @@
+//===- hamband/runtime/ReliableBroadcast.h - RDMA broadcast -----*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RDMA reliable-broadcast backup slot of Section 4. Best-effort
+/// broadcast on RDMA is just N-1 remote writes, but the source may crash
+/// mid-way and violate agreement. So the source first stores the message
+/// in a local *backup slot* that peers have read access to, performs the
+/// remote writes, and clears the slot afterwards. When the failure
+/// detector suspects the source, each peer remotely reads the backup slot
+/// and delivers any pending message it has not received.
+///
+/// Slot layout: u8 kind | u8 aux | u32 len | payload | canary byte at end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_RUNTIME_RELIABLEBROADCAST_H
+#define HAMBAND_RUNTIME_RELIABLEBROADCAST_H
+
+#include "hamband/rdma/Fabric.h"
+
+#include <functional>
+#include <vector>
+
+namespace hamband {
+namespace runtime {
+
+/// Manages this node's backup slot and recovery reads of peers' slots.
+class ReliableBroadcast {
+public:
+  /// Message kinds staged in the slot; `Aux` disambiguates the target
+  /// structure (summarization group or unused).
+  enum class Kind : std::uint8_t {
+    None = 0,
+    /// Payload is an F-ring cell payload (encoded WireCall).
+    FreeCall = 1,
+    /// Payload is a summary-slot image; Aux is the summarization group.
+    Summary = 2,
+  };
+
+  /// A fetched backup message.
+  struct BackupMessage {
+    Kind TheKind = Kind::None;
+    std::uint8_t Aux = 0;
+    std::vector<std::uint8_t> Payload;
+  };
+
+  ReliableBroadcast(rdma::Fabric &Fabric, rdma::NodeId Self,
+                    rdma::MemOffset BackupOff, std::uint32_t SlotBytes);
+
+  /// Stages a message in the local backup slot (a local store -- it must
+  /// happen before the remote writes are posted).
+  void stage(Kind K, std::uint8_t Aux,
+             const std::vector<std::uint8_t> &Payload);
+
+  /// Clears the slot after all remote writes completed.
+  void clear();
+
+  /// Remotely reads \p Peer's backup slot (same symmetric offset) and
+  /// invokes \p Done with the decoded message (Kind::None when empty).
+  void fetch(rdma::NodeId Peer,
+             std::function<void(BackupMessage)> Done) const;
+
+private:
+  rdma::Fabric &Fabric;
+  rdma::NodeId Self;
+  rdma::MemOffset BackupOff;
+  std::uint32_t SlotBytes;
+};
+
+} // namespace runtime
+} // namespace hamband
+
+#endif // HAMBAND_RUNTIME_RELIABLEBROADCAST_H

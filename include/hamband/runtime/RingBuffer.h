@@ -1,0 +1,147 @@
+//===- hamband/runtime/RingBuffer.h - Single-writer rings -------*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-writer ring buffers of Section 4. Each buffer lives in the
+/// *reader's* registered memory and is remotely written by exactly one
+/// writer, so no RDMA atomics are needed:
+///
+///  - the reader holds the head locally and clears a cell's canary byte
+///    after consuming it;
+///  - the writer holds the tail locally ("a tail that is remotely stored
+///    at the single writer node");
+///  - each cell ends in a canary byte; the reader's periodic traversal
+///    retries when the canary check fails ("even if a call is missed in a
+///    traversal, it will be processed in the next one");
+///  - consumed cells are reused ("to avoid memory overflow, these
+///    locations are reused"); the reader occasionally publishes its head
+///    to a feedback slot in the writer's memory (again single-writer) so
+///    the writer can tell when the ring is full.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_RUNTIME_RINGBUFFER_H
+#define HAMBAND_RUNTIME_RINGBUFFER_H
+
+#include "hamband/rdma/Fabric.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hamband {
+namespace runtime {
+
+/// Shape of a ring: cell count and fixed cell size.
+struct RingGeometry {
+  std::uint32_t NumCells = 1024;
+  std::uint32_t CellSize = 192;
+
+  /// Cell header: u32 payload length + u64 sequence number.
+  static constexpr std::uint32_t HeaderBytes = 12;
+
+  std::size_t dataBytes() const {
+    return static_cast<std::size_t>(NumCells) * CellSize;
+  }
+  std::size_t maxPayload() const { return CellSize - HeaderBytes - 1; }
+};
+
+/// The writer's end of a single-writer ring living on a remote reader.
+class RingWriter {
+public:
+  RingWriter(rdma::Fabric &Fabric, rdma::NodeId Writer, rdma::NodeId Reader,
+             rdma::MemOffset DataOff, rdma::MemOffset FeedbackOff,
+             RingGeometry Geom,
+             rdma::RegionKey Key = rdma::UnprotectedRegion,
+             unsigned Lane = rdma::Fabric::LaneClient);
+
+  /// True when appending would overwrite an unconsumed cell; refreshes the
+  /// writer-local view of the reader's head from the feedback slot.
+  bool full() const;
+
+  /// Serializes \p Payload into the next cell and posts the remote write.
+  /// Returns false (posting nothing) when the ring is full. \p OnComplete
+  /// fires on the writer when the RDMA write completes.
+  bool append(const std::vector<std::uint8_t> &Payload,
+              rdma::CompletionFn OnComplete = nullptr);
+
+  /// Number of cells appended so far.
+  std::uint64_t tail() const { return Tail; }
+
+  /// Overrides the tail; used by a new consensus leader after catch-up.
+  void setTail(std::uint64_t T) { Tail = T; }
+
+  rdma::NodeId reader() const { return Reader; }
+
+private:
+  rdma::Fabric &Fabric;
+  rdma::NodeId Writer;
+  rdma::NodeId Reader;
+  rdma::MemOffset DataOff;
+  rdma::MemOffset FeedbackOff;
+  RingGeometry Geom;
+  rdma::RegionKey Key;
+  unsigned Lane;
+  std::uint64_t Tail = 0;
+};
+
+/// The reader's end of a single-writer ring in its own memory.
+class RingReader {
+public:
+  RingReader(rdma::Fabric &Fabric, rdma::NodeId Reader, rdma::NodeId Writer,
+             rdma::MemOffset DataOff, rdma::MemOffset FeedbackOff,
+             RingGeometry Geom,
+             unsigned Lane = rdma::Fabric::LanePoller);
+
+  /// Checks the head cell's canary; fills \p Out with the payload when a
+  /// complete cell is present. Does not consume.
+  bool peek(std::vector<std::uint8_t> &Out) const;
+
+  /// Consumes the head cell after a successful peek: clears the canary so
+  /// the cell can be reused and occasionally posts the head position to
+  /// the writer's feedback slot.
+  void consume();
+
+  std::uint64_t head() const { return Head; }
+
+  /// Skips the head forward (leader-change catch-up can deliver entries
+  /// out-of-band; the ring then resumes at the first undelivered index).
+  void setHead(std::uint64_t H) { Head = H; }
+
+  /// Redirects head feedback to a different writer node (consensus leader
+  /// change).
+  void setWriter(rdma::NodeId NewWriter) { Writer = NewWriter; }
+
+  /// Reads a raw cell payload by absolute index (used by a new leader for
+  /// catch-up reads of its own log copy). Returns false if the cell's
+  /// canary is clear or its sequence number mismatches.
+  bool readCell(std::uint64_t Index, std::vector<std::uint8_t> &Out) const;
+
+  /// Like readCell but ignores the canary: a *consumed* cell's bytes stay
+  /// valid until the writer laps the ring, which is what leader-change
+  /// catch-up relies on.
+  bool readCellIgnoringCanary(std::uint64_t Index,
+                              std::vector<std::uint8_t> &Out) const;
+
+  /// Immediately posts the current head to the (possibly new) writer's
+  /// feedback slot.
+  void forceFeedback();
+
+private:
+  rdma::Fabric &Fabric;
+  rdma::NodeId Reader;
+  rdma::NodeId Writer;
+  rdma::MemOffset DataOff;
+  rdma::MemOffset FeedbackOff;
+  RingGeometry Geom;
+  unsigned Lane;
+  std::uint64_t Head = 0;
+  std::uint64_t LastFeedback = 0;
+};
+
+} // namespace runtime
+} // namespace hamband
+
+#endif // HAMBAND_RUNTIME_RINGBUFFER_H

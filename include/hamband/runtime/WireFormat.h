@@ -1,0 +1,142 @@
+//===- hamband/runtime/WireFormat.h - On-the-wire encoding -----*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level serialization used by the runtime. Per Section 4, a call is
+/// assigned a unique id, paired with its variable-sized dependency arrays
+/// and serialized into a byte stream before it is remotely written. The
+/// dependency-array length is *not* stored redundantly: its size is
+/// derived from the method identifier in the call header, exactly as the
+/// paper describes ("the size of dependency arrays in the second element
+/// is decided based on the identifier of the method in the first
+/// element").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_RUNTIME_WIREFORMAT_H
+#define HAMBAND_RUNTIME_WIREFORMAT_H
+
+#include "hamband/core/ObjectType.h"
+#include "hamband/semantics/RdmaSemantics.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hamband {
+namespace runtime {
+
+/// Little-endian append-only byte writer.
+class ByteWriter {
+public:
+  std::vector<std::uint8_t> take() { return std::move(Bytes); }
+  std::size_t size() const { return Bytes.size(); }
+
+  void u8(std::uint8_t V) { Bytes.push_back(V); }
+  void u16(std::uint16_t V);
+  void u32(std::uint32_t V);
+  void u64(std::uint64_t V);
+  void i64(std::int64_t V) { u64(static_cast<std::uint64_t>(V)); }
+
+private:
+  std::vector<std::uint8_t> Bytes;
+};
+
+/// Bounds-checked little-endian byte reader.
+class ByteReader {
+public:
+  ByteReader(const std::uint8_t *Data, std::size_t Len)
+      : Data(Data), Len(Len) {}
+  explicit ByteReader(const std::vector<std::uint8_t> &Bytes)
+      : Data(Bytes.data()), Len(Bytes.size()) {}
+
+  bool ok() const { return !Failed; }
+  std::size_t remaining() const { return Len - Pos; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+private:
+  bool take(std::size_t N);
+
+  const std::uint8_t *Data;
+  std::size_t Len;
+  std::size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// A decoded buffer entry: the call, its dependency map, and the
+/// per-issuer broadcast sequence number used for reliable-broadcast
+/// deduplication.
+struct WireCall {
+  Call TheCall;
+  semantics::DepMap Deps;
+  std::uint64_t BcastSeq = 0;
+};
+
+/// Serializes a call with its dependency arrays. The layout is:
+///   u16 method, u16 argc, u32 issuer, u64 req, u64 bcastSeq,
+///   i64 args[argc], u64 depCounts[|P| * |Dep(method)|]
+/// The dependency block length is implied by the method id and the
+/// process count, as in the paper.
+std::vector<std::uint8_t> encodeCall(const CoordinationSpec &Spec,
+                                     unsigned NumProcesses,
+                                     const WireCall &WC);
+
+/// Decodes a call serialized by encodeCall. Returns false on a malformed
+/// buffer.
+bool decodeCall(const CoordinationSpec &Spec, unsigned NumProcesses,
+                const std::uint8_t *Data, std::size_t Len, WireCall &Out);
+
+/// Builds the dense dependency block (|P| x |Dep(u)| counts) from a sparse
+/// DepMap, ordered process-major with Dep(u) sorted ascending.
+std::vector<std::uint64_t> denseDeps(const CoordinationSpec &Spec,
+                                     unsigned NumProcesses, MethodId U,
+                                     const semantics::DepMap &Deps);
+
+/// Kinds of mailbox messages (leader redirection of conflicting calls).
+enum class MailKind : std::uint8_t {
+  /// A client's conflicting call forwarded to the group leader.
+  ConfRequest = 1,
+  /// The leader's completion response to the origin node.
+  ConfResponse = 2,
+};
+
+/// A mailbox message.
+struct MailMsg {
+  MailKind Kind = MailKind::ConfRequest;
+  ProcessId Origin = 0;
+  RequestId ReqId = 0;
+  std::uint8_t Ok = 0;
+  Call TheCall; // Meaningful for requests only.
+};
+
+/// Serializes a mailbox message.
+std::vector<std::uint8_t> encodeMail(const MailMsg &Msg);
+
+/// Decodes a mailbox message; false on malformed bytes.
+bool decodeMail(const std::uint8_t *Data, std::size_t Len, MailMsg &Out);
+
+/// Serializes a summary-slot image: the folded summary call plus the
+/// per-method applied counts of the source process for the group.
+/// Layout: u64 seq | u16 method | u16 argc | u32 issuer | u64 req |
+///         i64 args[argc] | u16 k | k x (u16 method, u64 count)
+struct SummaryImage {
+  std::uint64_t Seq = 0;
+  Call Summary;
+  std::vector<std::pair<MethodId, std::uint64_t>> AppliedCounts;
+};
+
+std::vector<std::uint8_t> encodeSummary(const SummaryImage &Img);
+bool decodeSummary(const std::uint8_t *Data, std::size_t Len,
+                   SummaryImage &Out);
+
+} // namespace runtime
+} // namespace hamband
+
+#endif // HAMBAND_RUNTIME_WIREFORMAT_H

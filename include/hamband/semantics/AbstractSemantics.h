@@ -1,0 +1,127 @@
+//===- hamband/semantics/AbstractSemantics.h - WRDT semantics ---*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract operational semantics of well-coordinated replicated data
+/// types (Figure 5): replicated state `ss`, replicated execution histories
+/// `xs`, and the transition rules CALL, PROP and QUERY guarded by local
+/// permissibility, conflict synchronization (CallConfSync / PropConfSync)
+/// and dependency preservation (PropDep).
+///
+/// This semantics is the *specification*: the concrete RDMA semantics
+/// (RdmaSemantics.h) and the runtime must refine it. The class doubles as
+/// the test oracle for Lemmas 1 (integrity) and 2 (convergence).
+///
+/// Conflict and dependency between calls use the method-level relations of
+/// the object's CoordinationSpec -- the same (conservative) lift the
+/// runtime implements with its per-method applied/dependency arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_SEMANTICS_ABSTRACTSEMANTICS_H
+#define HAMBAND_SEMANTICS_ABSTRACTSEMANTICS_H
+
+#include "hamband/core/ObjectType.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace hamband {
+namespace semantics {
+
+/// Method-level lift of the call conflict/dependency relations, shared by
+/// both semantics and mirroring what the runtime's per-method metadata can
+/// express.
+class MethodLevelRelations {
+public:
+  explicit MethodLevelRelations(const CoordinationSpec &Spec) : Spec(Spec) {}
+
+  /// c1 >< c2 at method granularity.
+  bool conflict(const Call &C1, const Call &C2) const {
+    return Spec.conflicts(C1.Method, C2.Method);
+  }
+
+  /// c2 is (potentially) dependent on c1 at method granularity.
+  bool dependent(const Call &C2, const Call &C1) const {
+    const auto &Deps = Spec.dependencies(C2.Method);
+    for (MethodId On : Deps)
+      if (On == C1.Method)
+        return true;
+    return false;
+  }
+
+private:
+  const CoordinationSpec &Spec;
+};
+
+/// Executable Figure 5: a WRDT state <ss, xs> with guarded transitions.
+class WrdtSystem {
+public:
+  WrdtSystem(const ObjectType &Type, unsigned NumProcesses);
+
+  const ObjectType &type() const { return Type; }
+  unsigned numProcesses() const {
+    return static_cast<unsigned>(States.size());
+  }
+
+  /// Rule CALL: accepts and executes update call \p C at process \p P.
+  /// Returns false (and leaves the state unchanged) when a side condition
+  /// -- local permissibility or CallConfSync -- fails.
+  bool tryCall(ProcessId P, const Call &C);
+
+  /// Rule PROP: propagates \p C (already executed at its issuer) to \p P.
+  /// Returns false when PropConfSync or PropDep fails, when \p P already
+  /// executed the call, or when the issuer has not executed it.
+  bool tryPropagate(ProcessId P, const Call &C);
+
+  /// Rule QUERY: executes query \p C against ss(P).
+  Value query(ProcessId P, const Call &C) const;
+
+  const ObjectState &state(ProcessId P) const { return *States[P]; }
+  const std::vector<Call> &history(ProcessId P) const { return Hists[P]; }
+
+  /// Whether \p P has executed call \p C (by issuer/request identity).
+  bool hasExecuted(ProcessId P, const Call &C) const;
+
+  /// Calls executed somewhere but not yet at \p P, in a deterministic
+  /// order. Useful for exhaustive/random exploration.
+  std::vector<Call> missingAt(ProcessId P) const;
+
+  /// Lemma 1 oracle: I(ss(p)) for every process.
+  bool checkIntegrity() const;
+
+  /// Lemma 2 oracle: processes with equivalent histories (same call set)
+  /// have equal states.
+  bool checkConvergence() const;
+
+  /// True when every call has reached every process.
+  bool fullyPropagated() const;
+
+private:
+  /// CallConfSync(xs, p, c) of Figure 5.
+  bool callConfSync(ProcessId P, const Call &C) const;
+  /// PropConfSync(xs, p, c) of Figure 5.
+  bool propConfSync(ProcessId P, const Call &C) const;
+  /// PropDep(xs, p, c) of Figure 5.
+  bool propDep(ProcessId P, const Call &C) const;
+
+  void execute(ProcessId P, const Call &C);
+
+  static std::uint64_t callKey(const Call &C) {
+    return (static_cast<std::uint64_t>(C.Issuer) << 48) ^ C.Req;
+  }
+
+  const ObjectType &Type;
+  MethodLevelRelations Rel;
+  std::vector<StatePtr> States;
+  std::vector<std::vector<Call>> Hists;
+  std::vector<std::unordered_set<std::uint64_t>> Executed;
+};
+
+} // namespace semantics
+} // namespace hamband
+
+#endif // HAMBAND_SEMANTICS_ABSTRACTSEMANTICS_H

@@ -1,0 +1,173 @@
+//===- hamband/semantics/RdmaSemantics.h - RDMA WRDT semantics --*- C++ -*-==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete operational semantics of RDMA WRDTs (Figures 6 and 7).
+/// A configuration K maps each process to <σ, A, S, F, L>:
+///
+///   σ  stored state (conflicting + irreducible conflict-free calls)
+///   A  applied-calls map: process × method -> count
+///   S  summarized calls: summarization group × process -> call
+///   F  conflict-free buffers: one list per remote issuer
+///   L  conflicting buffers: one list per synchronization group
+///
+/// and the transition rules REDUCE / FREE / CONF / FREE-APP / CONF-APP /
+/// QUERY. Each rule is a method that checks its premises and either takes
+/// the step atomically or leaves the configuration unchanged. Every taken
+/// step is recorded so that Refinement.h can replay the run against the
+/// abstract WRDT semantics (Lemma 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_SEMANTICS_RDMASEMANTICS_H
+#define HAMBAND_SEMANTICS_RDMASEMANTICS_H
+
+#include "hamband/core/ObjectType.h"
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace hamband {
+namespace semantics {
+
+/// One shipped dependency entry: "Count calls on method U from process P
+/// must be applied first". A call's dependency map D is the projection of
+/// the issuer's applied map A over Dep(u) (Section 2, "Dependencies").
+struct DepEntry {
+  ProcessId P = 0;
+  MethodId U = 0;
+  std::uint64_t Count = 0;
+};
+
+/// The dependency map shipped with a buffered call.
+using DepMap = std::vector<DepEntry>;
+
+/// A buffer cell: the call plus its dependency map.
+struct BufferedCall {
+  Call TheCall;
+  DepMap Deps;
+};
+
+/// The concrete rule a step used (for refinement replay).
+enum class StepKind { Reduce, Free, Conf, FreeApp, ConfApp };
+
+/// One taken transition.
+struct StepRecord {
+  StepKind Kind;
+  ProcessId Process;
+  Call TheCall;
+};
+
+/// Executable Figures 6-7.
+class RdmaConfiguration {
+public:
+  RdmaConfiguration(const ObjectType &Type, unsigned NumProcesses);
+
+  /// Deep copy (the model checker branches configurations).
+  RdmaConfiguration(const RdmaConfiguration &O);
+  RdmaConfiguration &operator=(const RdmaConfiguration &) = delete;
+
+  /// Structural hash of the whole configuration, for search-space
+  /// deduplication in the model checker.
+  std::size_t hash() const;
+
+  const ObjectType &type() const { return Type; }
+  unsigned numProcesses() const {
+    return static_cast<unsigned>(Procs.size());
+  }
+
+  /// Leader(g) for synchronization group \p Group (default: g mod |P|).
+  ProcessId leader(unsigned Group) const;
+  void setLeader(unsigned Group, ProcessId P);
+
+  /// Runs the issuing-side prepare() of the object against the current
+  /// visible state of \p P (queries see Apply(S)(σ)).
+  Call prepareAt(ProcessId P, const Call &C) const;
+
+  /// Rule REDUCE at process \p P (the issuer). Returns false when a
+  /// premise fails (category mismatch or impermissibility).
+  bool tryReduce(ProcessId P, const Call &C);
+
+  /// Rule FREE at process \p P (the issuer).
+  bool tryFree(ProcessId P, const Call &C);
+
+  /// Rule CONF at process \p P, which must be the group's leader and the
+  /// call's issuer (the runtime redirects conflicting calls to leaders).
+  bool tryConf(ProcessId P, const Call &C);
+
+  /// Dispatches \p C to the rule matching its method category.
+  bool tryUpdate(ProcessId P, const Call &C);
+
+  /// Rule FREE-APP: applies the head of P's conflict-free buffer for
+  /// issuer \p From if its dependencies are satisfied.
+  bool tryFreeApp(ProcessId P, ProcessId From);
+
+  /// Rule CONF-APP: applies the head of P's conflicting buffer for
+  /// synchronization group \p Group if its dependencies are satisfied.
+  bool tryConfApp(ProcessId P, unsigned Group);
+
+  /// Rule QUERY: evaluates \p C against Apply(S_P)(σ_P).
+  Value query(ProcessId P, const Call &C) const;
+
+  /// Apply(S_P)(σ_P): the state a query at \p P observes.
+  StatePtr visibleState(ProcessId P) const;
+
+  /// A_P(From, U).
+  std::uint64_t applied(ProcessId P, ProcessId From, MethodId U) const;
+
+  std::size_t pendingFree(ProcessId P, ProcessId From) const;
+  std::size_t pendingConf(ProcessId P, unsigned Group) const;
+
+  /// True when every F and L buffer is empty.
+  bool quiescent() const;
+
+  /// Fires FREE-APP/CONF-APP until no rule is enabled; returns the number
+  /// of steps taken. A positive-fuel variant for tests is drain(MaxSteps).
+  unsigned drain(unsigned MaxSteps = ~0u);
+
+  /// Corollary 1 oracle: I(Apply(S_i)(σ_i)) for every process.
+  bool checkIntegrity() const;
+
+  /// Corollary 2 oracle: with empty buffers, all visible states agree.
+  bool checkConvergence() const;
+
+  /// The log of taken steps, in order.
+  const std::vector<StepRecord> &log() const { return Log; }
+
+private:
+  struct ProcState {
+    StatePtr Stored;
+    /// Applied[P][U].
+    std::vector<std::vector<std::uint64_t>> Applied;
+    /// Summaries[SumGroup][P].
+    std::vector<std::vector<std::optional<Call>>> Summaries;
+    /// FreeBufs[Issuer].
+    std::vector<std::deque<BufferedCall>> FreeBufs;
+    /// ConfBufs[SyncGroup].
+    std::vector<std::deque<BufferedCall>> ConfBufs;
+  };
+
+  /// Builds D = A_j | Dep(u) for issuer \p P of a call on \p U.
+  DepMap projectDeps(ProcessId P, MethodId U) const;
+
+  /// D <= A at process \p P.
+  bool depsSatisfied(ProcessId P, const DepMap &D) const;
+
+  /// Applies a buffered call to stored state and advances A.
+  void applyBuffered(ProcessId P, const Call &C);
+
+  const ObjectType &Type;
+  const CoordinationSpec &Spec;
+  std::vector<ProcState> Procs;
+  std::vector<ProcessId> Leaders;
+  std::vector<StepRecord> Log;
+};
+
+} // namespace semantics
+} // namespace hamband
+
+#endif // HAMBAND_SEMANTICS_RDMASEMANTICS_H

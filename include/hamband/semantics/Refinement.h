@@ -1,0 +1,83 @@
+//===- hamband/semantics/Refinement.h - Refinement checking ----*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable counterparts of the paper's theorems:
+///
+///  - Lemma 3 (refinement): every step log of the concrete RDMA semantics
+///    replays in the abstract WRDT semantics. A concrete REDUCE maps to an
+///    abstract CALL followed by immediate PROPs to every other process
+///    (reducible calls are conflict- and dependence-free, so the PROPs are
+///    always enabled); FREE/CONF map to CALL; FREE-APP/CONF-APP map to
+///    PROP.
+///  - Lemmas 1-2 / Corollaries 1-2 (integrity, convergence): checked by
+///    the oracles on both machines.
+///
+/// The random explorer drives a concrete configuration with arbitrary
+/// interleavings of client calls and buffer applications and checks all of
+/// the above; the property tests sweep it across every registered data
+/// type and many seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_SEMANTICS_REFINEMENT_H
+#define HAMBAND_SEMANTICS_REFINEMENT_H
+
+#include "hamband/semantics/AbstractSemantics.h"
+#include "hamband/semantics/RdmaSemantics.h"
+#include "hamband/sim/Rng.h"
+
+#include <string>
+
+namespace hamband {
+namespace semantics {
+
+/// Outcome of a refinement replay.
+struct RefinementResult {
+  bool Ok = true;
+  std::string Error;
+};
+
+/// Replays \p Log (a concrete run over \p NumProcesses processes) in the
+/// abstract semantics, asserting every mapped transition is enabled, and
+/// then checks the abstract integrity and convergence oracles.
+RefinementResult checkRefinement(const ObjectType &Type,
+                                 unsigned NumProcesses,
+                                 const std::vector<StepRecord> &Log);
+
+/// Knobs for the random explorer.
+struct ExplorationOptions {
+  unsigned NumProcesses = 3;
+  unsigned Steps = 300;
+  std::uint64_t Seed = 1;
+  /// Probability that a step is a fresh client call (vs. a buffer apply).
+  double ClientCallProb = 0.55;
+};
+
+/// Everything the explorer verified.
+struct ExplorationResult {
+  bool IntegrityOk = true;
+  bool ConvergenceOk = true;
+  bool RefinementOk = true;
+  std::string Error;
+  unsigned ClientCalls = 0;
+  unsigned RejectedCalls = 0;
+  unsigned ApplySteps = 0;
+
+  bool ok() const { return IntegrityOk && ConvergenceOk && RefinementOk; }
+};
+
+/// Runs a random concrete execution of \p Type, interleaving client calls
+/// with buffer applications, checking integrity throughout; drains all
+/// buffers, checks convergence, and replays the log against the abstract
+/// semantics.
+ExplorationResult exploreRandomly(const ObjectType &Type,
+                                  const ExplorationOptions &Opts);
+
+} // namespace semantics
+} // namespace hamband
+
+#endif // HAMBAND_SEMANTICS_REFINEMENT_H

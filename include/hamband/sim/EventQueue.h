@@ -1,0 +1,90 @@
+//===- hamband/sim/EventQueue.h - Discrete-event priority queue -*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cancellable min-priority queue of timestamped events. Ties are broken
+/// by insertion order so that executions are fully deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_SIM_EVENTQUEUE_H
+#define HAMBAND_SIM_EVENTQUEUE_H
+
+#include "hamband/sim/SimTime.h"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace hamband {
+namespace sim {
+
+/// Opaque handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+/// An invalid event handle; cancel() on it is a no-op.
+inline constexpr EventId InvalidEventId = 0;
+
+/// A fired event popped from the queue.
+struct Event {
+  SimTime At = 0;
+  EventId Id = InvalidEventId;
+  std::function<void()> Fn;
+};
+
+/// Min-priority queue of events ordered by (time, insertion sequence).
+///
+/// Cancellation is lazy: cancelled ids are remembered in a side set and
+/// skipped at pop time, which keeps both push and cancel O(log n) / O(1).
+class EventQueue {
+public:
+  /// Enqueues \p Fn to fire at absolute time \p At. Returns a handle that
+  /// can later be passed to cancel().
+  EventId push(SimTime At, std::function<void()> Fn);
+
+  /// Cancels a previously pushed event. Cancelling an already-fired or
+  /// invalid handle is a harmless no-op.
+  void cancel(EventId Id);
+
+  /// Pops the earliest live event, or returns false when the queue is empty.
+  bool pop(Event &Out);
+
+  /// Returns true when no live events remain.
+  bool empty() const { return LiveCount == 0; }
+
+  /// Number of live (non-cancelled) events.
+  std::size_t size() const { return LiveCount; }
+
+  /// Time of the earliest live event; SimTimeMax when empty.
+  SimTime nextTime();
+
+private:
+  struct HeapEntry {
+    SimTime At;
+    EventId Id;
+    bool operator>(const HeapEntry &O) const {
+      if (At != O.At)
+        return At > O.At;
+      return Id > O.Id;
+    }
+  };
+
+  void skipCancelled();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> Heap;
+  std::unordered_map<EventId, std::function<void()>> Payloads;
+  std::unordered_set<EventId> Cancelled;
+  EventId NextId = 1;
+  std::size_t LiveCount = 0;
+};
+
+} // namespace sim
+} // namespace hamband
+
+#endif // HAMBAND_SIM_EVENTQUEUE_H

@@ -1,0 +1,101 @@
+//===- hamband/sim/Rng.h - Deterministic random number generator -*- C++ -*-=//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic SplitMix64-based generator. Every source of
+/// randomness in the simulator, the workload generator and the property
+/// tests goes through this class so that runs are reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_SIM_RNG_H
+#define HAMBAND_SIM_RNG_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hamband {
+namespace sim {
+
+/// Deterministic pseudo-random generator (SplitMix64 core).
+///
+/// SplitMix64 passes BigCrush, has a full 2^64 period, and is trivially
+/// seedable, which is all the simulation needs. The class intentionally
+/// mirrors a subset of the <random> engine interface.
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  std::uint64_t nextU64() {
+    State += 0x9e3779b97f4a7c15ull;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniformly distributed integer in the closed range [Lo, Hi].
+  std::int64_t uniformInt(std::int64_t Lo, std::int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    std::uint64_t Span = static_cast<std::uint64_t>(Hi - Lo) + 1;
+    if (Span == 0) // Full 64-bit range.
+      return static_cast<std::int64_t>(nextU64());
+    return Lo + static_cast<std::int64_t>(nextU64() % Span);
+  }
+
+  /// Returns a uniformly distributed size_t in [0, N).
+  std::size_t index(std::size_t N) {
+    assert(N > 0 && "index() over an empty range");
+    return static_cast<std::size_t>(nextU64() % N);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double uniformReal() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P.
+  bool bernoulli(double P) { return uniformReal() < P; }
+
+  /// Returns an exponentially distributed duration with the given mean.
+  double exponential(double Mean) {
+    double U = uniformReal();
+    // Guard against log(0).
+    if (U <= 0.0)
+      U = 0x1.0p-53;
+    return -Mean * std::log(U);
+  }
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick() from an empty vector");
+    return Items[index(Items.size())];
+  }
+
+  /// Fisher-Yates shuffle of \p Items.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    if (Items.size() < 2)
+      return;
+    for (std::size_t I = Items.size() - 1; I > 0; --I)
+      std::swap(Items[I], Items[index(I + 1)]);
+  }
+
+  /// Derives an independent child generator; useful for giving each node its
+  /// own stream without correlating their draws.
+  Rng fork() { return Rng(nextU64() ^ 0xd1b54a32d192ed03ull); }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace sim
+} // namespace hamband
+
+#endif // HAMBAND_SIM_RNG_H

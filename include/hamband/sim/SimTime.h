@@ -1,0 +1,53 @@
+//===- hamband/sim/SimTime.h - Simulated time representation ---*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines the simulated-time type used by the discrete-event engine and by
+/// every latency model in the simulated RDMA fabric. Time is an integral
+/// count of nanoseconds so that event ordering is exact and runs are
+/// bit-for-bit reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_SIM_SIMTIME_H
+#define HAMBAND_SIM_SIMTIME_H
+
+#include <cstdint>
+#include <limits>
+
+namespace hamband {
+namespace sim {
+
+/// Simulated time, in nanoseconds since the start of the run.
+using SimTime = std::uint64_t;
+
+/// A duration in simulated nanoseconds.
+using SimDuration = std::uint64_t;
+
+/// The largest representable simulation time; used as "run forever".
+inline constexpr SimTime SimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Builds a duration from integral nanoseconds.
+constexpr SimDuration nanos(std::uint64_t N) { return N; }
+
+/// Builds a duration from fractional microseconds (rounded to nanoseconds).
+constexpr SimDuration micros(double Us) {
+  return static_cast<SimDuration>(Us * 1000.0 + 0.5);
+}
+
+/// Builds a duration from fractional milliseconds.
+constexpr SimDuration millis(double Ms) { return micros(Ms * 1000.0); }
+
+/// Converts a simulated time or duration to fractional microseconds.
+constexpr double toMicros(SimTime T) { return static_cast<double>(T) / 1e3; }
+
+/// Converts a simulated time or duration to fractional seconds.
+constexpr double toSeconds(SimTime T) { return static_cast<double>(T) / 1e9; }
+
+} // namespace sim
+} // namespace hamband
+
+#endif // HAMBAND_SIM_SIMTIME_H

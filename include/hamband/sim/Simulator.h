@@ -1,0 +1,81 @@
+//===- hamband/sim/Simulator.h - Discrete-event simulator ------*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete-event simulation engine that drives every replicated node,
+/// network transfer and timer in this project. A single simulator instance
+/// owns the virtual clock; components schedule closures at future virtual
+/// times and the engine executes them in timestamp order.
+///
+/// Using simulated time (rather than wall-clock threads) is what lets the
+/// whole 3..7 node "cluster" of the paper run deterministically in one
+/// process: throughput and response-time metrics are computed from the
+/// virtual clock, so results are reproducible bit-for-bit from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_SIM_SIMULATOR_H
+#define HAMBAND_SIM_SIMULATOR_H
+
+#include "hamband/sim/EventQueue.h"
+#include "hamband/sim/SimTime.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace hamband {
+namespace sim {
+
+/// Discrete-event simulator with a virtual nanosecond clock.
+class Simulator {
+public:
+  /// Current virtual time.
+  SimTime now() const { return Now; }
+
+  /// Schedules \p Fn to run \p Delay after the current time.
+  EventId schedule(SimDuration Delay, std::function<void()> Fn) {
+    return Queue.push(Now + Delay, std::move(Fn));
+  }
+
+  /// Schedules \p Fn at the absolute virtual time \p At (clamped to now).
+  EventId scheduleAt(SimTime At, std::function<void()> Fn) {
+    return Queue.push(At < Now ? Now : At, std::move(Fn));
+  }
+
+  /// Cancels a pending event; no-op if it already fired.
+  void cancel(EventId Id) { Queue.cancel(Id); }
+
+  /// Executes the single earliest pending event. Returns false if none.
+  bool runOne();
+
+  /// Runs until the queue drains, \p Until is passed, or \p MaxEvents have
+  /// fired, whichever comes first. Returns the number of events executed.
+  std::uint64_t run(SimTime Until = SimTimeMax,
+                    std::uint64_t MaxEvents = UINT64_MAX);
+
+  /// Requests that run() return after the currently executing event.
+  void stop() { StopRequested = true; }
+
+  /// True when no events are pending.
+  bool idle() const { return Queue.empty(); }
+
+  /// Number of pending events (diagnostics).
+  std::size_t pendingEvents() const { return Queue.size(); }
+
+  /// Total number of events executed so far (diagnostics).
+  std::uint64_t executedEvents() const { return Executed; }
+
+private:
+  EventQueue Queue;
+  SimTime Now = 0;
+  std::uint64_t Executed = 0;
+  bool StopRequested = false;
+};
+
+} // namespace sim
+} // namespace hamband
+
+#endif // HAMBAND_SIM_SIMULATOR_H

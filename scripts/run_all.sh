@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, regenerates every figure,
+# and leaves test_output.txt / bench_output.txt in the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo "===== $b ====="
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Examples:"
+for e in build/examples/*; do
+  echo "===== $e ====="
+  "$e"
+done
+
+echo
+echo "Coordination analysis of every registered type:"
+build/tools/hamband_analyze all

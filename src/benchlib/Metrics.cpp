@@ -1,0 +1,53 @@
+//===- benchlib/Metrics.cpp - Experiment metrics ------------------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/benchlib/Metrics.h"
+
+#include <algorithm>
+
+using namespace hamband::benchlib;
+
+void Stat::add(double X) {
+  if (N == 0 || X < Min)
+    Min = X;
+  if (X > Max)
+    Max = X;
+  Sum += X;
+  ++N;
+}
+
+RunResult hamband::benchlib::averageRuns(const std::vector<RunResult> &Runs) {
+  RunResult Avg;
+  if (Runs.empty())
+    return Avg;
+  Avg.Completed = true;
+  for (const RunResult &R : Runs) {
+    Avg.ThroughputOpsPerUs += R.ThroughputOpsPerUs;
+    Avg.MeanResponseUs += R.MeanResponseUs;
+    Avg.MeanUpdateResponseUs += R.MeanUpdateResponseUs;
+    Avg.MeanQueryResponseUs += R.MeanQueryResponseUs;
+    Avg.CompletedOps += R.CompletedOps;
+    Avg.RejectedOps += R.RejectedOps;
+    Avg.DurationUs += R.DurationUs;
+    Avg.MeanBacklogCalls += R.MeanBacklogCalls;
+    Avg.MaxBacklogCalls = std::max(Avg.MaxBacklogCalls, R.MaxBacklogCalls);
+    Avg.Completed = Avg.Completed && R.Completed;
+    // Per-method results are reported as a mean of per-run means.
+    for (const auto &[Name, S] : R.PerMethod)
+      if (S.count())
+        Avg.PerMethod[Name].add(S.mean());
+  }
+  double K = static_cast<double>(Runs.size());
+  Avg.ThroughputOpsPerUs /= K;
+  Avg.MeanResponseUs /= K;
+  Avg.MeanUpdateResponseUs /= K;
+  Avg.MeanQueryResponseUs /= K;
+  Avg.DurationUs /= K;
+  Avg.MeanBacklogCalls /= K;
+  Avg.CompletedOps /= Runs.size();
+  Avg.RejectedOps /= Runs.size();
+  return Avg;
+}

@@ -1,0 +1,217 @@
+//===- benchlib/Runner.cpp - Experiment driver ----------------------------==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/benchlib/Runner.h"
+
+#include "hamband/baselines/MsgCrdtRuntime.h"
+#include "hamband/baselines/MuSmrRuntime.h"
+#include "hamband/runtime/HambandCluster.h"
+
+#include <cassert>
+#include <memory>
+
+using namespace hamband;
+using namespace hamband::benchlib;
+using runtime::ReplicaRuntime;
+
+const char *hamband::benchlib::runtimeKindName(RuntimeKind K) {
+  switch (K) {
+  case RuntimeKind::Hamband:
+    return "hamband";
+  case RuntimeKind::Msg:
+    return "msg";
+  case RuntimeKind::MuSmr:
+    return "mu";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Mutable driver state shared by the per-node client loops.
+struct DriverState {
+  std::uint64_t IssuedTotal = 0;
+  std::uint64_t Completed = 0;
+  std::uint64_t Rejected = 0;
+  RequestId NextReq = 1;
+  bool FailureInjected = false;
+  RunResult Result;
+  double UpdateRespSum = 0;
+  std::uint64_t UpdateRespN = 0;
+  double QueryRespSum = 0;
+  std::uint64_t QueryRespN = 0;
+  double RespSum = 0;
+};
+
+} // namespace
+
+RunResult benchlib::runOnce(const ObjectType &Type,
+                            const WorkloadSpec &Workload,
+                            const RunnerOptions &Opts, std::uint64_t Seed) {
+  sim::Simulator Sim;
+  std::unique_ptr<ReplicaRuntime> RT;
+  baselines::MsgCrdtRuntime *Msg = nullptr;
+
+  switch (Opts.Kind) {
+  case RuntimeKind::Hamband: {
+    auto C = std::make_unique<runtime::HambandCluster>(
+        Sim, Opts.NumNodes, Type, Opts.Model, Opts.Cfg);
+    C->start();
+    RT = std::move(C);
+    break;
+  }
+  case RuntimeKind::MuSmr: {
+    auto C = std::make_unique<baselines::MuSmrRuntime>(
+        Sim, Opts.NumNodes, Type, Opts.Model, Opts.Cfg);
+    C->start();
+    RT = std::move(C);
+    break;
+  }
+  case RuntimeKind::Msg: {
+    auto C = std::make_unique<baselines::MsgCrdtRuntime>(Sim, Opts.NumNodes,
+                                                         Type, Opts.Model);
+    C->start();
+    Msg = C.get();
+    RT = std::move(C);
+    break;
+  }
+  }
+  (void)Msg;
+
+  const CoordinationSpec &Spec = RT->objectType().coordination();
+  WorkloadSpec W = Workload;
+  W.Seed = Seed;
+  if (std::uint64_t Override = opsOverrideFromEnv())
+    W.NumOps = Override;
+
+  auto State = std::make_shared<DriverState>();
+  std::vector<std::unique_ptr<CallGenerator>> Gens;
+  for (unsigned N = 0; N < Opts.NumNodes; ++N)
+    Gens.push_back(std::make_unique<CallGenerator>(RT->objectType(), W, N));
+
+  // Routes around failed nodes: the paper redirects a failed node's
+  // requests to the next available node. Rotating the start point spreads
+  // the orphaned load across the survivors.
+  auto Rotation = std::make_shared<unsigned>(0);
+  auto AliveOrigin = [&RT, Rotation](unsigned N) {
+    unsigned Nodes = RT->numNodes();
+    if (!RT->isFailed(N))
+      return N;
+    for (unsigned K = 0; K < Nodes; ++K) {
+      unsigned Cand = (N + ++*Rotation) % Nodes;
+      if (!RT->isFailed(Cand))
+        return Cand;
+    }
+    return N;
+  };
+
+  // The per-node closed-loop client.
+  auto IssueNext = std::make_shared<std::function<void(unsigned)>>();
+  *IssueNext = [&, State, IssueNext](unsigned Node) {
+    if (State->IssuedTotal >= W.NumOps)
+      return;
+    if (W.FailNode && !State->FailureInjected &&
+        static_cast<double>(State->IssuedTotal) >=
+            W.FailAtFraction * static_cast<double>(W.NumOps)) {
+      State->FailureInjected = true;
+      RT->injectFailure(*W.FailNode);
+    }
+    ++State->IssuedTotal;
+    unsigned Origin = AliveOrigin(Node);
+    Call C = Gens[Node]->next(Origin, State->NextReq++);
+    bool IsUpdate = Gens[Node]->lastWasUpdate();
+    unsigned Target = Origin;
+    if (Spec.category(C.Method) == MethodCategory::Conflicting) {
+      // Conflicting calls go straight to the group leader; if the known
+      // leader has failed, the call enters at a live node, whose runtime
+      // retries it against successive leaders.
+      unsigned Observer = AliveOrigin(0);
+      Target = RT->leaderOf(*Spec.syncGroup(C.Method), Observer);
+      if (RT->isFailed(Target))
+        Target = Origin;
+      C.Issuer = Target;
+    }
+    std::string MethodName = RT->objectType().method(C.Method).Name;
+    sim::SimTime IssuedAt = Sim.now();
+    RT->submit(Target, C,
+               [&, State, IssueNext, Node, IsUpdate, IssuedAt,
+                MethodName](bool Ok, Value) {
+                 double RespUs = sim::toMicros(Sim.now() - IssuedAt);
+                 State->RespSum += RespUs;
+                 State->Result.PerMethod[MethodName].add(RespUs);
+                 if (IsUpdate) {
+                   State->UpdateRespSum += RespUs;
+                   ++State->UpdateRespN;
+                 } else {
+                   State->QueryRespSum += RespUs;
+                   ++State->QueryRespN;
+                 }
+                 if (!Ok)
+                   ++State->Rejected;
+                 ++State->Completed;
+                 (*IssueNext)(Node);
+               });
+  };
+
+  // Prime the pipelines with a slight stagger.
+  for (unsigned N = 0; N < Opts.NumNodes; ++N)
+    for (unsigned D = 0; D < W.PipelineDepth; ++D)
+      Sim.schedule(sim::nanos(10) * (N * W.PipelineDepth + D + 1),
+                   [IssueNext, N]() { (*IssueNext)(N); });
+
+  // Run in slices until every call completed and replication finished,
+  // sampling the replication backlog (staleness) along the way.
+  const sim::SimDuration Slice = sim::micros(20);
+  bool Done = false;
+  double BacklogSum = 0;
+  double BacklogMax = 0;
+  std::uint64_t BacklogSamples = 0;
+  while (Sim.now() < Opts.SafetyCap) {
+    Sim.run(Sim.now() + Slice);
+    double Backlog = static_cast<double>(RT->replicationBacklog());
+    BacklogSum += Backlog;
+    BacklogMax = std::max(BacklogMax, Backlog);
+    ++BacklogSamples;
+    if (State->Completed >= W.NumOps && RT->fullyReplicated()) {
+      Done = true;
+      break;
+    }
+    if (Sim.idle())
+      break; // Nothing scheduled: the run cannot progress further.
+  }
+
+  RunResult R = std::move(State->Result);
+  R.CompletedOps = State->Completed;
+  R.RejectedOps = State->Rejected;
+  R.DurationUs = sim::toMicros(Sim.now());
+  R.Completed = Done;
+  if (BacklogSamples)
+    R.MeanBacklogCalls = BacklogSum / static_cast<double>(BacklogSamples);
+  R.MaxBacklogCalls = BacklogMax;
+  if (R.DurationUs > 0)
+    R.ThroughputOpsPerUs =
+        static_cast<double>(State->Completed) / R.DurationUs;
+  if (State->Completed)
+    R.MeanResponseUs =
+        State->RespSum / static_cast<double>(State->Completed);
+  if (State->UpdateRespN)
+    R.MeanUpdateResponseUs =
+        State->UpdateRespSum / static_cast<double>(State->UpdateRespN);
+  if (State->QueryRespN)
+    R.MeanQueryResponseUs =
+        State->QueryRespSum / static_cast<double>(State->QueryRespN);
+  return R;
+}
+
+RunResult benchlib::runWorkload(const ObjectType &Type,
+                                const WorkloadSpec &Workload,
+                                const RunnerOptions &Opts) {
+  std::vector<RunResult> Runs;
+  for (unsigned Rep = 0; Rep < std::max(1u, Opts.Repetitions); ++Rep)
+    Runs.push_back(
+        runOnce(Type, Workload, Opts, Workload.Seed + Rep * 7919));
+  return averageRuns(Runs);
+}

@@ -1,0 +1,46 @@
+//===- benchlib/Workload.cpp - Workload generation ----------------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/benchlib/Workload.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace hamband;
+using namespace hamband::benchlib;
+
+CallGenerator::CallGenerator(const ObjectType &Type,
+                             const WorkloadSpec &Spec, unsigned NodeIndex)
+    : Type(Type), Spec(Spec),
+      Rng(Spec.Seed * 0x9e3779b97f4a7c15ull + NodeIndex + 1) {
+  const CoordinationSpec &Coord = Type.coordination();
+  if (!Spec.UpdateMethods.empty())
+    Updates = Spec.UpdateMethods;
+  else
+    Updates = Coord.updateMethods();
+  if (!Spec.QueryMethods.empty()) {
+    Queries = Spec.QueryMethods;
+  } else {
+    for (MethodId M = 0; M < Type.numMethods(); ++M)
+      if (!Coord.isUpdate(M))
+        Queries.push_back(M);
+  }
+  assert(!Updates.empty() || Spec.UpdateRatio == 0.0);
+}
+
+Call CallGenerator::next(ProcessId Issuer, RequestId Req) {
+  bool Update = Queries.empty() || Rng.bernoulli(Spec.UpdateRatio);
+  LastWasUpdate = Update;
+  MethodId M = Update ? Rng.pick(Updates) : Rng.pick(Queries);
+  return Type.randomClientCall(M, Issuer, Req, Rng);
+}
+
+std::uint64_t hamband::benchlib::opsOverrideFromEnv() {
+  const char *Env = std::getenv("HAMBAND_OPS");
+  if (!Env || !*Env)
+    return 0;
+  return std::strtoull(Env, nullptr, 10);
+}

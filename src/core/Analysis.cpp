@@ -1,0 +1,233 @@
+//===- core/Analysis.cpp - Coordination analysis ---------------------------=//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/core/Analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace hamband;
+using namespace hamband::analysis;
+
+CallRelationOracle::CallRelationOracle(const ObjectType &Type)
+    : Type(Type), States(Type.sampleStates()) {}
+
+CallRelationOracle::CallRelationOracle(const ObjectType &Type,
+                                       std::vector<StatePtr> States)
+    : Type(Type), States(std::move(States)) {}
+
+bool CallRelationOracle::sCommute(const Call &C1, const Call &C2) const {
+  for (const StatePtr &S : States) {
+    StatePtr AB = Type.applyCopy(*S, C1);
+    Type.apply(*AB, C2);
+    StatePtr BA = Type.applyCopy(*S, C2);
+    Type.apply(*BA, C1);
+    if (!AB->equals(*BA))
+      return false;
+  }
+  return true;
+}
+
+bool CallRelationOracle::invariantSufficient(const Call &C) const {
+  for (const StatePtr &S : States) {
+    if (!Type.invariant(*S))
+      continue;
+    if (!Type.permissible(*S, C))
+      return false;
+  }
+  return true;
+}
+
+bool CallRelationOracle::prCommutes(const Call &C1, const Call &C2) const {
+  for (const StatePtr &S : States) {
+    if (!Type.permissible(*S, C1))
+      continue;
+    // C2 races with C1 only from states where it was itself permissible
+    // at its issuing process; an impermissible C2 is never executed.
+    if (!Type.permissible(*S, C2))
+      continue;
+    StatePtr Post = Type.applyCopy(*S, C2);
+    if (!Type.permissible(*Post, C1))
+      return false;
+  }
+  return true;
+}
+
+bool CallRelationOracle::pConcurs(const Call &C1, const Call &C2) const {
+  return invariantSufficient(C1) || prCommutes(C1, C2);
+}
+
+bool CallRelationOracle::plCommutes(const Call &C2, const Call &C1) const {
+  for (const StatePtr &S : States) {
+    StatePtr Post = Type.applyCopy(*S, C1);
+    if (!Type.permissible(*Post, C2))
+      continue;
+    if (!Type.permissible(*S, C2))
+      return false;
+  }
+  return true;
+}
+
+bool CallRelationOracle::conflict(const Call &C1, const Call &C2) const {
+  if (!sCommute(C1, C2))
+    return true;
+  return !pConcurs(C1, C2) || !pConcurs(C2, C1);
+}
+
+bool CallRelationOracle::dependent(const Call &C2, const Call &C1) const {
+  return !invariantSufficient(C2) && !plCommutes(C2, C1);
+}
+
+InferredCoordination analysis::inferCoordination(const ObjectType &Type) {
+  CallRelationOracle Oracle(Type);
+  const unsigned N = Type.numMethods();
+  InferredCoordination Out;
+  Out.NumMethods = N;
+  Out.Conflicts.assign(static_cast<std::size_t>(N) * N, 0);
+  Out.Dependencies.resize(N);
+
+  std::vector<std::vector<Call>> Samples(N);
+  for (MethodId M = 0; M < N; ++M)
+    if (Type.method(M).Kind == MethodKind::Update)
+      Samples[M] = Type.sampleCalls(M);
+
+  for (MethodId A = 0; A < N; ++A) {
+    if (Type.method(A).Kind != MethodKind::Update)
+      continue;
+    for (MethodId B = A; B < N; ++B) {
+      if (Type.method(B).Kind != MethodKind::Update)
+        continue;
+      bool Conflicts = false;
+      for (const Call &CA : Samples[A]) {
+        for (const Call &CB : Samples[B]) {
+          // Two concurrent calls are always distinct events; skip the
+          // degenerate identical-call pairing on the diagonal.
+          if (A == B && CA == CB)
+            continue;
+          // Causally ordered pairs never race; the dependency machinery
+          // orders them, so they are exempt from conflict analysis.
+          if (!Type.concurrentlyIssuable(CA, CB))
+            continue;
+          if (Oracle.conflict(CA, CB)) {
+            Conflicts = true;
+            break;
+          }
+        }
+        if (Conflicts)
+          break;
+      }
+      if (Conflicts) {
+        Out.Conflicts[static_cast<std::size_t>(A) * N + B] = 1;
+        Out.Conflicts[static_cast<std::size_t>(B) * N + A] = 1;
+      }
+    }
+  }
+
+  for (MethodId M = 0; M < N; ++M) {
+    if (Type.method(M).Kind != MethodKind::Update)
+      continue;
+    for (MethodId On = 0; On < N; ++On) {
+      if (Type.method(On).Kind != MethodKind::Update)
+        continue;
+      bool Dep = false;
+      for (const Call &C2 : Samples[M]) {
+        for (const Call &C1 : Samples[On]) {
+          if (Oracle.dependent(C2, C1)) {
+            Dep = true;
+            break;
+          }
+        }
+        if (Dep)
+          break;
+      }
+      if (Dep)
+        Out.Dependencies[M].push_back(On);
+    }
+  }
+  return Out;
+}
+
+std::vector<std::string> analysis::checkDeclaredSpec(const ObjectType &Type) {
+  std::vector<std::string> Violations;
+  const CoordinationSpec &Spec = Type.coordination();
+  InferredCoordination Inferred = inferCoordination(Type);
+
+  for (MethodId A = 0; A < Type.numMethods(); ++A) {
+    for (MethodId B = A; B < Type.numMethods(); ++B) {
+      if (Inferred.conflicts(A, B) && !Spec.conflicts(A, B)) {
+        std::ostringstream OS;
+        OS << Type.name() << ": methods " << Type.method(A).Name << " and "
+           << Type.method(B).Name
+           << " conflict on samples but the spec declares them concurrent";
+        Violations.push_back(OS.str());
+      }
+    }
+  }
+  for (MethodId M = 0; M < Type.numMethods(); ++M) {
+    for (MethodId On : Inferred.Dependencies[M]) {
+      const auto &Declared = Spec.dependencies(M);
+      // A dependency that is ordered by the conflict relation anyway (both
+      // methods in one synchronization group) needs no extra declaration:
+      // the leader already serializes the pair.
+      if (Spec.syncGroup(M) && Spec.syncGroup(On) &&
+          *Spec.syncGroup(M) == *Spec.syncGroup(On))
+        continue;
+      if (std::find(Declared.begin(), Declared.end(), On) == Declared.end()) {
+        std::ostringstream OS;
+        OS << Type.name() << ": method " << Type.method(M).Name
+           << " depends on " << Type.method(On).Name
+           << " on samples but the spec omits the dependency";
+        Violations.push_back(OS.str());
+      }
+    }
+  }
+  return Violations;
+}
+
+std::vector<std::string>
+analysis::checkSummarization(const ObjectType &Type) {
+  std::vector<std::string> Violations;
+  const CoordinationSpec &Spec = Type.coordination();
+  std::vector<StatePtr> States = Type.sampleStates();
+
+  for (MethodId A = 0; A < Type.numMethods(); ++A) {
+    auto GA = Spec.sumGroup(A);
+    if (!GA)
+      continue;
+    for (MethodId B = 0; B < Type.numMethods(); ++B) {
+      auto GB = Spec.sumGroup(B);
+      if (!GB || *GA != *GB)
+        continue;
+      for (const Call &CA : Type.sampleCalls(A)) {
+        for (const Call &CB : Type.sampleCalls(B)) {
+          Call Sum;
+          if (!Type.summarize(CA, CB, Sum)) {
+            std::ostringstream OS;
+            OS << Type.name() << ": summarize(" << CA.str() << ", "
+               << CB.str() << ") failed within one summarization group";
+            Violations.push_back(OS.str());
+            continue;
+          }
+          for (const StatePtr &S : States) {
+            StatePtr Seq = Type.applyCopy(*S, CA);
+            Type.apply(*Seq, CB);
+            StatePtr Summed = Type.applyCopy(*S, Sum);
+            if (!Seq->equals(*Summed)) {
+              std::ostringstream OS;
+              OS << Type.name() << ": summarize(" << CA.str() << ", "
+                 << CB.str() << ") = " << Sum.str()
+                 << " disagrees with sequential application on state "
+                 << S->str();
+              Violations.push_back(OS.str());
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return Violations;
+}

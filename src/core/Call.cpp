@@ -1,0 +1,23 @@
+//===- core/Call.cpp - Method calls ---------------------------------------==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/core/Call.h"
+
+#include <sstream>
+
+using namespace hamband;
+
+std::string Call::str() const {
+  std::ostringstream OS;
+  OS << 'm' << Method << '(';
+  for (std::size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      OS << ',';
+    OS << Args[I];
+  }
+  OS << ")@p" << Issuer << '#' << Req;
+  return OS.str();
+}

@@ -1,0 +1,165 @@
+//===- core/CoordinationSpec.cpp - Method coordination --------------------==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/core/CoordinationSpec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace hamband;
+
+const char *hamband::categoryName(MethodCategory C) {
+  switch (C) {
+  case MethodCategory::Reducible:
+    return "reducible";
+  case MethodCategory::IrreducibleFree:
+    return "irreducible-conflict-free";
+  case MethodCategory::Conflicting:
+    return "conflicting";
+  case MethodCategory::Query:
+    return "query";
+  }
+  return "unknown";
+}
+
+CoordinationSpec::CoordinationSpec(unsigned NumMethods)
+    : NumMethods(NumMethods), IsQuery(NumMethods, false),
+      ConflictMatrix(static_cast<std::size_t>(NumMethods) * NumMethods, 0),
+      Deps(NumMethods), SumGroups(NumMethods), SyncGroups(NumMethods),
+      Categories(NumMethods, MethodCategory::IrreducibleFree) {}
+
+void CoordinationSpec::setQuery(MethodId M) {
+  assert(M < NumMethods && !Finalized);
+  IsQuery[M] = true;
+}
+
+void CoordinationSpec::addConflict(MethodId A, MethodId B) {
+  assert(A < NumMethods && B < NumMethods && !Finalized);
+  ConflictMatrix[cellIndex(A, B)] = 1;
+  ConflictMatrix[cellIndex(B, A)] = 1;
+}
+
+void CoordinationSpec::addDependency(MethodId M, MethodId On) {
+  assert(M < NumMethods && On < NumMethods && !Finalized);
+  auto &List = Deps[M];
+  if (std::find(List.begin(), List.end(), On) == List.end())
+    List.push_back(On);
+}
+
+void CoordinationSpec::setSumGroup(MethodId M, unsigned Group) {
+  assert(M < NumMethods && !Finalized);
+  SumGroups[M] = Group;
+  NumSumGroups = std::max(NumSumGroups, Group + 1);
+}
+
+void CoordinationSpec::finalize() {
+  assert(!Finalized && "finalize() called twice");
+  Finalized = true;
+
+  for (auto &List : Deps)
+    std::sort(List.begin(), List.end());
+
+  // Union-find over the conflict edges to form synchronization groups.
+  std::vector<unsigned> Parent(NumMethods);
+  std::iota(Parent.begin(), Parent.end(), 0u);
+  auto Find = [&Parent](unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  for (MethodId A = 0; A < NumMethods; ++A)
+    for (MethodId B = 0; B < NumMethods; ++B)
+      if (ConflictMatrix[cellIndex(A, B)])
+        Parent[Find(A)] = Find(B);
+
+  // Number the components that contain at least one conflicting method.
+  std::vector<int> RootToGroup(NumMethods, -1);
+  for (MethodId M = 0; M < NumMethods; ++M) {
+    if (!isConflicting(M))
+      continue;
+    unsigned Root = Find(M);
+    if (RootToGroup[Root] < 0) {
+      RootToGroup[Root] = static_cast<int>(SyncGroupList.size());
+      SyncGroupList.emplace_back();
+    }
+    unsigned G = static_cast<unsigned>(RootToGroup[Root]);
+    SyncGroups[M] = G;
+    SyncGroupList[G].push_back(M);
+  }
+
+  // Categorize every method.
+  for (MethodId M = 0; M < NumMethods; ++M) {
+    if (IsQuery[M]) {
+      Categories[M] = MethodCategory::Query;
+      continue;
+    }
+    if (SyncGroups[M]) {
+      Categories[M] = MethodCategory::Conflicting;
+      continue;
+    }
+    if (Deps[M].empty() && SumGroups[M]) {
+      Categories[M] = MethodCategory::Reducible;
+      continue;
+    }
+    Categories[M] = MethodCategory::IrreducibleFree;
+  }
+}
+
+bool CoordinationSpec::conflicts(MethodId A, MethodId B) const {
+  assert(A < NumMethods && B < NumMethods);
+  return ConflictMatrix[cellIndex(A, B)] != 0;
+}
+
+bool CoordinationSpec::isConflicting(MethodId M) const {
+  assert(M < NumMethods);
+  for (MethodId O = 0; O < NumMethods; ++O)
+    if (ConflictMatrix[cellIndex(M, O)])
+      return true;
+  return false;
+}
+
+const std::vector<MethodId> &
+CoordinationSpec::dependencies(MethodId M) const {
+  assert(M < NumMethods);
+  return Deps[M];
+}
+
+std::optional<unsigned> CoordinationSpec::sumGroup(MethodId M) const {
+  assert(M < NumMethods);
+  return SumGroups[M];
+}
+
+std::optional<unsigned> CoordinationSpec::syncGroup(MethodId M) const {
+  assert(Finalized && M < NumMethods);
+  return SyncGroups[M];
+}
+
+unsigned CoordinationSpec::numSyncGroups() const {
+  assert(Finalized);
+  return static_cast<unsigned>(SyncGroupList.size());
+}
+
+const std::vector<MethodId> &
+CoordinationSpec::syncGroupMembers(unsigned G) const {
+  assert(Finalized && G < SyncGroupList.size());
+  return SyncGroupList[G];
+}
+
+MethodCategory CoordinationSpec::category(MethodId M) const {
+  assert(Finalized && M < NumMethods);
+  return Categories[M];
+}
+
+std::vector<MethodId> CoordinationSpec::updateMethods() const {
+  std::vector<MethodId> Out;
+  for (MethodId M = 0; M < NumMethods; ++M)
+    if (!IsQuery[M])
+      Out.push_back(M);
+  return Out;
+}

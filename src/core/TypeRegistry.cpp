@@ -1,0 +1,82 @@
+//===- core/TypeRegistry.cpp - Data type registry ---------------------------//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/core/TypeRegistry.h"
+
+#include "hamband/types/Auction.h"
+#include "hamband/types/BankAccount.h"
+#include "hamband/types/Counter.h"
+#include "hamband/types/GSet.h"
+#include "hamband/types/LWWRegister.h"
+#include "hamband/types/Movie.h"
+#include "hamband/types/ORSet.h"
+#include "hamband/types/PNCounter.h"
+#include "hamband/types/Schema.h"
+#include "hamband/types/ShoppingCart.h"
+#include "hamband/types/TwoPhaseSet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <utility>
+
+using namespace hamband;
+
+namespace {
+
+struct RegistryEntry {
+  const char *Name;
+  std::unique_ptr<ObjectType> (*Make)();
+};
+
+template <typename T> std::unique_ptr<ObjectType> make() {
+  return std::make_unique<T>();
+}
+
+std::unique_ptr<ObjectType> makeBufferedGSet() {
+  return std::make_unique<types::GSet>(types::GSet::Mode::Buffered);
+}
+
+// Kept sorted by name.
+const RegistryEntry Registry[] = {
+    {"auction", &make<types::Auction>},
+    {"bank-account", &make<types::BankAccount>},
+    {"counter", &make<types::Counter>},
+    {"courseware", &make<types::Courseware>},
+    {"gset", &make<types::GSet>},
+    {"gset-buffered", &makeBufferedGSet},
+    {"lww-register", &make<types::LWWRegister>},
+    {"movie", &make<types::Movie>},
+    {"orset", &make<types::ORSet>},
+    {"pn-counter", &make<types::PNCounter>},
+    {"project-management", &make<types::ProjectManagement>},
+    {"shopping-cart", &make<types::ShoppingCart>},
+    {"two-phase-set", &make<types::TwoPhaseSet>},
+};
+
+} // namespace
+
+std::vector<std::string> hamband::registeredTypeNames() {
+  std::vector<std::string> Names;
+  for (const RegistryEntry &E : Registry)
+    Names.push_back(E.Name);
+  return Names;
+}
+
+bool hamband::isTypeRegistered(const std::string &Name) {
+  for (const RegistryEntry &E : Registry)
+    if (Name == E.Name)
+      return true;
+  return false;
+}
+
+std::unique_ptr<ObjectType> hamband::makeType(const std::string &Name) {
+  for (const RegistryEntry &E : Registry)
+    if (Name == E.Name)
+      return E.Make();
+  assert(false && "unknown data type name");
+  std::abort();
+}

@@ -1,0 +1,200 @@
+//===- rdma/Fabric.cpp - Simulated RDMA fabric ----------------------------==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/rdma/Fabric.h"
+
+#include <cassert>
+
+using namespace hamband;
+using namespace hamband::rdma;
+
+namespace {
+/// Key identifying a (writer, region) permission entry.
+using PermKey = std::pair<NodeId, RegionKey>;
+} // namespace
+
+struct Fabric::NodeCtx {
+  explicit NodeCtx(std::size_t MemBytes) : Mem(MemBytes) {}
+
+  MemoryRegion Mem;
+  bool Alive = true;
+  sim::SimTime CpuFreeAt[Fabric::NumCpuLanes] = {};
+  RecvHandler OnRecv;
+  /// Explicit permission entries; absence means "allowed".
+  std::map<PermKey, bool> WritePerm;
+};
+
+Fabric::Fabric(sim::Simulator &Sim, unsigned NumNodes, NetworkModel Model,
+               std::size_t MemBytesPerNode)
+    : Sim(Sim), Model(Model) {
+  assert(NumNodes >= 1 && "a cluster needs at least one node");
+  Nodes.reserve(NumNodes);
+  for (unsigned I = 0; I < NumNodes; ++I)
+    Nodes.push_back(std::make_unique<NodeCtx>(MemBytesPerNode));
+  ChannelLast.assign(static_cast<std::size_t>(NumNodes) * NumNodes, 0);
+}
+
+Fabric::~Fabric() = default;
+
+Fabric::NodeCtx &Fabric::node(NodeId Id) {
+  assert(Id < Nodes.size() && "node id out of range");
+  return *Nodes[Id];
+}
+
+const Fabric::NodeCtx &Fabric::node(NodeId Id) const {
+  assert(Id < Nodes.size() && "node id out of range");
+  return *Nodes[Id];
+}
+
+MemoryRegion &Fabric::memory(NodeId Node) { return node(Node).Mem; }
+
+const MemoryRegion &Fabric::memory(NodeId Node) const {
+  return node(Node).Mem;
+}
+
+sim::SimTime Fabric::channelDeliveryTime(NodeId Src, NodeId Dst,
+                                         sim::SimDuration Wire) {
+  std::size_t Idx = static_cast<std::size_t>(Src) * Nodes.size() + Dst;
+  sim::SimTime At = Sim.now() + Wire;
+  if (At < ChannelLast[Idx])
+    At = ChannelLast[Idx];
+  ChannelLast[Idx] = At;
+  return At;
+}
+
+void Fabric::runOnCpu(NodeId Node, sim::SimDuration Cost,
+                      std::function<void()> Fn, unsigned Lane) {
+  assert(Lane < NumCpuLanes && "bad cpu lane");
+  NodeCtx &Ctx = node(Node);
+  if (!Ctx.Alive)
+    return;
+  sim::SimTime Start = std::max(Sim.now(), Ctx.CpuFreeAt[Lane]);
+  Ctx.CpuFreeAt[Lane] = Start + Cost;
+  sim::SimTime Done = Ctx.CpuFreeAt[Lane];
+  Sim.scheduleAt(Done, [this, Node, Fn = std::move(Fn)]() {
+    if (Nodes[Node]->Alive)
+      Fn();
+  });
+}
+
+void Fabric::postWrite(NodeId Src, NodeId Dst, MemOffset DstOff,
+                       std::vector<std::uint8_t> Data, RegionKey Key,
+                       CompletionFn OnComplete, unsigned Lane) {
+  assert(Dst < Nodes.size() && "destination out of range");
+  ++WritesPosted;
+  BytesWritten += Data.size();
+  auto Payload = std::make_shared<std::vector<std::uint8_t>>(std::move(Data));
+  runOnCpu(
+      Src, Model.PostCpu,
+      [this, Src, Dst, DstOff, Payload, Key, Lane,
+       OnComplete = std::move(OnComplete)]() {
+        sim::SimDuration Wire = Model.writeWire(Payload->size());
+        sim::SimTime DeliverAt = channelDeliveryTime(Src, Dst, Wire);
+        Sim.scheduleAt(DeliverAt, [this, Src, Dst, DstOff, Payload, Key,
+                                   Lane, OnComplete]() {
+          // Permission is checked by the responder NIC at access time. A
+          // crashed node's NIC still serves one-sided traffic.
+          WcStatus Status = WcStatus::Success;
+          if (!hasWritePermission(Dst, Src, Key))
+            Status = WcStatus::AccessError;
+          else
+            Nodes[Dst]->Mem.write(DstOff, Payload->data(), Payload->size());
+          if (!OnComplete)
+            return;
+          Sim.schedule(Model.CompletionDelay,
+                       [this, Src, Status, OnComplete, Lane]() {
+                         runOnCpu(
+                             Src, Model.PollCpu,
+                             [Status, OnComplete]() { OnComplete(Status); },
+                             Lane);
+                       });
+        });
+      },
+      Lane);
+}
+
+void Fabric::postRead(NodeId Src, NodeId Dst, MemOffset DstOff,
+                      std::size_t Len, ReadCompletionFn OnComplete,
+                      unsigned Lane) {
+  assert(Dst < Nodes.size() && "destination out of range");
+  assert(OnComplete && "a read without a completion is useless");
+  ++ReadsPosted;
+  runOnCpu(
+      Src, Model.PostCpu,
+      [this, Src, Dst, DstOff, Len, Lane,
+       OnComplete = std::move(OnComplete)]() {
+        sim::SimDuration Wire = Model.readWire(Len);
+        sim::SimTime SampleAt = channelDeliveryTime(Src, Dst, Wire);
+        Sim.scheduleAt(SampleAt, [this, Src, Dst, DstOff, Len, Lane,
+                                  OnComplete]() {
+          auto Data = std::make_shared<std::vector<std::uint8_t>>(
+              Nodes[Dst]->Mem.slice(DstOff, Len));
+          Sim.schedule(Model.CompletionDelay,
+                       [this, Src, Data, OnComplete, Lane]() {
+                         runOnCpu(
+                             Src, Model.PollCpu,
+                             [Data, OnComplete]() {
+                               OnComplete(WcStatus::Success,
+                                          std::move(*Data));
+                             },
+                             Lane);
+                       });
+        });
+      },
+      Lane);
+}
+
+void Fabric::send(NodeId Src, NodeId Dst, std::vector<std::uint8_t> Msg,
+                  CompletionFn OnComplete, unsigned Lane) {
+  assert(Dst < Nodes.size() && "destination out of range");
+  ++SendsPosted;
+  auto Payload = std::make_shared<std::vector<std::uint8_t>>(std::move(Msg));
+  runOnCpu(
+      Src, Model.MsgStackSendCpu,
+      [this, Src, Dst, Payload, Lane,
+       OnComplete = std::move(OnComplete)]() {
+        sim::SimDuration Wire = Model.msgWire(Payload->size());
+        sim::SimTime DeliverAt = channelDeliveryTime(Src, Dst, Wire);
+        Sim.scheduleAt(DeliverAt, [this, Src, Dst, Payload]() {
+          NodeCtx &Ctx = *Nodes[Dst];
+          if (!Ctx.Alive || !Ctx.OnRecv)
+            return; // Dropped at a dead receiver.
+          runOnCpu(
+              Dst, Model.MsgStackRecvCpu,
+              [&Ctx, Src, Payload]() { Ctx.OnRecv(Src, *Payload); },
+              LanePoller);
+        });
+        if (OnComplete)
+          runOnCpu(
+              Src, Model.PollCpu,
+              [OnComplete]() { OnComplete(WcStatus::Success); }, Lane);
+      },
+      Lane);
+}
+
+void Fabric::setRecvHandler(NodeId Node, RecvHandler Handler) {
+  node(Node).OnRecv = std::move(Handler);
+}
+
+RegionKey Fabric::createRegionKey() { return NextRegionKey++; }
+
+void Fabric::setWritePermission(NodeId Target, NodeId Writer, RegionKey Key,
+                                bool Allowed) {
+  node(Target).WritePerm[PermKey(Writer, Key)] = Allowed;
+}
+
+bool Fabric::hasWritePermission(NodeId Target, NodeId Writer,
+                                RegionKey Key) const {
+  if (Key == UnprotectedRegion)
+    return true;
+  const NodeCtx &Ctx = node(Target);
+  auto It = Ctx.WritePerm.find(PermKey(Writer, Key));
+  return It == Ctx.WritePerm.end() ? true : It->second;
+}
+
+void Fabric::crash(NodeId Node) { node(Node).Alive = false; }
+
+bool Fabric::isAlive(NodeId Node) const { return node(Node).Alive; }

@@ -1,0 +1,67 @@
+//===- rdma/MemoryRegion.cpp - Registered memory region ------------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/rdma/MemoryRegion.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace hamband::rdma;
+
+MemoryRegion::MemoryRegion(std::size_t Size) : Bytes(Size, 0) {}
+
+MemOffset MemoryRegion::alloc(std::size_t Size, std::size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "non power-of-two align");
+  std::size_t Off = (Brk + Align - 1) & ~(Align - 1);
+  if (Off + Size > Bytes.size()) {
+    assert(false && "memory region exhausted; increase region size");
+    std::abort();
+  }
+  Brk = Off + Size;
+  return Off;
+}
+
+void MemoryRegion::read(MemOffset Off, void *Dst, std::size_t Len) const {
+  assert(Off + Len <= Bytes.size() && "remote read out of bounds");
+  std::memcpy(Dst, Bytes.data() + Off, Len);
+}
+
+void MemoryRegion::write(MemOffset Off, const void *Src, std::size_t Len) {
+  assert(Off + Len <= Bytes.size() && "remote write out of bounds");
+  std::memcpy(Bytes.data() + Off, Src, Len);
+}
+
+std::uint64_t MemoryRegion::readU64(MemOffset Off) const {
+  std::uint64_t V = 0;
+  read(Off, &V, sizeof(V));
+  return V;
+}
+
+void MemoryRegion::writeU64(MemOffset Off, std::uint64_t V) {
+  write(Off, &V, sizeof(V));
+}
+
+std::uint8_t MemoryRegion::readU8(MemOffset Off) const {
+  std::uint8_t V = 0;
+  read(Off, &V, 1);
+  return V;
+}
+
+void MemoryRegion::writeU8(MemOffset Off, std::uint8_t V) {
+  write(Off, &V, 1);
+}
+
+std::vector<std::uint8_t> MemoryRegion::slice(MemOffset Off,
+                                              std::size_t Len) const {
+  assert(Off + Len <= Bytes.size() && "slice out of bounds");
+  return std::vector<std::uint8_t>(Bytes.begin() + Off,
+                                   Bytes.begin() + Off + Len);
+}
+
+void MemoryRegion::zero(MemOffset Off, std::size_t Len) {
+  assert(Off + Len <= Bytes.size() && "zero out of bounds");
+  std::memset(Bytes.data() + Off, 0, Len);
+}

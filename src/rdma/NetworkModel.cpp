@@ -1,0 +1,18 @@
+//===- rdma/NetworkModel.cpp - Fabric cost model --------------------------==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// NetworkModel is a header-only aggregate; this file anchors the library
+// component so that the build exposes one object per module.
+//===----------------------------------------------------------------------===//
+
+#include "hamband/rdma/NetworkModel.h"
+
+namespace hamband {
+namespace rdma {
+
+static_assert(sizeof(NetworkModel) > 0, "NetworkModel must be complete");
+
+} // namespace rdma
+} // namespace hamband

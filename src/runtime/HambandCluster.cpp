@@ -1,0 +1,110 @@
+//===- runtime/HambandCluster.cpp - Hamband cluster --------------------------/
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/runtime/HambandCluster.h"
+
+#include <cassert>
+
+using namespace hamband;
+using namespace hamband::runtime;
+
+ReplicaRuntime::~ReplicaRuntime() = default;
+
+HambandCluster::HambandCluster(sim::Simulator &Sim, unsigned NumNodes,
+                               const ObjectType &Type,
+                               rdma::NetworkModel Model, HambandConfig Cfg)
+    : Sim(Sim), Type(Type), Cfg(Cfg), Failed(NumNodes, false) {
+  const CoordinationSpec &Spec = Type.coordination();
+  assert(Spec.finalized() && "coordination spec must be finalized");
+  Map = std::make_unique<MemoryMap>(
+      NumNodes, Spec.numSumGroups(), Spec.numSyncGroups(), Cfg.FreeGeom,
+      Cfg.ConfGeom, Cfg.MailGeom, Cfg.SummarySlotBytes,
+      Cfg.BackupSlotBytes);
+  std::size_t MemBytes = Map->totalBytes() + (1u << 20);
+  Fab = std::make_unique<rdma::Fabric>(Sim, NumNodes, Model, MemBytes);
+  // Reserve the mapped range so nothing else lands in it.
+  for (rdma::NodeId N = 0; N < NumNodes; ++N)
+    Fab->memory(N).alloc(Map->totalBytes());
+  for (unsigned G = 0; G < Spec.numSyncGroups(); ++G)
+    ConfKeys.push_back(Fab->createRegionKey());
+  for (rdma::NodeId N = 0; N < NumNodes; ++N)
+    Nodes.push_back(std::make_unique<HambandNode>(*Fab, N, Type, *Map, Cfg,
+                                                  ConfKeys));
+}
+
+HambandCluster::~HambandCluster() = default;
+
+void HambandCluster::start() {
+  for (auto &N : Nodes)
+    N->start();
+}
+
+void HambandCluster::submit(rdma::NodeId Origin, const Call &C,
+                            SubmitCallback Done) {
+  assert(Origin < Nodes.size());
+  ++Outstanding;
+  Nodes[Origin]->submit(
+      C, [this, Done = std::move(Done)](bool Ok, Value V) {
+        --Outstanding;
+        if (Done)
+          Done(Ok, V);
+      });
+}
+
+bool HambandCluster::fullyReplicated() const {
+  if (Outstanding != 0)
+    return false;
+  for (const auto &N : Nodes)
+    if (!N->idle())
+      return false;
+  return appliedTablesEqual();
+}
+
+bool HambandCluster::appliedTablesEqual() const {
+  for (std::size_t N = 1; N < Nodes.size(); ++N)
+    if (Nodes[N]->appliedTable() != Nodes[0]->appliedTable())
+      return false;
+  return true;
+}
+
+bool HambandCluster::converged() {
+  const ObjectState &First = Nodes[0]->visibleState();
+  for (std::size_t N = 1; N < Nodes.size(); ++N)
+    if (!First.equals(Nodes[N]->visibleState()))
+      return false;
+  return true;
+}
+
+void HambandCluster::injectFailure(rdma::NodeId Node) {
+  assert(Node < Nodes.size());
+  Failed[Node] = true;
+  Nodes[Node]->suspendHeartbeat();
+  Nodes[Node]->setOutOfService();
+}
+
+rdma::NodeId HambandCluster::leaderOf(unsigned Group,
+                                      rdma::NodeId Observer) const {
+  assert(Observer < Nodes.size());
+  return Nodes[Observer]->knownLeader(Group);
+}
+
+std::uint64_t HambandCluster::replicationBacklog() const {
+  // For each (issuer, method) cell, the most advanced replica's count is
+  // the number of calls issued-and-propagating; every other replica's
+  // shortfall is unreplicated work.
+  std::uint64_t Backlog = 0;
+  unsigned Methods = Type.numMethods();
+  for (unsigned From = 0; From < Nodes.size(); ++From) {
+    for (MethodId U = 0; U < Methods; ++U) {
+      std::uint64_t MaxSeen = 0;
+      for (const auto &N : Nodes)
+        MaxSeen = std::max(MaxSeen, N->applied(From, U));
+      for (const auto &N : Nodes)
+        Backlog += MaxSeen - N->applied(From, U);
+    }
+  }
+  return Backlog;
+}

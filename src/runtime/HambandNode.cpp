@@ -1,0 +1,910 @@
+//===- runtime/HambandNode.cpp - Hamband replica node -----------------------//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/runtime/HambandNode.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace hamband;
+using namespace hamband::runtime;
+using hamband::semantics::DepEntry;
+using hamband::semantics::DepMap;
+
+namespace {
+
+/// Appends to a ring, retrying every \p RetryAfter while it is full.
+void appendWithRetry(sim::Simulator &Sim, RingWriter &W,
+                     std::vector<std::uint8_t> Bytes,
+                     sim::SimDuration RetryAfter,
+                     rdma::CompletionFn OnComplete) {
+  if (W.append(Bytes, OnComplete))
+    return;
+  auto Retry = std::make_shared<std::function<void()>>();
+  *Retry = [&Sim, &W, Bytes = std::move(Bytes), RetryAfter, OnComplete,
+            Retry]() {
+    if (!W.append(Bytes, OnComplete))
+      Sim.schedule(RetryAfter, *Retry);
+  };
+  Sim.schedule(RetryAfter, *Retry);
+}
+
+/// Pads a summary image into a full slot write: u32 len | payload | ...
+/// zeros ... | canary.
+std::vector<std::uint8_t> slotBytes(const std::vector<std::uint8_t> &Payload,
+                                    std::uint32_t SlotSize) {
+  assert(Payload.size() + 5 <= SlotSize &&
+         "summary exceeds slot; raise SummarySlotBytes or shrink keyspace");
+  std::vector<std::uint8_t> Out(SlotSize, 0);
+  std::uint32_t Len = static_cast<std::uint32_t>(Payload.size());
+  std::memcpy(Out.data(), &Len, 4);
+  std::memcpy(Out.data() + 4, Payload.data(), Payload.size());
+  Out[SlotSize - 1] = 1;
+  return Out;
+}
+
+} // namespace
+
+HambandNode::HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
+                         const ObjectType &Type, const MemoryMap &Map,
+                         const HambandConfig &Cfg,
+                         const std::vector<rdma::RegionKey> &ConfKeys)
+    : Fabric(Fabric), Self(Self), Type(Type), Spec(Type.coordination()),
+      Map(Map), Cfg(Cfg) {
+  unsigned N = Fabric.numNodes();
+  unsigned Groups = Spec.numSyncGroups();
+  unsigned SumGroups = Spec.numSumGroups();
+  assert(ConfKeys.size() == Groups && "one region key per sync group");
+
+  Stored = Type.initialState();
+  Applied.assign(N, std::vector<std::uint64_t>(Type.numMethods(), 0));
+  SummaryCache.assign(SumGroups, std::vector<std::optional<Call>>(N));
+  SummarySeqSeen.assign(SumGroups, std::vector<std::uint64_t>(N, 0));
+  OwnSummary.assign(SumGroups, std::nullopt);
+  OwnSummarySeq.assign(SumGroups, 0);
+  FreePending.resize(N);
+  ConfPending.resize(Groups);
+  ConfReceivedContig.assign(Groups, 0);
+  ConfAppliedIdx.assign(Groups, 0);
+  ConfSeen.resize(Groups);
+  LeaderSpeculative.resize(Groups);
+  LeaderQueue.resize(Groups);
+
+  FreeReaders.resize(N);
+  FreeWriters.resize(N);
+  MailReaders.resize(N);
+  MailWriters.resize(N);
+  for (rdma::NodeId J = 0; J < N; ++J) {
+    if (J == Self)
+      continue;
+    FreeReaders[J] = std::make_unique<RingReader>(
+        Fabric, Self, J, Map.freeRingData(J), Map.freeRingFeedback(Self),
+        Map.freeGeom(), rdma::Fabric::LanePoller);
+    FreeWriters[J] = std::make_unique<RingWriter>(
+        Fabric, Self, J, Map.freeRingData(Self), Map.freeRingFeedback(J),
+        Map.freeGeom(), rdma::UnprotectedRegion, rdma::Fabric::LaneClient);
+    MailReaders[J] = std::make_unique<RingReader>(
+        Fabric, Self, J, Map.mailRingData(J), Map.mailRingFeedback(Self),
+        Map.mailGeom(), rdma::Fabric::LanePoller);
+    MailWriters[J] = std::make_unique<RingWriter>(
+        Fabric, Self, J, Map.mailRingData(Self), Map.mailRingFeedback(J),
+        Map.mailGeom(), rdma::UnprotectedRegion, rdma::Fabric::LaneClient);
+  }
+
+  ConfReaders.resize(Groups);
+  Consensus.resize(Groups);
+  for (unsigned G = 0; G < Groups; ++G) {
+    rdma::NodeId InitialLeader = G % N;
+    ConfReaders[G] = std::make_unique<RingReader>(
+        Fabric, Self, InitialLeader, Map.confRingData(G),
+        Map.confRingFeedback(G, Self), Map.confGeom(),
+        rdma::Fabric::LanePoller);
+    MuConsensus::Hooks Hooks;
+    Hooks.ReceivedCount = [this, G]() { return ConfReceivedContig[G]; };
+    Hooks.DeliverEntry = [this, G](std::uint64_t Idx,
+                                   std::vector<std::uint8_t> Payload) {
+      WireCall WC;
+      if (!decodeCall(Spec, this->Fabric.numNodes(), Payload.data(),
+                      Payload.size(), WC))
+        return;
+      // Adopted entries count as seen so a client retry of an already
+      // committed request is answered without re-appending it.
+      ConfSeen[G].insert(WC.TheCall.Req);
+      ConfPending[G].emplace(Idx, std::move(WC));
+      bumpConfContig(G);
+    };
+    Hooks.ReadLocalEntry = [this, G](std::uint64_t Idx,
+                                     std::vector<std::uint8_t> &Out) {
+      return ConfReaders[G]->readCellIgnoringCanary(Idx, Out);
+    };
+    Hooks.LeaderChanged = [this, G, Self](rdma::NodeId NewLeader) {
+      ConfReaders[G]->setWriter(NewLeader);
+      ConfReaders[G]->setHead(ConfReceivedContig[G]);
+      if (NewLeader != Self)
+        ConfReaders[G]->forceFeedback();
+      // Stale speculative entries belong to the deposed leadership; the
+      // permissibility window restarts from the applied state.
+      if (NewLeader != Self)
+        LeaderSpeculative[G].clear();
+    };
+    Hooks.IsSuspected = [this](rdma::NodeId Peer) {
+      return Detector->isSuspected(Peer);
+    };
+    Consensus[G] = std::make_unique<MuConsensus>(
+        Fabric, Self, G, InitialLeader, Map, ConfKeys[G], std::move(Hooks));
+    Consensus[G]->installInitialPermissions();
+  }
+
+  Detector = std::make_unique<HeartbeatDetector>(Fabric, Self,
+                                                 Map.heartbeat(),
+                                                 Cfg.Heartbeat);
+  Detector->onSuspect([this](rdma::NodeId Peer) { onPeerSuspected(Peer); });
+  Broadcast = std::make_unique<ReliableBroadcast>(
+      Fabric, Self, Map.backupSlot(), Cfg.BackupSlotBytes);
+
+  const rdma::NetworkModel &M = Fabric.model();
+  unsigned Checks = (N - 1) * 2         // free + mail rings
+                    + SumGroups * (N - 1) // summary slots
+                    + Groups * 2;         // conf rings + consensus polls
+  PollBaseCost = M.PollCpu * std::max(1u, Checks);
+}
+
+HambandNode::~HambandNode() = default;
+
+void HambandNode::start() {
+  assert(!Started && "start() called twice");
+  Started = true;
+  Detector->start();
+  schedulePoll();
+  // Periodic scan for redirected conflicting calls that lost their leader.
+  if (Spec.numSyncGroups() > 0) {
+    auto Tick = std::make_shared<std::function<void()>>();
+    *Tick = [this, Tick]() {
+      checkConfTimeouts();
+      this->Fabric.simulator().schedule(Cfg.ConfRetryTimeout, *Tick);
+    };
+    Fabric.simulator().schedule(Cfg.ConfRetryTimeout, *Tick);
+  }
+}
+
+const ObjectState &HambandNode::visibleState() {
+  if (!VisibleDirty && VisibleCache)
+    return *VisibleCache;
+  VisibleCache = Stored->clone();
+  for (const auto &Group : SummaryCache)
+    for (const std::optional<Call> &C : Group)
+      if (C)
+        Type.apply(*VisibleCache, *C);
+  VisibleDirty = false;
+  return *VisibleCache;
+}
+
+void HambandNode::applyToStored(const Call &C) {
+  Type.apply(*Stored, C);
+  // Buffered and summarized calls commute (summaries are conflict-free),
+  // so the visible cache can be maintained incrementally.
+  if (VisibleCache && !VisibleDirty)
+    Type.apply(*VisibleCache, C);
+}
+
+DepMap HambandNode::projectDeps(MethodId U) const {
+  DepMap D;
+  for (MethodId Dep : Spec.dependencies(U))
+    for (ProcessId Q = 0; Q < Fabric.numNodes(); ++Q)
+      if (std::uint64_t Cnt = Applied[Q][Dep])
+        D.push_back(DepEntry{Q, Dep, Cnt});
+  return D;
+}
+
+bool HambandNode::depsSatisfied(const DepMap &D) const {
+  for (const DepEntry &E : D)
+    if (Applied[E.P][E.U] < E.Count)
+      return false;
+  return true;
+}
+
+rdma::NodeId HambandNode::knownLeader(unsigned Group) const {
+  assert(Group < Consensus.size());
+  return Consensus[Group]->currentLeader();
+}
+
+std::size_t HambandNode::pendingFreeTotal() const {
+  std::size_t N = 0;
+  for (const auto &Q : FreePending)
+    N += Q.size();
+  return N;
+}
+
+std::size_t HambandNode::pendingConfTotal() const {
+  std::size_t N = 0;
+  for (const auto &M : ConfPending)
+    N += M.size();
+  return N;
+}
+
+std::size_t HambandNode::leaderQueueTotal() const {
+  std::size_t N = 0;
+  for (const auto &Q : LeaderQueue)
+    N += Q.size();
+  return N;
+}
+
+bool HambandNode::idle() const {
+  for (const auto &Q : FreePending)
+    if (!Q.empty())
+      return false;
+  for (const auto &M : ConfPending)
+    if (!M.empty())
+      return false;
+  for (const auto &Q : LeaderQueue)
+    if (!Q.empty())
+      return false;
+  return AwaitingResponse.empty();
+}
+
+// -- Request paths ---------------------------------------------------------
+
+void HambandNode::submit(const Call &C, SubmitCallback Done) {
+  if (OutOfService) {
+    // The driver redirects around failed nodes; reject stragglers.
+    if (Done)
+      Done(false, 0);
+    return;
+  }
+  switch (Spec.category(C.Method)) {
+  case MethodCategory::Query:
+    handleQuery(C, std::move(Done));
+    return;
+  case MethodCategory::Reducible:
+    handleReduce(C, std::move(Done));
+    return;
+  case MethodCategory::IrreducibleFree:
+    handleFree(C, std::move(Done));
+    return;
+  case MethodCategory::Conflicting:
+    handleConf(C, std::move(Done));
+    return;
+  }
+}
+
+void HambandNode::handleQuery(const Call &C, SubmitCallback Done) {
+  const rdma::NetworkModel &M = Fabric.model();
+  unsigned NumSummaries = 0;
+  for (const auto &Group : SummaryCache)
+    for (const std::optional<Call> &S : Group)
+      if (S)
+        ++NumSummaries;
+  sim::SimDuration Cost = M.QueryCpu + NumSummaries * M.ApplySummaryCpu;
+  Fabric.runOnCpu(
+      Self, Cost,
+      [this, C, Done = std::move(Done)]() {
+        Value V = Type.query(visibleState(), C);
+        Done(true, V);
+      },
+      rdma::Fabric::LaneClient);
+}
+
+void HambandNode::handleReduce(Call C, SubmitCallback Done) {
+  const rdma::NetworkModel &M = Fabric.model();
+  Fabric.runOnCpu(
+      Self, M.ApplyCpu + M.ParseCpu,
+      [this, C = std::move(C), Done = std::move(Done)]() mutable {
+        Call P = Type.prepare(visibleState(), C);
+        if (!Type.permissible(visibleState(), P)) {
+          Done(false, 0);
+          return;
+        }
+        unsigned G = *Spec.sumGroup(P.Method);
+        Call NewSummary = P;
+        if (OwnSummary[G]) {
+          bool Ok = Type.summarize(*OwnSummary[G], P, NewSummary);
+          assert(Ok && "summarization group not closed");
+          (void)Ok;
+        }
+        OwnSummary[G] = NewSummary;
+        std::uint64_t Seq = ++OwnSummarySeq[G];
+        Applied[Self][P.Method] += 1;
+        ++NumLocalUpdates;
+        SummaryCache[G][Self] = NewSummary;
+        VisibleDirty = true;
+
+        // Ship the summary with the per-method applied counts so peers
+        // advance A(self, u) without a separate write.
+        SummaryImage Img;
+        Img.Seq = Seq;
+        Img.Summary = NewSummary;
+        for (MethodId U = 0; U < Type.numMethods(); ++U)
+          if (Spec.isUpdate(U) && Spec.sumGroup(U) &&
+              *Spec.sumGroup(U) == G)
+            Img.AppliedCounts.emplace_back(U, Applied[Self][U]);
+        std::vector<std::uint8_t> Payload = encodeSummary(Img);
+        if (Cfg.UseBackupSlot)
+          Broadcast->stage(ReliableBroadcast::Kind::Summary,
+                           static_cast<std::uint8_t>(G), Payload);
+
+        unsigned N = Fabric.numNodes();
+        if (N == 1) {
+          if (Cfg.UseBackupSlot)
+            Broadcast->clear();
+          Done(true, 0);
+          return;
+        }
+        std::vector<std::uint8_t> Slot =
+            slotBytes(Payload, Cfg.SummarySlotBytes);
+        auto Remaining = std::make_shared<unsigned>(N - 1);
+        auto DoneP = std::make_shared<SubmitCallback>(std::move(Done));
+        bool RespondLate = Cfg.RespondAfterCompletion;
+        if (!RespondLate)
+          (*DoneP)(true, 0);
+        for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
+          if (Peer == Self)
+            continue;
+          Fabric.postWrite(
+              Self, Peer, Map.summarySlot(G, Self), Slot,
+              rdma::UnprotectedRegion,
+              [this, Remaining, DoneP, RespondLate](rdma::WcStatus) {
+                if (--*Remaining != 0)
+                  return;
+                if (Cfg.UseBackupSlot)
+                  Broadcast->clear();
+                if (RespondLate)
+                  (*DoneP)(true, 0);
+              },
+              rdma::Fabric::LaneClient);
+        }
+      },
+      rdma::Fabric::LaneClient);
+}
+
+void HambandNode::handleFree(Call C, SubmitCallback Done) {
+  const rdma::NetworkModel &M = Fabric.model();
+  Fabric.runOnCpu(
+      Self, 2 * M.ApplyCpu + M.ParseCpu,
+      [this, C = std::move(C), Done = std::move(Done)]() mutable {
+        Call P = Type.prepare(visibleState(), C);
+        if (!Type.permissible(visibleState(), P)) {
+          Done(false, 0);
+          return;
+        }
+        applyToStored(P);
+        Applied[Self][P.Method] += 1;
+        ++NumLocalUpdates;
+
+        WireCall WC;
+        WC.TheCall = P;
+        WC.Deps = projectDeps(P.Method);
+        WC.BcastSeq = BcastSeqOut++;
+        std::vector<std::uint8_t> Bytes =
+            encodeCall(Spec, Fabric.numNodes(), WC);
+        if (Cfg.UseBackupSlot)
+          Broadcast->stage(ReliableBroadcast::Kind::FreeCall, 0, Bytes);
+
+        unsigned N = Fabric.numNodes();
+        if (N == 1) {
+          if (Cfg.UseBackupSlot)
+            Broadcast->clear();
+          Done(true, 0);
+          return;
+        }
+        auto Remaining = std::make_shared<unsigned>(N - 1);
+        auto DoneP = std::make_shared<SubmitCallback>(std::move(Done));
+        bool RespondLate = Cfg.RespondAfterCompletion;
+        if (!RespondLate)
+          (*DoneP)(true, 0);
+        auto OnOne = [this, Remaining, DoneP,
+                      RespondLate](rdma::WcStatus) {
+          if (--*Remaining != 0)
+            return;
+          if (Cfg.UseBackupSlot)
+            Broadcast->clear();
+          if (RespondLate)
+            (*DoneP)(true, 0);
+        };
+        for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
+          if (Peer == Self)
+            continue;
+          appendWithRetry(this->Fabric.simulator(), *FreeWriters[Peer],
+                          Bytes, Cfg.PollInterval, OnOne);
+        }
+      },
+      rdma::Fabric::LaneClient);
+}
+
+void HambandNode::handleConf(Call C, SubmitCallback Done) {
+  unsigned G = *Spec.syncGroup(C.Method);
+  const rdma::NetworkModel &M = Fabric.model();
+  rdma::NodeId Leader = Consensus[G]->currentLeader();
+  if (Leader == Self) {
+    Fabric.runOnCpu(
+        Self, M.ParseCpu + M.ApplyCpu,
+        [this, G, C = std::move(C), Done = std::move(Done)]() mutable {
+          leaderProcessConf(G, Self, C.Req, std::move(C), std::move(Done));
+        },
+        rdma::Fabric::LaneClient);
+    return;
+  }
+  // Redirect through the single-writer mailbox ring on the leader.
+  PendingConfRequest Req;
+  Req.TheCall = C;
+  Req.Done = std::move(Done);
+  Req.Group = G;
+  Req.SentAt = Fabric.simulator().now();
+  Req.SentTo = Leader;
+  AwaitingResponse.emplace(C.Req, std::move(Req));
+  MailMsg Msg;
+  Msg.Kind = MailKind::ConfRequest;
+  Msg.Origin = Self;
+  Msg.ReqId = C.Req;
+  Msg.TheCall = C;
+  std::vector<std::uint8_t> Bytes = encodeMail(Msg);
+  Fabric.runOnCpu(
+      Self, M.ParseCpu,
+      [this, Leader, Bytes = std::move(Bytes)]() {
+        appendWithRetry(this->Fabric.simulator(), *MailWriters[Leader],
+                        Bytes, Cfg.PollInterval, nullptr);
+      },
+      rdma::Fabric::LaneClient);
+}
+
+void HambandNode::leaderProcessConf(unsigned G, ProcessId Origin,
+                                    RequestId ReqId, Call C,
+                                    SubmitCallback LocalDone,
+                                    sim::SimTime WaitDeadline) {
+  if (Consensus[G]->currentLeader() != Self) {
+    // We are not the leader (any more): tell the origin to retry.
+    respondConf(Origin, ReqId, ConfOutcome::Retry, nullptr);
+    if (LocalDone) {
+      // A local call: redirect it ourselves.
+      Call C2 = std::move(C);
+      handleConf(std::move(C2), std::move(LocalDone));
+    }
+    return;
+  }
+  if (ConfSeen[G].count(ReqId)) {
+    respondConf(Origin, ReqId, ConfOutcome::Committed, std::move(LocalDone));
+    return;
+  }
+  if (!Consensus[G]->isLeader()) {
+    // Elected but still catching up: queue and retry from the poller.
+    PendingConfRequest Req;
+    Req.TheCall = std::move(C);
+    Req.Done = std::move(LocalDone);
+    Req.Group = G;
+    Req.SentAt = Fabric.simulator().now();
+    Req.SentTo = Origin; // Reused as the origin for queued requests.
+    LeaderQueue[G].push_back(std::move(Req));
+    return;
+  }
+
+  if (!Consensus[G]->canAppend()) {
+    // A follower ring is momentarily full: queue and retry shortly.
+    PendingConfRequest Req;
+    Req.TheCall = std::move(C);
+    Req.Done = std::move(LocalDone);
+    Req.Group = G;
+    Req.SentAt = Fabric.simulator().now();
+    Req.SentTo = Origin;
+    LeaderQueue[G].push_back(std::move(Req));
+    return;
+  }
+
+  // Speculative permissibility: the call must keep the invariant after
+  // every already-appended (but not yet applied) call of this group.
+  Call Prepared = Type.prepare(visibleState(), C);
+  StatePtr SpecState = visibleState().clone();
+  for (const Call &Pend : LeaderSpeculative[G])
+    Type.apply(*SpecState, Pend);
+  Type.apply(*SpecState, Prepared);
+  if (!Type.invariant(*SpecState)) {
+    // Not (yet) permissible. A dependent call may become permissible once
+    // its dependencies are delivered (e.g. worksOn waiting for its
+    // addProject), so hold it briefly before rejecting -- this wait is
+    // what makes dependent methods slower in Figure 11(b).
+    sim::SimTime Now = Fabric.simulator().now();
+    if (WaitDeadline == 0)
+      WaitDeadline = Now + Cfg.PermissibilityWait;
+    if (Now >= WaitDeadline) {
+      // Still impermissible after the grace period: terminal rejection.
+      respondConf(Origin, ReqId, ConfOutcome::Rejected,
+                  std::move(LocalDone));
+      return;
+    }
+    PendingConfRequest Req;
+    Req.TheCall = std::move(C);
+    Req.Done = std::move(LocalDone);
+    Req.Group = G;
+    Req.SentAt = Now;
+    Req.SentTo = Origin;
+    Req.WaitDeadline = WaitDeadline;
+    LeaderQueue[G].push_back(std::move(Req));
+    return;
+  }
+
+  // The leader becomes the issuing process of the ordered call (the
+  // request id keeps end-to-end identity for deduplication).
+  Prepared.Issuer = Self;
+  WireCall WC;
+  WC.TheCall = Prepared;
+  WC.Deps = projectDeps(Prepared.Method);
+  WC.BcastSeq = Consensus[G]->nextIndex();
+  std::vector<std::uint8_t> Bytes =
+      encodeCall(this->Spec, Fabric.numNodes(), WC);
+
+  std::uint64_t Idx = Consensus[G]->nextIndex();
+  std::uint64_t EpochAtAppend = Consensus[G]->epoch();
+  bool Posted = Consensus[G]->leaderAppend(
+      Bytes, [this, G, Idx, WC, Origin, ReqId, EpochAtAppend,
+              LocalDone](bool Committed) mutable {
+        // A commit that lands after this node was deposed must not enter
+        // the log copy: the new leader's adoption decided the entry's
+        // fate. Answer "retry"; the dedup set at the new leader resolves
+        // whether the entry survived.
+        if (!Committed || Consensus[G]->epoch() != EpochAtAppend) {
+          respondConf(Origin, ReqId, ConfOutcome::Retry,
+                      std::move(LocalDone));
+          return;
+        }
+        ConfPending[G].emplace(Idx, WC);
+        bumpConfContig(G);
+        respondConf(Origin, ReqId, ConfOutcome::Committed,
+                    std::move(LocalDone));
+      });
+  assert(Posted && "canAppend() was checked above");
+  (void)Posted;
+  ConfSeen[G].insert(ReqId);
+  LeaderSpeculative[G].push_back(Prepared);
+  // Sequencing an entry occupies the leader beyond the raw verb posts.
+  Fabric.runOnCpu(Self, Fabric.model().ConsensusEntryCpu, []() {},
+                  rdma::Fabric::LaneClient);
+}
+
+void HambandNode::retryLeaderQueue(unsigned G) {
+  if (LeaderQueue[G].empty())
+    return;
+  if (Consensus[G]->currentLeader() != Self) {
+    // Deposed: bounce every queued request back so origins retry against
+    // the new leader; local calls are re-routed by handleConf.
+    std::deque<PendingConfRequest> Orphans;
+    Orphans.swap(LeaderQueue[G]);
+    for (PendingConfRequest &Req : Orphans) {
+      if (Req.SentTo == Self && Req.Done)
+        handleConf(std::move(Req.TheCall), std::move(Req.Done));
+      else
+        respondConf(Req.SentTo, Req.TheCall.Req, ConfOutcome::Retry,
+                    nullptr);
+    }
+    return;
+  }
+  // One pass over a snapshot per poll round; entries that still cannot
+  // proceed re-queue themselves (with their original wait deadline).
+  std::deque<PendingConfRequest> Snapshot;
+  Snapshot.swap(LeaderQueue[G]);
+  sim::SimTime Now = Fabric.simulator().now();
+  for (PendingConfRequest &Req : Snapshot) {
+    // Permissibility waiters are re-evaluated every few microseconds, not
+    // every poll tick.
+    if (Req.WaitDeadline != 0 && Now < Req.WaitDeadline &&
+        Now - Req.SentAt < sim::micros(5)) {
+      LeaderQueue[G].push_back(std::move(Req));
+      continue;
+    }
+    Req.SentAt = Now;
+    RequestId Id = Req.TheCall.Req;
+    leaderProcessConf(G, Req.SentTo, Id, std::move(Req.TheCall),
+                      std::move(Req.Done), Req.WaitDeadline);
+  }
+}
+
+void HambandNode::respondConf(ProcessId Origin, RequestId ReqId,
+                              ConfOutcome Outcome,
+                              SubmitCallback LocalDone) {
+  if (Origin == Self) {
+    // A local Retry is handled by the caller (it re-routes the call); a
+    // callback here is terminal.
+    if (LocalDone)
+      LocalDone(Outcome == ConfOutcome::Committed, 0);
+    return;
+  }
+  MailMsg Msg;
+  Msg.Kind = MailKind::ConfResponse;
+  Msg.Origin = Self;
+  Msg.ReqId = ReqId;
+  Msg.Ok = static_cast<std::uint8_t>(Outcome);
+  appendWithRetry(Fabric.simulator(), *MailWriters[Origin],
+                  encodeMail(Msg), Cfg.PollInterval, nullptr);
+}
+
+void HambandNode::checkConfTimeouts() {
+  if (AwaitingResponse.empty())
+    return;
+  sim::SimTime Now = Fabric.simulator().now();
+  std::vector<RequestId> TakeOver;
+  for (auto &[ReqId, Req] : AwaitingResponse) {
+    if (Now - Req.SentAt < Cfg.ConfRetryTimeout)
+      continue;
+    rdma::NodeId Leader = Consensus[Req.Group]->currentLeader();
+    Req.SentAt = Now;
+    Req.SentTo = Leader;
+    if (Leader == Self) {
+      TakeOver.push_back(ReqId); // We became the leader meanwhile.
+      continue;
+    }
+    MailMsg Msg;
+    Msg.Kind = MailKind::ConfRequest;
+    Msg.Origin = Self;
+    Msg.ReqId = ReqId;
+    Msg.TheCall = Req.TheCall;
+    appendWithRetry(Fabric.simulator(), *MailWriters[Leader],
+                    encodeMail(Msg), Cfg.PollInterval, nullptr);
+  }
+  for (RequestId Id : TakeOver) {
+    auto It = AwaitingResponse.find(Id);
+    if (It == AwaitingResponse.end())
+      continue;
+    Call C = std::move(It->second.TheCall);
+    SubmitCallback Done = std::move(It->second.Done);
+    unsigned G = It->second.Group;
+    AwaitingResponse.erase(It);
+    leaderProcessConf(G, Self, Id, std::move(C), std::move(Done));
+  }
+}
+
+// -- Poller -----------------------------------------------------------------
+
+void HambandNode::schedulePoll() {
+  Fabric.simulator().schedule(Cfg.PollInterval, [this]() {
+    Fabric.runOnCpu(
+        Self, PollBaseCost, [this]() { pollOnce(); },
+        rdma::Fabric::LanePoller);
+  });
+}
+
+void HambandNode::pollOnce() {
+  const rdma::NetworkModel &M = Fabric.model();
+  unsigned Parsed = 0;
+  unsigned AppliedN = 0;
+  Parsed += pollFreeRings();
+  Parsed += pollSummaries();
+  Parsed += pollConfRings();
+  Parsed += pollMailboxes();
+  AppliedN += applyPendingFree();
+  AppliedN += applyPendingConf();
+  for (unsigned G = 0; G < Consensus.size(); ++G) {
+    Consensus[G]->poll();
+    retryLeaderQueue(G);
+  }
+  sim::SimDuration Extra =
+      Parsed * M.ParseCpu + AppliedN * M.ApplyCpu;
+  if (Extra > 0)
+    Fabric.runOnCpu(Self, Extra, []() {}, rdma::Fabric::LanePoller);
+  schedulePoll();
+}
+
+unsigned HambandNode::pollFreeRings() {
+  unsigned Parsed = 0;
+  std::vector<std::uint8_t> Bytes;
+  for (rdma::NodeId J = 0; J < Fabric.numNodes(); ++J) {
+    if (J == Self)
+      continue;
+    // Bounded batch per traversal; a missed call is picked up next round.
+    for (unsigned K = 0; K < 64 && FreeReaders[J]->peek(Bytes); ++K) {
+      WireCall WC;
+      if (!decodeCall(Spec, Fabric.numNodes(), Bytes.data(), Bytes.size(),
+                      WC)) {
+        assert(false && "malformed F-ring cell");
+        break;
+      }
+      FreeReaders[J]->consume();
+      FreePending[J].push_back(std::move(WC));
+      ++Parsed;
+    }
+  }
+  return Parsed;
+}
+
+unsigned HambandNode::pollSummaries() {
+  unsigned Parsed = 0;
+  const rdma::MemoryRegion &Mem = Fabric.memory(Self);
+  for (unsigned G = 0; G < SummaryCache.size(); ++G) {
+    for (rdma::NodeId Src = 0; Src < Fabric.numNodes(); ++Src) {
+      if (Src == Self)
+        continue;
+      rdma::MemOffset Off = Map.summarySlot(G, Src);
+      if (Mem.readU8(Off + Cfg.SummarySlotBytes - 1) != 1)
+        continue; // Canary clear: never written or mid-write.
+      // The image starts with its sequence number; skip unchanged slots.
+      std::uint64_t Seq = Mem.readU64(Off + 4);
+      if (Seq == SummarySeqSeen[G][Src])
+        continue;
+      std::uint32_t Len = 0;
+      std::uint8_t LenRaw[4];
+      Mem.read(Off, LenRaw, 4);
+      std::memcpy(&Len, LenRaw, 4);
+      if (Len + 5 > Cfg.SummarySlotBytes)
+        continue;
+      std::vector<std::uint8_t> Payload = Mem.slice(Off + 4, Len);
+      SummaryImage Img;
+      if (!decodeSummary(Payload.data(), Payload.size(), Img))
+        continue;
+      installSummary(G, Src, Img);
+      ++Parsed;
+    }
+  }
+  return Parsed;
+}
+
+void HambandNode::installSummary(unsigned Group, ProcessId From,
+                                 const SummaryImage &Img) {
+  if (Img.Seq <= SummarySeqSeen[Group][From])
+    return;
+  SummaryCache[Group][From] = Img.Summary;
+  SummarySeqSeen[Group][From] = Img.Seq;
+  for (const auto &[U, N] : Img.AppliedCounts)
+    if (N > Applied[From][U])
+      Applied[From][U] = N;
+  VisibleDirty = true;
+}
+
+unsigned HambandNode::pollConfRings() {
+  unsigned Parsed = 0;
+  std::vector<std::uint8_t> Bytes;
+  for (unsigned G = 0; G < ConfReaders.size(); ++G) {
+    for (unsigned K = 0; K < 64 && ConfReaders[G]->peek(Bytes); ++K) {
+      WireCall WC;
+      std::uint64_t Idx = ConfReaders[G]->head();
+      if (!decodeCall(Spec, Fabric.numNodes(), Bytes.data(), Bytes.size(),
+                      WC)) {
+        assert(false && "malformed L-ring cell");
+        break;
+      }
+      ConfReaders[G]->consume();
+      ConfSeen[G].insert(WC.TheCall.Req);
+      ConfPending[G].emplace(Idx, std::move(WC));
+      bumpConfContig(G);
+      ++Parsed;
+    }
+  }
+  return Parsed;
+}
+
+void HambandNode::bumpConfContig(unsigned Group) {
+  while (ConfPending[Group].count(ConfReceivedContig[Group]) ||
+         ConfReceivedContig[Group] < ConfAppliedIdx[Group])
+    ++ConfReceivedContig[Group];
+}
+
+unsigned HambandNode::pollMailboxes() {
+  unsigned Parsed = 0;
+  std::vector<std::uint8_t> Bytes;
+  for (rdma::NodeId J = 0; J < Fabric.numNodes(); ++J) {
+    if (J == Self)
+      continue;
+    for (unsigned K = 0; K < 64 && MailReaders[J]->peek(Bytes); ++K) {
+      MailMsg Msg;
+      bool Ok = decodeMail(Bytes.data(), Bytes.size(), Msg);
+      MailReaders[J]->consume();
+      ++Parsed;
+      if (Ok)
+        handleMail(J, Msg);
+    }
+  }
+  return Parsed;
+}
+
+void HambandNode::handleMail(ProcessId /*From*/, const MailMsg &Msg) {
+  if (Msg.Kind == MailKind::ConfRequest) {
+    if (OutOfService)
+      return; // Dropped; the origin retries against the next leader.
+    if (Spec.category(Msg.TheCall.Method) != MethodCategory::Conflicting)
+      return;
+    unsigned G = *Spec.syncGroup(Msg.TheCall.Method);
+    leaderProcessConf(G, Msg.Origin, Msg.ReqId, Msg.TheCall, nullptr);
+    return;
+  }
+  // ConfResponse.
+  auto It = AwaitingResponse.find(Msg.ReqId);
+  if (It == AwaitingResponse.end())
+    return; // Duplicate response (e.g. after a retry); already completed.
+  ConfOutcome Outcome = static_cast<ConfOutcome>(Msg.Ok);
+  if (Outcome == ConfOutcome::Retry) {
+    // The responder could not decide (deposed mid-request): retry against
+    // the current leader immediately (the timeout scanner would also
+    // catch it).
+    It->second.SentAt = 0;
+    checkConfTimeouts();
+    return;
+  }
+  // Committed or terminally rejected: complete the client call.
+  SubmitCallback Done = std::move(It->second.Done);
+  AwaitingResponse.erase(It);
+  if (Done)
+    Done(Outcome == ConfOutcome::Committed, 0);
+}
+
+unsigned HambandNode::applyPendingFree() {
+  unsigned AppliedN = 0;
+  for (rdma::NodeId J = 0; J < Fabric.numNodes(); ++J) {
+    if (J == Self)
+      continue;
+    auto &Q = FreePending[J];
+    while (!Q.empty() && depsSatisfied(Q.front().Deps)) {
+      const Call &C = Q.front().TheCall;
+      applyToStored(C);
+      Applied[C.Issuer][C.Method] += 1;
+      Q.pop_front();
+      ++AppliedN;
+      ++NumAppliedBuffered;
+    }
+  }
+  return AppliedN;
+}
+
+unsigned HambandNode::applyPendingConf() {
+  unsigned AppliedN = 0;
+  for (unsigned G = 0; G < ConfPending.size(); ++G) {
+    auto &M = ConfPending[G];
+    auto It = M.find(ConfAppliedIdx[G]);
+    while (It != M.end() && depsSatisfied(It->second.Deps)) {
+      const Call &C = It->second.TheCall;
+      applyToStored(C);
+      Applied[C.Issuer][C.Method] += 1;
+      if (C.Issuer == Self && !LeaderSpeculative[G].empty() &&
+          LeaderSpeculative[G].front() == C)
+        LeaderSpeculative[G].pop_front();
+      M.erase(It);
+      ++ConfAppliedIdx[G];
+      ++AppliedN;
+      ++NumAppliedBuffered;
+      It = M.find(ConfAppliedIdx[G]);
+    }
+  }
+  return AppliedN;
+}
+
+// -- Failure handling --------------------------------------------------------
+
+void HambandNode::onPeerSuspected(rdma::NodeId Peer) {
+  for (auto &Cons : Consensus)
+    Cons->onPeerSuspected(Peer);
+  if (!Cfg.UseBackupSlot)
+    return;
+  Broadcast->fetch(Peer, [this, Peer](ReliableBroadcast::BackupMessage Msg) {
+    switch (Msg.TheKind) {
+    case ReliableBroadcast::Kind::None:
+      return;
+    case ReliableBroadcast::Kind::Summary: {
+      SummaryImage Img;
+      if (!decodeSummary(Msg.Payload.data(), Msg.Payload.size(), Img))
+        return;
+      unsigned G = Msg.Aux;
+      if (G < SummaryCache.size() &&
+          Img.Seq > SummarySeqSeen[G][Peer]) {
+        installSummary(G, Peer, Img);
+        ++NumRecovered;
+      }
+      return;
+    }
+    case ReliableBroadcast::Kind::FreeCall: {
+      WireCall WC;
+      if (!decodeCall(Spec, Fabric.numNodes(), Msg.Payload.data(),
+                      Msg.Payload.size(), WC))
+        return;
+      // Deliver only if it is exactly the next broadcast we have not
+      // received; otherwise it is a duplicate (agreement is preserved).
+      // The ring head counts consumed cells, so it is the sequence number
+      // of the next expected broadcast from this peer.
+      std::uint64_t NextSeq = FreeReaders[Peer]->head();
+      if (WC.BcastSeq == NextSeq) {
+        FreePending[Peer].push_back(std::move(WC));
+        // Skip the ring cell that will never be written.
+        FreeReaders[Peer]->setHead(NextSeq + 1);
+        ++NumRecovered;
+      }
+      return;
+    }
+    }
+  });
+}

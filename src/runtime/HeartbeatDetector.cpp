@@ -1,0 +1,71 @@
+//===- runtime/HeartbeatDetector.cpp - Failure detection --------------------//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/runtime/HeartbeatDetector.h"
+
+#include <cstring>
+
+using namespace hamband;
+using namespace hamband::runtime;
+
+HeartbeatDetector::HeartbeatDetector(rdma::Fabric &Fabric, rdma::NodeId Self,
+                                     rdma::MemOffset HeartbeatOff,
+                                     Config Cfg)
+    : Fabric(Fabric), Self(Self), HeartbeatOff(HeartbeatOff), Cfg(Cfg),
+      LastSeen(Fabric.numNodes(), 0), Misses(Fabric.numNodes(), 0),
+      Suspected(Fabric.numNodes(), false) {}
+
+void HeartbeatDetector::start() {
+  beat();
+  // Stagger the first check so nodes do not read in lock step.
+  Fabric.simulator().schedule(
+      Cfg.CheckInterval + sim::micros(1) * Self, [this]() { checkPeers(); });
+}
+
+void HeartbeatDetector::beat() {
+  // A crashed node's CPU cannot advance its counter (the fabric-level
+  // crash model); a suspended thread (the paper's injection) simply
+  // skips the update.
+  if (Beating && Fabric.isAlive(Self)) {
+    ++Counter;
+    Fabric.memory(Self).writeU64(HeartbeatOff, Counter);
+  }
+  // The thread keeps rescheduling even while suspended so that tests can
+  // resume it if they want to.
+  Fabric.simulator().schedule(Cfg.BeatInterval, [this]() { beat(); });
+}
+
+void HeartbeatDetector::checkPeers() {
+  if (!Fabric.isAlive(Self)) {
+    Fabric.simulator().schedule(Cfg.CheckInterval,
+                                [this]() { checkPeers(); });
+    return;
+  }
+  for (rdma::NodeId Peer = 0; Peer < Fabric.numNodes(); ++Peer) {
+    if (Peer == Self || Suspected[Peer])
+      continue;
+    Fabric.postRead(
+        Self, Peer, HeartbeatOff, 8,
+        [this, Peer](rdma::WcStatus, std::vector<std::uint8_t> Data) {
+          if (Data.size() != 8 || Suspected[Peer])
+            return;
+          std::uint64_t Seen = 0;
+          std::memcpy(&Seen, Data.data(), 8);
+          if (Seen != LastSeen[Peer]) {
+            LastSeen[Peer] = Seen;
+            Misses[Peer] = 0;
+            return;
+          }
+          if (++Misses[Peer] >= Cfg.SuspectAfter) {
+            Suspected[Peer] = true;
+            if (SuspectFn)
+              SuspectFn(Peer);
+          }
+        },
+        rdma::Fabric::LaneBackground);
+  }
+  Fabric.simulator().schedule(Cfg.CheckInterval, [this]() { checkPeers(); });
+}

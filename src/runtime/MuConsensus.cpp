@@ -1,0 +1,314 @@
+//===- runtime/MuConsensus.cpp - Mu-style consensus ---------------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/runtime/MuConsensus.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace hamband;
+using namespace hamband::runtime;
+
+namespace {
+/// Shared tally for one append's completions.
+struct CommitTally {
+  unsigned Successes = 0;
+  unsigned Failures = 0;
+  bool Decided = false;
+};
+} // namespace
+
+MuConsensus::MuConsensus(rdma::Fabric &Fabric, rdma::NodeId Self,
+                         unsigned Group, rdma::NodeId InitialLeader,
+                         const MemoryMap &Map, rdma::RegionKey LogKey,
+                         Hooks TheHooks)
+    : Fabric(Fabric), Self(Self), Group(Group), Map(Map), LogKey(LogKey),
+      TheHooks(std::move(TheHooks)), Leader(InitialLeader),
+      AckReceived(Fabric.numNodes(), 0), AckSeen(Fabric.numNodes(), false) {
+  if (Self == InitialLeader)
+    for (rdma::NodeId F = 0; F < Fabric.numNodes(); ++F)
+      if (F != Self)
+        writerTo(F);
+}
+
+void MuConsensus::installInitialPermissions() {
+  for (rdma::NodeId W = 0; W < Fabric.numNodes(); ++W)
+    Fabric.setWritePermission(Self, W, LogKey, W == Leader);
+}
+
+RingWriter &MuConsensus::writerTo(rdma::NodeId Follower) {
+  auto It = Writers.find(Follower);
+  if (It != Writers.end())
+    return *It->second;
+  auto W = std::make_unique<RingWriter>(
+      Fabric, Self, Follower, Map.confRingData(Group),
+      Map.confRingFeedback(Group, Follower), Map.confGeom(), LogKey,
+      rdma::Fabric::LaneClient);
+  W->setTail(NextIndex);
+  return *Writers.emplace(Follower, std::move(W)).first->second;
+}
+
+bool MuConsensus::canAppend() const {
+  if (!isLeader())
+    return false;
+  for (const auto &[F, W] : Writers)
+    if (W->full())
+      return false;
+  return true;
+}
+
+bool MuConsensus::leaderAppend(const std::vector<std::uint8_t> &EntryBytes,
+                               std::function<void(bool)> OnCommitted) {
+  if (!canAppend())
+    return false;
+
+  unsigned N = Fabric.numNodes();
+  unsigned Majority = N / 2 + 1;
+  // The leader's own log copy counts toward the majority.
+  unsigned NeededRemote = Majority > 0 ? Majority - 1 : 0;
+
+  LogCache[NextIndex] = EntryBytes;
+  if (LogCache.size() > 8192) {
+    // Retain only what laggard followers may still need.
+    std::uint64_t MinTail = NextIndex;
+    for (auto &[F, W] : Writers)
+      MinTail = std::min(MinTail, W->tail());
+    LogCache.erase(LogCache.begin(), LogCache.lower_bound(MinTail));
+  }
+
+  auto Tally = std::make_shared<CommitTally>();
+  unsigned NumFollowers = static_cast<unsigned>(Writers.size());
+  auto Done = std::make_shared<std::function<void(bool)>>(
+      std::move(OnCommitted));
+  auto OnOne = [Tally, NeededRemote, NumFollowers,
+                Done](rdma::WcStatus St) {
+    if (St == rdma::WcStatus::Success)
+      ++Tally->Successes;
+    else
+      ++Tally->Failures;
+    if (Tally->Decided)
+      return;
+    if (Tally->Successes >= NeededRemote) {
+      Tally->Decided = true;
+      if (*Done)
+        (*Done)(true);
+      return;
+    }
+    if (Tally->Failures > NumFollowers - NeededRemote) {
+      // A majority can no longer complete: leadership was lost.
+      Tally->Decided = true;
+      if (*Done)
+        (*Done)(false);
+    }
+  };
+
+  for (auto &[F, W] : Writers) {
+    bool Appended = W->append(EntryBytes, OnOne);
+    assert(Appended && "ring fullness was checked above");
+    (void)Appended;
+  }
+  ++NextIndex;
+
+  if (NeededRemote == 0 && !Tally->Decided) {
+    Tally->Decided = true;
+    if (*Done)
+      (*Done)(true);
+  }
+  return true;
+}
+
+void MuConsensus::onPeerSuspected(rdma::NodeId Peer) {
+  if (Peer != Leader || Leader == Self || Campaigning)
+    return;
+  campaign();
+}
+
+void MuConsensus::campaign() {
+  Campaigning = true;
+  CampaignEpoch = Epoch + 1;
+  AckSeen.assign(Fabric.numNodes(), false);
+  AckReceived.assign(Fabric.numNodes(), 0);
+  std::vector<std::uint8_t> Proposal(16, 0);
+  std::memcpy(Proposal.data(), &CampaignEpoch, 8);
+  // The proposal slot is this candidate's single-writer cell on each node.
+  Fabric.memory(Self).write(Map.proposalSlot(Group, Self), Proposal.data(),
+                            Proposal.size());
+  for (rdma::NodeId Peer = 0; Peer < Fabric.numNodes(); ++Peer)
+    if (Peer != Self)
+      Fabric.postWrite(Self, Peer, Map.proposalSlot(Group, Self), Proposal,
+                       rdma::UnprotectedRegion, nullptr,
+                       rdma::Fabric::LaneBackground);
+}
+
+void MuConsensus::poll() {
+  const rdma::MemoryRegion &Mem = Fabric.memory(Self);
+
+  // 1) Observe proposals: adopt the highest epoch above ours.
+  rdma::NodeId BestCand = Leader;
+  std::uint64_t BestEpoch = Epoch;
+  for (rdma::NodeId Cand = 0; Cand < Fabric.numNodes(); ++Cand) {
+    std::uint64_t E = Mem.readU64(Map.proposalSlot(Group, Cand));
+    if (E > BestEpoch || (E == BestEpoch && E > Epoch && Cand < BestCand)) {
+      BestEpoch = E;
+      BestCand = Cand;
+    }
+  }
+  if (BestEpoch > Epoch) {
+    rdma::NodeId Old = Leader;
+    Epoch = BestEpoch;
+    Leader = BestCand;
+    if (Campaigning && CampaignEpoch < Epoch)
+      Campaigning = false; // Lost the race to a higher epoch.
+    // Revoke the deposed leader's permission *before* granting the new
+    // one; this is the Mu invariant that prevents two leaders.
+    if (Old != Leader)
+      Fabric.setWritePermission(Self, Old, LogKey, false);
+    Fabric.setWritePermission(Self, Leader, LogKey, true);
+    CatchingUp = Leader == Self;
+    if (TheHooks.LeaderChanged)
+      TheHooks.LeaderChanged(Leader);
+    // Ack with our received count so the new leader can equalize logs.
+    std::vector<std::uint8_t> Ack(24, 0);
+    std::uint64_t Received =
+        TheHooks.ReceivedCount ? TheHooks.ReceivedCount() : 0;
+    std::uint64_t Flag = 1;
+    std::memcpy(Ack.data(), &Epoch, 8);
+    std::memcpy(Ack.data() + 8, &Received, 8);
+    std::memcpy(Ack.data() + 16, &Flag, 8);
+    if (Leader == Self)
+      Fabric.memory(Self).write(Map.ackSlot(Group, Self), Ack.data(),
+                                Ack.size());
+    else
+      Fabric.postWrite(Self, Leader, Map.ackSlot(Group, Self),
+                       std::move(Ack), rdma::UnprotectedRegion, nullptr,
+                       rdma::Fabric::LaneBackground);
+  }
+
+  // 2) Candidate / leader: gather acks.
+  if (Leader != Self)
+    return;
+  bool NewAck = false;
+  for (rdma::NodeId Voter = 0; Voter < Fabric.numNodes(); ++Voter) {
+    if (AckSeen[Voter])
+      continue;
+    std::uint8_t Raw[24];
+    Mem.read(Map.ackSlot(Group, Voter), Raw, sizeof(Raw));
+    std::uint64_t E = 0, Received = 0, Flag = 0;
+    std::memcpy(&E, Raw, 8);
+    std::memcpy(&Received, Raw + 8, 8);
+    std::memcpy(&Flag, Raw + 16, 8);
+    if (Flag != 1 || E != Epoch)
+      continue;
+    AckSeen[Voter] = true;
+    AckReceived[Voter] = Received;
+    NewAck = true;
+  }
+  if (!NewAck)
+    return;
+
+  if (Campaigning) {
+    // Wait for every node the detector has not suspected, so that any
+    // entry a live follower applied is visible to the new leader (single
+    // failure assumption; see header comment).
+    unsigned Acks = 0;
+    bool AllResponsive = true;
+    for (rdma::NodeId V = 0; V < Fabric.numNodes(); ++V) {
+      if (AckSeen[V])
+        ++Acks;
+      else if (!TheHooks.IsSuspected || !TheHooks.IsSuspected(V))
+        AllResponsive = false;
+    }
+    if (!AllResponsive || Acks < Fabric.numNodes() / 2 + 1)
+      return;
+    Campaigning = false;
+    std::uint64_t MaxReceived =
+        TheHooks.ReceivedCount ? TheHooks.ReceivedCount() : 0;
+    rdma::NodeId Holder = Self;
+    for (rdma::NodeId V = 0; V < Fabric.numNodes(); ++V) {
+      if (AckSeen[V] && AckReceived[V] > MaxReceived) {
+        MaxReceived = AckReceived[V];
+        Holder = V;
+      }
+    }
+    becomeLeaderAfterCatchUp(MaxReceived, Holder);
+    return;
+  }
+
+  // Already-established leader: a late ack (e.g. from the deposed leader,
+  // which is alive and eventually adopts us) lets us start replicating to
+  // it.
+  if (!CatchingUp)
+    replicateMissingToFollowers();
+}
+
+void MuConsensus::becomeLeaderAfterCatchUp(std::uint64_t MaxReceived,
+                                           rdma::NodeId Holder) {
+  std::uint64_t Mine =
+      TheHooks.ReceivedCount ? TheHooks.ReceivedCount() : 0;
+  if (Mine >= MaxReceived) {
+    NextIndex = MaxReceived;
+    CatchingUp = false;
+    replicateMissingToFollowers();
+    return;
+  }
+  // Read the missing entries from the most advanced acker's ring. The
+  // reads chain so that entries are delivered in order.
+  auto FetchNext = std::make_shared<std::function<void(std::uint64_t)>>();
+  *FetchNext = [this, MaxReceived, Holder,
+                FetchNext](std::uint64_t Index) {
+    if (Index >= MaxReceived) {
+      NextIndex = MaxReceived;
+      CatchingUp = false;
+      replicateMissingToFollowers();
+      return;
+    }
+    const RingGeometry G = Map.confGeom();
+    rdma::MemOffset CellOff =
+        Map.confRingData(Group) +
+        static_cast<rdma::MemOffset>(Index % G.NumCells) * G.CellSize;
+    Fabric.postRead(
+        Self, Holder, CellOff, G.CellSize,
+        [this, Index, FetchNext, G](rdma::WcStatus,
+                                    std::vector<std::uint8_t> Cell) {
+          std::uint32_t Len = 0;
+          std::uint64_t Seq = 0;
+          std::memcpy(&Len, Cell.data(), 4);
+          std::memcpy(&Seq, Cell.data() + 4, 8);
+          if (Seq == Index && Len <= G.maxPayload()) {
+            std::vector<std::uint8_t> Payload(
+                Cell.begin() + RingGeometry::HeaderBytes,
+                Cell.begin() + RingGeometry::HeaderBytes + Len);
+            LogCache[Index] = Payload;
+            if (TheHooks.DeliverEntry)
+              TheHooks.DeliverEntry(Index, std::move(Payload));
+          }
+          (*FetchNext)(Index + 1);
+        },
+        rdma::Fabric::LaneBackground);
+  };
+  (*FetchNext)(Mine);
+}
+
+void MuConsensus::replicateMissingToFollowers() {
+  for (rdma::NodeId V = 0; V < Fabric.numNodes(); ++V) {
+    if (V == Self || !AckSeen[V] || Writers.count(V))
+      continue;
+    RingWriter &W = writerTo(V);
+    // Clamp: a voter can never legitimately be ahead of the adopted log.
+    W.setTail(std::min(AckReceived[V], NextIndex));
+    // Bring the follower up to NextIndex from the log cache or our own
+    // ring copy (consumed cells keep their bytes).
+    for (std::uint64_t I = AckReceived[V]; I < NextIndex; ++I) {
+      std::vector<std::uint8_t> Bytes;
+      auto It = LogCache.find(I);
+      if (It != LogCache.end())
+        Bytes = It->second;
+      else if (!TheHooks.ReadLocalEntry || !TheHooks.ReadLocalEntry(I, Bytes))
+        continue; // Overwritten; the follower stays behind (bounded lag).
+      W.append(Bytes, nullptr);
+    }
+  }
+}

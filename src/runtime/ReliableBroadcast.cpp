@@ -1,0 +1,61 @@
+//===- runtime/ReliableBroadcast.cpp - RDMA broadcast ------------------------/
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/runtime/ReliableBroadcast.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace hamband;
+using namespace hamband::runtime;
+
+ReliableBroadcast::ReliableBroadcast(rdma::Fabric &Fabric, rdma::NodeId Self,
+                                     rdma::MemOffset BackupOff,
+                                     std::uint32_t SlotBytes)
+    : Fabric(Fabric), Self(Self), BackupOff(BackupOff),
+      SlotBytes(SlotBytes) {}
+
+void ReliableBroadcast::stage(Kind K, std::uint8_t Aux,
+                              const std::vector<std::uint8_t> &Payload) {
+  assert(Payload.size() + 7 <= SlotBytes && "backup slot too small");
+  rdma::MemoryRegion &Mem = Fabric.memory(Self);
+  std::uint32_t Len = static_cast<std::uint32_t>(Payload.size());
+  Mem.writeU8(BackupOff + SlotBytes - 1, 0); // Drop the old canary first.
+  Mem.writeU8(BackupOff, static_cast<std::uint8_t>(K));
+  Mem.writeU8(BackupOff + 1, Aux);
+  Mem.write(BackupOff + 2, &Len, 4);
+  if (Len)
+    Mem.write(BackupOff + 6, Payload.data(), Len);
+  Mem.writeU8(BackupOff + SlotBytes - 1, 1);
+}
+
+void ReliableBroadcast::clear() {
+  Fabric.memory(Self).writeU8(BackupOff + SlotBytes - 1, 0);
+}
+
+void ReliableBroadcast::fetch(
+    rdma::NodeId Peer, std::function<void(BackupMessage)> Done) const {
+  Fabric.postRead(
+      Self, Peer, BackupOff, SlotBytes,
+      [SlotBytes = SlotBytes, Done = std::move(Done)](
+          rdma::WcStatus, std::vector<std::uint8_t> Data) {
+        BackupMessage Msg;
+        if (Data.size() != SlotBytes || Data[SlotBytes - 1] != 1) {
+          Done(std::move(Msg)); // Empty or mid-write: nothing pending.
+          return;
+        }
+        Msg.TheKind = static_cast<Kind>(Data[0]);
+        Msg.Aux = Data[1];
+        std::uint32_t Len = 0;
+        std::memcpy(&Len, Data.data() + 2, 4);
+        if (Len + 7 <= SlotBytes)
+          Msg.Payload.assign(Data.begin() + 6, Data.begin() + 6 + Len);
+        else
+          Msg.TheKind = Kind::None; // Torn slot; treat as empty.
+        Done(std::move(Msg));
+      },
+      rdma::Fabric::LaneBackground);
+}

@@ -1,0 +1,129 @@
+//===- runtime/RingBuffer.cpp - Single-writer rings -----------------------==//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/runtime/RingBuffer.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace hamband;
+using namespace hamband::runtime;
+
+RingWriter::RingWriter(rdma::Fabric &Fabric, rdma::NodeId Writer,
+                       rdma::NodeId Reader, rdma::MemOffset DataOff,
+                       rdma::MemOffset FeedbackOff, RingGeometry Geom,
+                       rdma::RegionKey Key, unsigned Lane)
+    : Fabric(Fabric), Writer(Writer), Reader(Reader), DataOff(DataOff),
+      FeedbackOff(FeedbackOff), Geom(Geom), Key(Key), Lane(Lane) {
+  assert(Writer != Reader && "rings connect distinct nodes");
+}
+
+bool RingWriter::full() const {
+  // The feedback slot lives in the writer's own memory; reading it is a
+  // plain local load.
+  std::uint64_t KnownHead = Fabric.memory(Writer).readU64(FeedbackOff);
+  return Tail - KnownHead >= Geom.NumCells;
+}
+
+bool RingWriter::append(const std::vector<std::uint8_t> &Payload,
+                        rdma::CompletionFn OnComplete) {
+  assert(Payload.size() <= Geom.maxPayload() && "payload exceeds cell size");
+  if (full())
+    return false;
+
+  // Build the whole cell -- header, payload, trailing canary -- and ship
+  // it with one RDMA write, exactly like the runtime in Section 4.
+  std::vector<std::uint8_t> Cell(Geom.CellSize, 0);
+  std::uint32_t Len = static_cast<std::uint32_t>(Payload.size());
+  std::memcpy(Cell.data(), &Len, 4);
+  std::memcpy(Cell.data() + 4, &Tail, 8);
+  std::memcpy(Cell.data() + RingGeometry::HeaderBytes, Payload.data(),
+              Payload.size());
+  Cell[Geom.CellSize - 1] = 1; // Canary: the cell is complete.
+
+  rdma::MemOffset CellOff =
+      DataOff + static_cast<rdma::MemOffset>(Tail % Geom.NumCells) *
+                    Geom.CellSize;
+  Fabric.postWrite(Writer, Reader, CellOff, std::move(Cell), Key,
+                   std::move(OnComplete), Lane);
+  ++Tail;
+  return true;
+}
+
+RingReader::RingReader(rdma::Fabric &Fabric, rdma::NodeId Reader,
+                       rdma::NodeId Writer, rdma::MemOffset DataOff,
+                       rdma::MemOffset FeedbackOff, RingGeometry Geom,
+                       unsigned Lane)
+    : Fabric(Fabric), Reader(Reader), Writer(Writer), DataOff(DataOff),
+      FeedbackOff(FeedbackOff), Geom(Geom), Lane(Lane) {}
+
+bool RingReader::readCell(std::uint64_t Index,
+                          std::vector<std::uint8_t> &Out) const {
+  const rdma::MemoryRegion &Mem = Fabric.memory(Reader);
+  rdma::MemOffset CellOff =
+      DataOff + static_cast<rdma::MemOffset>(Index % Geom.NumCells) *
+                    Geom.CellSize;
+  if (Mem.readU8(CellOff + Geom.CellSize - 1) != 1)
+    return false; // Canary check failed: empty or mid-write.
+  std::uint32_t Len = 0;
+  std::uint64_t Seq = 0;
+  std::uint8_t Header[RingGeometry::HeaderBytes];
+  Mem.read(CellOff, Header, sizeof(Header));
+  std::memcpy(&Len, Header, 4);
+  std::memcpy(&Seq, Header + 4, 8);
+  if (Seq != Index || Len > Geom.maxPayload())
+    return false; // A stale lap or torn header; retry next traversal.
+  Out = Mem.slice(CellOff + RingGeometry::HeaderBytes, Len);
+  return true;
+}
+
+bool RingReader::readCellIgnoringCanary(std::uint64_t Index,
+                                        std::vector<std::uint8_t> &Out) const {
+  const rdma::MemoryRegion &Mem = Fabric.memory(Reader);
+  rdma::MemOffset CellOff =
+      DataOff + static_cast<rdma::MemOffset>(Index % Geom.NumCells) *
+                    Geom.CellSize;
+  std::uint32_t Len = 0;
+  std::uint64_t Seq = 0;
+  std::uint8_t Header[RingGeometry::HeaderBytes];
+  Mem.read(CellOff, Header, sizeof(Header));
+  std::memcpy(&Len, Header, 4);
+  std::memcpy(&Seq, Header + 4, 8);
+  if (Seq != Index || Len > Geom.maxPayload())
+    return false;
+  Out = Mem.slice(CellOff + RingGeometry::HeaderBytes, Len);
+  return true;
+}
+
+void RingReader::forceFeedback() {
+  std::vector<std::uint8_t> Bytes(8);
+  std::memcpy(Bytes.data(), &Head, 8);
+  Fabric.postWrite(Reader, Writer, FeedbackOff, std::move(Bytes),
+                   rdma::UnprotectedRegion, nullptr, Lane);
+  LastFeedback = Head;
+}
+
+bool RingReader::peek(std::vector<std::uint8_t> &Out) const {
+  return readCell(Head, Out);
+}
+
+void RingReader::consume() {
+  rdma::MemOffset CellOff =
+      DataOff + static_cast<rdma::MemOffset>(Head % Geom.NumCells) *
+                    Geom.CellSize;
+  // Clear the canary so the slot can be reused by a later lap.
+  Fabric.memory(Reader).writeU8(CellOff + Geom.CellSize - 1, 0);
+  ++Head;
+  // Publish the head to the writer once per quarter ring so it can reuse
+  // cells without ever overwriting unconsumed ones.
+  if (Head - LastFeedback >= Geom.NumCells / 4) {
+    std::vector<std::uint8_t> Bytes(8);
+    std::memcpy(Bytes.data(), &Head, 8);
+    Fabric.postWrite(Reader, Writer, FeedbackOff, std::move(Bytes),
+                     rdma::UnprotectedRegion, nullptr, Lane);
+    LastFeedback = Head;
+  }
+}

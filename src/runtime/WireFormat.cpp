@@ -1,0 +1,199 @@
+//===- runtime/WireFormat.cpp - On-the-wire encoding --------------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/runtime/WireFormat.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace hamband;
+using namespace hamband::runtime;
+using hamband::semantics::DepEntry;
+using hamband::semantics::DepMap;
+
+void ByteWriter::u16(std::uint16_t V) {
+  u8(static_cast<std::uint8_t>(V));
+  u8(static_cast<std::uint8_t>(V >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    u8(static_cast<std::uint8_t>(V >> (8 * I)));
+}
+
+void ByteWriter::u64(std::uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    u8(static_cast<std::uint8_t>(V >> (8 * I)));
+}
+
+bool ByteReader::take(std::size_t N) {
+  if (Failed || Pos + N > Len) {
+    Failed = true;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!take(1))
+    return 0;
+  return Data[Pos++];
+}
+
+std::uint16_t ByteReader::u16() {
+  std::uint16_t Lo = u8();
+  std::uint16_t Hi = u8();
+  return static_cast<std::uint16_t>(Lo | (Hi << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  std::uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<std::uint32_t>(u8()) << (8 * I);
+  return V;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<std::uint64_t>(u8()) << (8 * I);
+  return V;
+}
+
+std::vector<std::uint64_t> runtime::denseDeps(const CoordinationSpec &Spec,
+                                              unsigned NumProcesses,
+                                              MethodId U,
+                                              const DepMap &Deps) {
+  const std::vector<MethodId> &DepMethods = Spec.dependencies(U);
+  std::vector<std::uint64_t> Block(
+      static_cast<std::size_t>(NumProcesses) * DepMethods.size(), 0);
+  for (const DepEntry &E : Deps) {
+    for (std::size_t J = 0; J < DepMethods.size(); ++J) {
+      if (DepMethods[J] == E.U) {
+        assert(E.P < NumProcesses);
+        Block[static_cast<std::size_t>(E.P) * DepMethods.size() + J] =
+            E.Count;
+        break;
+      }
+    }
+  }
+  return Block;
+}
+
+std::vector<std::uint8_t> runtime::encodeCall(const CoordinationSpec &Spec,
+                                              unsigned NumProcesses,
+                                              const WireCall &WC) {
+  ByteWriter W;
+  const Call &C = WC.TheCall;
+  W.u16(C.Method);
+  W.u16(static_cast<std::uint16_t>(C.Args.size()));
+  W.u32(C.Issuer);
+  W.u64(C.Req);
+  W.u64(WC.BcastSeq);
+  for (Value V : C.Args)
+    W.i64(V);
+  for (std::uint64_t N : denseDeps(Spec, NumProcesses, C.Method, WC.Deps))
+    W.u64(N);
+  return W.take();
+}
+
+std::vector<std::uint8_t> runtime::encodeMail(const MailMsg &Msg) {
+  ByteWriter W;
+  W.u8(static_cast<std::uint8_t>(Msg.Kind));
+  W.u32(Msg.Origin);
+  W.u64(Msg.ReqId);
+  W.u8(Msg.Ok);
+  W.u16(Msg.TheCall.Method);
+  W.u16(static_cast<std::uint16_t>(Msg.TheCall.Args.size()));
+  W.u32(Msg.TheCall.Issuer);
+  W.u64(Msg.TheCall.Req);
+  for (Value V : Msg.TheCall.Args)
+    W.i64(V);
+  return W.take();
+}
+
+bool runtime::decodeMail(const std::uint8_t *Data, std::size_t Len,
+                         MailMsg &Out) {
+  ByteReader R(Data, Len);
+  Out.Kind = static_cast<MailKind>(R.u8());
+  Out.Origin = R.u32();
+  Out.ReqId = R.u64();
+  Out.Ok = R.u8();
+  Out.TheCall.Method = R.u16();
+  std::uint16_t Argc = R.u16();
+  Out.TheCall.Issuer = R.u32();
+  Out.TheCall.Req = R.u64();
+  Out.TheCall.Args.clear();
+  for (unsigned I = 0; I < Argc; ++I)
+    Out.TheCall.Args.push_back(R.i64());
+  return R.ok();
+}
+
+std::vector<std::uint8_t> runtime::encodeSummary(const SummaryImage &Img) {
+  ByteWriter W;
+  W.u64(Img.Seq);
+  W.u16(Img.Summary.Method);
+  W.u16(static_cast<std::uint16_t>(Img.Summary.Args.size()));
+  W.u32(Img.Summary.Issuer);
+  W.u64(Img.Summary.Req);
+  for (Value V : Img.Summary.Args)
+    W.i64(V);
+  W.u16(static_cast<std::uint16_t>(Img.AppliedCounts.size()));
+  for (const auto &[M, N] : Img.AppliedCounts) {
+    W.u16(M);
+    W.u64(N);
+  }
+  return W.take();
+}
+
+bool runtime::decodeSummary(const std::uint8_t *Data, std::size_t Len,
+                            SummaryImage &Out) {
+  ByteReader R(Data, Len);
+  Out.Seq = R.u64();
+  Out.Summary.Method = R.u16();
+  std::uint16_t Argc = R.u16();
+  Out.Summary.Issuer = R.u32();
+  Out.Summary.Req = R.u64();
+  Out.Summary.Args.clear();
+  for (unsigned I = 0; I < Argc; ++I)
+    Out.Summary.Args.push_back(R.i64());
+  std::uint16_t K = R.u16();
+  Out.AppliedCounts.clear();
+  for (unsigned I = 0; I < K; ++I) {
+    MethodId M = R.u16();
+    std::uint64_t N = R.u64();
+    Out.AppliedCounts.emplace_back(M, N);
+  }
+  return R.ok();
+}
+
+bool runtime::decodeCall(const CoordinationSpec &Spec,
+                         unsigned NumProcesses, const std::uint8_t *Data,
+                         std::size_t Len, WireCall &Out) {
+  ByteReader R(Data, Len);
+  Out.TheCall.Method = R.u16();
+  std::uint16_t Argc = R.u16();
+  Out.TheCall.Issuer = R.u32();
+  Out.TheCall.Req = R.u64();
+  Out.BcastSeq = R.u64();
+  if (!R.ok() || Out.TheCall.Method >= Spec.numMethods())
+    return false;
+  Out.TheCall.Args.clear();
+  for (unsigned I = 0; I < Argc; ++I)
+    Out.TheCall.Args.push_back(R.i64());
+  // The dependency block size is implied by the method id (Section 4).
+  const std::vector<MethodId> &DepMethods =
+      Spec.dependencies(Out.TheCall.Method);
+  Out.Deps.clear();
+  for (ProcessId P = 0; P < NumProcesses; ++P) {
+    for (MethodId U : DepMethods) {
+      std::uint64_t N = R.u64();
+      if (N > 0)
+        Out.Deps.push_back(DepEntry{P, U, N});
+    }
+  }
+  return R.ok();
+}

@@ -1,0 +1,153 @@
+//===- semantics/AbstractSemantics.cpp - WRDT semantics ---------------------//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/semantics/AbstractSemantics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hamband;
+using namespace hamband::semantics;
+
+WrdtSystem::WrdtSystem(const ObjectType &Type, unsigned NumProcesses)
+    : Type(Type), Rel(Type.coordination()) {
+  assert(NumProcesses >= 1);
+  for (unsigned P = 0; P < NumProcesses; ++P) {
+    States.push_back(Type.initialState());
+    Hists.emplace_back();
+    Executed.emplace_back();
+  }
+  assert(Type.invariant(*States[0]) &&
+         "the initial state must satisfy the invariant");
+}
+
+bool WrdtSystem::hasExecuted(ProcessId P, const Call &C) const {
+  return Executed[P].count(callKey(C)) != 0;
+}
+
+void WrdtSystem::execute(ProcessId P, const Call &C) {
+  Type.apply(*States[P], C);
+  Hists[P].push_back(C);
+  Executed[P].insert(callKey(C));
+}
+
+bool WrdtSystem::callConfSync(ProcessId P, const Call &C) const {
+  // Every call conflicting with C that any process has executed must
+  // already be executed at P.
+  for (unsigned Q = 0; Q < numProcesses(); ++Q) {
+    for (const Call &Prev : Hists[Q]) {
+      if (!Rel.conflict(Prev, C))
+        continue;
+      if (!hasExecuted(P, Prev))
+        return false;
+    }
+  }
+  return true;
+}
+
+bool WrdtSystem::propConfSync(ProcessId P, const Call &C) const {
+  // If a conflicting call precedes C in any process that executed C, it
+  // must already be executed at P.
+  for (unsigned Q = 0; Q < numProcesses(); ++Q) {
+    if (!hasExecuted(Q, C))
+      continue; // The pair is not ordered at Q yet.
+    for (const Call &Prev : Hists[Q]) {
+      if (Prev == C)
+        break; // Only calls before C in Q's order matter.
+      if (Rel.conflict(Prev, C) && !hasExecuted(P, Prev))
+        return false;
+    }
+  }
+  return true;
+}
+
+bool WrdtSystem::propDep(ProcessId P, const Call &C) const {
+  // Dependencies that precede C in its issuer must already be at P.
+  ProcessId Issuer = C.Issuer;
+  assert(Issuer < numProcesses());
+  for (const Call &Prev : Hists[Issuer]) {
+    if (Prev == C)
+      break; // Only calls preceding C in the issuing process matter.
+    if (Rel.dependent(C, Prev) && !hasExecuted(P, Prev))
+      return false;
+  }
+  return true;
+}
+
+bool WrdtSystem::tryCall(ProcessId P, const Call &C) {
+  assert(P < numProcesses());
+  assert(Type.method(C.Method).Kind == MethodKind::Update);
+  assert(C.Issuer == P && "CALL executes at the issuing process");
+  if (hasExecuted(P, C))
+    return false;
+  if (!Type.permissible(*States[P], C))
+    return false;
+  if (!callConfSync(P, C))
+    return false;
+  execute(P, C);
+  return true;
+}
+
+bool WrdtSystem::tryPropagate(ProcessId P, const Call &C) {
+  assert(P < numProcesses());
+  if (hasExecuted(P, C))
+    return false;
+  if (!hasExecuted(C.Issuer, C))
+    return false; // The issuer must have executed the call first.
+  if (!propConfSync(P, C))
+    return false;
+  if (!propDep(P, C))
+    return false;
+  execute(P, C);
+  return true;
+}
+
+Value WrdtSystem::query(ProcessId P, const Call &C) const {
+  assert(P < numProcesses());
+  assert(Type.method(C.Method).Kind == MethodKind::Query);
+  return Type.query(*States[P], C);
+}
+
+std::vector<Call> WrdtSystem::missingAt(ProcessId P) const {
+  std::vector<Call> Out;
+  std::unordered_set<std::uint64_t> Seen;
+  for (unsigned Q = 0; Q < numProcesses(); ++Q) {
+    for (const Call &C : Hists[Q]) {
+      std::uint64_t Key = callKey(C);
+      if (Seen.count(Key) || hasExecuted(P, C))
+        continue;
+      Seen.insert(Key);
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+bool WrdtSystem::checkIntegrity() const {
+  for (const StatePtr &S : States)
+    if (!Type.invariant(*S))
+      return false;
+  return true;
+}
+
+bool WrdtSystem::checkConvergence() const {
+  for (unsigned P = 0; P < numProcesses(); ++P) {
+    for (unsigned Q = P + 1; Q < numProcesses(); ++Q) {
+      if (Executed[P] != Executed[Q])
+        continue;
+      if (!States[P]->equals(*States[Q]))
+        return false;
+    }
+  }
+  return true;
+}
+
+bool WrdtSystem::fullyPropagated() const {
+  for (unsigned P = 0; P < numProcesses(); ++P)
+    if (!missingAt(P).empty())
+      return false;
+  return true;
+}

@@ -1,0 +1,192 @@
+//===- semantics/ModelChecker.cpp - Bounded model checking --------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/semantics/ModelChecker.h"
+
+#include "hamband/semantics/Refinement.h"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+using namespace hamband;
+using namespace hamband::semantics;
+
+namespace {
+
+/// DFS frame state shared across the exploration.
+struct Search {
+  const ObjectType &Type;
+  const ModelCheckOptions &Opts;
+  ModelCheckResult Result;
+  std::unordered_set<std::size_t> Seen;
+
+  explicit Search(const ObjectType &Type, const ModelCheckOptions &Opts)
+      : Type(Type), Opts(Opts) {}
+
+  bool bounded() const {
+    return Opts.MaxConfigurations != 0 &&
+           Result.Configurations >= Opts.MaxConfigurations;
+  }
+
+  void fail(const RdmaConfiguration &K, const std::string &Msg) {
+    if (!Result.Ok)
+      return; // Keep the first counterexample.
+    Result.Ok = false;
+    std::ostringstream OS;
+    OS << Msg << "\n  step log:";
+    for (const StepRecord &S : K.log()) {
+      const char *Kind = "?";
+      switch (S.Kind) {
+      case StepKind::Reduce:
+        Kind = "REDUCE";
+        break;
+      case StepKind::Free:
+        Kind = "FREE";
+        break;
+      case StepKind::Conf:
+        Kind = "CONF";
+        break;
+      case StepKind::FreeApp:
+        Kind = "FREE-APP";
+        break;
+      case StepKind::ConfApp:
+        Kind = "CONF-APP";
+        break;
+      }
+      OS << "\n    " << Kind << " p" << S.Process << " "
+         << S.TheCall.str();
+    }
+    Result.Error = OS.str();
+  }
+
+  /// Explores every successor of K given the still-unissued calls
+  /// (bitmask over Budget).
+  void explore(const RdmaConfiguration &K,
+               const std::vector<ScheduledCall> &Budget,
+               std::uint64_t Issued) {
+    if (!Result.Ok || bounded()) {
+      Result.HitBound = Result.HitBound || bounded();
+      return;
+    }
+    ++Result.Configurations;
+
+    // Corollary 1 on every reachable configuration.
+    if (!K.checkIntegrity()) {
+      fail(K, "integrity (Corollary 1) violated");
+      return;
+    }
+
+    bool AnyStep = false;
+
+    // Issue steps: any still-unissued call at its designated process.
+    for (std::size_t I = 0; I < Budget.size(); ++I) {
+      if (Issued & (1ull << I))
+        continue;
+      RdmaConfiguration Next(K);
+      Call Prepared =
+          Type.prepare(*Next.visibleState(Budget[I].Process),
+                       Budget[I].TheCall);
+      if (!Next.tryUpdate(Budget[I].Process, Prepared))
+        continue; // Rule disabled (impermissible here); not a step.
+      ++Result.Transitions;
+      AnyStep = true;
+      if (Seen.insert(Next.hash()).second)
+        explore(Next, Budget, Issued | (1ull << I));
+    }
+
+    // Apply steps: every enabled FREE-APP / CONF-APP.
+    for (ProcessId P = 0; P < K.numProcesses(); ++P) {
+      for (ProcessId From = 0; From < K.numProcesses(); ++From) {
+        if (K.pendingFree(P, From) == 0)
+          continue;
+        RdmaConfiguration Next(K);
+        if (!Next.tryFreeApp(P, From))
+          continue; // Head blocked on dependencies.
+        ++Result.Transitions;
+        AnyStep = true;
+        if (Seen.insert(Next.hash()).second)
+          explore(Next, Budget, Issued);
+      }
+      for (unsigned G = 0;
+           G < Type.coordination().numSyncGroups(); ++G) {
+        if (K.pendingConf(P, G) == 0)
+          continue;
+        RdmaConfiguration Next(K);
+        if (!Next.tryConfApp(P, G))
+          continue;
+        ++Result.Transitions;
+        AnyStep = true;
+        if (Seen.insert(Next.hash()).second)
+          explore(Next, Budget, Issued);
+      }
+    }
+
+    if (AnyStep)
+      return;
+
+    // A leaf: nothing is enabled. With everything issued the buffers must
+    // have drained (no dependency deadlock) and the states must agree.
+    ++Result.QuiescentLeaves;
+    if (!K.quiescent()) {
+      fail(K, "dependency deadlock: buffers cannot drain at a leaf");
+      return;
+    }
+    if (!K.checkConvergence()) {
+      fail(K, "convergence (Corollary 2) violated on a quiescent leaf");
+      return;
+    }
+    if (Opts.CheckRefinement) {
+      RefinementResult R =
+          checkRefinement(Type, K.numProcesses(), K.log());
+      if (!R.Ok)
+        fail(K, "refinement (Lemma 3) violated: " + R.Error);
+    }
+  }
+};
+
+} // namespace
+
+ModelCheckResult
+semantics::modelCheck(const ObjectType &Type,
+                      const std::vector<ScheduledCall> &Budget,
+                      const ModelCheckOptions &Opts) {
+  assert(Budget.size() <= 12 && "scope bound: the budget is a bitmask and "
+                                "the search is exponential");
+  Search S(Type, Opts);
+  RdmaConfiguration K0(Type, Opts.NumProcesses);
+  S.Seen.insert(K0.hash());
+  S.explore(K0, Budget, 0);
+  return S.Result;
+}
+
+std::vector<ScheduledCall>
+semantics::defaultBudget(const ObjectType &Type, unsigned NumProcesses,
+                         unsigned CallsPerMethod) {
+  // Budgets carry *client-form* calls: the checker runs prepare() against
+  // the issuing process's visible state at issue time, so op-based types
+  // (ORSet, cart) compute their observed tags causally -- exactly like
+  // the runtime. Shipping pre-prepared effect calls instead would let a
+  // process "observe" tags it never received, a divergence the checker
+  // readily demonstrates (see ModelCheckerTests).
+  const CoordinationSpec &Spec = Type.coordination();
+  std::vector<ScheduledCall> Budget;
+  sim::Rng R(0x5eed);
+  RequestId Req = 1;
+  ProcessId RoundRobin = 0;
+  for (MethodId M : Spec.updateMethods()) {
+    for (unsigned I = 0; I < CallsPerMethod; ++I) {
+      ScheduledCall SC;
+      if (Spec.category(M) == MethodCategory::Conflicting)
+        SC.Process = *Spec.syncGroup(M) % NumProcesses; // Default leader.
+      else
+        SC.Process = RoundRobin++ % NumProcesses;
+      SC.TheCall = Type.randomClientCall(M, SC.Process, Req++, R);
+      Budget.push_back(std::move(SC));
+    }
+  }
+  return Budget;
+}

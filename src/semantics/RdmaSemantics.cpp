@@ -1,0 +1,354 @@
+//===- semantics/RdmaSemantics.cpp - RDMA WRDT semantics --------------------//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/semantics/RdmaSemantics.h"
+
+#include <cassert>
+
+using namespace hamband;
+using namespace hamband::semantics;
+
+RdmaConfiguration::RdmaConfiguration(const ObjectType &Type,
+                                     unsigned NumProcesses)
+    : Type(Type), Spec(Type.coordination()) {
+  assert(Spec.finalized() && "coordination spec must be finalized");
+  assert(NumProcesses >= 1);
+  Procs.resize(NumProcesses);
+  for (ProcState &PS : Procs) {
+    PS.Stored = Type.initialState();
+    PS.Applied.assign(NumProcesses,
+                      std::vector<std::uint64_t>(Type.numMethods(), 0));
+    PS.Summaries.assign(Spec.numSumGroups(),
+                        std::vector<std::optional<Call>>(NumProcesses));
+    PS.FreeBufs.resize(NumProcesses);
+    PS.ConfBufs.resize(Spec.numSyncGroups());
+  }
+  Leaders.resize(Spec.numSyncGroups());
+  for (unsigned G = 0; G < Leaders.size(); ++G)
+    Leaders[G] = G % NumProcesses;
+}
+
+RdmaConfiguration::RdmaConfiguration(const RdmaConfiguration &O)
+    : Type(O.Type), Spec(O.Spec), Leaders(O.Leaders), Log(O.Log) {
+  Procs.resize(O.Procs.size());
+  for (std::size_t I = 0; I < O.Procs.size(); ++I) {
+    const ProcState &Src = O.Procs[I];
+    ProcState &Dst = Procs[I];
+    Dst.Stored = Src.Stored->clone();
+    Dst.Applied = Src.Applied;
+    Dst.Summaries = Src.Summaries;
+    Dst.FreeBufs = Src.FreeBufs;
+    Dst.ConfBufs = Src.ConfBufs;
+  }
+}
+
+namespace {
+
+std::size_t hashCall(const Call &C) {
+  std::size_t H = hashCombine(C.Method, C.Issuer);
+  H = hashCombine(H, C.Req);
+  for (Value V : C.Args)
+    H = hashCombine(H, std::hash<Value>()(V));
+  return H;
+}
+
+std::size_t hashBuffered(const BufferedCall &B) {
+  std::size_t H = hashCall(B.TheCall);
+  for (const DepEntry &E : B.Deps) {
+    H = hashCombine(H, E.P);
+    H = hashCombine(H, E.U);
+    H = hashCombine(H, E.Count);
+  }
+  return H;
+}
+
+} // namespace
+
+std::size_t RdmaConfiguration::hash() const {
+  std::size_t H = 0x9ddfea08eb382d69ull;
+  for (const ProcState &PS : Procs) {
+    H = hashCombine(H, PS.Stored->hash());
+    for (const auto &Row : PS.Applied)
+      for (std::uint64_t N : Row)
+        H = hashCombine(H, N);
+    for (const auto &Group : PS.Summaries)
+      for (const std::optional<Call> &C : Group)
+        H = hashCombine(H, C ? hashCall(*C) : 0x55);
+    for (const auto &Buf : PS.FreeBufs) {
+      H = hashCombine(H, 0xF0 + Buf.size());
+      for (const BufferedCall &B : Buf)
+        H = hashCombine(H, hashBuffered(B));
+    }
+    for (const auto &Buf : PS.ConfBufs) {
+      H = hashCombine(H, 0xC0 + Buf.size());
+      for (const BufferedCall &B : Buf)
+        H = hashCombine(H, hashBuffered(B));
+    }
+  }
+  return H;
+}
+
+ProcessId RdmaConfiguration::leader(unsigned Group) const {
+  assert(Group < Leaders.size());
+  return Leaders[Group];
+}
+
+void RdmaConfiguration::setLeader(unsigned Group, ProcessId P) {
+  assert(Group < Leaders.size() && P < numProcesses());
+  Leaders[Group] = P;
+}
+
+StatePtr RdmaConfiguration::visibleState(ProcessId P) const {
+  assert(P < numProcesses());
+  const ProcState &PS = Procs[P];
+  StatePtr S = PS.Stored->clone();
+  // Summarized calls are conflict-free, so application order is
+  // irrelevant; iterate deterministically.
+  for (const auto &Group : PS.Summaries)
+    for (const std::optional<Call> &C : Group)
+      if (C)
+        Type.apply(*S, *C);
+  return S;
+}
+
+Call RdmaConfiguration::prepareAt(ProcessId P, const Call &C) const {
+  StatePtr Visible = visibleState(P);
+  return Type.prepare(*Visible, C);
+}
+
+DepMap RdmaConfiguration::projectDeps(ProcessId P, MethodId U) const {
+  DepMap D;
+  const ProcState &PS = Procs[P];
+  for (MethodId Dep : Spec.dependencies(U))
+    for (ProcessId Q = 0; Q < numProcesses(); ++Q)
+      if (std::uint64_t N = PS.Applied[Q][Dep])
+        D.push_back(DepEntry{Q, Dep, N});
+  return D;
+}
+
+bool RdmaConfiguration::depsSatisfied(ProcessId P, const DepMap &D) const {
+  const ProcState &PS = Procs[P];
+  for (const DepEntry &E : D)
+    if (PS.Applied[E.P][E.U] < E.Count)
+      return false;
+  return true;
+}
+
+bool RdmaConfiguration::tryReduce(ProcessId P, const Call &C) {
+  assert(P < numProcesses());
+  if (Spec.category(C.Method) != MethodCategory::Reducible)
+    return false;
+  assert(C.Issuer == P && "REDUCE executes at the issuing process");
+  auto Group = Spec.sumGroup(C.Method);
+  assert(Group && "reducible methods are summarizable");
+
+  // Premise I(u(v)(Apply(S_j)(σ_j))): the call must be locally permissible
+  // against the visible state.
+  StatePtr Visible = visibleState(P);
+  Type.apply(*Visible, C);
+  if (!Type.invariant(*Visible))
+    return false;
+
+  // Fold the call into the issuer's current summary for (group, issuer).
+  const std::optional<Call> &Cur = Procs[P].Summaries[*Group][P];
+  Call NewSummary = C;
+  if (Cur) {
+    bool Ok = Type.summarize(*Cur, C, NewSummary);
+    assert(Ok && "summarization group not closed under summarize()");
+    (void)Ok;
+  }
+
+  // S_i' = S_i[(g, p_j) -> u''(v'')] for every process i (one local and
+  // |P|-1 remote writes), and A advances for (p_j, u) everywhere.
+  std::uint64_t N = Procs[P].Applied[P][C.Method] + 1;
+  for (ProcState &PS : Procs) {
+    PS.Summaries[*Group][P] = NewSummary;
+    PS.Applied[P][C.Method] = N;
+  }
+  Log.push_back(StepRecord{StepKind::Reduce, P, C});
+  return true;
+}
+
+bool RdmaConfiguration::tryFree(ProcessId P, const Call &C) {
+  assert(P < numProcesses());
+  if (Spec.category(C.Method) != MethodCategory::IrreducibleFree)
+    return false;
+  assert(C.Issuer == P && "FREE executes at the issuing process");
+
+  // σ_j' = u(v)(σ_j); premise I(Apply(S_j)(σ_j')).
+  StatePtr NewStored = Type.applyCopy(*Procs[P].Stored, C);
+  StatePtr Visible = NewStored->clone();
+  for (const auto &Group : Procs[P].Summaries)
+    for (const std::optional<Call> &SC : Group)
+      if (SC)
+        Type.apply(*Visible, *SC);
+  if (!Type.invariant(*Visible))
+    return false;
+
+  Procs[P].Stored = std::move(NewStored);
+  Procs[P].Applied[P][C.Method] += 1;
+  DepMap D = projectDeps(P, C.Method);
+  for (ProcessId I = 0; I < numProcesses(); ++I)
+    if (I != P)
+      Procs[I].FreeBufs[P].push_back(BufferedCall{C, D});
+  Log.push_back(StepRecord{StepKind::Free, P, C});
+  return true;
+}
+
+bool RdmaConfiguration::tryConf(ProcessId P, const Call &C) {
+  assert(P < numProcesses());
+  if (Spec.category(C.Method) != MethodCategory::Conflicting)
+    return false;
+  auto Group = Spec.syncGroup(C.Method);
+  assert(Group);
+  if (leader(*Group) != P)
+    return false; // Only the group leader orders conflicting calls.
+  assert(C.Issuer == P &&
+         "the runtime redirects conflicting calls to the leader, which "
+         "becomes their issuing process");
+
+  StatePtr NewStored = Type.applyCopy(*Procs[P].Stored, C);
+  StatePtr Visible = NewStored->clone();
+  for (const auto &G : Procs[P].Summaries)
+    for (const std::optional<Call> &SC : G)
+      if (SC)
+        Type.apply(*Visible, *SC);
+  if (!Type.invariant(*Visible))
+    return false;
+
+  Procs[P].Stored = std::move(NewStored);
+  Procs[P].Applied[P][C.Method] += 1;
+  DepMap D = projectDeps(P, C.Method);
+  for (ProcessId I = 0; I < numProcesses(); ++I)
+    if (I != P)
+      Procs[I].ConfBufs[*Group].push_back(BufferedCall{C, D});
+  Log.push_back(StepRecord{StepKind::Conf, P, C});
+  return true;
+}
+
+bool RdmaConfiguration::tryUpdate(ProcessId P, const Call &C) {
+  switch (Spec.category(C.Method)) {
+  case MethodCategory::Reducible:
+    return tryReduce(P, C);
+  case MethodCategory::IrreducibleFree:
+    return tryFree(P, C);
+  case MethodCategory::Conflicting:
+    return tryConf(P, C);
+  case MethodCategory::Query:
+    break;
+  }
+  assert(false && "tryUpdate() on a query method");
+  return false;
+}
+
+void RdmaConfiguration::applyBuffered(ProcessId P, const Call &C) {
+  Type.apply(*Procs[P].Stored, C);
+  Procs[P].Applied[C.Issuer][C.Method] += 1;
+}
+
+bool RdmaConfiguration::tryFreeApp(ProcessId P, ProcessId From) {
+  assert(P < numProcesses() && From < numProcesses());
+  auto &Buf = Procs[P].FreeBufs[From];
+  if (Buf.empty())
+    return false;
+  const BufferedCall &Head = Buf.front();
+  if (!depsSatisfied(P, Head.Deps))
+    return false;
+  Call C = Head.TheCall;
+  Buf.pop_front();
+  applyBuffered(P, C);
+  Log.push_back(StepRecord{StepKind::FreeApp, P, C});
+  return true;
+}
+
+bool RdmaConfiguration::tryConfApp(ProcessId P, unsigned Group) {
+  assert(P < numProcesses() && Group < Spec.numSyncGroups());
+  auto &Buf = Procs[P].ConfBufs[Group];
+  if (Buf.empty())
+    return false;
+  const BufferedCall &Head = Buf.front();
+  if (!depsSatisfied(P, Head.Deps))
+    return false;
+  Call C = Head.TheCall;
+  Buf.pop_front();
+  applyBuffered(P, C);
+  Log.push_back(StepRecord{StepKind::ConfApp, P, C});
+  return true;
+}
+
+Value RdmaConfiguration::query(ProcessId P, const Call &C) const {
+  assert(Type.method(C.Method).Kind == MethodKind::Query);
+  StatePtr Visible = visibleState(P);
+  return Type.query(*Visible, C);
+}
+
+std::uint64_t RdmaConfiguration::applied(ProcessId P, ProcessId From,
+                                         MethodId U) const {
+  assert(P < numProcesses() && From < numProcesses());
+  return Procs[P].Applied[From][U];
+}
+
+std::size_t RdmaConfiguration::pendingFree(ProcessId P,
+                                           ProcessId From) const {
+  return Procs[P].FreeBufs[From].size();
+}
+
+std::size_t RdmaConfiguration::pendingConf(ProcessId P,
+                                           unsigned Group) const {
+  return Procs[P].ConfBufs[Group].size();
+}
+
+bool RdmaConfiguration::quiescent() const {
+  for (const ProcState &PS : Procs) {
+    for (const auto &Buf : PS.FreeBufs)
+      if (!Buf.empty())
+        return false;
+    for (const auto &Buf : PS.ConfBufs)
+      if (!Buf.empty())
+        return false;
+  }
+  return true;
+}
+
+unsigned RdmaConfiguration::drain(unsigned MaxSteps) {
+  unsigned Steps = 0;
+  bool Progress = true;
+  while (Progress && Steps < MaxSteps) {
+    Progress = false;
+    for (ProcessId P = 0; P < numProcesses(); ++P) {
+      for (ProcessId From = 0; From < numProcesses(); ++From)
+        while (Steps < MaxSteps && tryFreeApp(P, From)) {
+          ++Steps;
+          Progress = true;
+        }
+      for (unsigned G = 0; G < Spec.numSyncGroups(); ++G)
+        while (Steps < MaxSteps && tryConfApp(P, G)) {
+          ++Steps;
+          Progress = true;
+        }
+    }
+  }
+  return Steps;
+}
+
+bool RdmaConfiguration::checkIntegrity() const {
+  for (ProcessId P = 0; P < numProcesses(); ++P) {
+    StatePtr Visible = visibleState(P);
+    if (!Type.invariant(*Visible))
+      return false;
+  }
+  return true;
+}
+
+bool RdmaConfiguration::checkConvergence() const {
+  StatePtr First = visibleState(0);
+  for (ProcessId P = 1; P < numProcesses(); ++P) {
+    StatePtr S = visibleState(P);
+    if (!First->equals(*S))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,141 @@
+//===- semantics/Refinement.cpp - Refinement checking ------------------------/
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/semantics/Refinement.h"
+
+#include <sstream>
+
+using namespace hamband;
+using namespace hamband::semantics;
+
+RefinementResult
+semantics::checkRefinement(const ObjectType &Type, unsigned NumProcesses,
+                           const std::vector<StepRecord> &Log) {
+  WrdtSystem Abstract(Type, NumProcesses);
+  RefinementResult Res;
+  auto Fail = [&Res](const std::string &Msg) {
+    Res.Ok = false;
+    Res.Error = Msg;
+    return Res;
+  };
+
+  for (std::size_t I = 0; I < Log.size(); ++I) {
+    const StepRecord &Step = Log[I];
+    std::ostringstream Where;
+    Where << "step " << I << " (" << Step.TheCall.str() << ") ";
+    switch (Step.Kind) {
+    case StepKind::Reduce: {
+      if (!Abstract.tryCall(Step.Process, Step.TheCall))
+        return Fail(Where.str() + "REDUCE: abstract CALL not enabled");
+      // Reducible methods are conflict- and dependence-free, so the
+      // immediate propagation to every other process must be enabled.
+      for (ProcessId Q = 0; Q < NumProcesses; ++Q) {
+        if (Q == Step.Process)
+          continue;
+        if (!Abstract.tryPropagate(Q, Step.TheCall))
+          return Fail(Where.str() + "REDUCE: abstract PROP not enabled");
+      }
+      break;
+    }
+    case StepKind::Free:
+    case StepKind::Conf:
+      if (!Abstract.tryCall(Step.Process, Step.TheCall))
+        return Fail(Where.str() + "CALL not enabled in abstract semantics");
+      break;
+    case StepKind::FreeApp:
+    case StepKind::ConfApp:
+      if (!Abstract.tryPropagate(Step.Process, Step.TheCall))
+        return Fail(Where.str() + "PROP not enabled in abstract semantics");
+      break;
+    }
+  }
+
+  if (!Abstract.checkIntegrity())
+    return Fail("abstract integrity (Lemma 1) violated after replay");
+  if (!Abstract.checkConvergence())
+    return Fail("abstract convergence (Lemma 2) violated after replay");
+  return Res;
+}
+
+ExplorationResult
+semantics::exploreRandomly(const ObjectType &Type,
+                           const ExplorationOptions &Opts) {
+  ExplorationResult Res;
+  RdmaConfiguration K(Type, Opts.NumProcesses);
+  const CoordinationSpec &Spec = Type.coordination();
+  sim::Rng R(Opts.Seed);
+  std::vector<MethodId> Updates = Spec.updateMethods();
+  RequestId NextReq = 1;
+
+  auto FailWith = [&Res](const std::string &Msg) { Res.Error = Msg; };
+
+  for (unsigned Step = 0; Step < Opts.Steps; ++Step) {
+    if (Updates.empty() || R.bernoulli(Opts.ClientCallProb)) {
+      // Issue a fresh client call at a random process; conflicting calls
+      // are redirected to the group leader, as in the runtime.
+      MethodId M = R.pick(Updates);
+      ProcessId P;
+      if (Spec.category(M) == MethodCategory::Conflicting)
+        P = K.leader(*Spec.syncGroup(M));
+      else
+        P = static_cast<ProcessId>(R.index(Opts.NumProcesses));
+      Call C = Type.randomClientCall(M, P, NextReq++, R);
+      C = K.prepareAt(P, C);
+      if (K.tryUpdate(P, C))
+        ++Res.ClientCalls;
+      else
+        ++Res.RejectedCalls;
+    } else {
+      // Fire a random buffer-application rule.
+      ProcessId P = static_cast<ProcessId>(R.index(Opts.NumProcesses));
+      bool TryConfBuf =
+          Spec.numSyncGroups() > 0 ? R.bernoulli(0.5) : false;
+      if (TryConfBuf) {
+        unsigned G = static_cast<unsigned>(R.index(Spec.numSyncGroups()));
+        if (K.tryConfApp(P, G))
+          ++Res.ApplySteps;
+      } else {
+        ProcessId From =
+            static_cast<ProcessId>(R.index(Opts.NumProcesses));
+        if (K.tryFreeApp(P, From))
+          ++Res.ApplySteps;
+      }
+    }
+
+    // Corollary 1 must hold in every reachable configuration.
+    if (Step % 16 == 0 && !K.checkIntegrity()) {
+      Res.IntegrityOk = false;
+      FailWith("concrete integrity violated mid-run");
+      return Res;
+    }
+  }
+
+  if (!K.checkIntegrity()) {
+    Res.IntegrityOk = false;
+    FailWith("concrete integrity violated at end of run");
+    return Res;
+  }
+
+  Res.ApplySteps += K.drain();
+  if (!K.quiescent()) {
+    Res.ConvergenceOk = false;
+    FailWith("buffers failed to drain (dependency deadlock)");
+    return Res;
+  }
+  if (!K.checkConvergence()) {
+    Res.ConvergenceOk = false;
+    FailWith("concrete convergence (Corollary 2) violated after drain");
+    return Res;
+  }
+
+  RefinementResult Ref =
+      checkRefinement(Type, Opts.NumProcesses, K.log());
+  if (!Ref.Ok) {
+    Res.RefinementOk = false;
+    FailWith(Ref.Error);
+  }
+  return Res;
+}

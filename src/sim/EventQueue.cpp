@@ -1,0 +1,62 @@
+//===- sim/EventQueue.cpp - Discrete-event priority queue ----------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/sim/EventQueue.h"
+
+#include <cassert>
+
+using namespace hamband::sim;
+
+EventId EventQueue::push(SimTime At, std::function<void()> Fn) {
+  EventId Id = NextId++;
+  Heap.push(HeapEntry{At, Id});
+  Payloads.emplace(Id, std::move(Fn));
+  ++LiveCount;
+  return Id;
+}
+
+void EventQueue::cancel(EventId Id) {
+  if (Id == InvalidEventId)
+    return;
+  auto It = Payloads.find(Id);
+  if (It == Payloads.end())
+    return; // Already fired or never existed.
+  Payloads.erase(It);
+  Cancelled.insert(Id);
+  assert(LiveCount > 0 && "live count underflow");
+  --LiveCount;
+}
+
+void EventQueue::skipCancelled() {
+  while (!Heap.empty()) {
+    auto It = Cancelled.find(Heap.top().Id);
+    if (It == Cancelled.end())
+      return;
+    Cancelled.erase(It);
+    Heap.pop();
+  }
+}
+
+bool EventQueue::pop(Event &Out) {
+  skipCancelled();
+  if (Heap.empty())
+    return false;
+  HeapEntry Top = Heap.top();
+  Heap.pop();
+  auto It = Payloads.find(Top.Id);
+  assert(It != Payloads.end() && "live heap entry without payload");
+  Out.At = Top.At;
+  Out.Id = Top.Id;
+  Out.Fn = std::move(It->second);
+  Payloads.erase(It);
+  --LiveCount;
+  return true;
+}
+
+SimTime EventQueue::nextTime() {
+  skipCancelled();
+  return Heap.empty() ? SimTimeMax : Heap.top().At;
+}

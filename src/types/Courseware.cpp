@@ -1,0 +1,15 @@
+//===- types/Courseware.cpp - Courseware schema WRDT -------------------------/
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/types/Schema.h"
+
+using namespace hamband::types;
+
+Courseware::Courseware()
+    : TwoEntitySchema("courseware",
+                      {"addCourse", "deleteCourse", "enroll",
+                       "registerStudent", "query"},
+                      /*RelArgsAB=*/true) {}

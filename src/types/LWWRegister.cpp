@@ -1,0 +1,92 @@
+//===- types/LWWRegister.cpp - Last-writer-wins register --------------------//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/types/LWWRegister.h"
+
+#include <cassert>
+#include <sstream>
+#include <tuple>
+
+using namespace hamband;
+using namespace hamband::types;
+
+std::string LWWState::str() const {
+  std::ostringstream OS;
+  OS << "lww{" << Val << "@" << Ts << "." << Tie << "}";
+  return OS.str();
+}
+
+LWWRegister::LWWRegister() : Spec(2) {
+  Methods[Write] = MethodInfo{"write", MethodKind::Update, 3};
+  Methods[Read] = MethodInfo{"read", MethodKind::Query, 0};
+  Spec.setQuery(Read);
+  Spec.setSumGroup(Write, 0);
+  Spec.finalize();
+}
+
+const MethodInfo &LWWRegister::method(MethodId M) const {
+  assert(M < 2);
+  return Methods[M];
+}
+
+StatePtr LWWRegister::initialState() const {
+  return std::make_unique<LWWState>();
+}
+
+bool LWWRegister::invariant(const ObjectState &) const { return true; }
+
+void LWWRegister::apply(ObjectState &S, const Call &C) const {
+  assert(C.Method == Write && C.Args.size() == 3);
+  auto &St = static_cast<LWWState &>(S);
+  if (std::tie(C.Args[1], C.Args[2]) > std::tie(St.Ts, St.Tie)) {
+    St.Val = C.Args[0];
+    St.Ts = C.Args[1];
+    St.Tie = C.Args[2];
+  }
+}
+
+Value LWWRegister::query(const ObjectState &S, const Call &C) const {
+  assert(C.Method == Read);
+  (void)C;
+  return static_cast<const LWWState &>(S).Val;
+}
+
+bool LWWRegister::summarize(const Call &First, const Call &Second,
+                            Call &Out) const {
+  if (First.Method != Write || Second.Method != Write)
+    return false;
+  const Call &Winner =
+      std::tie(Second.Args[1], Second.Args[2]) >
+              std::tie(First.Args[1], First.Args[2])
+          ? Second
+          : First;
+  Out = Winner;
+  return true;
+}
+
+Call LWWRegister::randomClientCall(MethodId M, ProcessId Issuer,
+                                   RequestId Req, sim::Rng &R) const {
+  if (M == Read)
+    return Call(Read, {}, Issuer, Req);
+  // The globally unique request id is a convenient monotone timestamp and
+  // the issuer breaks any residual tie.
+  return Call(Write,
+              {R.uniformInt(0, 1000), static_cast<Value>(Req),
+               static_cast<Value>(Issuer)},
+              Issuer, Req);
+}
+
+std::vector<Call> LWWRegister::sampleCalls(MethodId M) const {
+  if (M == Read)
+    return {Call(Read, {})};
+  // Distinct (ts, tie) stamps, including a shared timestamp broken by the
+  // tiebreak -- the case that makes naive LWW non-commutative.
+  return {
+      Call(Write, {5, 1, 0}),
+      Call(Write, {7, 2, 1}),
+      Call(Write, {9, 2, 2}),
+  };
+}

@@ -1,0 +1,88 @@
+//===- types/Movie.cpp - Movie-store schema WRDT ------------------------------
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/types/Movie.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace hamband;
+using namespace hamband::types;
+
+std::size_t MovieState::hashValue() const {
+  std::size_t H = 0x6d0f1e35;
+  for (Value V : Customers)
+    H = hashCombine(H, std::hash<Value>()(V));
+  H = hashCombine(H, 0x55);
+  for (Value V : Movies)
+    H = hashCombine(H, std::hash<Value>()(V));
+  return H;
+}
+
+std::string MovieState::str() const {
+  std::ostringstream OS;
+  OS << "movie{C:";
+  for (Value V : Customers)
+    OS << V << ' ';
+  OS << "M:";
+  for (Value V : Movies)
+    OS << V << ' ';
+  OS << '}';
+  return OS.str();
+}
+
+Movie::Movie() : Spec(5) {
+  Methods[AddCustomer] = MethodInfo{"addCustomer", MethodKind::Update, 1};
+  Methods[DeleteCustomer] =
+      MethodInfo{"deleteCustomer", MethodKind::Update, 1};
+  Methods[AddMovie] = MethodInfo{"addMovie", MethodKind::Update, 1};
+  Methods[DeleteMovie] = MethodInfo{"deleteMovie", MethodKind::Update, 1};
+  Methods[HasCustomer] = MethodInfo{"hasCustomer", MethodKind::Query, 1};
+  Spec.setQuery(HasCustomer);
+  // add/delete on one relation race on the same key; the two relations are
+  // independent, so the conflict graph splits into two components.
+  Spec.addConflict(AddCustomer, DeleteCustomer);
+  Spec.addConflict(AddMovie, DeleteMovie);
+  Spec.finalize();
+}
+
+const MethodInfo &Movie::method(MethodId M) const {
+  assert(M < 5);
+  return Methods[M];
+}
+
+StatePtr Movie::initialState() const {
+  return std::make_unique<MovieState>();
+}
+
+bool Movie::invariant(const ObjectState &) const { return true; }
+
+void Movie::apply(ObjectState &S, const Call &C) const {
+  assert(C.Args.size() == 1);
+  auto &St = static_cast<MovieState &>(S);
+  switch (C.Method) {
+  case AddCustomer:
+    St.Customers.insert(C.Args[0]);
+    return;
+  case DeleteCustomer:
+    St.Customers.erase(C.Args[0]);
+    return;
+  case AddMovie:
+    St.Movies.insert(C.Args[0]);
+    return;
+  case DeleteMovie:
+    St.Movies.erase(C.Args[0]);
+    return;
+  default:
+    assert(false && "apply() on a non-update method");
+  }
+}
+
+Value Movie::query(const ObjectState &S, const Call &C) const {
+  assert(C.Method == HasCustomer && C.Args.size() == 1);
+  return static_cast<const MovieState &>(S).Customers.count(C.Args[0]) ? 1
+                                                                       : 0;
+}

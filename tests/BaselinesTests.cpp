@@ -1,0 +1,166 @@
+//===- tests/BaselinesTests.cpp - Baseline runtime tests ----------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/baselines/MsgCrdtRuntime.h"
+#include "hamband/baselines/MuSmrRuntime.h"
+#include "hamband/types/BankAccount.h"
+#include "hamband/types/Counter.h"
+#include "hamband/types/Movie.h"
+#include "hamband/types/ORSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace hamband;
+using namespace hamband::baselines;
+using namespace hamband::types;
+
+namespace {
+
+template <typename PredT>
+bool runUntil(sim::Simulator &Sim, PredT Pred, double CapUs = 200000.0) {
+  sim::SimTime Cap = Sim.now() + sim::micros(CapUs);
+  while (Sim.now() < Cap) {
+    if (Pred())
+      return true;
+    Sim.run(Sim.now() + sim::micros(20));
+  }
+  return Pred();
+}
+
+} // namespace
+
+TEST(SmrAdapter, CompleteConflictRelation) {
+  Counter T;
+  SmrTypeAdapter A(T);
+  const CoordinationSpec &S = A.coordination();
+  EXPECT_TRUE(S.conflicts(Counter::Add, Counter::Add));
+  EXPECT_EQ(S.numSyncGroups(), 1u);
+  EXPECT_EQ(S.category(Counter::Add), MethodCategory::Conflicting);
+  EXPECT_EQ(S.category(Counter::Read), MethodCategory::Query);
+  EXPECT_EQ(A.name(), "counter+smr");
+}
+
+TEST(SmrAdapter, MultiMethodTypeCollapsesToOneGroup) {
+  Movie T;
+  SmrTypeAdapter A(T);
+  EXPECT_EQ(A.coordination().numSyncGroups(), 1u);
+  for (MethodId M = 0; M < 4; ++M)
+    EXPECT_EQ(A.coordination().category(M), MethodCategory::Conflicting);
+}
+
+TEST(MuSmr, TotallyOrdersAndConverges) {
+  sim::Simulator Sim;
+  Counter T;
+  MuSmrRuntime RT(Sim, 3, T);
+  RT.start();
+  rdma::NodeId Leader = RT.leaderOf(0, 0);
+  int Done = 0;
+  for (int I = 0; I < 5; ++I)
+    RT.submit(Leader, Call(Counter::Add, {I + 1}, Leader, 1 + I),
+              [&](bool Ok, Value) { Done += Ok; });
+  ASSERT_TRUE(
+      runUntil(Sim, [&] { return Done == 5 && RT.fullyReplicated(); }));
+  for (rdma::NodeId N = 0; N < 3; ++N) {
+    Value V = -1;
+    RT.submit(N, Call(Counter::Read, {}, N, 100 + N),
+              [&](bool, Value Got) { V = Got; });
+    runUntil(Sim, [&] { return V >= 0; });
+    EXPECT_EQ(V, 15);
+  }
+}
+
+TEST(MuSmr, PreservesBankInvariant) {
+  sim::Simulator Sim;
+  BankAccount T;
+  MuSmrRuntime RT(Sim, 3, T);
+  RT.start();
+  rdma::NodeId Leader = RT.leaderOf(0, 0);
+  int Ok = 0, Fail = 0, Done = 0;
+  auto Cb = [&](bool IsOk, Value) {
+    IsOk ? ++Ok : ++Fail;
+    ++Done;
+  };
+  RT.submit(Leader, Call(BankAccount::Deposit, {10}, Leader, 1), Cb);
+  for (int I = 0; I < 3; ++I)
+    RT.submit(Leader, Call(BankAccount::Withdraw, {5}, Leader, 2 + I), Cb);
+  ASSERT_TRUE(
+      runUntil(Sim, [&] { return Done == 4 && RT.fullyReplicated(); }));
+  EXPECT_EQ(Ok, 3);  // Deposit + two withdrawals.
+  EXPECT_EQ(Fail, 1);
+}
+
+TEST(MsgCrdt, BroadcastsAndConverges) {
+  sim::Simulator Sim;
+  Counter T;
+  MsgCrdtRuntime RT(Sim, 4, T);
+  RT.start();
+  int Done = 0;
+  for (int I = 0; I < 4; ++I)
+    RT.submit(I, Call(Counter::Add, {I + 1}, I, 1 + I),
+              [&](bool Ok, Value) { Done += Ok; });
+  ASSERT_TRUE(
+      runUntil(Sim, [&] { return Done == 4 && RT.fullyReplicated(); }));
+  for (rdma::NodeId N = 0; N < 4; ++N) {
+    Value V = -1;
+    RT.submit(N, Call(Counter::Read, {}, N, 100 + N),
+              [&](bool, Value Got) { V = Got; });
+    runUntil(Sim, [&] { return V >= 0; });
+    EXPECT_EQ(V, 10);
+  }
+}
+
+TEST(MsgCrdt, CausalDeliveryOfDependentCalls) {
+  sim::Simulator Sim;
+  ORSet T;
+  MsgCrdtRuntime RT(Sim, 3, T);
+  RT.start();
+  bool AddDone = false, RemDone = false;
+  RT.submit(0, Call(ORSet::Add, {7}, 0, 1),
+            [&](bool, Value) { AddDone = true; });
+  runUntil(Sim, [&] { return AddDone; });
+  RT.submit(0, Call(ORSet::Remove, {7}, 0, 2),
+            [&](bool, Value) { RemDone = true; });
+  ASSERT_TRUE(
+      runUntil(Sim, [&] { return RemDone && RT.fullyReplicated(); }));
+  for (rdma::NodeId N = 0; N < 3; ++N) {
+    Value V = -1;
+    RT.submit(N, Call(ORSet::Contains, {7}, N, 100 + N),
+              [&](bool, Value Got) { V = Got; });
+    runUntil(Sim, [&] { return V >= 0; });
+    EXPECT_EQ(V, 0) << "node " << N;
+  }
+}
+
+TEST(MsgCrdt, ResponseWaitsForAcks) {
+  // The MSG baseline's update response includes a network round trip, so
+  // it is far slower than a local apply.
+  sim::Simulator Sim;
+  Counter T;
+  MsgCrdtRuntime RT(Sim, 3, T);
+  RT.start();
+  sim::SimTime Start = Sim.now();
+  sim::SimTime End = 0;
+  RT.submit(0, Call(Counter::Add, {1}, 0, 1),
+            [&](bool, Value) { End = Sim.now(); });
+  runUntil(Sim, [&] { return End != 0; });
+  double RespUs = sim::toMicros(End - Start);
+  EXPECT_GT(RespUs, 20.0); // Kernel-stack round trip.
+}
+
+TEST(MsgCrdt, RejectsImpermissibleLocally) {
+  sim::Simulator Sim;
+  BankAccount NoConfType; // Bank has conflicts; use counter-style check
+  (void)NoConfType;
+  Counter T;
+  MsgCrdtRuntime RT(Sim, 2, T);
+  RT.start();
+  // Counter has invariant true; everything accepted.
+  bool Ok = false;
+  RT.submit(0, Call(Counter::Add, {1}, 0, 1),
+            [&](bool IsOk, Value) { Ok = IsOk; });
+  runUntil(Sim, [&] { return RT.fullyReplicated(); });
+  EXPECT_TRUE(Ok);
+}

@@ -1,0 +1,230 @@
+//===- tests/ConsensusTests.cpp - Mu consensus unit tests ---------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Exercises MuConsensus directly (without a HambandNode) through its hook
+// interface: normal-case replication, commit counting, permission-based
+// single-leader safety, leader change and log catch-up.
+//===----------------------------------------------------------------------===//
+
+#include "hamband/runtime/MuConsensus.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace hamband;
+using namespace hamband::runtime;
+
+namespace {
+
+/// A miniature node hosting one consensus instance: tracks delivered
+/// entries by polling its own conf ring like the real poller does.
+struct MiniNode {
+  MiniNode(rdma::Fabric &Fab, rdma::NodeId Self, const MemoryMap &Map,
+           rdma::RegionKey Key, rdma::NodeId InitialLeader)
+      : Fab(Fab), Self(Self),
+        Reader(Fab, Self, InitialLeader, Map.confRingData(0),
+               Map.confRingFeedback(0, Self), Map.confGeom()) {
+    MuConsensus::Hooks Hooks;
+    Hooks.ReceivedCount = [this]() { return Received; };
+    Hooks.DeliverEntry = [this](std::uint64_t Idx,
+                                std::vector<std::uint8_t> Payload) {
+      Entries[Idx] = std::move(Payload);
+      bump();
+    };
+    Hooks.ReadLocalEntry = [this](std::uint64_t Idx,
+                                  std::vector<std::uint8_t> &Out) {
+      return Reader.readCellIgnoringCanary(Idx, Out);
+    };
+    Hooks.LeaderChanged = [this](rdma::NodeId NewLeader) {
+      Reader.setWriter(NewLeader);
+      Reader.setHead(Received);
+      if (NewLeader != this->Self)
+        Reader.forceFeedback();
+      LeaderChanges.push_back(NewLeader);
+    };
+    Hooks.IsSuspected = [this](rdma::NodeId Peer) {
+      return Suspected.count(Peer) != 0;
+    };
+    Cons = std::make_unique<MuConsensus>(Fab, Self, 0, InitialLeader, Map,
+                                         Key, std::move(Hooks));
+    Cons->installInitialPermissions();
+  }
+
+  void bump() {
+    while (Entries.count(Received))
+      ++Received;
+  }
+
+  void poll() {
+    std::vector<std::uint8_t> Bytes;
+    while (Reader.peek(Bytes)) {
+      Entries[Reader.head()] = Bytes;
+      Reader.consume();
+      bump();
+    }
+    Cons->poll();
+  }
+
+  rdma::Fabric &Fab;
+  rdma::NodeId Self;
+  RingReader Reader;
+  std::unique_ptr<MuConsensus> Cons;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> Entries;
+  std::uint64_t Received = 0;
+  std::set<rdma::NodeId> Suspected;
+  std::vector<rdma::NodeId> LeaderChanges;
+};
+
+struct ConsensusTest : ::testing::Test {
+  static constexpr unsigned N = 4;
+
+  ConsensusTest()
+      : Map(N, 0, 1, RingGeometry{64, 128}, RingGeometry{64, 128},
+            RingGeometry{64, 128}),
+        Fab(Sim, N, rdma::NetworkModel(), Map.totalBytes() + 4096) {
+    Key = Fab.createRegionKey();
+    for (rdma::NodeId I = 0; I < N; ++I)
+      NodesVec.push_back(
+          std::make_unique<MiniNode>(Fab, I, Map, Key, /*Leader=*/0));
+    // Drive the pollers.
+    schedulePolls();
+  }
+
+  void schedulePolls() {
+    Sim.schedule(sim::micros(1), [this]() {
+      for (auto &Nd : NodesVec)
+        Nd->poll();
+      schedulePolls();
+    });
+  }
+
+  void run(double Us) { Sim.run(Sim.now() + sim::micros(Us)); }
+
+  std::vector<std::uint8_t> entry(std::uint8_t Tag) {
+    return std::vector<std::uint8_t>{Tag, 0x42};
+  }
+
+  sim::Simulator Sim;
+  MemoryMap Map;
+  rdma::Fabric Fab;
+  rdma::RegionKey Key;
+  std::vector<std::unique_ptr<MiniNode>> NodesVec;
+};
+
+} // namespace
+
+TEST_F(ConsensusTest, LeaderReplicatesAndCommits) {
+  MiniNode &Leader = *NodesVec[0];
+  ASSERT_TRUE(Leader.Cons->isLeader());
+  int Committed = 0;
+  ASSERT_TRUE(Leader.Cons->leaderAppend(entry(1), [&](bool Ok) {
+    EXPECT_TRUE(Ok);
+    ++Committed;
+  }));
+  run(50);
+  EXPECT_EQ(Committed, 1);
+  for (unsigned I = 1; I < N; ++I) {
+    ASSERT_EQ(NodesVec[I]->Received, 1u) << "node " << I;
+    EXPECT_EQ(NodesVec[I]->Entries.at(0), entry(1));
+  }
+}
+
+TEST_F(ConsensusTest, NonLeaderCannotAppend) {
+  EXPECT_FALSE(NodesVec[1]->Cons->leaderAppend(entry(7), nullptr));
+}
+
+TEST_F(ConsensusTest, AppendsKeepLogOrder) {
+  MiniNode &Leader = *NodesVec[0];
+  for (std::uint8_t I = 0; I < 10; ++I)
+    ASSERT_TRUE(Leader.Cons->leaderAppend(entry(I), nullptr));
+  run(100);
+  for (unsigned Node = 1; Node < N; ++Node) {
+    ASSERT_EQ(NodesVec[Node]->Received, 10u);
+    for (std::uint8_t I = 0; I < 10; ++I)
+      EXPECT_EQ(NodesVec[Node]->Entries.at(I)[0], I);
+  }
+}
+
+TEST_F(ConsensusTest, SuspicionElectsNewLeaderAndRevokesOld) {
+  // Node 1 suspects the leader (node 0); nodes 2 and 3 do not suspect
+  // anyone but will adopt node 1's higher epoch.
+  for (unsigned I = 1; I < N; ++I)
+    NodesVec[I]->Suspected.insert(0);
+  NodesVec[1]->Cons->onPeerSuspected(0);
+  run(200);
+  EXPECT_TRUE(NodesVec[1]->Cons->isLeader());
+  for (unsigned I = 1; I < N; ++I)
+    EXPECT_EQ(NodesVec[I]->Cons->currentLeader(), 1u) << "node " << I;
+  // The deposed leader lost write permission on every live node's ring.
+  for (unsigned I = 1; I < N; ++I)
+    EXPECT_FALSE(Fab.hasWritePermission(I, 0, Key)) << "node " << I;
+  EXPECT_TRUE(Fab.hasWritePermission(2, 1, Key));
+  // The new leader can append; followers deliver.
+  int Committed = 0;
+  ASSERT_TRUE(
+      NodesVec[1]->Cons->leaderAppend(entry(9), [&](bool Ok) {
+        EXPECT_TRUE(Ok);
+        ++Committed;
+      }));
+  run(100);
+  EXPECT_EQ(Committed, 1);
+  EXPECT_EQ(NodesVec[2]->Entries.at(0), entry(9));
+  EXPECT_EQ(NodesVec[3]->Entries.at(0), entry(9));
+}
+
+TEST_F(ConsensusTest, DeposedLeaderAppendsFail) {
+  for (unsigned I = 1; I < N; ++I)
+    NodesVec[I]->Suspected.insert(0);
+  NodesVec[1]->Cons->onPeerSuspected(0);
+  run(200);
+  ASSERT_TRUE(NodesVec[1]->Cons->isLeader());
+  // Node 0 (not polling the proposal? it does poll and adopts). After
+  // adoption it is no longer leader and cannot append.
+  EXPECT_FALSE(NodesVec[0]->Cons->isLeader());
+  EXPECT_FALSE(NodesVec[0]->Cons->leaderAppend(entry(5), nullptr));
+}
+
+TEST_F(ConsensusTest, CatchUpEqualizesLogs) {
+  MiniNode &Leader = *NodesVec[0];
+  for (std::uint8_t I = 0; I < 5; ++I)
+    ASSERT_TRUE(Leader.Cons->leaderAppend(entry(I), nullptr));
+  run(100);
+  ASSERT_EQ(NodesVec[1]->Received, 5u);
+
+  // Simulate node 1 lagging: pretend it only received 2 entries. The new
+  // leader (node 2) must replicate the missing tail to it.
+  // (We fake the lag by rolling back its counters; the ring still holds
+  // the cells, matching a follower that had not polled them yet.)
+  NodesVec[1]->Entries.erase(2);
+  NodesVec[1]->Entries.erase(3);
+  NodesVec[1]->Entries.erase(4);
+  NodesVec[1]->Received = 2;
+  NodesVec[1]->Reader.setHead(2);
+
+  for (unsigned I = 1; I < N; ++I)
+    NodesVec[I]->Suspected.insert(0);
+  NodesVec[2]->Cons->onPeerSuspected(0);
+  run(400);
+  ASSERT_TRUE(NodesVec[2]->Cons->isLeader());
+  // Catch-up replicated the missing entries to node 1.
+  EXPECT_EQ(NodesVec[1]->Received, 5u);
+  for (std::uint8_t I = 0; I < 5; ++I)
+    EXPECT_EQ(NodesVec[1]->Entries.at(I)[0], I) << "entry " << int(I);
+  // And the new leader continues from index 5.
+  EXPECT_EQ(NodesVec[2]->Cons->nextIndex(), 5u);
+}
+
+TEST_F(ConsensusTest, CanAppendReflectsRingBackpressure) {
+  MiniNode &Leader = *NodesVec[0];
+  EXPECT_TRUE(Leader.Cons->canAppend());
+  // Fill a follower ring (64 cells) without letting pollers drain: stop
+  // time by not running the simulator between appends.
+  for (unsigned I = 0; I < 64; ++I)
+    ASSERT_TRUE(Leader.Cons->leaderAppend(entry(1), nullptr));
+  EXPECT_FALSE(Leader.Cons->canAppend());
+  run(100); // Followers consume and publish head feedback.
+  EXPECT_TRUE(Leader.Cons->canAppend());
+}

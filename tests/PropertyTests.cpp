@@ -1,0 +1,287 @@
+//===- tests/PropertyTests.cpp - Cross-cutting property sweeps ----------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Parameterized properties across every registered data type, random
+// seeds, and payload shapes: wire-format round trips, summarization
+// algebra, category coherence, prepare idempotence, ring payload sweeps,
+// and end-to-end determinism of the simulation.
+//===----------------------------------------------------------------------===//
+
+#include "hamband/benchlib/Runner.h"
+#include "hamband/core/TypeRegistry.h"
+#include "hamband/runtime/RingBuffer.h"
+#include "hamband/runtime/WireFormat.h"
+
+#include <gtest/gtest.h>
+
+using namespace hamband;
+using namespace hamband::runtime;
+
+namespace {
+
+std::string sanitize(std::string Name) {
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+// -- Per-type structural properties ------------------------------------------
+
+class TypePropertyTest : public ::testing::TestWithParam<std::string> {
+protected:
+  void SetUp() override { Type = makeType(GetParam()); }
+  std::unique_ptr<ObjectType> Type;
+};
+
+TEST_P(TypePropertyTest, CategoryDefinitionsAreCoherent) {
+  const CoordinationSpec &S = Type->coordination();
+  for (MethodId M = 0; M < Type->numMethods(); ++M) {
+    switch (S.category(M)) {
+    case MethodCategory::Reducible:
+      EXPECT_TRUE(S.sumGroup(M).has_value());
+      EXPECT_TRUE(S.isDependenceFree(M));
+      EXPECT_FALSE(S.isConflicting(M));
+      EXPECT_FALSE(S.syncGroup(M).has_value());
+      break;
+    case MethodCategory::IrreducibleFree:
+      EXPECT_FALSE(S.isConflicting(M));
+      EXPECT_TRUE(!S.sumGroup(M) || !S.isDependenceFree(M));
+      break;
+    case MethodCategory::Conflicting:
+      EXPECT_TRUE(S.syncGroup(M).has_value());
+      break;
+    case MethodCategory::Query:
+      EXPECT_FALSE(S.isUpdate(M));
+      break;
+    }
+  }
+}
+
+TEST_P(TypePropertyTest, SyncGroupMembersAreMutuallyGrouped) {
+  const CoordinationSpec &S = Type->coordination();
+  for (unsigned G = 0; G < S.numSyncGroups(); ++G)
+    for (MethodId M : S.syncGroupMembers(G))
+      EXPECT_EQ(S.syncGroup(M), std::optional<unsigned>(G));
+}
+
+TEST_P(TypePropertyTest, SummarizeIsAssociativeOnSamples) {
+  const CoordinationSpec &S = Type->coordination();
+  for (MethodId M = 0; M < Type->numMethods(); ++M) {
+    if (!S.sumGroup(M))
+      continue;
+    std::vector<Call> Calls = Type->sampleCalls(M);
+    if (Calls.size() < 3)
+      continue;
+    // (a+b)+c and a+(b+c) must act identically on every sampled state.
+    Call AB, AB_C, BC, A_BC;
+    ASSERT_TRUE(Type->summarize(Calls[0], Calls[1], AB));
+    ASSERT_TRUE(Type->summarize(AB, Calls[2], AB_C));
+    ASSERT_TRUE(Type->summarize(Calls[1], Calls[2], BC));
+    ASSERT_TRUE(Type->summarize(Calls[0], BC, A_BC));
+    for (const StatePtr &St : Type->sampleStates()) {
+      StatePtr Left = Type->applyCopy(*St, AB_C);
+      StatePtr Right = Type->applyCopy(*St, A_BC);
+      EXPECT_TRUE(Left->equals(*Right))
+          << GetParam() << " on " << St->str();
+    }
+  }
+}
+
+TEST_P(TypePropertyTest, PrepareIsIdempotent) {
+  sim::Rng R(11);
+  for (MethodId M = 0; M < Type->numMethods(); ++M) {
+    if (Type->method(M).Kind != MethodKind::Update)
+      continue;
+    for (const StatePtr &St : Type->sampleStates()) {
+      Call Client = Type->randomClientCall(M, 1, 1000, R);
+      Call Once = Type->prepare(*St, Client);
+      Call Twice = Type->prepare(*St, Once);
+      EXPECT_EQ(Once, Twice) << GetParam();
+    }
+  }
+}
+
+TEST_P(TypePropertyTest, WireCallRoundTripsForEveryMethod) {
+  const CoordinationSpec &S = Type->coordination();
+  const unsigned Procs = 5;
+  for (MethodId M = 0; M < Type->numMethods(); ++M) {
+    if (!S.isUpdate(M))
+      continue;
+    for (const Call &C : Type->sampleCalls(M)) {
+      WireCall In;
+      In.TheCall = C;
+      In.TheCall.Issuer = 3;
+      In.TheCall.Req = 424242;
+      In.BcastSeq = 17;
+      unsigned K = 0;
+      for (MethodId Dep : S.dependencies(M))
+        In.Deps.push_back(semantics::DepEntry{
+            static_cast<ProcessId>(K++ % Procs), Dep, K * 3 + 1});
+      std::vector<std::uint8_t> Bytes = encodeCall(S, Procs, In);
+      WireCall Out;
+      ASSERT_TRUE(decodeCall(S, Procs, Bytes.data(), Bytes.size(), Out));
+      EXPECT_EQ(Out.TheCall, In.TheCall);
+      EXPECT_EQ(Out.BcastSeq, In.BcastSeq);
+      EXPECT_EQ(Out.Deps.size(), In.Deps.size());
+    }
+  }
+}
+
+TEST_P(TypePropertyTest, RandomClientCallsAreWellFormed) {
+  sim::Rng R(99);
+  for (MethodId M = 0; M < Type->numMethods(); ++M) {
+    for (int I = 0; I < 20; ++I) {
+      Call C = Type->randomClientCall(M, 2, 500 + I, R);
+      EXPECT_EQ(C.Method, M);
+      EXPECT_EQ(C.Issuer, 2u);
+      // Prepared + applied without tripping assertions, on a valid state.
+      StatePtr St = Type->initialState();
+      Call P = Type->prepare(*St, C);
+      if (Type->method(M).Kind == MethodKind::Update)
+        Type->apply(*St, P);
+      else
+        (void)Type->query(*St, P);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, TypePropertyTest,
+    ::testing::ValuesIn(hamband::registeredTypeNames()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return sanitize(Info.param);
+    });
+
+// -- Ring buffer payload sweep ------------------------------------------------
+
+class RingPayloadTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingPayloadTest, RoundTripsPayloadSize) {
+  sim::Simulator Sim;
+  rdma::Fabric Fab(Sim, 2, rdma::NetworkModel(), 1u << 20);
+  RingGeometry Geom{16, 256};
+  RingWriter W(Fab, 0, 1, 4096, 128, Geom);
+  RingReader R(Fab, 1, 0, 4096, 128, Geom);
+  std::size_t Size = GetParam();
+  ASSERT_LE(Size, Geom.maxPayload());
+  std::vector<std::uint8_t> Payload(Size);
+  for (std::size_t I = 0; I < Size; ++I)
+    Payload[I] = static_cast<std::uint8_t>(I * 7 + 1);
+  ASSERT_TRUE(W.append(Payload));
+  Sim.run();
+  std::vector<std::uint8_t> Got;
+  ASSERT_TRUE(R.peek(Got));
+  EXPECT_EQ(Got, Payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingPayloadTest,
+                         ::testing::Values(0u, 1u, 17u, 100u, 243u));
+
+// -- Assertion guards (assertions are enabled in all build types) -------------
+
+TEST(DeathGuards, MemoryRegionRejectsOutOfBounds) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  rdma::MemoryRegion M(64);
+  EXPECT_DEATH(M.writeU64(60, 1), "out of bounds");
+  EXPECT_DEATH(M.readU64(63), "out of bounds");
+}
+
+TEST(DeathGuards, MemoryRegionAllocExhaustion) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  rdma::MemoryRegion M(64);
+  M.alloc(48);
+  EXPECT_DEATH(M.alloc(32), "exhausted");
+}
+
+TEST(DeathGuards, RingWriterRejectsOversizedPayload) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  sim::Simulator Sim;
+  rdma::Fabric Fab(Sim, 2, rdma::NetworkModel(), 1u << 16);
+  RingGeometry Geom{8, 64};
+  RingWriter W(Fab, 0, 1, 1024, 128, Geom);
+  std::vector<std::uint8_t> TooBig(Geom.maxPayload() + 1, 0);
+  EXPECT_DEATH(W.append(TooBig), "exceeds cell size");
+}
+
+// -- Stress determinism --------------------------------------------------------
+
+TEST(StressDeterminism, TwoSimulatorsExecuteIdentically) {
+  // 10k randomly timed events on two engines must fire in the same order.
+  auto Run = [](std::uint64_t Seed) {
+    sim::Simulator S;
+    sim::Rng R(Seed);
+    std::vector<std::uint32_t> Order;
+    for (std::uint32_t I = 0; I < 10000; ++I)
+      S.schedule(R.uniformInt(0, 5000),
+                 [&Order, I]() { Order.push_back(I); });
+    S.run();
+    return Order;
+  };
+  EXPECT_EQ(Run(7), Run(7));
+  EXPECT_NE(Run(7), Run(8));
+}
+
+TEST(StressDeterminism, RingSurvivesThousandsOfLaps) {
+  sim::Simulator Sim;
+  rdma::Fabric Fab(Sim, 2, rdma::NetworkModel(), 1u << 20);
+  RingGeometry Geom{8, 64};
+  RingWriter W(Fab, 0, 1, 4096, 128, Geom);
+  RingReader R(Fab, 1, 0, 4096, 128, Geom);
+  std::uint32_t Sent = 0, Received = 0;
+  for (unsigned Round = 0; Round < 1000; ++Round) {
+    while (!W.full()) {
+      std::vector<std::uint8_t> P(4);
+      std::memcpy(P.data(), &Sent, 4);
+      ASSERT_TRUE(W.append(P));
+      ++Sent;
+    }
+    Sim.run();
+    std::vector<std::uint8_t> Got;
+    while (R.peek(Got)) {
+      std::uint32_t V = 0;
+      std::memcpy(&V, Got.data(), 4);
+      ASSERT_EQ(V, Received);
+      ++Received;
+      R.consume();
+    }
+    R.forceFeedback();
+    Sim.run();
+  }
+  EXPECT_EQ(Received, Sent);
+  EXPECT_GT(Sent, 7000u); // Many laps of the 8-cell ring.
+}
+
+// -- End-to-end determinism ----------------------------------------------------
+
+class DeterminismTest
+    : public ::testing::TestWithParam<benchlib::RuntimeKind> {};
+
+TEST_P(DeterminismTest, IdenticalSeedsGiveIdenticalRuns) {
+  auto T = makeType("counter");
+  benchlib::WorkloadSpec W;
+  W.NumOps = 400;
+  W.UpdateRatio = 0.3;
+  benchlib::RunnerOptions Opts;
+  Opts.Kind = GetParam();
+  Opts.NumNodes = 3;
+  Opts.Repetitions = 1;
+  benchlib::RunResult A = benchlib::runOnce(*T, W, Opts, 9);
+  benchlib::RunResult B = benchlib::runOnce(*T, W, Opts, 9);
+  EXPECT_EQ(A.ThroughputOpsPerUs, B.ThroughputOpsPerUs);
+  EXPECT_EQ(A.MeanResponseUs, B.MeanResponseUs);
+  EXPECT_EQ(A.CompletedOps, B.CompletedOps);
+  benchlib::RunResult Diff = benchlib::runOnce(*T, W, Opts, 10);
+  // A different seed permutes the workload; results may legitimately
+  // differ (not asserted), but the run must still complete.
+  EXPECT_TRUE(Diff.Completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DeterminismTest,
+                         ::testing::Values(benchlib::RuntimeKind::Hamband,
+                                           benchlib::RuntimeKind::Msg,
+                                           benchlib::RuntimeKind::MuSmr));

@@ -1,0 +1,226 @@
+//===- tests/RdmaTests.cpp - Simulated fabric tests ---------------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/rdma/Fabric.h"
+
+#include <gtest/gtest.h>
+
+using namespace hamband;
+using namespace hamband::rdma;
+
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> L) {
+  return std::vector<std::uint8_t>(L);
+}
+
+struct FabricTest : ::testing::Test {
+  sim::Simulator Sim;
+  Fabric Fab{Sim, 3, NetworkModel(), 1u << 20};
+};
+
+} // namespace
+
+TEST_F(FabricTest, MemoryRegionReadWrite) {
+  MemoryRegion &M = Fab.memory(0);
+  M.writeU64(100, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(M.readU64(100), 0xdeadbeefcafef00dull);
+  M.writeU8(50, 7);
+  EXPECT_EQ(M.readU8(50), 7);
+  M.zero(100, 8);
+  EXPECT_EQ(M.readU64(100), 0u);
+}
+
+TEST_F(FabricTest, MemoryRegionAllocAligns) {
+  MemoryRegion &M = Fab.memory(0);
+  MemOffset A = M.alloc(3, 8);
+  MemOffset B = M.alloc(8, 8);
+  EXPECT_EQ(A % 8, 0u);
+  EXPECT_EQ(B % 8, 0u);
+  EXPECT_GE(B, A + 3);
+}
+
+TEST_F(FabricTest, MemoryRegionSlice) {
+  MemoryRegion &M = Fab.memory(1);
+  std::vector<std::uint8_t> Data = {1, 2, 3, 4, 5};
+  M.write(10, Data.data(), Data.size());
+  EXPECT_EQ(M.slice(10, 5), Data);
+  EXPECT_EQ(M.slice(11, 3), bytes({2, 3, 4}));
+}
+
+TEST_F(FabricTest, WriteBecomesVisibleAfterWireLatency) {
+  Fab.postWrite(0, 1, 200, bytes({9, 8, 7}));
+  // Nothing visible before the write delivers.
+  Sim.run(Fab.model().PostCpu + 1);
+  EXPECT_EQ(Fab.memory(1).readU8(200), 0);
+  Sim.run();
+  EXPECT_EQ(Fab.memory(1).readU8(200), 9);
+  EXPECT_EQ(Fab.memory(1).readU8(202), 7);
+}
+
+TEST_F(FabricTest, WriteCompletionFires) {
+  bool Completed = false;
+  Fab.postWrite(0, 1, 0, bytes({1}), UnprotectedRegion,
+                [&](WcStatus St) {
+                  Completed = true;
+                  EXPECT_EQ(St, WcStatus::Success);
+                });
+  Sim.run();
+  EXPECT_TRUE(Completed);
+}
+
+TEST_F(FabricTest, WritesSameChannelDeliverInOrder) {
+  // Post a large write then a tiny one; FIFO per RC channel means the
+  // second cannot overtake the first.
+  std::vector<std::uint8_t> Big(4096, 0xAA);
+  Fab.postWrite(0, 1, 0, Big);
+  Fab.postWrite(0, 1, 0, bytes({0xBB}));
+  Sim.run();
+  // The small write delivered last.
+  EXPECT_EQ(Fab.memory(1).readU8(0), 0xBB);
+}
+
+TEST_F(FabricTest, ReadReturnsRemoteSnapshot) {
+  Fab.memory(2).writeU64(64, 4242);
+  std::uint64_t Got = 0;
+  Fab.postRead(0, 2, 64, 8,
+               [&](WcStatus St, std::vector<std::uint8_t> Data) {
+                 EXPECT_EQ(St, WcStatus::Success);
+                 ASSERT_EQ(Data.size(), 8u);
+                 std::memcpy(&Got, Data.data(), 8);
+               });
+  Sim.run();
+  EXPECT_EQ(Got, 4242u);
+}
+
+TEST_F(FabricTest, PermissionDenialRejectsWrite) {
+  RegionKey Key = Fab.createRegionKey();
+  Fab.setWritePermission(1, 0, Key, false);
+  WcStatus Got = WcStatus::Success;
+  Fab.postWrite(0, 1, 300, bytes({5}), Key,
+                [&](WcStatus St) { Got = St; });
+  Sim.run();
+  EXPECT_EQ(Got, WcStatus::AccessError);
+  EXPECT_EQ(Fab.memory(1).readU8(300), 0); // Nothing written.
+}
+
+TEST_F(FabricTest, PermissionGrantRestoresWrite) {
+  RegionKey Key = Fab.createRegionKey();
+  Fab.setWritePermission(1, 0, Key, false);
+  Fab.setWritePermission(1, 0, Key, true);
+  WcStatus Got = WcStatus::AccessError;
+  Fab.postWrite(0, 1, 300, bytes({5}), Key,
+                [&](WcStatus St) { Got = St; });
+  Sim.run();
+  EXPECT_EQ(Got, WcStatus::Success);
+  EXPECT_EQ(Fab.memory(1).readU8(300), 5);
+}
+
+TEST_F(FabricTest, PermissionsArePerTargetAndWriter) {
+  RegionKey Key = Fab.createRegionKey();
+  Fab.setWritePermission(1, 0, Key, false);
+  EXPECT_FALSE(Fab.hasWritePermission(1, 0, Key));
+  EXPECT_TRUE(Fab.hasWritePermission(1, 2, Key));  // Other writer fine.
+  EXPECT_TRUE(Fab.hasWritePermission(2, 0, Key));  // Other target fine.
+  EXPECT_TRUE(Fab.hasWritePermission(1, 0, UnprotectedRegion));
+}
+
+TEST_F(FabricTest, TwoSidedSendInvokesReceiver) {
+  std::vector<std::uint8_t> Got;
+  NodeId GotSrc = 99;
+  Fab.setRecvHandler(1, [&](NodeId Src,
+                            const std::vector<std::uint8_t> &Msg) {
+    GotSrc = Src;
+    Got = Msg;
+  });
+  Fab.send(0, 1, bytes({1, 2, 3}));
+  Sim.run();
+  EXPECT_EQ(GotSrc, 0u);
+  EXPECT_EQ(Got, bytes({1, 2, 3}));
+}
+
+TEST_F(FabricTest, TwoSidedSlowerThanOneSided) {
+  sim::SimTime WriteDone = 0, SendDone = 0;
+  Fab.postWrite(0, 1, 0, bytes({1}), UnprotectedRegion,
+                [&](WcStatus) { WriteDone = Sim.now(); });
+  Fab.setRecvHandler(2, [&](NodeId, const std::vector<std::uint8_t> &) {
+    SendDone = Sim.now();
+  });
+  Fab.send(0, 2, bytes({1}));
+  Sim.run();
+  EXPECT_GT(SendDone, WriteDone * 4);
+}
+
+TEST_F(FabricTest, CrashDropsCpuButKeepsMemoryAccessible) {
+  bool HandlerRan = false;
+  Fab.setRecvHandler(1, [&](NodeId, const std::vector<std::uint8_t> &) {
+    HandlerRan = true;
+  });
+  Fab.crash(1);
+  EXPECT_FALSE(Fab.isAlive(1));
+  Fab.send(0, 1, bytes({1}));
+  // One-sided access still works on the crashed node's memory.
+  Fab.postWrite(0, 1, 128, bytes({0x77}));
+  Sim.run();
+  std::uint8_t ReadBack = 0;
+  Fab.postRead(2, 1, 128, 1,
+               [&](WcStatus, std::vector<std::uint8_t> Data) {
+                 ReadBack = Data.at(0);
+               });
+  Sim.run();
+  EXPECT_FALSE(HandlerRan);
+  EXPECT_EQ(Fab.memory(1).readU8(128), 0x77);
+  EXPECT_EQ(ReadBack, 0x77);
+}
+
+TEST_F(FabricTest, CrashedNodeCpuJobsDropped) {
+  bool Ran = false;
+  Fab.runOnCpu(1, sim::micros(1), [&] { Ran = true; });
+  Fab.crash(1);
+  Sim.run();
+  EXPECT_FALSE(Ran);
+}
+
+TEST_F(FabricTest, CpuLaneSerializesWork) {
+  sim::SimTime DoneA = 0, DoneB = 0;
+  Fab.runOnCpu(0, sim::micros(1), [&] { DoneA = Sim.now(); });
+  Fab.runOnCpu(0, sim::micros(1), [&] { DoneB = Sim.now(); });
+  Sim.run();
+  EXPECT_EQ(DoneA, sim::micros(1));
+  EXPECT_EQ(DoneB, sim::micros(2));
+}
+
+TEST_F(FabricTest, CpuLanesRunInParallel) {
+  sim::SimTime DoneA = 0, DoneB = 0;
+  Fab.runOnCpu(0, sim::micros(1), [&] { DoneA = Sim.now(); },
+               Fabric::LaneClient);
+  Fab.runOnCpu(0, sim::micros(1), [&] { DoneB = Sim.now(); },
+               Fabric::LanePoller);
+  Sim.run();
+  EXPECT_EQ(DoneA, sim::micros(1));
+  EXPECT_EQ(DoneB, sim::micros(1));
+}
+
+TEST_F(FabricTest, DiagnosticCountersAdvance) {
+  EXPECT_EQ(Fab.totalWritesPosted(), 0u);
+  Fab.postWrite(0, 1, 0, bytes({1, 2}));
+  Fab.postRead(0, 1, 0, 2, [](WcStatus, std::vector<std::uint8_t>) {});
+  Fab.send(0, 1, bytes({3}));
+  Sim.run();
+  EXPECT_EQ(Fab.totalWritesPosted(), 1u);
+  EXPECT_EQ(Fab.totalReadsPosted(), 1u);
+  EXPECT_EQ(Fab.totalSendsPosted(), 1u);
+  EXPECT_EQ(Fab.totalBytesWritten(), 2u);
+}
+
+TEST(NetworkModelTest, CostHelpersScaleWithBytes) {
+  NetworkModel M;
+  EXPECT_GT(M.writeWire(4096), M.writeWire(8));
+  EXPECT_GT(M.readWire(4096), M.readWire(8));
+  EXPECT_GT(M.msgWire(4096), M.msgWire(8));
+  // The kernel-stack path is an order of magnitude above one-sided ops.
+  EXPECT_GT(M.msgWire(64), 5 * M.writeWire(64));
+}

@@ -1,0 +1,646 @@
+//===- tests/RuntimeTests.cpp - Hamband runtime tests -------------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/core/TypeRegistry.h"
+#include "hamband/runtime/HambandCluster.h"
+#include "hamband/types/BankAccount.h"
+#include "hamband/types/Counter.h"
+#include "hamband/types/Movie.h"
+#include "hamband/types/ORSet.h"
+#include "hamband/types/PNCounter.h"
+#include "hamband/types/Schema.h"
+
+#include <gtest/gtest.h>
+
+using namespace hamband;
+using namespace hamband::runtime;
+using namespace hamband::types;
+
+namespace {
+
+/// Runs the simulator in slices until \p Pred holds or \p CapUs elapses.
+template <typename PredT>
+bool runUntil(sim::Simulator &Sim, PredT Pred, double CapUs = 200000.0) {
+  sim::SimTime Cap = Sim.now() + sim::micros(CapUs);
+  while (Sim.now() < Cap) {
+    if (Pred())
+      return true;
+    Sim.run(Sim.now() + sim::micros(20));
+  }
+  return Pred();
+}
+
+} // namespace
+
+// -- Wire format --------------------------------------------------------------
+
+TEST(WireFormat, ByteWriterReaderRoundTrip) {
+  ByteWriter W;
+  W.u8(7);
+  W.u16(0xBEEF);
+  W.u32(0xCAFEBABE);
+  W.u64(0x0123456789ABCDEFull);
+  W.i64(-42);
+  std::vector<std::uint8_t> Bytes = W.take();
+  ByteReader R(Bytes);
+  EXPECT_EQ(R.u8(), 7);
+  EXPECT_EQ(R.u16(), 0xBEEF);
+  EXPECT_EQ(R.u32(), 0xCAFEBABEu);
+  EXPECT_EQ(R.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(R.i64(), -42);
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.remaining(), 0u);
+}
+
+TEST(WireFormat, ByteReaderDetectsTruncation) {
+  std::vector<std::uint8_t> Bytes = {1, 2};
+  ByteReader R(Bytes);
+  R.u32();
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(WireFormat, CallRoundTripWithDeps) {
+  BankAccount T;
+  const CoordinationSpec &Spec = T.coordination();
+  WireCall In;
+  In.TheCall = Call(BankAccount::Withdraw, {5}, 2, 77);
+  In.Deps.push_back(semantics::DepEntry{0, BankAccount::Deposit, 3});
+  In.Deps.push_back(semantics::DepEntry{2, BankAccount::Deposit, 9});
+  In.BcastSeq = 1234;
+  std::vector<std::uint8_t> Bytes = encodeCall(Spec, 3, In);
+  WireCall Out;
+  ASSERT_TRUE(decodeCall(Spec, 3, Bytes.data(), Bytes.size(), Out));
+  EXPECT_EQ(Out.TheCall, In.TheCall);
+  EXPECT_EQ(Out.BcastSeq, 1234u);
+  ASSERT_EQ(Out.Deps.size(), 2u);
+  EXPECT_EQ(Out.Deps[0].P, 0u);
+  EXPECT_EQ(Out.Deps[0].Count, 3u);
+  EXPECT_EQ(Out.Deps[1].P, 2u);
+  EXPECT_EQ(Out.Deps[1].Count, 9u);
+}
+
+TEST(WireFormat, DepBlockSizeImpliedByMethod) {
+  // A dependence-free method encodes no dependency block at all.
+  BankAccount T;
+  WireCall Dep;
+  Dep.TheCall = Call(BankAccount::Deposit, {5}, 0, 1);
+  WireCall Wd;
+  Wd.TheCall = Call(BankAccount::Withdraw, {5}, 0, 1);
+  std::size_t DepLen = encodeCall(T.coordination(), 4, Dep).size();
+  std::size_t WdLen = encodeCall(T.coordination(), 4, Wd).size();
+  EXPECT_EQ(WdLen, DepLen + 4 * 8); // |P| x |Dep(withdraw)| counts.
+}
+
+TEST(WireFormat, MailRoundTrip) {
+  MailMsg In;
+  In.Kind = MailKind::ConfRequest;
+  In.Origin = 3;
+  In.ReqId = 991;
+  In.TheCall = Call(1, {4, 5}, 3, 991);
+  std::vector<std::uint8_t> Bytes = encodeMail(In);
+  MailMsg Out;
+  ASSERT_TRUE(decodeMail(Bytes.data(), Bytes.size(), Out));
+  EXPECT_EQ(Out.Kind, MailKind::ConfRequest);
+  EXPECT_EQ(Out.Origin, 3u);
+  EXPECT_EQ(Out.ReqId, 991u);
+  EXPECT_EQ(Out.TheCall, In.TheCall);
+}
+
+TEST(WireFormat, SummaryRoundTrip) {
+  SummaryImage In;
+  In.Seq = 42;
+  In.Summary = Call(0, {100}, 1, 7);
+  In.AppliedCounts = {{0, 13}};
+  std::vector<std::uint8_t> Bytes = encodeSummary(In);
+  SummaryImage Out;
+  ASSERT_TRUE(decodeSummary(Bytes.data(), Bytes.size(), Out));
+  EXPECT_EQ(Out.Seq, 42u);
+  EXPECT_EQ(Out.Summary, In.Summary);
+  ASSERT_EQ(Out.AppliedCounts.size(), 1u);
+  EXPECT_EQ(Out.AppliedCounts[0].second, 13u);
+}
+
+TEST(WireFormat, DecodeRejectsGarbage) {
+  BankAccount T;
+  std::vector<std::uint8_t> Garbage = {0xFF, 0xFF, 0xFF};
+  WireCall Out;
+  EXPECT_FALSE(decodeCall(T.coordination(), 3, Garbage.data(),
+                          Garbage.size(), Out));
+}
+
+// -- Memory map ---------------------------------------------------------------
+
+TEST(MemoryMapTest, OffsetsAreDisjoint) {
+  RingGeometry G{64, 128};
+  MemoryMap Map(4, 2, 2, G, G, G);
+  // Spot-check that major structures do not overlap.
+  EXPECT_LT(Map.summarySlot(1, 3) + 512, Map.freeRingData(0) + 1);
+  EXPECT_LE(Map.freeRingData(3) + G.dataBytes(), Map.freeRingFeedback(0));
+  EXPECT_LE(Map.confRingData(1) + G.dataBytes(),
+            Map.confRingFeedback(0, 0));
+  EXPECT_LT(Map.backupSlot(), Map.heartbeat());
+  EXPECT_LT(Map.heartbeat(), Map.proposalSlot(0, 0));
+  EXPECT_LT(Map.proposalSlot(1, 3), Map.ackSlot(0, 0));
+  EXPECT_GT(Map.totalBytes(), Map.ackSlot(1, 3));
+}
+
+TEST(MemoryMapTest, SlotsDistinctPerIndex) {
+  RingGeometry G{64, 128};
+  MemoryMap Map(3, 1, 1, G, G, G);
+  EXPECT_NE(Map.summarySlot(0, 0), Map.summarySlot(0, 1));
+  EXPECT_NE(Map.freeRingData(0), Map.freeRingData(1));
+  EXPECT_NE(Map.mailRingFeedback(0), Map.mailRingFeedback(2));
+  EXPECT_NE(Map.proposalSlot(0, 1), Map.proposalSlot(0, 2));
+}
+
+// -- Ring buffers over the fabric ---------------------------------------------
+
+struct RingTest : ::testing::Test {
+  sim::Simulator Sim;
+  rdma::Fabric Fab{Sim, 2, rdma::NetworkModel(), 1u << 20};
+  RingGeometry Geom{8, 64};
+  rdma::MemOffset Data = 256;
+  rdma::MemOffset Feedback = 128;
+  RingWriter W{Fab, 0, 1, Data, Feedback, Geom};
+  RingReader R{Fab, 1, 0, Data, Feedback, Geom};
+};
+
+TEST_F(RingTest, AppendThenPeekRoundTrip) {
+  std::vector<std::uint8_t> Payload = {1, 2, 3};
+  ASSERT_TRUE(W.append(Payload));
+  std::vector<std::uint8_t> Got;
+  EXPECT_FALSE(R.peek(Got)); // Not delivered yet.
+  Sim.run();
+  ASSERT_TRUE(R.peek(Got));
+  EXPECT_EQ(Got, Payload);
+  R.consume();
+  EXPECT_FALSE(R.peek(Got));
+  EXPECT_EQ(R.head(), 1u);
+}
+
+TEST_F(RingTest, FifoOrderPreserved) {
+  for (std::uint8_t I = 0; I < 5; ++I)
+    ASSERT_TRUE(W.append({I}));
+  Sim.run();
+  for (std::uint8_t I = 0; I < 5; ++I) {
+    std::vector<std::uint8_t> Got;
+    ASSERT_TRUE(R.peek(Got));
+    EXPECT_EQ(Got[0], I);
+    R.consume();
+  }
+}
+
+TEST_F(RingTest, WriterBlocksWhenFull) {
+  for (unsigned I = 0; I < Geom.NumCells; ++I)
+    ASSERT_TRUE(W.append({static_cast<std::uint8_t>(I)}));
+  EXPECT_TRUE(W.full());
+  EXPECT_FALSE(W.append({0xFF}));
+  Sim.run();
+  // Consuming and feeding back reopens the ring.
+  std::vector<std::uint8_t> Got;
+  for (unsigned I = 0; I < Geom.NumCells; ++I) {
+    ASSERT_TRUE(R.peek(Got));
+    R.consume();
+  }
+  R.forceFeedback();
+  Sim.run();
+  EXPECT_FALSE(W.full());
+  EXPECT_TRUE(W.append({0xFF}));
+}
+
+TEST_F(RingTest, CellsReusedAcrossLaps) {
+  std::vector<std::uint8_t> Got;
+  for (unsigned Lap = 0; Lap < 3; ++Lap) {
+    for (unsigned I = 0; I < Geom.NumCells; ++I) {
+      ASSERT_TRUE(W.append({static_cast<std::uint8_t>(Lap * 16 + I)}));
+      Sim.run();
+      ASSERT_TRUE(R.peek(Got));
+      EXPECT_EQ(Got[0], Lap * 16 + I);
+      R.consume();
+    }
+    R.forceFeedback();
+    Sim.run();
+  }
+}
+
+TEST_F(RingTest, ConsumedCellBytesRemainForCatchUp) {
+  ASSERT_TRUE(W.append({9, 9}));
+  Sim.run();
+  std::vector<std::uint8_t> Got;
+  ASSERT_TRUE(R.peek(Got));
+  R.consume();
+  EXPECT_FALSE(R.readCell(0, Got)); // Canary cleared.
+  EXPECT_TRUE(R.readCellIgnoringCanary(0, Got));
+  EXPECT_EQ(Got, (std::vector<std::uint8_t>{9, 9}));
+}
+
+// -- Heartbeats and broadcast -------------------------------------------------
+
+TEST(HeartbeatTest, SuspendedNodeGetsSuspected) {
+  sim::Simulator Sim;
+  rdma::Fabric Fab(Sim, 3, rdma::NetworkModel(), 1u << 20);
+  HeartbeatDetector::Config Cfg;
+  std::vector<std::unique_ptr<HeartbeatDetector>> Ds;
+  std::vector<rdma::NodeId> SuspectedBy0;
+  for (rdma::NodeId N = 0; N < 3; ++N) {
+    Ds.push_back(std::make_unique<HeartbeatDetector>(Fab, N, 64, Cfg));
+    Ds.back()->start();
+  }
+  Ds[0]->onSuspect([&](rdma::NodeId P) { SuspectedBy0.push_back(P); });
+  Sim.run(sim::millis(2));
+  EXPECT_TRUE(SuspectedBy0.empty()); // Healthy cluster: no suspicion.
+  Ds[2]->suspendBeating();
+  Sim.run(sim::millis(4));
+  ASSERT_EQ(SuspectedBy0.size(), 1u);
+  EXPECT_EQ(SuspectedBy0[0], 2u);
+  EXPECT_TRUE(Ds[0]->isSuspected(2));
+  EXPECT_FALSE(Ds[0]->isSuspected(1));
+}
+
+TEST(BroadcastTest, StageFetchClear) {
+  sim::Simulator Sim;
+  rdma::Fabric Fab(Sim, 2, rdma::NetworkModel(), 1u << 20);
+  ReliableBroadcast B0(Fab, 0, 512, 256);
+  ReliableBroadcast B1(Fab, 1, 512, 256);
+  B0.stage(ReliableBroadcast::Kind::FreeCall, 3, {1, 2, 3});
+  ReliableBroadcast::BackupMessage Got;
+  B1.fetch(0, [&](ReliableBroadcast::BackupMessage M) { Got = M; });
+  Sim.run();
+  EXPECT_EQ(Got.TheKind, ReliableBroadcast::Kind::FreeCall);
+  EXPECT_EQ(Got.Aux, 3);
+  EXPECT_EQ(Got.Payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  B0.clear();
+  Got = ReliableBroadcast::BackupMessage();
+  Got.TheKind = ReliableBroadcast::Kind::Summary;
+  B1.fetch(0, [&](ReliableBroadcast::BackupMessage M) { Got = M; });
+  Sim.run();
+  EXPECT_EQ(Got.TheKind, ReliableBroadcast::Kind::None);
+}
+
+// -- Full cluster -------------------------------------------------------------
+
+struct ClusterTest : ::testing::Test {
+  sim::Simulator Sim;
+
+  std::unique_ptr<HambandCluster> makeCluster(const ObjectType &T,
+                                              unsigned Nodes = 3) {
+    auto C = std::make_unique<HambandCluster>(Sim, Nodes, T);
+    C->start();
+    return C;
+  }
+};
+
+TEST_F(ClusterTest, ReducibleCallsReachEveryNode) {
+  Counter T;
+  auto C = makeCluster(T);
+  int OkCount = 0;
+  C->submit(0, Call(Counter::Add, {5}, 0, 1),
+            [&](bool Ok, Value) { OkCount += Ok; });
+  C->submit(1, Call(Counter::Add, {7}, 1, 2),
+            [&](bool Ok, Value) { OkCount += Ok; });
+  ASSERT_TRUE(runUntil(Sim, [&] { return C->fullyReplicated(); }));
+  EXPECT_EQ(OkCount, 2);
+  for (rdma::NodeId N = 0; N < 3; ++N) {
+    Value V = -1;
+    C->submit(N, Call(Counter::Read, {}, N, 100 + N),
+              [&](bool, Value Got) { V = Got; });
+    runUntil(Sim, [&] { return V >= 0; });
+    EXPECT_EQ(V, 12);
+  }
+  EXPECT_TRUE(C->converged());
+}
+
+TEST_F(ClusterTest, IrreducibleFreeCallsPropagateThroughRings) {
+  ORSet T;
+  auto C = makeCluster(T);
+  bool Done = false;
+  C->submit(0, Call(ORSet::Add, {7}, 0, 1),
+            [&](bool Ok, Value) { Done = Ok; });
+  ASSERT_TRUE(runUntil(Sim, [&] { return Done && C->fullyReplicated(); }));
+  Value V = -1;
+  C->submit(2, Call(ORSet::Contains, {7}, 2, 2),
+            [&](bool, Value Got) { V = Got; });
+  runUntil(Sim, [&] { return V >= 0; });
+  EXPECT_EQ(V, 1);
+}
+
+TEST_F(ClusterTest, RemoveWaitsForItsAddEverywhere) {
+  ORSet T;
+  auto C = makeCluster(T);
+  bool AddDone = false, RemDone = false;
+  C->submit(0, Call(ORSet::Add, {7}, 0, 1),
+            [&](bool, Value) { AddDone = true; });
+  runUntil(Sim, [&] { return AddDone; });
+  C->submit(0, Call(ORSet::Remove, {7}, 0, 2),
+            [&](bool, Value) { RemDone = true; });
+  ASSERT_TRUE(
+      runUntil(Sim, [&] { return RemDone && C->fullyReplicated(); }));
+  EXPECT_TRUE(C->converged());
+  Value V = -1;
+  C->submit(1, Call(ORSet::Contains, {7}, 1, 3),
+            [&](bool, Value Got) { V = Got; });
+  runUntil(Sim, [&] { return V >= 0; });
+  EXPECT_EQ(V, 0);
+}
+
+TEST_F(ClusterTest, ConflictingCallsOrderedByLeader) {
+  BankAccount T;
+  auto C = makeCluster(T);
+  unsigned G = 0;
+  rdma::NodeId Leader = C->leaderOf(G, 0);
+  bool DepDone = false;
+  C->submit(Leader, Call(BankAccount::Deposit, {10}, Leader, 1),
+            [&](bool, Value) { DepDone = true; });
+  runUntil(Sim, [&] { return DepDone && C->fullyReplicated(); });
+
+  // Two withdrawals that only jointly overdraft: exactly one of a third
+  // must fail.
+  int Ok = 0, Fail = 0;
+  for (int I = 0; I < 3; ++I)
+    C->submit(Leader, Call(BankAccount::Withdraw, {5}, Leader, 10 + I),
+              [&](bool IsOk, Value) { IsOk ? ++Ok : ++Fail; });
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return Ok + Fail == 3 && C->fullyReplicated();
+  }));
+  EXPECT_EQ(Ok, 2);
+  EXPECT_EQ(Fail, 1);
+  EXPECT_TRUE(C->converged());
+  Value V = -1;
+  C->submit(1, Call(BankAccount::Balance, {}, 1, 99),
+            [&](bool, Value Got) { V = Got; });
+  runUntil(Sim, [&] { return V >= 0; });
+  EXPECT_EQ(V, 0);
+}
+
+TEST_F(ClusterTest, ConflictingCallForwardedFromFollower) {
+  BankAccount T;
+  auto C = makeCluster(T);
+  rdma::NodeId Leader = C->leaderOf(0, 0);
+  rdma::NodeId Follower = (Leader + 1) % 3;
+  bool DepDone = false;
+  C->submit(Follower, Call(BankAccount::Deposit, {10}, Follower, 1),
+            [&](bool, Value) { DepDone = true; });
+  runUntil(Sim, [&] { return DepDone && C->fullyReplicated(); });
+  // Submit the conflicting call at a follower: it must be redirected to
+  // the leader through the mailbox and still complete.
+  bool WdOk = false, WdDone = false;
+  C->submit(Follower, Call(BankAccount::Withdraw, {4}, Follower, 2),
+            [&](bool Ok, Value) {
+              WdOk = Ok;
+              WdDone = true;
+            });
+  ASSERT_TRUE(
+      runUntil(Sim, [&] { return WdDone && C->fullyReplicated(); }));
+  EXPECT_TRUE(WdOk);
+  EXPECT_TRUE(C->converged());
+}
+
+TEST_F(ClusterTest, MixedWorkloadConvergesOnSchema) {
+  Courseware T;
+  auto C = makeCluster(T, 4);
+  rdma::NodeId Leader = C->leaderOf(0, 0);
+  int Done = 0;
+  auto Count = [&](bool, Value) { ++Done; };
+  C->submit(Leader, Call(TwoEntitySchema::AddA, {1}, Leader, 1), Count);
+  C->submit(2, Call(TwoEntitySchema::AddB, {7}, 2, 2), Count);
+  runUntil(Sim, [&] { return Done == 2 && C->fullyReplicated(); });
+  C->submit(Leader, Call(TwoEntitySchema::Rel, {1, 7}, Leader, 3), Count);
+  ASSERT_TRUE(
+      runUntil(Sim, [&] { return Done == 3 && C->fullyReplicated(); }));
+  EXPECT_TRUE(C->converged());
+  Value V = -1;
+  C->submit(3, Call(TwoEntitySchema::QueryA, {1}, 3, 4),
+            [&](bool, Value Got) { V = Got; });
+  runUntil(Sim, [&] { return V >= 0; });
+  EXPECT_EQ(V, 1);
+}
+
+TEST_F(ClusterTest, FollowerFailureToleratedForConflictFree) {
+  Counter T;
+  auto C = makeCluster(T, 4);
+  int Done = 0;
+  auto Count = [&](bool, Value) { ++Done; };
+  C->submit(0, Call(Counter::Add, {1}, 0, 1), Count);
+  runUntil(Sim, [&] { return Done == 1 && C->fullyReplicated(); });
+  C->injectFailure(3);
+  EXPECT_TRUE(C->isFailed(3));
+  // Conflict-free traffic keeps flowing (the failed node still applies:
+  // only its heartbeat stopped).
+  C->submit(1, Call(Counter::Add, {2}, 1, 2), Count);
+  ASSERT_TRUE(
+      runUntil(Sim, [&] { return Done == 2 && C->fullyReplicated(); }));
+  EXPECT_TRUE(C->converged());
+}
+
+TEST_F(ClusterTest, LeaderFailureTriggersLeaderChange) {
+  BankAccount T;
+  auto C = makeCluster(T, 4);
+  rdma::NodeId OldLeader = C->leaderOf(0, 0);
+  bool DepDone = false;
+  C->submit(0, Call(BankAccount::Deposit, {100}, 0, 1),
+            [&](bool, Value) { DepDone = true; });
+  runUntil(Sim, [&] { return DepDone && C->fullyReplicated(); });
+
+  C->injectFailure(OldLeader);
+  // Eventually every non-failed node adopts a new leader.
+  ASSERT_TRUE(runUntil(
+      Sim,
+      [&] {
+        for (rdma::NodeId N = 0; N < 4; ++N)
+          if (N != OldLeader && C->leaderOf(0, N) == OldLeader)
+            return false;
+        return true;
+      },
+      20000.0));
+  rdma::NodeId NewLeader = C->leaderOf(0, (OldLeader + 1) % 4);
+  EXPECT_NE(NewLeader, OldLeader);
+
+  // The new leader serves conflicting calls.
+  bool WdOk = false, WdDone = false;
+  C->submit(NewLeader, Call(BankAccount::Withdraw, {5}, NewLeader, 2),
+            [&](bool Ok, Value) {
+              WdOk = Ok;
+              WdDone = true;
+            });
+  ASSERT_TRUE(runUntil(Sim, [&] { return WdDone; }, 20000.0));
+  EXPECT_TRUE(WdOk);
+  ASSERT_TRUE(runUntil(Sim, [&] { return C->fullyReplicated(); }, 50000.0));
+  EXPECT_TRUE(C->converged());
+}
+
+TEST_F(ClusterTest, SummariesCoalesceManyCallsIntoOneSlot) {
+  Counter T;
+  auto C = makeCluster(T);
+  int Done = 0;
+  const int N = 60;
+  for (int I = 0; I < N; ++I) {
+    C->submit(0, Call(Counter::Add, {1}, 0, 1 + I),
+              [&](bool, Value) { ++Done; });
+    // Interleave so summaries overwrite each other in flight.
+    if (I % 8 == 0)
+      Sim.run(Sim.now() + sim::micros(3));
+  }
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return Done == N && C->fullyReplicated();
+  }));
+  // Every node accounts for all N calls even though its poller only ever
+  // parsed the *latest* summary image per traversal.
+  for (rdma::NodeId Node = 0; Node < 3; ++Node)
+    EXPECT_EQ(C->node(Node).applied(0, Counter::Add),
+              static_cast<std::uint64_t>(N));
+  Value V = -1;
+  C->submit(2, Call(Counter::Read, {}, 2, 9999),
+            [&](bool, Value Got) { V = Got; });
+  runUntil(Sim, [&] { return V >= 0; });
+  EXPECT_EQ(V, N);
+}
+
+TEST_F(ClusterTest, PNCounterUsesTwoSummarySlotsPerPeer) {
+  types::PNCounter T;
+  auto C = makeCluster(T);
+  int Done = 0;
+  C->submit(0, Call(types::PNCounter::Increment, {10}, 0, 1),
+            [&](bool, Value) { ++Done; });
+  C->submit(0, Call(types::PNCounter::Decrement, {4}, 0, 2),
+            [&](bool, Value) { ++Done; });
+  C->submit(1, Call(types::PNCounter::Increment, {1}, 1, 3),
+            [&](bool, Value) { ++Done; });
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return Done == 3 && C->fullyReplicated();
+  }));
+  for (rdma::NodeId N = 0; N < 3; ++N) {
+    Value V = -99;
+    C->submit(N, Call(types::PNCounter::ValueOf, {}, N, 100 + N),
+              [&](bool, Value Got) { V = Got; });
+    runUntil(Sim, [&] { return V != -99; });
+    EXPECT_EQ(V, 7);
+  }
+}
+
+TEST_F(ClusterTest, DuplicateConfRequestAppliedOnce) {
+  BankAccount T;
+  auto C = makeCluster(T);
+  rdma::NodeId Leader = C->leaderOf(0, 0);
+  int Done = 0;
+  C->submit(Leader, Call(BankAccount::Deposit, {10}, Leader, 1),
+            [&](bool, Value) { ++Done; });
+  runUntil(Sim, [&] { return Done == 1 && C->fullyReplicated(); });
+  // The same request id submitted twice (a client retry): the dedup set
+  // must keep the effect single.
+  int OkCount = 0;
+  for (int I = 0; I < 2; ++I) {
+    C->submit(Leader, Call(BankAccount::Withdraw, {4}, Leader, 77),
+              [&](bool Ok, Value) {
+                OkCount += Ok;
+                ++Done;
+              });
+    Sim.run(Sim.now() + sim::micros(50));
+  }
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return Done == 3 && C->fullyReplicated();
+  }));
+  EXPECT_EQ(OkCount, 2); // Both attempts acknowledged...
+  EXPECT_EQ(C->node(Leader).applied(Leader, BankAccount::Withdraw), 1u);
+  Value V = -1;
+  C->submit(1, Call(BankAccount::Balance, {}, 1, 9999),
+            [&](bool, Value Got) { V = Got; });
+  runUntil(Sim, [&] { return V >= 0; });
+  EXPECT_EQ(V, 6); // ...but only one withdrawal applied.
+}
+
+TEST_F(ClusterTest, AccountingOracleForConflictFreeTypes) {
+  // Independent oracle: the final counter value equals the sum of the
+  // accepted add() amounts, regardless of interleaving.
+  Counter T;
+  auto C = makeCluster(T, 4);
+  sim::Rng R(321);
+  Value Expected = 0;
+  int Done = 0, Issued = 0;
+  for (int I = 0; I < 40; ++I) {
+    Value Amount = R.uniformInt(1, 9);
+    rdma::NodeId N = static_cast<rdma::NodeId>(R.index(4));
+    ++Issued;
+    C->submit(N, Call(Counter::Add, {Amount}, N, 100 + I),
+              [&, Amount](bool Ok, Value) {
+                if (Ok)
+                  Expected += Amount;
+                ++Done;
+              });
+    if (I % 5 == 0)
+      Sim.run(Sim.now() + sim::micros(4));
+  }
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return Done == Issued && C->fullyReplicated();
+  }));
+  for (rdma::NodeId N = 0; N < 4; ++N) {
+    Value V = -1;
+    C->submit(N, Call(Counter::Read, {}, N, 9990 + N),
+              [&](bool, Value Got) { V = Got; });
+    runUntil(Sim, [&] { return V >= 0; });
+    EXPECT_EQ(V, Expected);
+  }
+}
+
+TEST_F(ClusterTest, DiagnosticsReportIdleAfterDrain) {
+  Counter T;
+  auto C = makeCluster(T);
+  bool Done = false;
+  C->submit(0, Call(Counter::Add, {1}, 0, 1),
+            [&](bool, Value) { Done = true; });
+  ASSERT_TRUE(runUntil(Sim, [&] { return Done && C->fullyReplicated(); }));
+  for (rdma::NodeId N = 0; N < 3; ++N) {
+    EXPECT_TRUE(C->node(N).idle());
+    EXPECT_EQ(C->node(N).pendingFreeTotal(), 0u);
+    EXPECT_EQ(C->node(N).pendingConfTotal(), 0u);
+    EXPECT_EQ(C->node(N).leaderQueueTotal(), 0u);
+    EXPECT_EQ(C->node(N).awaitingResponseCount(), 0u);
+  }
+  EXPECT_EQ(C->node(0).localUpdates(), 1u);
+}
+
+class ClusterConvergenceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>> {};
+
+TEST_P(ClusterConvergenceTest, RandomWorkloadConverges) {
+  auto [Name, Nodes] = GetParam();
+  auto T = makeType(Name);
+  sim::Simulator Sim;
+  HambandCluster C(Sim, Nodes, *T);
+  C.start();
+  const CoordinationSpec &Spec = T->coordination();
+  sim::Rng R(1234);
+  std::vector<MethodId> Updates = Spec.updateMethods();
+  unsigned Done = 0, Issued = 0;
+  for (unsigned I = 0; I < 60; ++I) {
+    MethodId M = R.pick(Updates);
+    rdma::NodeId Origin;
+    if (Spec.category(M) == MethodCategory::Conflicting)
+      Origin = C.leaderOf(*Spec.syncGroup(M), 0);
+    else
+      Origin = static_cast<rdma::NodeId>(R.index(Nodes));
+    Call Cl = T->randomClientCall(M, Origin, 1000 + I, R);
+    ++Issued;
+    C.submit(Origin, Cl, [&Done](bool, Value) { ++Done; });
+    // Stagger submissions.
+    Sim.run(Sim.now() + sim::micros(2));
+  }
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return Done == Issued && C.fullyReplicated();
+  })) << Name;
+  EXPECT_TRUE(C.converged()) << Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, ClusterConvergenceTest,
+    ::testing::Combine(::testing::ValuesIn(hamband::registeredTypeNames()),
+                       ::testing::Values(2u, 4u)),
+    [](const auto &Info) {
+      std::string Name = std::get<0>(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name + "_n" + std::to_string(std::get<1>(Info.param));
+    });

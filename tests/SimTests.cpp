@@ -1,0 +1,253 @@
+//===- tests/SimTests.cpp - Discrete-event engine tests ----------------------/
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/sim/EventQueue.h"
+#include "hamband/sim/Rng.h"
+#include "hamband/sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace hamband::sim;
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(nanos(5), 5u);
+  EXPECT_EQ(micros(1.0), 1000u);
+  EXPECT_EQ(micros(0.5), 500u);
+  EXPECT_EQ(millis(2.0), 2000000u);
+  EXPECT_DOUBLE_EQ(toMicros(1500), 1.5);
+  EXPECT_DOUBLE_EQ(toSeconds(2000000000ull), 2.0);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue Q;
+  std::vector<int> Order;
+  Q.push(30, [&] { Order.push_back(3); });
+  Q.push(10, [&] { Order.push_back(1); });
+  Q.push(20, [&] { Order.push_back(2); });
+  Event E;
+  while (Q.pop(E))
+    E.Fn();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue Q;
+  std::vector<int> Order;
+  for (int I = 0; I < 5; ++I)
+    Q.push(42, [&Order, I] { Order.push_back(I); });
+  Event E;
+  while (Q.pop(E))
+    E.Fn();
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue Q;
+  bool Fired = false;
+  EventId Id = Q.push(10, [&] { Fired = true; });
+  EXPECT_EQ(Q.size(), 1u);
+  Q.cancel(Id);
+  EXPECT_TRUE(Q.empty());
+  Event E;
+  EXPECT_FALSE(Q.pop(E));
+  EXPECT_FALSE(Fired);
+}
+
+TEST(EventQueue, CancelInvalidIsNoop) {
+  EventQueue Q;
+  Q.cancel(InvalidEventId);
+  Q.cancel(12345);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue Q;
+  std::vector<int> Order;
+  Q.push(1, [&] { Order.push_back(1); });
+  EventId Mid = Q.push(2, [&] { Order.push_back(2); });
+  Q.push(3, [&] { Order.push_back(3); });
+  Q.cancel(Mid);
+  Event E;
+  while (Q.pop(E))
+    E.Fn();
+  EXPECT_EQ(Order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue Q;
+  EventId First = Q.push(5, [] {});
+  Q.push(9, [] {});
+  EXPECT_EQ(Q.nextTime(), 5u);
+  Q.cancel(First);
+  EXPECT_EQ(Q.nextTime(), 9u);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator S;
+  SimTime Seen = 0;
+  S.schedule(micros(3), [&] { Seen = S.now(); });
+  S.run();
+  EXPECT_EQ(Seen, micros(3));
+  EXPECT_EQ(S.now(), micros(3));
+}
+
+TEST(Simulator, RunUntilHorizonStopsAndAdvancesClock) {
+  Simulator S;
+  bool Late = false;
+  S.schedule(micros(10), [&] { Late = true; });
+  S.run(micros(5));
+  EXPECT_FALSE(Late);
+  EXPECT_EQ(S.now(), micros(5));
+  S.run();
+  EXPECT_TRUE(Late);
+}
+
+TEST(Simulator, NestedSchedulingRunsInOrder) {
+  Simulator S;
+  std::vector<int> Order;
+  S.schedule(10, [&] {
+    Order.push_back(1);
+    S.schedule(5, [&] { Order.push_back(3); });
+    S.schedule(1, [&] { Order.push_back(2); });
+  });
+  S.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, StopInterruptsRun) {
+  Simulator S;
+  int Count = 0;
+  for (int I = 1; I <= 10; ++I)
+    S.schedule(I, [&] {
+      if (++Count == 3)
+        S.stop();
+    });
+  S.run();
+  EXPECT_EQ(Count, 3);
+  // Remaining events still pending.
+  EXPECT_EQ(S.pendingEvents(), 7u);
+}
+
+TEST(Simulator, MaxEventsBudget) {
+  Simulator S;
+  int Count = 0;
+  for (int I = 1; I <= 10; ++I)
+    S.schedule(I, [&] { ++Count; });
+  EXPECT_EQ(S.run(SimTimeMax, 4), 4u);
+  EXPECT_EQ(Count, 4);
+}
+
+TEST(Simulator, CancelPendingEvent) {
+  Simulator S;
+  bool Fired = false;
+  EventId Id = S.schedule(5, [&] { Fired = true; });
+  S.cancel(Id);
+  S.run();
+  EXPECT_FALSE(Fired);
+}
+
+TEST(Simulator, ScheduleAtClampsToNow) {
+  Simulator S;
+  S.schedule(100, [&] {
+    // Scheduling in the past executes "now", not backwards.
+    S.scheduleAt(10, [&] { EXPECT_EQ(S.now(), 100u); });
+  });
+  S.run();
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.nextU64(), B.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDiff |= A.nextU64() != B.nextU64();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng A(7);
+  Rng Child = A.fork();
+  // The child stream should not equal the parent's continuation.
+  bool AnyDiff = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDiff |= A.nextU64() != Child.nextU64();
+  EXPECT_TRUE(AnyDiff);
+}
+
+class RngRangeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngRangeTest, UniformIntStaysInRange) {
+  Rng R(GetParam());
+  for (int I = 0; I < 1000; ++I) {
+    std::int64_t V = R.uniformInt(-3, 7);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 7);
+  }
+}
+
+TEST_P(RngRangeTest, UniformRealInUnitInterval) {
+  Rng R(GetParam());
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.uniformReal();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST_P(RngRangeTest, IndexInBounds) {
+  Rng R(GetParam());
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.index(13), 13u);
+}
+
+TEST_P(RngRangeTest, BernoulliExtremes) {
+  Rng R(GetParam());
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.bernoulli(0.0));
+    EXPECT_TRUE(R.bernoulli(1.0));
+  }
+}
+
+TEST_P(RngRangeTest, ShufflePreservesElements) {
+  Rng R(GetParam());
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngRangeTest,
+                         ::testing::Values(1, 42, 1337, 0xdeadbeef));
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng R(99);
+  std::set<std::int64_t> Seen;
+  for (int I = 0; I < 2000; ++I)
+    Seen.insert(R.uniformInt(0, 3));
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TEST(Rng, ExponentialIsPositiveWithRoughMean) {
+  Rng R(5);
+  double Sum = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double X = R.exponential(10.0);
+    EXPECT_GT(X, 0.0);
+    Sum += X;
+  }
+  EXPECT_NEAR(Sum / N, 10.0, 0.5);
+}

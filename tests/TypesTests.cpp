@@ -1,0 +1,398 @@
+//===- tests/TypesTests.cpp - Data type library tests -------------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/types/Auction.h"
+#include "hamband/types/BankAccount.h"
+#include "hamband/types/Counter.h"
+#include "hamband/types/GSet.h"
+#include "hamband/types/LWWRegister.h"
+#include "hamband/types/Movie.h"
+#include "hamband/types/ORSet.h"
+#include "hamband/types/PNCounter.h"
+#include "hamband/types/Schema.h"
+#include "hamband/types/ShoppingCart.h"
+#include "hamband/types/TwoPhaseSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace hamband;
+using namespace hamband::types;
+
+TEST(CounterTest, AddAccumulates) {
+  Counter T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(Counter::Add, {5}));
+  T.apply(*S, Call(Counter::Add, {-2}));
+  EXPECT_EQ(T.query(*S, Call(Counter::Read, {})), 3);
+}
+
+TEST(CounterTest, SummarizeAddsAmounts) {
+  Counter T;
+  Call Out;
+  ASSERT_TRUE(T.summarize(Call(Counter::Add, {3}), Call(Counter::Add, {4}),
+                          Out));
+  EXPECT_EQ(Out.Method, Counter::Add);
+  EXPECT_EQ(Out.Args, (std::vector<Value>{7}));
+}
+
+TEST(CounterTest, SummarizeRejectsQueries) {
+  Counter T;
+  Call Out;
+  EXPECT_FALSE(
+      T.summarize(Call(Counter::Read, {}), Call(Counter::Add, {1}), Out));
+}
+
+TEST(LWWTest, LaterTimestampWins) {
+  LWWRegister T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(LWWRegister::Write, {10, 5, 0}));
+  T.apply(*S, Call(LWWRegister::Write, {20, 3, 0})); // Older: ignored.
+  EXPECT_EQ(T.query(*S, Call(LWWRegister::Read, {})), 10);
+  T.apply(*S, Call(LWWRegister::Write, {30, 9, 0}));
+  EXPECT_EQ(T.query(*S, Call(LWWRegister::Read, {})), 30);
+}
+
+TEST(LWWTest, TieBrokenByTiebreak) {
+  LWWRegister T;
+  StatePtr A = T.initialState();
+  StatePtr B = T.initialState();
+  Call W1(LWWRegister::Write, {10, 5, 1});
+  Call W2(LWWRegister::Write, {20, 5, 2});
+  T.apply(*A, W1);
+  T.apply(*A, W2);
+  T.apply(*B, W2);
+  T.apply(*B, W1);
+  EXPECT_TRUE(A->equals(*B));
+  EXPECT_EQ(T.query(*A, Call(LWWRegister::Read, {})), 20);
+}
+
+TEST(LWWTest, SummarizeKeepsWinner) {
+  LWWRegister T;
+  Call Out;
+  ASSERT_TRUE(T.summarize(Call(LWWRegister::Write, {10, 5, 0}),
+                          Call(LWWRegister::Write, {20, 4, 0}), Out));
+  EXPECT_EQ(Out.Args[0], 10); // First has the larger timestamp.
+}
+
+TEST(GSetTest, AddAndQueries) {
+  GSet T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(GSet::Add, {1, 2}));
+  T.apply(*S, Call(GSet::Add, {2, 3}));
+  EXPECT_EQ(T.query(*S, Call(GSet::Contains, {2})), 1);
+  EXPECT_EQ(T.query(*S, Call(GSet::Contains, {9})), 0);
+  EXPECT_EQ(T.query(*S, Call(GSet::Size, {})), 3);
+}
+
+TEST(GSetTest, SummarizeIsUnion) {
+  GSet T;
+  Call Out;
+  ASSERT_TRUE(
+      T.summarize(Call(GSet::Add, {1, 2}), Call(GSet::Add, {2, 3}), Out));
+  StatePtr A = T.initialState();
+  T.apply(*A, Out);
+  EXPECT_EQ(T.query(*A, Call(GSet::Size, {})), 3);
+}
+
+TEST(GSetTest, BufferedModeIsNotSummarizable) {
+  GSet T(GSet::Mode::Buffered);
+  Call Out;
+  EXPECT_FALSE(
+      T.summarize(Call(GSet::Add, {1}), Call(GSet::Add, {2}), Out));
+  EXPECT_EQ(T.coordination().category(GSet::Add),
+            MethodCategory::IrreducibleFree);
+  EXPECT_EQ(T.name(), "gset-buffered");
+}
+
+TEST(GSetTest, SummarizedModeIsReducible) {
+  GSet T;
+  EXPECT_EQ(T.coordination().category(GSet::Add),
+            MethodCategory::Reducible);
+}
+
+TEST(ORSetTest, PrepareAddAssignsTag) {
+  ORSet T;
+  StatePtr S = T.initialState();
+  Call Client(ORSet::Add, {7}, /*Issuer=*/2, /*Req=*/55);
+  Call Effect = T.prepare(*S, Client);
+  ASSERT_EQ(Effect.Args.size(), 2u);
+  EXPECT_EQ(Effect.Args[0], 7);
+  EXPECT_EQ(Effect.Args[1], ORSet::makeTag(2, 55));
+}
+
+TEST(ORSetTest, PrepareRemoveCollectsObservedTags) {
+  ORSet T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(ORSet::Add, {7, 100}));
+  T.apply(*S, Call(ORSet::Add, {7, 101}));
+  T.apply(*S, Call(ORSet::Add, {8, 102}));
+  Call Effect = T.prepare(*S, Call(ORSet::Remove, {7}));
+  ASSERT_GE(Effect.Args.size(), 2u);
+  EXPECT_EQ(Effect.Args[0], 7);
+  EXPECT_EQ(Effect.Args[1], 2); // Two observed tags.
+  T.apply(*S, Effect);
+  EXPECT_EQ(T.query(*S, Call(ORSet::Contains, {7})), 0);
+  EXPECT_EQ(T.query(*S, Call(ORSet::Contains, {8})), 1);
+}
+
+TEST(ORSetTest, ConcurrentAddSurvivesRemove) {
+  // The add-wins behaviour: a remove only deletes observed tags.
+  ORSet T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(ORSet::Add, {7, 100}));
+  // A remove prepared elsewhere that observed only tag 100.
+  T.apply(*S, Call(ORSet::Add, {7, 200})); // Concurrent add, tag 200.
+  T.apply(*S, Call(ORSet::Remove, {7, 1, 100}));
+  EXPECT_EQ(T.query(*S, Call(ORSet::Contains, {7})), 1);
+}
+
+TEST(ORSetTest, ConcurrentlyIssuableExcludesObservedPairs) {
+  ORSet T;
+  Call Add(ORSet::Add, {7, 100});
+  Call RemObserved(ORSet::Remove, {7, 1, 100});
+  Call RemOther(ORSet::Remove, {7, 1, 999});
+  EXPECT_FALSE(T.concurrentlyIssuable(Add, RemObserved));
+  EXPECT_FALSE(T.concurrentlyIssuable(RemObserved, Add));
+  EXPECT_TRUE(T.concurrentlyIssuable(Add, RemOther));
+}
+
+TEST(ORSetTest, EmptyRemoveIsNoop) {
+  ORSet T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(ORSet::Remove, {3, 0}));
+  EXPECT_EQ(T.query(*S, Call(ORSet::Contains, {3})), 0);
+}
+
+TEST(ShoppingCartTest, AddRemoveQuantity) {
+  ShoppingCart T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(ShoppingCart::AddItem, {1, 2, 500}));
+  T.apply(*S, Call(ShoppingCart::AddItem, {1, 3, 501}));
+  T.apply(*S, Call(ShoppingCart::AddItem, {2, 1, 502}));
+  EXPECT_EQ(T.query(*S, Call(ShoppingCart::Quantity, {1})), 5);
+  Call Rem = T.prepare(*S, Call(ShoppingCart::RemoveItem, {1}));
+  T.apply(*S, Rem);
+  EXPECT_EQ(T.query(*S, Call(ShoppingCart::Quantity, {1})), 0);
+  EXPECT_EQ(T.query(*S, Call(ShoppingCart::Quantity, {2})), 1);
+}
+
+TEST(BankAccountTest, InvariantRejectsOverdraft) {
+  BankAccount T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(BankAccount::Deposit, {5}));
+  EXPECT_TRUE(T.invariant(*S));
+  EXPECT_TRUE(T.permissible(*S, Call(BankAccount::Withdraw, {5})));
+  EXPECT_FALSE(T.permissible(*S, Call(BankAccount::Withdraw, {6})));
+  // apply() stays total even when impermissible.
+  T.apply(*S, Call(BankAccount::Withdraw, {6}));
+  EXPECT_FALSE(T.invariant(*S));
+}
+
+TEST(SchemaTest, CascadeDeleteKeepsIntegrity) {
+  Courseware T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(TwoEntitySchema::AddA, {1}));       // addCourse(1)
+  T.apply(*S, Call(TwoEntitySchema::AddB, {7}));       // registerStudent
+  T.apply(*S, Call(TwoEntitySchema::Rel, {1, 7}));     // enroll(1, 7)
+  EXPECT_TRUE(T.invariant(*S));
+  EXPECT_EQ(T.query(*S, Call(TwoEntitySchema::QueryA, {1})), 1);
+  T.apply(*S, Call(TwoEntitySchema::DelA, {1}));       // deleteCourse(1)
+  EXPECT_TRUE(T.invariant(*S)); // Cascade removed the enrollment row.
+  EXPECT_EQ(T.query(*S, Call(TwoEntitySchema::QueryA, {1})), 0);
+}
+
+TEST(SchemaTest, DanglingRowViolatesInvariant) {
+  Courseware T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(TwoEntitySchema::Rel, {1, 7})); // Enroll before insert.
+  EXPECT_FALSE(T.invariant(*S));
+}
+
+TEST(SchemaTest, WorksOnArgumentOrderIsEmployeeProject) {
+  ProjectManagement T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(TwoEntitySchema::AddA, {3}));   // addProject(3)
+  T.apply(*S, Call(TwoEntitySchema::AddB, {9}));   // addEmployee(9)
+  T.apply(*S, Call(TwoEntitySchema::Rel, {9, 3})); // worksOn(emp 9, prj 3)
+  EXPECT_TRUE(T.invariant(*S));
+  EXPECT_EQ(T.query(*S, Call(TwoEntitySchema::QueryA, {3})), 1);
+}
+
+TEST(SchemaTest, AddBSummarizesByUnion) {
+  ProjectManagement T;
+  Call Out;
+  ASSERT_TRUE(T.summarize(Call(TwoEntitySchema::AddB, {1, 2}),
+                          Call(TwoEntitySchema::AddB, {2, 3}), Out));
+  EXPECT_EQ(Out.Args.size(), 3u);
+}
+
+TEST(MovieTest, RelationsAreIndependent) {
+  Movie T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(Movie::AddCustomer, {1}));
+  T.apply(*S, Call(Movie::AddMovie, {9}));
+  T.apply(*S, Call(Movie::DeleteMovie, {9}));
+  EXPECT_EQ(T.query(*S, Call(Movie::HasCustomer, {1})), 1);
+  T.apply(*S, Call(Movie::DeleteCustomer, {1}));
+  EXPECT_EQ(T.query(*S, Call(Movie::HasCustomer, {1})), 0);
+}
+
+TEST(MovieTest, AddDeleteDoNotCommuteOnSameKey) {
+  Movie T;
+  StatePtr A = T.initialState();
+  StatePtr B = T.initialState();
+  Call Add(Movie::AddCustomer, {1});
+  Call Del(Movie::DeleteCustomer, {1});
+  T.apply(*A, Add);
+  T.apply(*A, Del);
+  T.apply(*B, Del);
+  T.apply(*B, Add);
+  EXPECT_FALSE(A->equals(*B));
+}
+
+TEST(PNCounterTest, IncrementDecrementAccumulate) {
+  PNCounter T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(PNCounter::Increment, {5}));
+  T.apply(*S, Call(PNCounter::Decrement, {2}));
+  T.apply(*S, Call(PNCounter::Increment, {1}));
+  EXPECT_EQ(T.query(*S, Call(PNCounter::ValueOf, {})), 4);
+}
+
+TEST(PNCounterTest, SeparateSummarizationGroups) {
+  PNCounter T;
+  const CoordinationSpec &S = T.coordination();
+  ASSERT_TRUE(S.sumGroup(PNCounter::Increment).has_value());
+  ASSERT_TRUE(S.sumGroup(PNCounter::Decrement).has_value());
+  EXPECT_NE(*S.sumGroup(PNCounter::Increment),
+            *S.sumGroup(PNCounter::Decrement));
+  EXPECT_EQ(S.numSumGroups(), 2u);
+  EXPECT_EQ(S.category(PNCounter::Increment), MethodCategory::Reducible);
+  EXPECT_EQ(S.category(PNCounter::Decrement), MethodCategory::Reducible);
+}
+
+TEST(PNCounterTest, SummarizeRejectsCrossGroupPairs) {
+  PNCounter T;
+  Call Out;
+  EXPECT_FALSE(T.summarize(Call(PNCounter::Increment, {1}),
+                           Call(PNCounter::Decrement, {1}), Out));
+  ASSERT_TRUE(T.summarize(Call(PNCounter::Decrement, {2}),
+                          Call(PNCounter::Decrement, {3}), Out));
+  EXPECT_EQ(Out.Args, (std::vector<Value>{5}));
+}
+
+TEST(TwoPhaseSetTest, RemoveWinsPermanently) {
+  TwoPhaseSet T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(TwoPhaseSet::Add, {1}));
+  EXPECT_EQ(T.query(*S, Call(TwoPhaseSet::Contains, {1})), 1);
+  T.apply(*S, Call(TwoPhaseSet::Remove, {1}));
+  EXPECT_EQ(T.query(*S, Call(TwoPhaseSet::Contains, {1})), 0);
+  // Re-adding has no effect: the tombstone wins.
+  T.apply(*S, Call(TwoPhaseSet::Add, {1}));
+  EXPECT_EQ(T.query(*S, Call(TwoPhaseSet::Contains, {1})), 0);
+}
+
+TEST(TwoPhaseSetTest, RemoveBeforeAddAllowedAndCommutes) {
+  TwoPhaseSet T;
+  StatePtr A = T.initialState();
+  StatePtr B = T.initialState();
+  Call Add(TwoPhaseSet::Add, {3});
+  Call Rem(TwoPhaseSet::Remove, {3});
+  T.apply(*A, Add);
+  T.apply(*A, Rem);
+  T.apply(*B, Rem);
+  T.apply(*B, Add);
+  EXPECT_TRUE(A->equals(*B)); // Unlike the movie relations: tombstones.
+  EXPECT_EQ(T.query(*A, Call(TwoPhaseSet::Contains, {3})), 0);
+}
+
+TEST(TwoPhaseSetTest, BothMethodsReducible) {
+  TwoPhaseSet T;
+  EXPECT_EQ(T.coordination().category(TwoPhaseSet::Add),
+            MethodCategory::Reducible);
+  EXPECT_EQ(T.coordination().category(TwoPhaseSet::Remove),
+            MethodCategory::Reducible);
+  EXPECT_EQ(T.coordination().numSyncGroups(), 0u);
+}
+
+TEST(AuctionTest, LifecycleAndWinner) {
+  Auction T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(Auction::Open, {1}));
+  T.apply(*S, Call(Auction::Bid, {1, 5}));
+  T.apply(*S, Call(Auction::Bid, {1, 9}));
+  T.apply(*S, Call(Auction::Bid, {1, 7}));
+  EXPECT_TRUE(T.invariant(*S));
+  EXPECT_EQ(T.query(*S, Call(Auction::Winner, {1})), 9); // Leading bid.
+  T.apply(*S, Call(Auction::Close, {1}));
+  EXPECT_TRUE(T.invariant(*S));
+  EXPECT_EQ(T.query(*S, Call(Auction::Winner, {1})), 9);
+}
+
+TEST(AuctionTest, LateBidViolatesIntegrity) {
+  Auction T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(Auction::Open, {1}));
+  T.apply(*S, Call(Auction::Bid, {1, 5}));
+  T.apply(*S, Call(Auction::Close, {1}));
+  EXPECT_FALSE(T.permissible(*S, Call(Auction::Bid, {1, 9})));
+  EXPECT_TRUE(T.permissible(*S, Call(Auction::Bid, {1, 3})));
+}
+
+TEST(AuctionTest, BidOnUnknownAuctionImpermissible) {
+  Auction T;
+  StatePtr S = T.initialState();
+  EXPECT_FALSE(T.permissible(*S, Call(Auction::Bid, {7, 1})));
+}
+
+TEST(AuctionTest, ReopenClosedAuctionImpermissible) {
+  Auction T;
+  StatePtr S = T.initialState();
+  T.apply(*S, Call(Auction::Open, {1}));
+  T.apply(*S, Call(Auction::Close, {1}));
+  EXPECT_FALSE(T.permissible(*S, Call(Auction::Open, {1})));
+}
+
+TEST(AuctionTest, AllUpdatesInOneSyncGroup) {
+  Auction T;
+  const CoordinationSpec &S = T.coordination();
+  ASSERT_EQ(S.numSyncGroups(), 1u);
+  EXPECT_TRUE(S.syncGroup(Auction::Open).has_value());
+  EXPECT_EQ(S.syncGroup(Auction::Open), S.syncGroup(Auction::Bid));
+  EXPECT_EQ(S.syncGroup(Auction::Bid), S.syncGroup(Auction::Close));
+}
+
+TEST(AuctionTest, CloseOfUnknownAuctionIsNoop) {
+  Auction T;
+  StatePtr S = T.initialState();
+  StatePtr Before = S->clone();
+  T.apply(*S, Call(Auction::Close, {5}));
+  EXPECT_TRUE(S->equals(*Before));
+}
+
+TEST(StatePrinting, AllStatesRender) {
+  // str() is for diagnostics; just check it produces something.
+  CounterState C;
+  EXPECT_FALSE(C.str().empty());
+  GSetState G;
+  G.Elems = {1, 2};
+  EXPECT_NE(G.str().find("1"), std::string::npos);
+  ORSetState O;
+  O.Entries = {{1, 100}};
+  EXPECT_NE(O.str().find("1:100"), std::string::npos);
+  SchemaState S;
+  S.EntityA = {1};
+  EXPECT_FALSE(S.str().empty());
+  MovieState M;
+  EXPECT_FALSE(M.str().empty());
+  AccountState A;
+  EXPECT_FALSE(A.str().empty());
+  LWWState L;
+  EXPECT_FALSE(L.str().empty());
+  CartState Cart;
+  EXPECT_FALSE(Cart.str().empty());
+}

@@ -1,0 +1,124 @@
+//===- tools/hamband_analyze.cpp - Coordination analysis CLI ------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line coordination analyzer: prints, for a registered data type
+/// (or all of them), the Section 3.3 analysis a Hamband deployment is
+/// built from -- method categories, the conflict graph and its
+/// synchronization groups, dependency sets, summarization groups -- and
+/// cross-checks the declared spec against the sampling-based inference of
+/// the Section 3.2 relations. Optionally runs the bounded model checker.
+///
+/// Usage:  hamband_analyze [--check] [type-name | all]
+///
+//===----------------------------------------------------------------------===//
+
+#include "hamband/core/Analysis.h"
+#include "hamband/core/TypeRegistry.h"
+#include "hamband/semantics/ModelChecker.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace hamband;
+
+namespace {
+
+void printType(const ObjectType &T, bool RunChecks) {
+  const CoordinationSpec &S = T.coordination();
+  std::printf("== %s ==\n", T.name().c_str());
+  std::printf("%-18s %-26s %s\n", "method", "category", "details");
+  for (MethodId M = 0; M < T.numMethods(); ++M) {
+    std::string Details;
+    if (auto G = S.syncGroup(M))
+      Details += "sync-group " + std::to_string(*G) + " ";
+    if (auto G = S.sumGroup(M))
+      Details += "sum-group " + std::to_string(*G) + " ";
+    const auto &Deps = S.dependencies(M);
+    if (!Deps.empty()) {
+      Details += "dep on {";
+      for (std::size_t I = 0; I < Deps.size(); ++I)
+        Details +=
+            (I ? ", " : "") + std::string(T.method(Deps[I]).Name);
+      Details += "} ";
+    }
+    std::printf("%-18s %-26s %s\n", T.method(M).Name.c_str(),
+                categoryName(S.category(M)), Details.c_str());
+  }
+
+  std::printf("conflict edges:");
+  bool Any = false;
+  for (MethodId A = 0; A < T.numMethods(); ++A)
+    for (MethodId B = A; B < T.numMethods(); ++B)
+      if (S.conflicts(A, B)) {
+        std::printf(" (%s, %s)", T.method(A).Name.c_str(),
+                    T.method(B).Name.c_str());
+        Any = true;
+      }
+  std::printf(Any ? "\n" : " none\n");
+  std::printf("synchronization groups: %u, summarization groups: %u\n",
+              S.numSyncGroups(), S.numSumGroups());
+
+  if (!RunChecks) {
+    std::printf("\n");
+    return;
+  }
+
+  std::printf("checking declared spec against inferred relations... ");
+  std::vector<std::string> SpecIssues = analysis::checkDeclaredSpec(T);
+  std::vector<std::string> SumIssues = analysis::checkSummarization(T);
+  if (SpecIssues.empty() && SumIssues.empty()) {
+    std::printf("ok\n");
+  } else {
+    std::printf("ISSUES:\n");
+    for (const std::string &I : SpecIssues)
+      std::printf("  %s\n", I.c_str());
+    for (const std::string &I : SumIssues)
+      std::printf("  %s\n", I.c_str());
+  }
+
+  std::printf("model checking all interleavings (2 processes, 1 call "
+              "per method)... ");
+  semantics::ModelCheckOptions Opts;
+  semantics::ModelCheckResult R = semantics::modelCheck(
+      T, semantics::defaultBudget(T, Opts.NumProcesses, 1), Opts);
+  if (R.Ok)
+    std::printf("ok (%llu configurations, %llu leaves)\n",
+                static_cast<unsigned long long>(R.Configurations),
+                static_cast<unsigned long long>(R.QuiescentLeaves));
+  else
+    std::printf("FAILED:\n%s\n", R.Error.c_str());
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool RunChecks = false;
+  std::string Name = "all";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--check") == 0)
+      RunChecks = true;
+    else
+      Name = argv[I];
+  }
+
+  if (Name == "all") {
+    for (const std::string &N : registeredTypeNames())
+      printType(*makeType(N), RunChecks);
+    return 0;
+  }
+  if (!isTypeRegistered(Name)) {
+    std::fprintf(stderr, "error: unknown type '%s'; registered:\n",
+                 Name.c_str());
+    for (const std::string &N : registeredTypeNames())
+      std::fprintf(stderr, "  %s\n", N.c_str());
+    return 1;
+  }
+  printType(*makeType(Name), RunChecks);
+  return 0;
+}
