@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sync_groups.dir/fig10_sync_groups.cpp.o"
+  "CMakeFiles/fig10_sync_groups.dir/fig10_sync_groups.cpp.o.d"
+  "fig10_sync_groups"
+  "fig10_sync_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sync_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

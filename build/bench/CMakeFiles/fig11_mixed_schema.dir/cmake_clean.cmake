@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mixed_schema.dir/fig11_mixed_schema.cpp.o"
+  "CMakeFiles/fig11_mixed_schema.dir/fig11_mixed_schema.cpp.o.d"
+  "fig11_mixed_schema"
+  "fig11_mixed_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mixed_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_failure_crdts.dir/fig12_failure_crdts.cpp.o"
+  "CMakeFiles/fig12_failure_crdts.dir/fig12_failure_crdts.cpp.o.d"
+  "fig12_failure_crdts"
+  "fig12_failure_crdts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_failure_crdts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

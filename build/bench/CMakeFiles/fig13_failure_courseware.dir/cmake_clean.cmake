@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_failure_courseware.dir/fig13_failure_courseware.cpp.o"
+  "CMakeFiles/fig13_failure_courseware.dir/fig13_failure_courseware.cpp.o.d"
+  "fig13_failure_courseware"
+  "fig13_failure_courseware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_failure_courseware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_reduction.dir/fig8_reduction.cpp.o"
+  "CMakeFiles/fig8_reduction.dir/fig8_reduction.cpp.o.d"
+  "fig8_reduction"
+  "fig8_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_buffering.dir/fig9_buffering.cpp.o"
+  "CMakeFiles/fig9_buffering.dir/fig9_buffering.cpp.o.d"
+  "fig9_buffering"
+  "fig9_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline.dir/headline.cpp.o"
+  "CMakeFiles/headline.dir/headline.cpp.o.d"
+  "headline"
+  "headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/courseware_demo.dir/courseware.cpp.o"
+  "CMakeFiles/courseware_demo.dir/courseware.cpp.o.d"
+  "courseware_demo"
+  "courseware_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/courseware_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

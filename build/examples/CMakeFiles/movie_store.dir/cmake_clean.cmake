@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_store.dir/movie_store.cpp.o"
+  "CMakeFiles/movie_store.dir/movie_store.cpp.o.d"
+  "movie_store"
+  "movie_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

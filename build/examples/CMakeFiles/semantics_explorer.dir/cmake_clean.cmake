@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_explorer.dir/semantics_explorer.cpp.o"
+  "CMakeFiles/semantics_explorer.dir/semantics_explorer.cpp.o.d"
+  "semantics_explorer"
+  "semantics_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

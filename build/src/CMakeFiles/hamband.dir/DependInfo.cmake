@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/MsgCrdtRuntime.cpp" "src/CMakeFiles/hamband.dir/baselines/MsgCrdtRuntime.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/baselines/MsgCrdtRuntime.cpp.o.d"
+  "/root/repo/src/baselines/MuSmrRuntime.cpp" "src/CMakeFiles/hamband.dir/baselines/MuSmrRuntime.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/baselines/MuSmrRuntime.cpp.o.d"
+  "/root/repo/src/benchlib/Metrics.cpp" "src/CMakeFiles/hamband.dir/benchlib/Metrics.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/benchlib/Metrics.cpp.o.d"
+  "/root/repo/src/benchlib/Runner.cpp" "src/CMakeFiles/hamband.dir/benchlib/Runner.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/benchlib/Runner.cpp.o.d"
+  "/root/repo/src/benchlib/Workload.cpp" "src/CMakeFiles/hamband.dir/benchlib/Workload.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/benchlib/Workload.cpp.o.d"
+  "/root/repo/src/core/Analysis.cpp" "src/CMakeFiles/hamband.dir/core/Analysis.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/core/Analysis.cpp.o.d"
+  "/root/repo/src/core/Call.cpp" "src/CMakeFiles/hamband.dir/core/Call.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/core/Call.cpp.o.d"
+  "/root/repo/src/core/CoordinationSpec.cpp" "src/CMakeFiles/hamband.dir/core/CoordinationSpec.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/core/CoordinationSpec.cpp.o.d"
+  "/root/repo/src/core/ObjectType.cpp" "src/CMakeFiles/hamband.dir/core/ObjectType.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/core/ObjectType.cpp.o.d"
+  "/root/repo/src/core/TypeRegistry.cpp" "src/CMakeFiles/hamband.dir/core/TypeRegistry.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/core/TypeRegistry.cpp.o.d"
+  "/root/repo/src/rdma/Fabric.cpp" "src/CMakeFiles/hamband.dir/rdma/Fabric.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/rdma/Fabric.cpp.o.d"
+  "/root/repo/src/rdma/MemoryRegion.cpp" "src/CMakeFiles/hamband.dir/rdma/MemoryRegion.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/rdma/MemoryRegion.cpp.o.d"
+  "/root/repo/src/rdma/NetworkModel.cpp" "src/CMakeFiles/hamband.dir/rdma/NetworkModel.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/rdma/NetworkModel.cpp.o.d"
+  "/root/repo/src/runtime/HambandCluster.cpp" "src/CMakeFiles/hamband.dir/runtime/HambandCluster.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/runtime/HambandCluster.cpp.o.d"
+  "/root/repo/src/runtime/HambandNode.cpp" "src/CMakeFiles/hamband.dir/runtime/HambandNode.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/runtime/HambandNode.cpp.o.d"
+  "/root/repo/src/runtime/HeartbeatDetector.cpp" "src/CMakeFiles/hamband.dir/runtime/HeartbeatDetector.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/runtime/HeartbeatDetector.cpp.o.d"
+  "/root/repo/src/runtime/MuConsensus.cpp" "src/CMakeFiles/hamband.dir/runtime/MuConsensus.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/runtime/MuConsensus.cpp.o.d"
+  "/root/repo/src/runtime/ReliableBroadcast.cpp" "src/CMakeFiles/hamband.dir/runtime/ReliableBroadcast.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/runtime/ReliableBroadcast.cpp.o.d"
+  "/root/repo/src/runtime/RingBuffer.cpp" "src/CMakeFiles/hamband.dir/runtime/RingBuffer.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/runtime/RingBuffer.cpp.o.d"
+  "/root/repo/src/runtime/WireFormat.cpp" "src/CMakeFiles/hamband.dir/runtime/WireFormat.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/runtime/WireFormat.cpp.o.d"
+  "/root/repo/src/semantics/AbstractSemantics.cpp" "src/CMakeFiles/hamband.dir/semantics/AbstractSemantics.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/semantics/AbstractSemantics.cpp.o.d"
+  "/root/repo/src/semantics/ModelChecker.cpp" "src/CMakeFiles/hamband.dir/semantics/ModelChecker.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/semantics/ModelChecker.cpp.o.d"
+  "/root/repo/src/semantics/RdmaSemantics.cpp" "src/CMakeFiles/hamband.dir/semantics/RdmaSemantics.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/semantics/RdmaSemantics.cpp.o.d"
+  "/root/repo/src/semantics/Refinement.cpp" "src/CMakeFiles/hamband.dir/semantics/Refinement.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/semantics/Refinement.cpp.o.d"
+  "/root/repo/src/sim/EventQueue.cpp" "src/CMakeFiles/hamband.dir/sim/EventQueue.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/sim/EventQueue.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "src/CMakeFiles/hamband.dir/sim/Simulator.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/sim/Simulator.cpp.o.d"
+  "/root/repo/src/types/Auction.cpp" "src/CMakeFiles/hamband.dir/types/Auction.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/Auction.cpp.o.d"
+  "/root/repo/src/types/BankAccount.cpp" "src/CMakeFiles/hamband.dir/types/BankAccount.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/BankAccount.cpp.o.d"
+  "/root/repo/src/types/Counter.cpp" "src/CMakeFiles/hamband.dir/types/Counter.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/Counter.cpp.o.d"
+  "/root/repo/src/types/Courseware.cpp" "src/CMakeFiles/hamband.dir/types/Courseware.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/Courseware.cpp.o.d"
+  "/root/repo/src/types/GSet.cpp" "src/CMakeFiles/hamband.dir/types/GSet.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/GSet.cpp.o.d"
+  "/root/repo/src/types/LWWRegister.cpp" "src/CMakeFiles/hamband.dir/types/LWWRegister.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/LWWRegister.cpp.o.d"
+  "/root/repo/src/types/Movie.cpp" "src/CMakeFiles/hamband.dir/types/Movie.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/Movie.cpp.o.d"
+  "/root/repo/src/types/ORSet.cpp" "src/CMakeFiles/hamband.dir/types/ORSet.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/ORSet.cpp.o.d"
+  "/root/repo/src/types/PNCounter.cpp" "src/CMakeFiles/hamband.dir/types/PNCounter.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/PNCounter.cpp.o.d"
+  "/root/repo/src/types/ProjectManagement.cpp" "src/CMakeFiles/hamband.dir/types/ProjectManagement.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/ProjectManagement.cpp.o.d"
+  "/root/repo/src/types/ShoppingCart.cpp" "src/CMakeFiles/hamband.dir/types/ShoppingCart.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/ShoppingCart.cpp.o.d"
+  "/root/repo/src/types/TwoPhaseSet.cpp" "src/CMakeFiles/hamband.dir/types/TwoPhaseSet.cpp.o" "gcc" "src/CMakeFiles/hamband.dir/types/TwoPhaseSet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

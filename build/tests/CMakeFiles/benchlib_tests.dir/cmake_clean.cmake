@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchlib_tests.dir/BenchlibTests.cpp.o"
+  "CMakeFiles/benchlib_tests.dir/BenchlibTests.cpp.o.d"
+  "benchlib_tests"
+  "benchlib_tests.pdb"
+  "benchlib_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchlib_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

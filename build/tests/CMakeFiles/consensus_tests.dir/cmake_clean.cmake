@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_tests.dir/ConsensusTests.cpp.o"
+  "CMakeFiles/consensus_tests.dir/ConsensusTests.cpp.o.d"
+  "consensus_tests"
+  "consensus_tests.pdb"
+  "consensus_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossvalidation_tests.dir/CrossValidationTests.cpp.o"
+  "CMakeFiles/crossvalidation_tests.dir/CrossValidationTests.cpp.o.d"
+  "crossvalidation_tests"
+  "crossvalidation_tests.pdb"
+  "crossvalidation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossvalidation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_tests.dir/FailureTests.cpp.o"
+  "CMakeFiles/failure_tests.dir/FailureTests.cpp.o.d"
+  "failure_tests"
+  "failure_tests.pdb"
+  "failure_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelchecker_tests.dir/ModelCheckerTests.cpp.o"
+  "CMakeFiles/modelchecker_tests.dir/ModelCheckerTests.cpp.o.d"
+  "modelchecker_tests"
+  "modelchecker_tests.pdb"
+  "modelchecker_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelchecker_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_tests.dir/RdmaTests.cpp.o"
+  "CMakeFiles/rdma_tests.dir/RdmaTests.cpp.o.d"
+  "rdma_tests"
+  "rdma_tests.pdb"
+  "rdma_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_tests.dir/SemanticsTests.cpp.o"
+  "CMakeFiles/semantics_tests.dir/SemanticsTests.cpp.o.d"
+  "semantics_tests"
+  "semantics_tests.pdb"
+  "semantics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

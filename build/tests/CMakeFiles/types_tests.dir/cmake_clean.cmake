@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/types_tests.dir/TypesTests.cpp.o"
+  "CMakeFiles/types_tests.dir/TypesTests.cpp.o.d"
+  "types_tests"
+  "types_tests.pdb"
+  "types_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/types_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

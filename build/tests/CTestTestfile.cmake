@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/rdma_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/types_tests[1]_include.cmake")
+include("/root/repo/build/tests/semantics_tests[1]_include.cmake")
+include("/root/repo/build/tests/runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/baselines_tests[1]_include.cmake")
+include("/root/repo/build/tests/benchlib_tests[1]_include.cmake")
+include("/root/repo/build/tests/consensus_tests[1]_include.cmake")
+include("/root/repo/build/tests/modelchecker_tests[1]_include.cmake")
+include("/root/repo/build/tests/failure_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/crossvalidation_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamband_analyze.dir/hamband_analyze.cpp.o"
+  "CMakeFiles/hamband_analyze.dir/hamband_analyze.cpp.o.d"
+  "hamband_analyze"
+  "hamband_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamband_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
