@@ -42,9 +42,6 @@
 namespace hamband {
 namespace rdma {
 
-/// Identifier of a node (process) in the cluster.
-using NodeId = std::uint32_t;
-
 /// Identifier of a protected memory region for permission checks.
 using RegionKey = std::uint32_t;
 
@@ -159,6 +156,12 @@ public:
   /// True if the node has not crashed.
   bool isAlive(NodeId Node) const;
 
+  /// Installs (or clears, with nullptr) the fault hook consulted whenever
+  /// an operation reaches the wire. The hook must outlive the fabric or be
+  /// cleared before destruction.
+  void setFaultHook(FabricFaultHook *H) { Hook = H; }
+  FabricFaultHook *faultHook() const { return Hook; }
+
   /// Diagnostic counters.
   std::uint64_t totalWritesPosted() const { return WritesPosted; }
   std::uint64_t totalReadsPosted() const { return ReadsPosted; }
@@ -177,6 +180,7 @@ private:
 
   sim::Simulator &Sim;
   NetworkModel Model;
+  FabricFaultHook *Hook = nullptr;
   std::vector<std::unique_ptr<NodeCtx>> Nodes;
   /// Last delivery time per ordered (src, dst) pair, for RC FIFO order.
   std::vector<sim::SimTime> ChannelLast;

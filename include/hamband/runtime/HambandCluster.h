@@ -21,6 +21,9 @@
 #include <vector>
 
 namespace hamband {
+namespace sim {
+class FaultInjector;
+} // namespace sim
 namespace runtime {
 
 /// A Hamband deployment: N replicas of one object over one fabric.
@@ -63,11 +66,47 @@ public:
   /// Number of submitted calls whose completion is still pending.
   std::uint64_t outstanding() const { return Outstanding; }
 
+  /// Outstanding calls submitted at \p Origin. A call submitted at a node
+  /// that later hard-crashes never completes; live-cluster checks use this
+  /// to discount such losses.
+  std::uint64_t outstandingAt(rdma::NodeId Origin) const {
+    return OutstandingPer[Origin];
+  }
+
   /// Test helper: all nodes' visible states are equal.
   bool converged();
 
   /// Test helper: all nodes' applied tables are equal.
   bool appliedTablesEqual() const;
+
+  // -- Fault injection -----------------------------------------------------
+
+  /// Wires \p FI into this cluster: installs it as the fabric fault hook,
+  /// routes every node's broadcast-stage event to it, and binds its
+  /// crash/suspend/recover actions to crashNode() / injectFailure() /
+  /// recoverFailure(). Call after construction and before FI.arm().
+  void attachFaultInjector(sim::FaultInjector &FI);
+
+  /// Undoes injectFailure(): the heartbeat resumes and the node serves
+  /// client calls again. No-op on a crashed node.
+  void recoverFailure(rdma::NodeId Node);
+
+  /// Hard-crashes \p Node at the fabric level: its CPU stops for good;
+  /// its registered memory stays remotely accessible (the RDMA failure
+  /// model).
+  void crashNode(rdma::NodeId Node);
+
+  /// True unless the node has been hard-crashed (a suspended node is
+  /// live).
+  bool isLive(rdma::NodeId Node) const;
+
+  /// fullyReplicated() restricted to live nodes: completions pending at
+  /// crashed origins are discounted, and only live nodes must be idle
+  /// with equal applied tables.
+  bool fullyReplicatedLive() const;
+
+  /// converged() restricted to live nodes.
+  bool convergedLive();
 
 private:
   sim::Simulator &Sim;
@@ -79,6 +118,7 @@ private:
   std::vector<std::unique_ptr<HambandNode>> Nodes;
   std::vector<bool> Failed;
   std::uint64_t Outstanding = 0;
+  std::vector<std::uint64_t> OutstandingPer;
 };
 
 } // namespace runtime

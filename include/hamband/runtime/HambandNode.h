@@ -91,6 +91,11 @@ public:
   /// Failure injection: stop the heartbeat thread (peers will suspect us).
   void suspendHeartbeat() { Detector->suspendBeating(); }
 
+  /// Undoes suspendHeartbeat(): the beat timer resumes on its next tick.
+  /// Peers that already suspected us keep the suspicion (the detector's
+  /// latch is one-shot), but the node itself works normally again.
+  void resumeHeartbeat() { Detector->resumeBeating(); }
+
   /// Failure injection, second half: the node stops serving new client
   /// calls and ignores forwarded requests, modeling the paper's injected
   /// node being taken out of service ("all the requests of the failed
@@ -98,6 +103,9 @@ public:
   /// and in-flight work completes, matching a process whose service
   /// threads stalled while its memory stays registered.
   void setOutOfService() { OutOfService = true; }
+
+  /// Undoes setOutOfService(): the node accepts client calls again.
+  void returnToService() { OutOfService = false; }
   bool isOutOfService() const { return OutOfService; }
 
   // -- Introspection (metrics, tests) -------------------------------------
@@ -127,6 +135,7 @@ public:
     return Group < Consensus.size() ? Consensus[Group].get() : nullptr;
   }
   HeartbeatDetector &detector() { return *Detector; }
+  ReliableBroadcast &broadcast() { return *Broadcast; }
 
   /// Counts of processed calls (diagnostics / tests).
   std::uint64_t localUpdates() const { return NumLocalUpdates; }

@@ -47,6 +47,10 @@ public:
   /// Failure injection per the paper: the heartbeat thread stops beating;
   /// everything else on the node keeps running.
   void suspendBeating() { Beating = false; }
+
+  /// Undoes suspendBeating(): the beat timer (which keeps ticking while
+  /// suspended) resumes advancing the counter on its next tick.
+  void resumeBeating() { Beating = true; }
   bool isBeating() const { return Beating; }
 
   /// Registers a suspicion callback; fired at most once per peer.

@@ -64,11 +64,17 @@ public:
   void fetch(rdma::NodeId Peer,
              std::function<void(BackupMessage)> Done) const;
 
+  /// Observer invoked right after a message is staged, before any remote
+  /// write is posted. The fault injector uses this window to crash the
+  /// source at the exact point the backup slot exists to cover.
+  void setOnStage(std::function<void()> Fn) { OnStage = std::move(Fn); }
+
 private:
   rdma::Fabric &Fabric;
   rdma::NodeId Self;
   rdma::MemOffset BackupOff;
   std::uint32_t SlotBytes;
+  std::function<void()> OnStage;
 };
 
 } // namespace runtime

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a fault-schedule fuzz smoke.
+#
+# Usage: scripts/ci.sh [build-dir]
+#   HAMBAND_SANITIZE=ON   configure the build with ASan/UBSan
+#   FUZZ_RUNS=N           fuzz schedule count (default 50)
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO/build}"
+FUZZ_RUNS="${FUZZ_RUNS:-50}"
+
+cmake -B "$BUILD" -S "$REPO" -DHAMBAND_SANITIZE="${HAMBAND_SANITIZE:-OFF}"
+cmake --build "$BUILD" -j"$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
+"$BUILD/tools/hamband_fuzz" --runs "$FUZZ_RUNS" --seed 42
+
+echo "ci: all checks passed"

@@ -109,8 +109,11 @@ RunResult benchlib::runOnce(const ObjectType &Type,
   };
 
   // The per-node closed-loop client.
+  // The closure holds only a weak reference to itself (the local strong
+  // reference below outlives the whole run), so no ownership cycle forms.
   auto IssueNext = std::make_shared<std::function<void(unsigned)>>();
-  *IssueNext = [&, State, IssueNext](unsigned Node) {
+  std::weak_ptr<std::function<void(unsigned)>> WeakIssue = IssueNext;
+  *IssueNext = [&, State, WeakIssue](unsigned Node) {
     if (State->IssuedTotal >= W.NumOps)
       return;
     if (W.FailNode && !State->FailureInjected &&
@@ -137,7 +140,7 @@ RunResult benchlib::runOnce(const ObjectType &Type,
     std::string MethodName = RT->objectType().method(C.Method).Name;
     sim::SimTime IssuedAt = Sim.now();
     RT->submit(Target, C,
-               [&, State, IssueNext, Node, IsUpdate, IssuedAt,
+               [&, State, WeakIssue, Node, IsUpdate, IssuedAt,
                 MethodName](bool Ok, Value) {
                  double RespUs = sim::toMicros(Sim.now() - IssuedAt);
                  State->RespSum += RespUs;
@@ -152,7 +155,8 @@ RunResult benchlib::runOnce(const ObjectType &Type,
                  if (!Ok)
                    ++State->Rejected;
                  ++State->Completed;
-                 (*IssueNext)(Node);
+                 if (auto Next = WeakIssue.lock())
+                   (*Next)(Node);
                });
   };
 

@@ -92,6 +92,10 @@ void Fabric::postWrite(NodeId Src, NodeId Dst, MemOffset DstOff,
       [this, Src, Dst, DstOff, Payload, Key, Lane,
        OnComplete = std::move(OnComplete)]() {
         sim::SimDuration Wire = Model.writeWire(Payload->size());
+        if (Hook)
+          Wire += Hook->onOneSidedOp(Src, Dst, /*IsWrite=*/true,
+                                     Payload->size())
+                      .ExtraDelay;
         sim::SimTime DeliverAt = channelDeliveryTime(Src, Dst, Wire);
         Sim.scheduleAt(DeliverAt, [this, Src, Dst, DstOff, Payload, Key,
                                    Lane, OnComplete]() {
@@ -127,6 +131,9 @@ void Fabric::postRead(NodeId Src, NodeId Dst, MemOffset DstOff,
       [this, Src, Dst, DstOff, Len, Lane,
        OnComplete = std::move(OnComplete)]() {
         sim::SimDuration Wire = Model.readWire(Len);
+        if (Hook)
+          Wire += Hook->onOneSidedOp(Src, Dst, /*IsWrite=*/false, Len)
+                      .ExtraDelay;
         sim::SimTime SampleAt = channelDeliveryTime(Src, Dst, Wire);
         Sim.scheduleAt(SampleAt, [this, Src, Dst, DstOff, Len, Lane,
                                   OnComplete]() {
@@ -157,16 +164,25 @@ void Fabric::send(NodeId Src, NodeId Dst, std::vector<std::uint8_t> Msg,
       [this, Src, Dst, Payload, Lane,
        OnComplete = std::move(OnComplete)]() {
         sim::SimDuration Wire = Model.msgWire(Payload->size());
-        sim::SimTime DeliverAt = channelDeliveryTime(Src, Dst, Wire);
-        Sim.scheduleAt(DeliverAt, [this, Src, Dst, Payload]() {
-          NodeCtx &Ctx = *Nodes[Dst];
-          if (!Ctx.Alive || !Ctx.OnRecv)
-            return; // Dropped at a dead receiver.
-          runOnCpu(
-              Dst, Model.MsgStackRecvCpu,
-              [&Ctx, Src, Payload]() { Ctx.OnRecv(Src, *Payload); },
-              LanePoller);
-        });
+        FaultDecision Fault;
+        if (Hook)
+          Fault = Hook->onTwoSidedMsg(Src, Dst, Payload->size());
+        // A dropped or duplicated message completes normally at the
+        // sender either way (TCP-like: the sender cannot tell).
+        unsigned Copies = Fault.Drop ? 0 : 1 + Fault.Duplicates;
+        for (unsigned I = 0; I < Copies; ++I) {
+          sim::SimTime DeliverAt =
+              channelDeliveryTime(Src, Dst, Wire + Fault.ExtraDelay);
+          Sim.scheduleAt(DeliverAt, [this, Src, Dst, Payload]() {
+            NodeCtx &Ctx = *Nodes[Dst];
+            if (!Ctx.Alive || !Ctx.OnRecv)
+              return; // Dropped at a dead receiver.
+            runOnCpu(
+                Dst, Model.MsgStackRecvCpu,
+                [&Ctx, Src, Payload]() { Ctx.OnRecv(Src, *Payload); },
+                LanePoller);
+          });
+        }
         if (OnComplete)
           runOnCpu(
               Src, Model.PollCpu,

@@ -6,6 +6,8 @@
 
 #include "hamband/runtime/HambandCluster.h"
 
+#include "hamband/sim/FaultInjector.h"
+
 #include <cassert>
 
 using namespace hamband;
@@ -16,7 +18,8 @@ ReplicaRuntime::~ReplicaRuntime() = default;
 HambandCluster::HambandCluster(sim::Simulator &Sim, unsigned NumNodes,
                                const ObjectType &Type,
                                rdma::NetworkModel Model, HambandConfig Cfg)
-    : Sim(Sim), Type(Type), Cfg(Cfg), Failed(NumNodes, false) {
+    : Sim(Sim), Type(Type), Cfg(Cfg), Failed(NumNodes, false),
+      OutstandingPer(NumNodes, 0) {
   const CoordinationSpec &Spec = Type.coordination();
   assert(Spec.finalized() && "coordination spec must be finalized");
   Map = std::make_unique<MemoryMap>(
@@ -46,9 +49,11 @@ void HambandCluster::submit(rdma::NodeId Origin, const Call &C,
                             SubmitCallback Done) {
   assert(Origin < Nodes.size());
   ++Outstanding;
+  ++OutstandingPer[Origin];
   Nodes[Origin]->submit(
-      C, [this, Done = std::move(Done)](bool Ok, Value V) {
+      C, [this, Origin, Done = std::move(Done)](bool Ok, Value V) {
         --Outstanding;
+        --OutstandingPer[Origin];
         if (Done)
           Done(Ok, V);
       });
@@ -83,6 +88,65 @@ void HambandCluster::injectFailure(rdma::NodeId Node) {
   Failed[Node] = true;
   Nodes[Node]->suspendHeartbeat();
   Nodes[Node]->setOutOfService();
+}
+
+void HambandCluster::recoverFailure(rdma::NodeId Node) {
+  assert(Node < Nodes.size());
+  if (!Fab->isAlive(Node))
+    return;
+  Failed[Node] = false;
+  Nodes[Node]->resumeHeartbeat();
+  Nodes[Node]->returnToService();
+}
+
+void HambandCluster::crashNode(rdma::NodeId Node) {
+  assert(Node < Nodes.size());
+  Failed[Node] = true;
+  Nodes[Node]->suspendHeartbeat();
+  Nodes[Node]->setOutOfService();
+  Fab->crash(Node);
+}
+
+bool HambandCluster::isLive(rdma::NodeId Node) const {
+  return Fab->isAlive(Node);
+}
+
+void HambandCluster::attachFaultInjector(sim::FaultInjector &FI) {
+  FI.onCrash([this](std::uint32_t N) { crashNode(N); });
+  FI.onSuspend([this](std::uint32_t N) { injectFailure(N); });
+  FI.onRecover([this](std::uint32_t N) { recoverFailure(N); });
+  for (rdma::NodeId N = 0; N < numNodes(); ++N)
+    Nodes[N]->broadcast().setOnStage(
+        [&FI, N]() { FI.onBroadcastStaged(N); });
+  Fab->setFaultHook(&FI);
+}
+
+bool HambandCluster::fullyReplicatedLive() const {
+  const HambandNode *First = nullptr;
+  for (rdma::NodeId N = 0; N < numNodes(); ++N) {
+    if (!isLive(N))
+      continue;
+    if (OutstandingPer[N] != 0 || !Nodes[N]->idle())
+      return false;
+    if (!First)
+      First = Nodes[N].get();
+    else if (Nodes[N]->appliedTable() != First->appliedTable())
+      return false;
+  }
+  return true;
+}
+
+bool HambandCluster::convergedLive() {
+  const ObjectState *First = nullptr;
+  for (rdma::NodeId N = 0; N < numNodes(); ++N) {
+    if (!isLive(N))
+      continue;
+    if (!First)
+      First = &Nodes[N]->visibleState();
+    else if (!First->equals(Nodes[N]->visibleState()))
+      return false;
+  }
+  return true;
 }
 
 rdma::NodeId HambandCluster::leaderOf(unsigned Group,

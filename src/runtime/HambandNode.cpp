@@ -23,13 +23,17 @@ void appendWithRetry(sim::Simulator &Sim, RingWriter &W,
                      rdma::CompletionFn OnComplete) {
   if (W.append(Bytes, OnComplete))
     return;
+  // The pending retry event owns the closure; the closure holds only a
+  // weak_ptr to itself so the chain never forms a reference cycle.
   auto Retry = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> Weak = Retry;
   *Retry = [&Sim, &W, Bytes = std::move(Bytes), RetryAfter, OnComplete,
-            Retry]() {
+            Weak]() {
     if (!W.append(Bytes, OnComplete))
-      Sim.schedule(RetryAfter, *Retry);
+      if (auto R = Weak.lock())
+        Sim.schedule(RetryAfter, [R]() { (*R)(); });
   };
-  Sim.schedule(RetryAfter, *Retry);
+  Sim.schedule(RetryAfter, [Retry]() { (*Retry)(); });
 }
 
 /// Pads a summary image into a full slot write: u32 len | payload | ...
@@ -160,13 +164,19 @@ void HambandNode::start() {
   Detector->start();
   schedulePoll();
   // Periodic scan for redirected conflicting calls that lost their leader.
+  // The pending event holds the only strong reference to the tick closure
+  // (the closure itself keeps a weak_ptr), so draining the event queue
+  // releases it.
   if (Spec.numSyncGroups() > 0) {
     auto Tick = std::make_shared<std::function<void()>>();
-    *Tick = [this, Tick]() {
+    std::weak_ptr<std::function<void()>> Weak = Tick;
+    *Tick = [this, Weak]() {
       checkConfTimeouts();
-      this->Fabric.simulator().schedule(Cfg.ConfRetryTimeout, *Tick);
+      if (auto T = Weak.lock())
+        this->Fabric.simulator().schedule(Cfg.ConfRetryTimeout,
+                                          [T]() { (*T)(); });
     };
-    Fabric.simulator().schedule(Cfg.ConfRetryTimeout, *Tick);
+    Fabric.simulator().schedule(Cfg.ConfRetryTimeout, [Tick]() { (*Tick)(); });
   }
 }
 

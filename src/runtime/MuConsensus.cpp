@@ -256,9 +256,12 @@ void MuConsensus::becomeLeaderAfterCatchUp(std::uint64_t MaxReceived,
   }
   // Read the missing entries from the most advanced acker's ring. The
   // reads chain so that entries are delivered in order.
+  // Each in-flight read callback owns the chain closure; the closure holds
+  // only a weak_ptr to itself, so finishing the chain releases it.
   auto FetchNext = std::make_shared<std::function<void(std::uint64_t)>>();
+  std::weak_ptr<std::function<void(std::uint64_t)>> WeakFetch = FetchNext;
   *FetchNext = [this, MaxReceived, Holder,
-                FetchNext](std::uint64_t Index) {
+                WeakFetch](std::uint64_t Index) {
     if (Index >= MaxReceived) {
       NextIndex = MaxReceived;
       CatchingUp = false;
@@ -269,10 +272,11 @@ void MuConsensus::becomeLeaderAfterCatchUp(std::uint64_t MaxReceived,
     rdma::MemOffset CellOff =
         Map.confRingData(Group) +
         static_cast<rdma::MemOffset>(Index % G.NumCells) * G.CellSize;
+    auto Next = WeakFetch.lock();
     Fabric.postRead(
         Self, Holder, CellOff, G.CellSize,
-        [this, Index, FetchNext, G](rdma::WcStatus,
-                                    std::vector<std::uint8_t> Cell) {
+        [this, Index, Next, G](rdma::WcStatus,
+                               std::vector<std::uint8_t> Cell) {
           std::uint32_t Len = 0;
           std::uint64_t Seq = 0;
           std::memcpy(&Len, Cell.data(), 4);
@@ -285,7 +289,8 @@ void MuConsensus::becomeLeaderAfterCatchUp(std::uint64_t MaxReceived,
             if (TheHooks.DeliverEntry)
               TheHooks.DeliverEntry(Index, std::move(Payload));
           }
-          (*FetchNext)(Index + 1);
+          if (Next)
+            (*Next)(Index + 1);
         },
         rdma::Fabric::LaneBackground);
   };

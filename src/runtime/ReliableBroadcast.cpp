@@ -30,6 +30,8 @@ void ReliableBroadcast::stage(Kind K, std::uint8_t Aux,
   if (Len)
     Mem.write(BackupOff + 6, Payload.data(), Len);
   Mem.writeU8(BackupOff + SlotBytes - 1, 1);
+  if (OnStage)
+    OnStage();
 }
 
 void ReliableBroadcast::clear() {

@@ -16,6 +16,7 @@
 #include "hamband/runtime/HambandCluster.h"
 #include "hamband/semantics/RdmaSemantics.h"
 #include "hamband/core/TypeRegistry.h"
+#include "hamband/sim/FaultInjector.h"
 
 #include <gtest/gtest.h>
 
@@ -173,6 +174,213 @@ INSTANTIATE_TEST_SUITE_P(
     ConflictingTypes, ConflictingCrossValidation,
     ::testing::Values("bank-account", "movie", "auction", "courseware",
                       "project-management", "orset", "shopping-cart"),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Cross validation under deterministic fault schedules
+//===----------------------------------------------------------------------===//
+// The same two-world comparison, but with the runtime world executing
+// under a seeded fault schedule (sim/FaultInjector.h). Soft schedules
+// (delays, partitions, suspensions that recover) must leave the full
+// cluster convergent and -- for observation-independent conflict-free
+// types -- in exact agreement with the semantics; schedules with hard
+// crashes must leave the surviving majority convergent and the semantics
+// world (fed the calls that completed) convergent and invariant-keeping.
+
+namespace {
+
+struct FaultedIssue {
+  ProcessId Origin;
+  Call TheCall;
+  int Status = 0; // 0 in flight / lost, 1 accepted, 2 rejected.
+};
+
+/// Stable per-type seed (std::hash is not stable across libraries).
+std::uint64_t typeSeed(const std::string &Name) {
+  std::uint64_t H = 1469598103934665603ull;
+  for (char C : Name) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+bool isObservationIndependent(const std::string &Name) {
+  return Name == "counter" || Name == "pn-counter" || Name == "gset" ||
+         Name == "gset-buffered" || Name == "two-phase-set" ||
+         Name == "lww-register";
+}
+
+/// Runs \p Count calls against a cluster executing under the fault
+/// schedule derived from \p Seed and \p Spec, then hands the quiesced
+/// cluster to \p Check (the cluster dies when this returns). Requests at
+/// failed nodes are redirected to the next live in-service node.
+void runUnderFaults(
+    const ObjectType &T, unsigned Nodes, unsigned Count, std::uint64_t Seed,
+    const sim::FaultSpec &Spec,
+    const std::function<void(HambandCluster &, sim::FaultInjector &,
+                             const std::vector<FaultedIssue> &)> &Check) {
+  const CoordinationSpec &CSpec = T.coordination();
+  sim::Simulator Sim;
+  HambandCluster C(Sim, Nodes, T);
+  sim::FaultInjector FI(Sim, sim::FaultPlan::generate(Seed, Spec, Nodes));
+  C.attachFaultInjector(FI);
+  FI.arm();
+  C.start();
+
+  std::vector<FaultedIssue> Issued;
+  sim::Rng R(Seed ^ 0x5ca1ab1e);
+  std::vector<MethodId> Updates = CSpec.updateMethods();
+  for (unsigned I = 0; I < Count; ++I) {
+    MethodId M = R.pick(Updates);
+    ProcessId P0;
+    if (CSpec.category(M) == MethodCategory::Conflicting)
+      P0 = *CSpec.syncGroup(M) % Nodes;
+    else
+      P0 = static_cast<ProcessId>(R.index(Nodes));
+    ProcessId P = P0;
+    bool Routed = false;
+    for (unsigned K = 0; K < Nodes; ++K) {
+      ProcessId Q = (P0 + K) % Nodes;
+      if (C.isLive(Q) && !C.node(Q).isOutOfService()) {
+        P = Q;
+        Routed = true;
+        break;
+      }
+    }
+    if (!Routed)
+      continue;
+    Issued.push_back({P, T.randomClientCall(M, P, 1000 + I, R), 0});
+    std::size_t Idx = Issued.size() - 1;
+    C.submit(P, Issued[Idx].TheCall, [&Issued, Idx](bool Ok, Value) {
+      Issued[Idx].Status = Ok ? 1 : 2;
+    });
+    Sim.run(Sim.now() + sim::micros(3));
+  }
+
+  Sim.run(std::max(Spec.Horizon, Spec.HealBy) + sim::millis(1));
+  sim::SimTime Cap = Sim.now() + sim::millis(400);
+  while (Sim.now() < Cap && !C.fullyReplicatedLive())
+    Sim.run(Sim.now() + sim::micros(20));
+  Check(C, FI, Issued);
+}
+
+/// Feeds the issued calls (those the runtime resolved) to the executable
+/// concrete semantics and drains it. Conflicting calls are issued at
+/// whichever node the runtime used, modeling leader failover via
+/// setLeader.
+semantics::RdmaConfiguration
+replayInSemantics(const ObjectType &T, unsigned Nodes,
+                  const std::vector<FaultedIssue> &Issued) {
+  semantics::RdmaConfiguration K(T, Nodes);
+  const CoordinationSpec &CSpec = T.coordination();
+  for (const FaultedIssue &I : Issued) {
+    if (I.Status == 0)
+      continue; // Lost at a crashed origin.
+    if (CSpec.category(I.TheCall.Method) == MethodCategory::Conflicting) {
+      unsigned G = *CSpec.syncGroup(I.TheCall.Method);
+      if (K.leader(G) != I.Origin)
+        K.setLeader(G, I.Origin);
+      K.tryConf(I.Origin, K.prepareAt(I.Origin, I.TheCall));
+    } else {
+      EXPECT_TRUE(K.tryUpdate(I.Origin, K.prepareAt(I.Origin, I.TheCall)));
+    }
+  }
+  K.drain();
+  return K;
+}
+
+} // namespace
+
+class FaultScheduleCrossValidation
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FaultScheduleCrossValidation, SoftFaultsPreserveAgreement) {
+  auto T = makeType(GetParam());
+  const unsigned Nodes = 4;
+  sim::FaultSpec Spec;
+  Spec.OneSidedDelayProb = 0.05;
+  Spec.NumSuspends = 1;
+  Spec.NumPartitions = 1;
+  runUnderFaults(
+      *T, Nodes, 30, typeSeed(GetParam()) ^ 0x50f7, Spec,
+      [&](HambandCluster &C, sim::FaultInjector &FI,
+          const std::vector<FaultedIssue> &Issued) {
+        // Soft faults all heal: the whole cluster must recover.
+        for (ProcessId P = 0; P < Nodes; ++P)
+          ASSERT_TRUE(C.isLive(P));
+        ASSERT_TRUE(C.fullyReplicatedLive()) << GetParam();
+        EXPECT_TRUE(C.converged()) << GetParam();
+        for (ProcessId P = 0; P < Nodes; ++P)
+          EXPECT_TRUE(T->invariant(C.node(P).visibleState()))
+              << GetParam() << " node " << P;
+        EXPECT_FALSE(FI.trace().Events.empty());
+
+        semantics::RdmaConfiguration K =
+            replayInSemantics(*T, Nodes, Issued);
+        ASSERT_TRUE(K.quiescent());
+        EXPECT_TRUE(K.checkConvergence()) << GetParam();
+        EXPECT_TRUE(K.checkIntegrity()) << GetParam();
+        if (!isObservationIndependent(GetParam()))
+          return;
+        // Exact two-world agreement, replica by replica.
+        for (ProcessId P = 0; P < Nodes; ++P) {
+          EXPECT_TRUE(
+              K.visibleState(P)->equals(C.node(P).visibleState()))
+              << GetParam() << " node " << P;
+          for (ProcessId From = 0; From < Nodes; ++From)
+            for (MethodId U = 0; U < T->numMethods(); ++U)
+              EXPECT_EQ(K.applied(P, From, U), C.node(P).applied(From, U))
+                  << GetParam();
+        }
+      });
+}
+
+TEST_P(FaultScheduleCrossValidation, CrashFaultsLeaveLiveMajorityAgreeing) {
+  auto T = makeType(GetParam());
+  const unsigned Nodes = 4;
+  sim::FaultSpec Spec;
+  Spec.OneSidedDelayProb = 0.02;
+  Spec.NumCrashes = 1;
+  Spec.CrashOnStageProb = 0.005;
+  runUnderFaults(
+      *T, Nodes, 30, typeSeed(GetParam()) ^ 0xc4a5, Spec,
+      [&](HambandCluster &C, sim::FaultInjector &FI,
+          const std::vector<FaultedIssue> &Issued) {
+        ASSERT_TRUE(C.fullyReplicatedLive()) << GetParam();
+        EXPECT_TRUE(C.convergedLive()) << GetParam();
+        unsigned Live = 0;
+        for (ProcessId P = 0; P < Nodes; ++P) {
+          if (!C.isLive(P))
+            continue;
+          ++Live;
+          EXPECT_TRUE(T->invariant(C.node(P).visibleState()))
+              << GetParam() << " node " << P;
+        }
+        EXPECT_GT(Live, Nodes / 2u); // A majority always survives.
+        // Calls still pending may only belong to crashed origins.
+        for (const FaultedIssue &I : Issued)
+          if (I.Status == 0)
+            EXPECT_FALSE(C.isLive(I.Origin)) << GetParam();
+        EXPECT_FALSE(FI.trace().Events.empty());
+
+        semantics::RdmaConfiguration K =
+            replayInSemantics(*T, Nodes, Issued);
+        ASSERT_TRUE(K.quiescent());
+        EXPECT_TRUE(K.checkConvergence()) << GetParam();
+        EXPECT_TRUE(K.checkIntegrity()) << GetParam();
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredTypes, FaultScheduleCrossValidation,
+    ::testing::ValuesIn(registeredTypeNames()),
     [](const ::testing::TestParamInfo<std::string> &Info) {
       std::string Name = Info.param;
       for (char &C : Name)

@@ -30,6 +30,16 @@ std::string sanitize(std::string Name) {
 
 } // namespace
 
+// GTEST_FLAG_SET only exists in googletest >= 1.11; older releases expose
+// the flag as ::testing::FLAGS_gtest_death_test_style directly.
+#ifdef GTEST_FLAG_SET
+#define HAMBAND_SET_DEATH_TEST_STYLE(Style)                                  \
+  GTEST_FLAG_SET(death_test_style, Style)
+#else
+#define HAMBAND_SET_DEATH_TEST_STYLE(Style)                                  \
+  (::testing::FLAGS_gtest_death_test_style = Style)
+#endif
+
 // -- Per-type structural properties ------------------------------------------
 
 class TypePropertyTest : public ::testing::TestWithParam<std::string> {
@@ -185,21 +195,21 @@ INSTANTIATE_TEST_SUITE_P(Sizes, RingPayloadTest,
 // -- Assertion guards (assertions are enabled in all build types) -------------
 
 TEST(DeathGuards, MemoryRegionRejectsOutOfBounds) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  HAMBAND_SET_DEATH_TEST_STYLE("threadsafe");
   rdma::MemoryRegion M(64);
   EXPECT_DEATH(M.writeU64(60, 1), "out of bounds");
   EXPECT_DEATH(M.readU64(63), "out of bounds");
 }
 
 TEST(DeathGuards, MemoryRegionAllocExhaustion) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  HAMBAND_SET_DEATH_TEST_STYLE("threadsafe");
   rdma::MemoryRegion M(64);
   M.alloc(48);
   EXPECT_DEATH(M.alloc(32), "exhausted");
 }
 
 TEST(DeathGuards, RingWriterRejectsOversizedPayload) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  HAMBAND_SET_DEATH_TEST_STYLE("threadsafe");
   sim::Simulator Sim;
   rdma::Fabric Fab(Sim, 2, rdma::NetworkModel(), 1u << 16);
   RingGeometry Geom{8, 64};

@@ -1,0 +1,499 @@
+//===- tools/hamband_fuzz.cpp - Randomized fault-schedule fuzzer ----------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs N randomized fault schedules against the full Hamband runtime, one
+// registered data type per run, and checks after quiescence that:
+//
+//  - every live replica satisfies the type's integrity invariant;
+//  - all live replicas converge (equal visible states and applied tables);
+//  - the run agrees with the executable concrete semantics (Lemma 3): the
+//    same client sequence fed to RdmaConfiguration converges and keeps the
+//    invariant, and for observation-independent conflict-free types under
+//    soft faults the two worlds agree state-for-state;
+//  - the recorded fault trace replays bit-for-bit: re-executing the run in
+//    replay mode (decisions taken from the trace, no RNG) produces an
+//    identical trace.
+//
+// Every run is reproducible from the base seed and its run index:
+//
+//   hamband_fuzz --runs 100 --seed 42            # the full sweep
+//   hamband_fuzz --seed 42 --only 17 --verbose   # re-run one schedule
+//   hamband_fuzz --seed 42 --only 17 --dump t.ftrace
+//   hamband_fuzz --replay-trace t.ftrace         # re-execute a dumped run
+//
+// On failure, --minimize greedily shrinks the fault schedule (removing
+// timed faults and zeroing probabilities while the failure persists) and
+// prints the minimal failing plan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/core/TypeRegistry.h"
+#include "hamband/runtime/HambandCluster.h"
+#include "hamband/semantics/RdmaSemantics.h"
+#include "hamband/sim/FaultInjector.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace hamband;
+using namespace hamband::runtime;
+using namespace hamband::sim;
+
+namespace {
+
+struct Options {
+  std::uint64_t Seed = 42;
+  unsigned Runs = 20;
+  unsigned Calls = 30;
+  unsigned Nodes = 0;   // 0 = derived per run (3 or 4).
+  long Only = -1;       // Run only this run index.
+  std::string Type;     // Empty = rotate over all registered types.
+  std::string DumpFile; // Write the failing (or --only) trace here.
+  std::string ReplayFile;
+  bool Verbose = false;
+  bool NoReplay = false;
+  bool Minimize = false;
+};
+
+/// Everything needed to reproduce one run.
+struct RunConfig {
+  std::string TypeName;
+  unsigned Nodes = 3;
+  unsigned Calls = 30;
+  std::uint64_t WorkSeed = 0;  // Workload generator seed.
+  std::uint64_t FaultSeed = 0; // Fault-plan seed.
+  FaultSpec Spec;
+};
+
+struct RunResult {
+  bool Ok = true;
+  std::string Failure;
+  FaultTrace Trace;
+  unsigned CompletedOk = 0;
+  unsigned Rejected = 0;
+  unsigned LostAtCrashed = 0;
+  unsigned Skipped = 0;
+};
+
+std::uint64_t mixSeed(std::uint64_t A, std::uint64_t B) {
+  std::uint64_t Z = A + 0x9e3779b97f4a7c15ull * (B + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+/// Exact runtime-vs-semantics state agreement is only meaningful for types
+/// whose prepared effects do not depend on the issuing replica's
+/// observations (see tests/CrossValidationTests.cpp).
+bool isObservationIndependent(const std::string &Name) {
+  return Name == "counter" || Name == "pn-counter" || Name == "gset" ||
+         Name == "gset-buffered" || Name == "two-phase-set" ||
+         Name == "lww-register";
+}
+
+/// Four fault intensities the sweep rotates through.
+FaultSpec specForProfile(unsigned Profile) {
+  FaultSpec S;
+  switch (Profile % 4) {
+  case 0: // Network noise: delays, drops, duplicates, one partition.
+    S.OneSidedDelayProb = 0.05;
+    S.TwoSidedDropProb = 0.05;
+    S.TwoSidedDupProb = 0.03;
+    S.TwoSidedDelayProb = 0.10;
+    S.NumPartitions = 1;
+    break;
+  case 1: // The paper's injection: suspend a node, then recover it.
+    S.OneSidedDelayProb = 0.02;
+    S.NumSuspends = 1;
+    break;
+  case 2: // Hard crash: CPU stops for good, memory stays accessible.
+    S.OneSidedDelayProb = 0.02;
+    S.NumCrashes = 1;
+    break;
+  case 3: // Crash a broadcast source in the backup-slot window.
+    S.CrashOnStageProb = 0.01;
+    S.NumPartitions = 1;
+    break;
+  }
+  return S;
+}
+
+RunConfig configForRun(const Options &Opt, unsigned RunIdx,
+                       const std::vector<std::string> &Types) {
+  RunConfig Cfg;
+  Cfg.TypeName = Opt.Type.empty() ? Types[RunIdx % Types.size()] : Opt.Type;
+  Cfg.Nodes = Opt.Nodes ? Opt.Nodes : 3 + (RunIdx / 2) % 2;
+  Cfg.Calls = Opt.Calls;
+  Cfg.WorkSeed = mixSeed(Opt.Seed, 2 * RunIdx);
+  Cfg.FaultSeed = mixSeed(Opt.Seed, 2 * RunIdx + 1);
+  Cfg.Spec = specForProfile(RunIdx);
+  return Cfg;
+}
+
+/// Executes one run. With \p PlanOverride the given plan is used instead
+/// of generating one from Cfg; with \p ReplayFrom the injector re-applies
+/// the recorded trace instead of drawing decisions from the RNG.
+RunResult executeRun(const RunConfig &Cfg, const FaultPlan *PlanOverride,
+                     const FaultTrace *ReplayFrom) {
+  RunResult Res;
+  auto Fail = [&Res](const std::string &Msg) {
+    Res.Ok = false;
+    if (!Res.Failure.empty())
+      Res.Failure += "; ";
+    Res.Failure += Msg;
+  };
+
+  auto T = makeType(Cfg.TypeName);
+  const CoordinationSpec &Spec = T->coordination();
+  sim::Simulator Sim;
+  HambandCluster C(Sim, Cfg.Nodes, *T);
+  std::unique_ptr<FaultInjector> FI;
+  if (ReplayFrom)
+    FI = std::make_unique<FaultInjector>(Sim, *ReplayFrom);
+  else if (PlanOverride)
+    FI = std::make_unique<FaultInjector>(Sim, *PlanOverride);
+  else
+    FI = std::make_unique<FaultInjector>(
+        Sim, FaultPlan::generate(Cfg.FaultSeed, Cfg.Spec, Cfg.Nodes));
+  C.attachFaultInjector(*FI);
+  FI->arm();
+  C.start();
+
+  // Issue the workload. Call content is drawn from WorkSeed; requests at
+  // failed nodes are redirected to the next live in-service node, as the
+  // paper's harness does. Issue and completion events are recorded into
+  // the trace as notes, giving it the per-process call order.
+  struct Issue {
+    ProcessId Origin;
+    Call TheCall;
+    int Status = 0; // 0 pending, 1 ok, 2 rejected.
+  };
+  std::vector<Issue> Issued;
+  sim::Rng WR(Cfg.WorkSeed);
+  std::vector<MethodId> Updates = Spec.updateMethods();
+  for (unsigned I = 0; I < Cfg.Calls; ++I) {
+    MethodId M = WR.pick(Updates);
+    ProcessId P0;
+    if (Spec.category(M) == MethodCategory::Conflicting)
+      P0 = *Spec.syncGroup(M) % Cfg.Nodes;
+    else
+      P0 = static_cast<ProcessId>(WR.index(Cfg.Nodes));
+    bool Routed = false;
+    ProcessId P = P0;
+    for (unsigned K = 0; K < Cfg.Nodes; ++K) {
+      ProcessId Q = (P0 + K) % Cfg.Nodes;
+      if (C.isLive(Q) && !C.node(Q).isOutOfService()) {
+        P = Q;
+        Routed = true;
+        break;
+      }
+    }
+    if (!Routed) {
+      ++Res.Skipped;
+      continue;
+    }
+    Issued.push_back({P, T->randomClientCall(M, P, 1000 + I, WR), 0});
+    std::size_t Idx = Issued.size() - 1;
+    FI->note(P, I, 0);
+    C.submit(P, Issued[Idx].TheCall,
+             [&Issued, &FI, Idx, I](bool Ok, Value) {
+               Issued[Idx].Status = Ok ? 1 : 2;
+               FI->note(Issued[Idx].Origin, I, Ok ? 1 : 2);
+             });
+    Sim.run(Sim.now() + sim::micros(3));
+  }
+
+  // Let the fault schedule finish (suspensions recover, partitions heal),
+  // then run until the live cluster is fully replicated.
+  sim::SimTime FaultsQuiet =
+      std::max(Cfg.Spec.Horizon, Cfg.Spec.HealBy) + sim::millis(1);
+  if (Sim.now() < FaultsQuiet)
+    Sim.run(FaultsQuiet);
+  sim::SimTime Cap = Sim.now() + sim::millis(400);
+  while (Sim.now() < Cap && !C.fullyReplicatedLive())
+    Sim.run(Sim.now() + sim::micros(20));
+
+  for (const Issue &I : Issued) {
+    if (I.Status == 1)
+      ++Res.CompletedOk;
+    else if (I.Status == 2)
+      ++Res.Rejected;
+    else if (!C.isLive(I.Origin))
+      ++Res.LostAtCrashed;
+    else
+      Fail("call never completed at live origin " +
+           std::to_string(I.Origin));
+  }
+
+  if (!C.fullyReplicatedLive())
+    Fail("live replicas did not reach full replication before the cap");
+  if (!C.convergedLive())
+    Fail("live replicas diverged");
+  for (ProcessId P = 0; P < Cfg.Nodes; ++P)
+    if (C.isLive(P) && !T->invariant(C.node(P).visibleState()))
+      Fail("integrity violated at node " + std::to_string(P));
+
+  // Lemma 3 cross-check: feed the issued sequence to the executable
+  // concrete semantics.
+  bool HadCrash = false;
+  for (const TraceEvent &E : FI->trace().Events)
+    HadCrash |= E.Kind == FaultKind::Crash;
+  bool Exact = !HadCrash && isObservationIndependent(Cfg.TypeName);
+  semantics::RdmaConfiguration Konf(*T, Cfg.Nodes);
+  for (const Issue &I : Issued) {
+    if (I.Status == 0)
+      continue; // Lost at a crashed origin: the semantics never saw it.
+    if (Spec.category(I.TheCall.Method) == MethodCategory::Conflicting) {
+      unsigned G = *Spec.syncGroup(I.TheCall.Method);
+      // Model the redirect: whichever node leads may issue, and the
+      // runtime's leader can differ after failovers.
+      if (Konf.leader(G) != I.Origin)
+        Konf.setLeader(G, I.Origin);
+      Konf.tryConf(I.Origin, Konf.prepareAt(I.Origin, I.TheCall));
+    } else if (!Konf.tryUpdate(I.Origin,
+                               Konf.prepareAt(I.Origin, I.TheCall))) {
+      Fail("semantics rejected a conflict-free call");
+    }
+  }
+  Konf.drain();
+  if (!Konf.quiescent())
+    Fail("semantics did not drain");
+  if (!Konf.checkConvergence())
+    Fail("semantics world diverged");
+  if (!Konf.checkIntegrity())
+    Fail("semantics world broke the invariant");
+  if (Exact && Res.Ok) {
+    for (ProcessId P = 0; P < Cfg.Nodes; ++P) {
+      if (!Konf.visibleState(P)->equals(C.node(P).visibleState()))
+        Fail("runtime state differs from semantics at node " +
+             std::to_string(P));
+      for (ProcessId From = 0; From < Cfg.Nodes; ++From)
+        for (MethodId U = 0; U < T->numMethods(); ++U)
+          if (Konf.applied(P, From, U) != C.node(P).applied(From, U))
+            Fail("applied-table mismatch at node " + std::to_string(P));
+    }
+  }
+
+  Res.Trace = FI->trace();
+  return Res;
+}
+
+bool runFails(const RunConfig &Cfg, const FaultPlan &Plan) {
+  return !executeRun(Cfg, &Plan, nullptr).Ok;
+}
+
+/// Greedy schedule minimization: drop timed faults and zero probability
+/// knobs as long as the run still fails.
+FaultPlan minimizePlan(const RunConfig &Cfg, FaultPlan Plan) {
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (std::size_t I = 0; I < Plan.Timed.size();) {
+      FaultPlan Cand = Plan;
+      Cand.Timed.erase(Cand.Timed.begin() + I);
+      if (runFails(Cfg, Cand)) {
+        Plan = std::move(Cand);
+        Progress = true;
+      } else {
+        ++I;
+      }
+    }
+  }
+  double FaultSpec::*Knobs[] = {
+      &FaultSpec::OneSidedDelayProb, &FaultSpec::TwoSidedDropProb,
+      &FaultSpec::TwoSidedDupProb, &FaultSpec::TwoSidedDelayProb,
+      &FaultSpec::CrashOnStageProb};
+  for (auto Knob : Knobs) {
+    if (Plan.Spec.*Knob == 0)
+      continue;
+    FaultPlan Cand = Plan;
+    Cand.Spec.*Knob = 0;
+    if (runFails(Cfg, Cand))
+      Plan = std::move(Cand);
+  }
+  return Plan;
+}
+
+void printPlan(const FaultPlan &Plan) {
+  std::printf("  plan: seed=%" PRIu64 " nodes=%u probs[1s-delay=%g drop=%g "
+              "dup=%g 2s-delay=%g stage-crash=%g]\n",
+              Plan.Seed, Plan.NumNodes, Plan.Spec.OneSidedDelayProb,
+              Plan.Spec.TwoSidedDropProb, Plan.Spec.TwoSidedDupProb,
+              Plan.Spec.TwoSidedDelayProb, Plan.Spec.CrashOnStageProb);
+  for (const TimedFault &F : Plan.Timed)
+    std::printf("  at %" PRIu64 "ns %s node/link %u %u until %" PRIu64 "\n",
+                F.At, faultKindName(F.Kind), F.A, F.B, F.Until);
+}
+
+bool dumpTrace(const std::string &Path, const RunConfig &Cfg,
+               const FaultTrace &Trace) {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  OS << "# hamband_fuzz type=" << Cfg.TypeName << " nodes=" << Cfg.Nodes
+     << " calls=" << Cfg.Calls << " workseed=" << Cfg.WorkSeed << "\n";
+  OS << Trace.serialize();
+  return static_cast<bool>(OS);
+}
+
+bool loadDumpedTrace(const std::string &Path, RunConfig &Cfg,
+                     FaultTrace &Trace) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return false;
+  std::string Header;
+  if (!std::getline(IS, Header))
+    return false;
+  char TypeName[64] = {};
+  if (std::sscanf(Header.c_str(),
+                  "# hamband_fuzz type=%63s nodes=%u calls=%u "
+                  "workseed=%" SCNu64,
+                  TypeName, &Cfg.Nodes, &Cfg.Calls, &Cfg.WorkSeed) != 4)
+    return false;
+  Cfg.TypeName = TypeName;
+  std::stringstream Rest;
+  Rest << IS.rdbuf();
+  return FaultTrace::deserialize(Rest.str(), Trace);
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--runs N] [--seed S] [--calls N] [--nodes N]\n"
+      "          [--type NAME] [--only RUN] [--dump FILE]\n"
+      "          [--replay-trace FILE] [--minimize] [--no-replay]\n"
+      "          [--verbose]\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    const char *V = nullptr;
+    if (A == "--runs" && (V = Next()))
+      Opt.Runs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (A == "--seed" && (V = Next()))
+      Opt.Seed = std::strtoull(V, nullptr, 10);
+    else if (A == "--calls" && (V = Next()))
+      Opt.Calls = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (A == "--nodes" && (V = Next()))
+      Opt.Nodes = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (A == "--type" && (V = Next()))
+      Opt.Type = V;
+    else if (A == "--only" && (V = Next()))
+      Opt.Only = std::strtol(V, nullptr, 10);
+    else if (A == "--dump" && (V = Next()))
+      Opt.DumpFile = V;
+    else if (A == "--replay-trace" && (V = Next()))
+      Opt.ReplayFile = V;
+    else if (A == "--minimize")
+      Opt.Minimize = true;
+    else if (A == "--no-replay")
+      Opt.NoReplay = true;
+    else if (A == "--verbose")
+      Opt.Verbose = true;
+    else
+      return usage(Argv[0]);
+  }
+
+  if (!Opt.ReplayFile.empty()) {
+    RunConfig Cfg;
+    FaultTrace Recorded;
+    if (!loadDumpedTrace(Opt.ReplayFile, Cfg, Recorded)) {
+      std::fprintf(stderr, "error: cannot load trace %s\n",
+                   Opt.ReplayFile.c_str());
+      return 2;
+    }
+    std::vector<std::string> Known = registeredTypeNames();
+    if (std::find(Known.begin(), Known.end(), Cfg.TypeName) == Known.end()) {
+      std::fprintf(stderr, "error: trace names unknown type '%s'\n",
+                   Cfg.TypeName.c_str());
+      return 2;
+    }
+    RunResult R = executeRun(Cfg, nullptr, &Recorded);
+    bool Identical = R.Trace == Recorded;
+    std::printf("replayed %s: type=%s events=%zu checks=%s trace=%s\n",
+                Opt.ReplayFile.c_str(), Cfg.TypeName.c_str(),
+                R.Trace.Events.size(), R.Ok ? "pass" : "FAIL",
+                Identical ? "identical" : "DIVERGED");
+    if (!R.Ok)
+      std::printf("  %s\n", R.Failure.c_str());
+    return (R.Ok && Identical) ? 0 : 1;
+  }
+
+  std::vector<std::string> Types = registeredTypeNames();
+  if (!Opt.Type.empty() &&
+      std::find(Types.begin(), Types.end(), Opt.Type) == Types.end()) {
+    std::fprintf(stderr, "error: unknown type '%s'; registered:",
+                 Opt.Type.c_str());
+    for (const std::string &T : Types)
+      std::fprintf(stderr, " %s", T.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  unsigned First = Opt.Only >= 0 ? static_cast<unsigned>(Opt.Only) : 0;
+  unsigned Last =
+      Opt.Only >= 0 ? static_cast<unsigned>(Opt.Only) + 1 : Opt.Runs;
+  unsigned Failures = 0;
+  for (unsigned RunIdx = First; RunIdx < Last; ++RunIdx) {
+    RunConfig Cfg = configForRun(Opt, RunIdx, Types);
+    RunResult R = executeRun(Cfg, nullptr, nullptr);
+
+    // Serialization round trip + bit-for-bit replay of the trace.
+    std::string Ser = R.Trace.serialize();
+    FaultTrace Round;
+    if (!FaultTrace::deserialize(Ser, Round) || !(Round == R.Trace)) {
+      R.Ok = false;
+      R.Failure += "; trace serialization round trip failed";
+    }
+    if (!Opt.NoReplay) {
+      RunResult Rep = executeRun(Cfg, nullptr, &R.Trace);
+      if (!(Rep.Trace == R.Trace)) {
+        R.Ok = false;
+        R.Failure += "; replay produced a different trace";
+      } else if (!Rep.Ok) {
+        R.Ok = false;
+        R.Failure += "; replayed run failed: " + Rep.Failure;
+      }
+    }
+
+    if (Opt.Verbose || !R.Ok)
+      std::printf("run %3u type=%-18s nodes=%u faults=%zu ok=%u rej=%u "
+                  "lost=%u skip=%u %s\n",
+                  RunIdx, Cfg.TypeName.c_str(), Cfg.Nodes,
+                  R.Trace.Events.size(), R.CompletedOk, R.Rejected,
+                  R.LostAtCrashed, R.Skipped, R.Ok ? "PASS" : "FAIL");
+    if (!Opt.DumpFile.empty() && (!R.Ok || Opt.Only >= 0))
+      dumpTrace(Opt.DumpFile, Cfg, R.Trace);
+    if (!R.Ok) {
+      ++Failures;
+      std::printf("  failure: %s\n  repro: --seed %" PRIu64 " --only %u\n",
+                  R.Failure.c_str(), Opt.Seed, RunIdx);
+      if (Opt.Minimize) {
+        FaultPlan Min = minimizePlan(
+            Cfg, FaultPlan::generate(Cfg.FaultSeed, Cfg.Spec, Cfg.Nodes));
+        std::printf("  minimized failing schedule:\n");
+        printPlan(Min);
+      }
+    }
+  }
+  std::printf("%u/%u schedules passed\n", (Last - First) - Failures,
+              Last - First);
+  return Failures ? 1 : 0;
+}
