@@ -13,6 +13,8 @@
 ///   resp_us       mean response time over all calls
 ///   resp_upd_us   mean response time over update calls
 ///   resp_qry_us   mean response time over query calls
+///   resp_p50_us   median response time (exact, per-call samples)
+///   resp_p99_us   99th-percentile response time
 ///
 /// Environment knobs: HAMBAND_OPS (calls per run; default per figure) and
 /// HAMBAND_REPS (repetitions averaged per point; default 1 -- the
@@ -57,6 +59,8 @@ inline void reportResult(benchmark::State &St,
   St.counters["resp_us"] = R.MeanResponseUs;
   St.counters["resp_upd_us"] = R.MeanUpdateResponseUs;
   St.counters["resp_qry_us"] = R.MeanQueryResponseUs;
+  St.counters["resp_p50_us"] = R.P50ResponseUs;
+  St.counters["resp_p99_us"] = R.P99ResponseUs;
   St.counters["rejected"] = static_cast<double>(R.RejectedOps);
   St.counters["stale_mean"] = R.MeanBacklogCalls;
   St.counters["stale_max"] = R.MaxBacklogCalls;

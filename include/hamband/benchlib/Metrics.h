@@ -14,6 +14,8 @@
 #ifndef HAMBAND_BENCHLIB_METRICS_H
 #define HAMBAND_BENCHLIB_METRICS_H
 
+#include "hamband/obs/Metrics.h"
+
 #include <cstdint>
 #include <map>
 #include <string>
@@ -47,6 +49,12 @@ struct RunResult {
   double MeanResponseUs = 0;
   double MeanUpdateResponseUs = 0;
   double MeanQueryResponseUs = 0;
+  /// Exact response-time percentiles over all calls of the run (computed
+  /// from the driver's per-call samples, simulated us). averageRuns()
+  /// reports the mean of per-run percentiles.
+  double P50ResponseUs = 0;
+  double P99ResponseUs = 0;
+  double MaxResponseUs = 0;
   /// Response-time summary per method name.
   std::map<std::string, Stat> PerMethod;
   std::uint64_t CompletedOps = 0;
@@ -60,6 +68,10 @@ struct RunResult {
   /// spirit of Hampa [58].
   double MeanBacklogCalls = 0;
   double MaxBacklogCalls = 0;
+  /// Merged runtime metrics captured at the end of the run (empty when the
+  /// runtime does not report stats or HAMBAND_OBS is off). averageRuns()
+  /// merges the snapshots of all repetitions.
+  obs::StatsSnapshot ClusterStats;
 };
 
 /// Averages the scalar fields of several runs (the paper reports the

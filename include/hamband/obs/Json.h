@@ -1,0 +1,93 @@
+//===- hamband/obs/Json.h - Minimal JSON reader/writer ---------*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny dependency-free JSON value with a recursive-descent parser and a
+/// writer, sufficient for stats snapshots and bench reports. Integers up
+/// to uint64 round-trip exactly (the parser keeps the integral value next
+/// to the double); strings support the standard escapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_OBS_JSON_H
+#define HAMBAND_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hamband {
+namespace obs {
+namespace json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  /// Exact integral payload, valid when IsInt (non-negative integers only;
+  /// large counters would lose precision through the double).
+  std::uint64_t UInt = 0;
+  bool IsInt = false;
+  std::string Str;
+  std::vector<Value> Arr;
+  /// Insertion-ordered members.
+  std::vector<std::pair<std::string, Value>> Obj;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value *find(const std::string &Name) const;
+
+  /// Numeric accessors with defaults.
+  double asDouble(double Default = 0.0) const {
+    return isNumber() ? Num : Default;
+  }
+  std::uint64_t asUInt(std::uint64_t Default = 0) const {
+    if (!isNumber())
+      return Default;
+    return IsInt ? UInt : static_cast<std::uint64_t>(Num);
+  }
+  std::int64_t asInt(std::int64_t Default = 0) const {
+    if (!isNumber())
+      return Default;
+    return static_cast<std::int64_t>(Num);
+  }
+
+  static Value makeUInt(std::uint64_t U);
+  static Value makeInt(std::int64_t I);
+  static Value makeDouble(double D);
+  static Value makeString(std::string S);
+  static Value makeBool(bool B);
+  static Value makeArray();
+  static Value makeObject();
+
+  /// Appends an object member (no duplicate check).
+  Value &add(std::string Name, Value V);
+
+  /// Serializes this value (compact, no trailing newline).
+  std::string write() const;
+};
+
+/// Parses \p Text into \p Out. Returns false on any syntax error or
+/// trailing garbage.
+bool parse(const std::string &Text, Value &Out);
+
+/// JSON-escapes \p S (without surrounding quotes).
+std::string escape(const std::string &S);
+
+} // namespace json
+} // namespace obs
+} // namespace hamband
+
+#endif // HAMBAND_OBS_JSON_H

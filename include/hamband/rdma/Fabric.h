@@ -29,6 +29,7 @@
 #ifndef HAMBAND_RDMA_FABRIC_H
 #define HAMBAND_RDMA_FABRIC_H
 
+#include "hamband/obs/Metrics.h"
 #include "hamband/rdma/MemoryRegion.h"
 #include "hamband/rdma/NetworkModel.h"
 #include "hamband/sim/Simulator.h"
@@ -168,6 +169,11 @@ public:
   std::uint64_t totalSendsPosted() const { return SendsPosted; }
   std::uint64_t totalBytesWritten() const { return BytesWritten; }
 
+  /// Wires verb-level metrics (rdma.write / rdma.read / rdma.send /
+  /// rdma.bytes_written, plus the rdma.wire_ns simulated-latency
+  /// histogram) into \p R, which must outlive the fabric's last verb.
+  void setObs(obs::Registry &R);
+
 private:
   struct NodeCtx;
 
@@ -190,6 +196,12 @@ private:
   std::uint64_t ReadsPosted = 0;
   std::uint64_t SendsPosted = 0;
   std::uint64_t BytesWritten = 0;
+
+  obs::Counter *CtrWrite = nullptr;
+  obs::Counter *CtrRead = nullptr;
+  obs::Counter *CtrSend = nullptr;
+  obs::Counter *CtrBytes = nullptr;
+  obs::Histogram *HistWireNs = nullptr;
 };
 
 } // namespace rdma

@@ -63,6 +63,12 @@ public:
                         rdma::NodeId Observer) const override;
   std::uint64_t replicationBacklog() const override;
 
+  /// Fabric-level stats merged with every node's registry.
+  obs::StatsSnapshot statsSnapshot() const override;
+
+  /// The cluster-level registry the fabric reports into.
+  obs::Registry &clusterStats() { return ClusterStats; }
+
   /// Number of submitted calls whose completion is still pending.
   std::uint64_t outstanding() const { return Outstanding; }
 
@@ -112,6 +118,8 @@ private:
   sim::Simulator &Sim;
   const ObjectType &Type;
   HambandConfig Cfg;
+  /// Declared before the fabric, which caches pointers into it.
+  obs::Registry ClusterStats;
   std::unique_ptr<MemoryMap> Map;
   std::unique_ptr<rdma::Fabric> Fab;
   std::vector<rdma::RegionKey> ConfKeys;

@@ -29,6 +29,7 @@
 #define HAMBAND_RUNTIME_HAMBANDNODE_H
 
 #include "hamband/core/ObjectType.h"
+#include "hamband/obs/Metrics.h"
 #include "hamband/runtime/HeartbeatDetector.h"
 #include "hamband/runtime/MemoryMap.h"
 #include "hamband/runtime/MuConsensus.h"
@@ -142,6 +143,11 @@ public:
   std::uint64_t appliedBuffered() const { return NumAppliedBuffered; }
   std::uint64_t recoveredBroadcasts() const { return NumRecovered; }
 
+  /// This node's metrics registry (all its rings, broadcast and consensus
+  /// instances feed into it) and a frozen copy of it.
+  obs::Registry &stats() { return Stats; }
+  obs::StatsSnapshot statsSnapshot() const { return Stats.snapshot(); }
+
   /// Diagnostic sizes of the pending structures (tests, stall debugging).
   std::size_t pendingFreeTotal() const;
   std::size_t pendingConfTotal() const;
@@ -218,6 +224,20 @@ private:
   const CoordinationSpec &Spec;
   const MemoryMap &Map;
   HambandConfig Cfg;
+
+  /// Declared before every component that caches pointers into it.
+  obs::Registry Stats;
+  obs::Counter *CtrCallQuery = nullptr;
+  obs::Counter *CtrCallReduce = nullptr;
+  obs::Counter *CtrCallFree = nullptr;
+  obs::Counter *CtrCallConf = nullptr;
+  obs::Counter *CtrReductions = nullptr;
+  obs::Counter *CtrDepStallFree = nullptr;
+  obs::Counter *CtrDepStallConf = nullptr;
+  obs::Counter *CtrRecovered = nullptr;
+  obs::Histogram *HistRespNs = nullptr;
+  obs::Gauge *GaugePendingFree = nullptr;
+  obs::Gauge *GaugePendingConf = nullptr;
 
   // Object state.
   StatePtr Stored;

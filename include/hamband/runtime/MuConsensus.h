@@ -28,6 +28,7 @@
 #ifndef HAMBAND_RUNTIME_MUCONSENSUS_H
 #define HAMBAND_RUNTIME_MUCONSENSUS_H
 
+#include "hamband/obs/Metrics.h"
 #include "hamband/runtime/MemoryMap.h"
 #include "hamband/runtime/RingBuffer.h"
 
@@ -97,7 +98,20 @@ public:
   /// permissions and ack; as a candidate, count acks and take over.
   void poll();
 
+  /// Wires consensus metrics into the owning node's registry: mu.proposal,
+  /// mu.view_change, mu.append, mu.commit counters plus the mu.campaign_ns
+  /// span from campaign start to established leadership. Also attaches
+  /// ring metrics to the L-ring writers (current and future).
+  void attachStats(obs::Registry &R);
+
 private:
+  obs::Registry *Obs = nullptr;
+  obs::Counter *CtrProposal = nullptr;
+  obs::Counter *CtrViewChange = nullptr;
+  obs::Counter *CtrAppend = nullptr;
+  obs::Counter *CtrCommit = nullptr;
+  obs::Span CampaignSpan;
+
   void campaign();
   void becomeLeaderAfterCatchUp(std::uint64_t MaxReceived,
                                 rdma::NodeId MaxHolder);

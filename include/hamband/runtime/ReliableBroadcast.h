@@ -20,6 +20,7 @@
 #ifndef HAMBAND_RUNTIME_RELIABLEBROADCAST_H
 #define HAMBAND_RUNTIME_RELIABLEBROADCAST_H
 
+#include "hamband/obs/Metrics.h"
 #include "hamband/rdma/Fabric.h"
 
 #include <functional>
@@ -69,7 +70,13 @@ public:
   /// source at the exact point the backup slot exists to cover.
   void setOnStage(std::function<void()> Fn) { OnStage = std::move(Fn); }
 
+  /// Wires broadcast metrics (bcast.stage, bcast.fetch) into \p R.
+  void attachStats(obs::Registry &R);
+
 private:
+  obs::Counter *CtrStage = nullptr;
+  obs::Counter *CtrFetch = nullptr;
+
   rdma::Fabric &Fabric;
   rdma::NodeId Self;
   rdma::MemOffset BackupOff;

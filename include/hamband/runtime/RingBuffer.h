@@ -26,6 +26,7 @@
 #ifndef HAMBAND_RUNTIME_RINGBUFFER_H
 #define HAMBAND_RUNTIME_RINGBUFFER_H
 
+#include "hamband/obs/Metrics.h"
 #include "hamband/rdma/Fabric.h"
 
 #include <cstdint>
@@ -75,7 +76,17 @@ public:
 
   rdma::NodeId reader() const { return Reader; }
 
+  /// Wires this ring into the owning node's metrics (ring.append,
+  /// ring.full_stall, ring.wrap, ring.occupancy — shared across all the
+  /// node's rings). Optional; an unattached ring records nothing.
+  void attachStats(obs::Registry &R);
+
 private:
+  obs::Counter *CtrAppend = nullptr;
+  obs::Counter *CtrFullStall = nullptr;
+  obs::Counter *CtrWrap = nullptr;
+  obs::Histogram *HistOccupancy = nullptr;
+
   rdma::Fabric &Fabric;
   rdma::NodeId Writer;
   rdma::NodeId Reader;
@@ -129,7 +140,14 @@ public:
   /// feedback slot.
   void forceFeedback();
 
+  /// Wires this ring into the owning node's metrics (ring.consume,
+  /// ring.canary_retry).
+  void attachStats(obs::Registry &R);
+
 private:
+  obs::Counter *CtrConsume = nullptr;
+  obs::Counter *CtrCanaryRetry = nullptr;
+
   rdma::Fabric &Fabric;
   rdma::NodeId Reader;
   rdma::NodeId Writer;

@@ -15,6 +15,7 @@
 #define HAMBAND_RUNTIME_RUNTIME_H
 
 #include "hamband/core/ObjectType.h"
+#include "hamband/obs/Metrics.h"
 #include "hamband/rdma/Fabric.h"
 #include "hamband/sim/Simulator.h"
 
@@ -64,6 +65,11 @@ public:
   /// driver samples it to report staleness (a recency measure in the
   /// spirit of Hampa [58]).
   virtual std::uint64_t replicationBacklog() const { return 0; }
+
+  /// Merged metrics across the runtime (per-node registries plus any
+  /// cluster-level stats). The default is an empty snapshot so the
+  /// baselines can opt out.
+  virtual obs::StatsSnapshot statsSnapshot() const { return {}; }
 };
 
 } // namespace runtime

@@ -27,6 +27,7 @@
 
 #include "hamband/core/ObjectType.h"
 
+#include <array>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -54,6 +55,18 @@ struct BufferedCall {
 
 /// The concrete rule a step used (for refinement replay).
 enum class StepKind { Reduce, Free, Conf, FreeApp, ConfApp };
+
+/// Every rule of the concrete semantics, for per-rule firing counters
+/// (QUERY takes no step, so it is not a StepKind but is still a rule).
+enum class Rule : std::uint8_t {
+  Reduce = 0,
+  Free,
+  Conf,
+  FreeApp,
+  ConfApp,
+  Query,
+};
+inline constexpr unsigned NumRules = 6;
 
 /// One taken transition.
 struct StepRecord {
@@ -138,6 +151,13 @@ public:
   /// The log of taken steps, in order.
   const std::vector<StepRecord> &log() const { return Log; }
 
+  /// How many times \p R fired (successful premises) since construction
+  /// or the copy it was cloned from. Coverage tests assert every rule of
+  /// Figures 6-7 is exercised.
+  std::uint64_t ruleCount(Rule R) const {
+    return RuleCounts[static_cast<unsigned>(R)];
+  }
+
 private:
   struct ProcState {
     StatePtr Stored;
@@ -165,6 +185,8 @@ private:
   std::vector<ProcState> Procs;
   std::vector<ProcessId> Leaders;
   std::vector<StepRecord> Log;
+  /// Per-rule firing counts; mutable because QUERY is const.
+  mutable std::array<std::uint64_t, NumRules> RuleCounts{};
 };
 
 } // namespace semantics

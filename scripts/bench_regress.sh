@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness: runs the fig8/fig9 headline points through
+# hamband_bench_report and emits BENCH_pr2.json, then validates it.
+#
+# The full run (no --smoke) additionally builds the tree with
+# -DHAMBAND_OBS=OFF and asserts that fig8 throughput with the
+# observability layer compiled in stays within --tolerance (default 5%)
+# of the stripped build. The simulation is deterministic in simulated
+# time, so instrumentation can only perturb throughput if it changes
+# scheduling -- this check catches exactly that kind of regression.
+#
+# Usage: scripts/bench_regress.sh [--smoke] [--out FILE] [--ops N]
+#                                 [--reps N] [--tolerance T] [build-dir]
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$REPO/build"
+OUT="$REPO/BENCH_pr2.json"
+OPS="${HAMBAND_OPS:-6000}"
+REPS="${HAMBAND_REPS:-1}"
+TOLERANCE=0.05
+SMOKE=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --out) OUT="$2"; shift ;;
+    --ops) OPS="$2"; shift ;;
+    --reps) REPS="$2"; shift ;;
+    --tolerance) TOLERANCE="$2"; shift ;;
+    -*) echo "usage: $0 [--smoke] [--out FILE] [--ops N] [--reps N]" \
+             "[--tolerance T] [build-dir]" >&2; exit 2 ;;
+    *) BUILD="$1" ;;
+  esac
+  shift
+done
+
+REPORT_ARGS=(--ops "$OPS" --reps "$REPS")
+[ "$SMOKE" = 1 ] && REPORT_ARGS+=(--smoke)
+
+cmake -B "$BUILD" -S "$REPO" >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" --target hamband_bench_report
+
+"$BUILD/tools/hamband_bench_report" "${REPORT_ARGS[@]}" --out "$OUT"
+"$BUILD/tools/hamband_bench_report" --check "$OUT"
+
+if [ "$SMOKE" = 1 ]; then
+  echo "bench_regress: smoke ok ($OUT)"
+  exit 0
+fi
+
+# Overhead check: same points with the observability layer compiled out.
+BUILD_OFF="${BUILD}-obs-off"
+OUT_OFF="${OUT%.json}_obs_off.json"
+cmake -B "$BUILD_OFF" -S "$REPO" -DHAMBAND_OBS=OFF >/dev/null
+cmake --build "$BUILD_OFF" -j"$(nproc)" --target hamband_bench_report
+"$BUILD_OFF/tools/hamband_bench_report" "${REPORT_ARGS[@]}" --out "$OUT_OFF"
+"$BUILD_OFF/tools/hamband_bench_report" --check "$OUT_OFF"
+"$BUILD/tools/hamband_bench_report" \
+  --compare "$OUT" "$OUT_OFF" --tolerance "$TOLERANCE"
+
+echo "bench_regress: ok ($OUT)"

@@ -17,4 +17,9 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
 "$BUILD/tools/hamband_fuzz" --runs "$FUZZ_RUNS" --seed 42
 
+# Bench smoke: the regression harness must produce a well-formed report.
+"$REPO/scripts/bench_regress.sh" --smoke --out "$BUILD/BENCH_smoke.json" \
+  "$BUILD"
+"$BUILD/tools/hamband_bench_report" --check "$BUILD/BENCH_smoke.json"
+
 echo "ci: all checks passed"

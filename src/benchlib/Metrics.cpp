@@ -29,6 +29,9 @@ RunResult hamband::benchlib::averageRuns(const std::vector<RunResult> &Runs) {
     Avg.MeanResponseUs += R.MeanResponseUs;
     Avg.MeanUpdateResponseUs += R.MeanUpdateResponseUs;
     Avg.MeanQueryResponseUs += R.MeanQueryResponseUs;
+    Avg.P50ResponseUs += R.P50ResponseUs;
+    Avg.P99ResponseUs += R.P99ResponseUs;
+    Avg.MaxResponseUs = std::max(Avg.MaxResponseUs, R.MaxResponseUs);
     Avg.CompletedOps += R.CompletedOps;
     Avg.RejectedOps += R.RejectedOps;
     Avg.DurationUs += R.DurationUs;
@@ -39,12 +42,15 @@ RunResult hamband::benchlib::averageRuns(const std::vector<RunResult> &Runs) {
     for (const auto &[Name, S] : R.PerMethod)
       if (S.count())
         Avg.PerMethod[Name].add(S.mean());
+    Avg.ClusterStats.merge(R.ClusterStats);
   }
   double K = static_cast<double>(Runs.size());
   Avg.ThroughputOpsPerUs /= K;
   Avg.MeanResponseUs /= K;
   Avg.MeanUpdateResponseUs /= K;
   Avg.MeanQueryResponseUs /= K;
+  Avg.P50ResponseUs /= K;
+  Avg.P99ResponseUs /= K;
   Avg.DurationUs /= K;
   Avg.MeanBacklogCalls /= K;
   Avg.CompletedOps /= Runs.size();

@@ -10,7 +10,9 @@
 #include "hamband/baselines/MuSmrRuntime.h"
 #include "hamband/runtime/HambandCluster.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <memory>
 
 using namespace hamband;
@@ -44,7 +46,20 @@ struct DriverState {
   double QueryRespSum = 0;
   std::uint64_t QueryRespN = 0;
   double RespSum = 0;
+  /// Every call's response time, for exact percentiles.
+  std::vector<double> RespSamples;
 };
+
+/// Exact quantile over unsorted samples (nearest-rank); Samples must be
+/// sorted by the caller.
+double sortedQuantile(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0;
+  std::size_t Rank = static_cast<std::size_t>(
+      std::ceil(Q * static_cast<double>(Sorted.size())));
+  Rank = std::min(std::max<std::size_t>(Rank, 1), Sorted.size());
+  return Sorted[Rank - 1];
+}
 
 } // namespace
 
@@ -144,6 +159,7 @@ RunResult benchlib::runOnce(const ObjectType &Type,
                 MethodName](bool Ok, Value) {
                  double RespUs = sim::toMicros(Sim.now() - IssuedAt);
                  State->RespSum += RespUs;
+                 State->RespSamples.push_back(RespUs);
                  State->Result.PerMethod[MethodName].add(RespUs);
                  if (IsUpdate) {
                    State->UpdateRespSum += RespUs;
@@ -207,6 +223,13 @@ RunResult benchlib::runOnce(const ObjectType &Type,
   if (State->QueryRespN)
     R.MeanQueryResponseUs =
         State->QueryRespSum / static_cast<double>(State->QueryRespN);
+  if (!State->RespSamples.empty()) {
+    std::sort(State->RespSamples.begin(), State->RespSamples.end());
+    R.P50ResponseUs = sortedQuantile(State->RespSamples, 0.50);
+    R.P99ResponseUs = sortedQuantile(State->RespSamples, 0.99);
+    R.MaxResponseUs = State->RespSamples.back();
+  }
+  R.ClusterStats = RT->statsSnapshot();
   return R;
 }
 

@@ -1,0 +1,394 @@
+//===- obs/Json.cpp - Minimal JSON reader/writer --------------------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/obs/Json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace hamband::obs::json;
+
+const Value *Value::find(const std::string &Name) const {
+  if (!isObject())
+    return nullptr;
+  for (const auto &[K, V] : Obj)
+    if (K == Name)
+      return &V;
+  return nullptr;
+}
+
+Value Value::makeUInt(std::uint64_t U) {
+  Value V;
+  V.K = Kind::Number;
+  V.Num = static_cast<double>(U);
+  V.UInt = U;
+  V.IsInt = true;
+  return V;
+}
+
+Value Value::makeInt(std::int64_t I) {
+  if (I >= 0)
+    return makeUInt(static_cast<std::uint64_t>(I));
+  Value V;
+  V.K = Kind::Number;
+  V.Num = static_cast<double>(I);
+  return V;
+}
+
+Value Value::makeDouble(double D) {
+  Value V;
+  V.K = Kind::Number;
+  V.Num = D;
+  return V;
+}
+
+Value Value::makeString(std::string S) {
+  Value V;
+  V.K = Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+Value Value::makeBool(bool B) {
+  Value V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+
+Value Value::makeArray() {
+  Value V;
+  V.K = Kind::Array;
+  return V;
+}
+
+Value Value::makeObject() {
+  Value V;
+  V.K = Kind::Object;
+  return V;
+}
+
+Value &Value::add(std::string Name, Value V) {
+  Obj.emplace_back(std::move(Name), std::move(V));
+  return Obj.back().second;
+}
+
+std::string hamband::obs::json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+static void writeTo(const Value &V, std::string &Out) {
+  switch (V.K) {
+  case Value::Kind::Null:
+    Out += "null";
+    break;
+  case Value::Kind::Bool:
+    Out += V.B ? "true" : "false";
+    break;
+  case Value::Kind::Number: {
+    if (V.IsInt) {
+      Out += std::to_string(V.UInt);
+    } else if (V.Num == std::floor(V.Num) && std::abs(V.Num) < 1e15) {
+      Out += std::to_string(static_cast<long long>(V.Num));
+    } else {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", V.Num);
+      Out += Buf;
+    }
+    break;
+  }
+  case Value::Kind::String:
+    Out += '"';
+    Out += escape(V.Str);
+    Out += '"';
+    break;
+  case Value::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const Value &E : V.Arr) {
+      if (!First)
+        Out += ',';
+      First = false;
+      writeTo(E, Out);
+    }
+    Out += ']';
+    break;
+  }
+  case Value::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &[K, E] : V.Obj) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += escape(K);
+      Out += "\":";
+      writeTo(E, Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+std::string Value::write() const {
+  std::string Out;
+  writeTo(*this, Out);
+  return Out;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text) : S(Text.data()), End(S + Text.size()) {}
+
+  bool run(Value &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    return S == End;
+  }
+
+private:
+  const char *S;
+  const char *End;
+
+  void skipWs() {
+    while (S != End && (*S == ' ' || *S == '\t' || *S == '\n' || *S == '\r'))
+      ++S;
+  }
+
+  bool consume(char C) {
+    if (S == End || *S != C)
+      return false;
+    ++S;
+    return true;
+  }
+
+  bool literal(const char *Lit) {
+    std::size_t N = std::strlen(Lit);
+    if (static_cast<std::size_t>(End - S) < N || std::strncmp(S, Lit, N) != 0)
+      return false;
+    S += N;
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (S == End)
+      return false;
+    switch (*S) {
+    case 'n':
+      Out = Value();
+      return literal("null");
+    case 't':
+      Out = Value::makeBool(true);
+      return literal("true");
+    case 'f':
+      Out = Value::makeBool(false);
+      return literal("false");
+    case '"':
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    case '[':
+      return parseArray(Out);
+    case '{':
+      return parseObject(Out);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    Out.clear();
+    if (!consume('"'))
+      return false;
+    while (S != End && *S != '"') {
+      char C = *S++;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (S == End)
+        return false;
+      char E = *S++;
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (End - S < 4)
+          return false;
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = *S++;
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return false;
+        }
+        // Encode as UTF-8 (BMP only; surrogate pairs unsupported — stats
+        // documents never contain them).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return consume('"');
+  }
+
+  bool parseNumber(Value &Out) {
+    const char *Begin = S;
+    if (S != End && *S == '-')
+      ++S;
+    while (S != End && (std::isdigit(static_cast<unsigned char>(*S)) ||
+                        *S == '.' || *S == 'e' || *S == 'E' || *S == '+' ||
+                        *S == '-'))
+      ++S;
+    if (S == Begin)
+      return false;
+    std::string Tok(Begin, S);
+    Out.K = Value::Kind::Number;
+    Out.IsInt = Tok.find_first_of(".eE") == std::string::npos && Tok[0] != '-';
+    if (Out.IsInt) {
+      auto [P, Ec] = std::from_chars(Tok.data(), Tok.data() + Tok.size(),
+                                     Out.UInt);
+      if (Ec != std::errc() || P != Tok.data() + Tok.size())
+        return false;
+      Out.Num = static_cast<double>(Out.UInt);
+      return true;
+    }
+    char *EndPtr = nullptr;
+    Out.Num = std::strtod(Tok.c_str(), &EndPtr);
+    return EndPtr == Tok.c_str() + Tok.size();
+  }
+
+  bool parseArray(Value &Out) {
+    Out = Value::makeArray();
+    if (!consume('['))
+      return false;
+    skipWs();
+    if (consume(']'))
+      return true;
+    while (true) {
+      Value E;
+      skipWs();
+      if (!parseValue(E))
+        return false;
+      Out.Arr.push_back(std::move(E));
+      skipWs();
+      if (consume(']'))
+        return true;
+      if (!consume(','))
+        return false;
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    Out = Value::makeObject();
+    if (!consume('{'))
+      return false;
+    skipWs();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':'))
+        return false;
+      Value E;
+      skipWs();
+      if (!parseValue(E))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(E));
+      skipWs();
+      if (consume('}'))
+        return true;
+      if (!consume(','))
+        return false;
+    }
+  }
+};
+
+} // namespace
+
+bool hamband::obs::json::parse(const std::string &Text, Value &Out) {
+  return Parser(Text).run(Out);
+}

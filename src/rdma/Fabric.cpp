@@ -39,6 +39,14 @@ Fabric::Fabric(sim::Simulator &Sim, unsigned NumNodes, NetworkModel Model,
 
 Fabric::~Fabric() = default;
 
+void Fabric::setObs(obs::Registry &R) {
+  CtrWrite = &R.counter("rdma.write");
+  CtrRead = &R.counter("rdma.read");
+  CtrSend = &R.counter("rdma.send");
+  CtrBytes = &R.counter("rdma.bytes_written");
+  HistWireNs = &R.histogram("rdma.wire_ns");
+}
+
 Fabric::NodeCtx &Fabric::node(NodeId Id) {
   assert(Id < Nodes.size() && "node id out of range");
   return *Nodes[Id];
@@ -86,6 +94,10 @@ void Fabric::postWrite(NodeId Src, NodeId Dst, MemOffset DstOff,
   assert(Dst < Nodes.size() && "destination out of range");
   ++WritesPosted;
   BytesWritten += Data.size();
+  if (CtrWrite) {
+    CtrWrite->add();
+    CtrBytes->add(Data.size());
+  }
   auto Payload = std::make_shared<std::vector<std::uint8_t>>(std::move(Data));
   runOnCpu(
       Src, Model.PostCpu,
@@ -96,6 +108,8 @@ void Fabric::postWrite(NodeId Src, NodeId Dst, MemOffset DstOff,
           Wire += Hook->onOneSidedOp(Src, Dst, /*IsWrite=*/true,
                                      Payload->size())
                       .ExtraDelay;
+        if (HistWireNs)
+          HistWireNs->record(Wire);
         sim::SimTime DeliverAt = channelDeliveryTime(Src, Dst, Wire);
         Sim.scheduleAt(DeliverAt, [this, Src, Dst, DstOff, Payload, Key,
                                    Lane, OnComplete]() {
@@ -126,6 +140,8 @@ void Fabric::postRead(NodeId Src, NodeId Dst, MemOffset DstOff,
   assert(Dst < Nodes.size() && "destination out of range");
   assert(OnComplete && "a read without a completion is useless");
   ++ReadsPosted;
+  if (CtrRead)
+    CtrRead->add();
   runOnCpu(
       Src, Model.PostCpu,
       [this, Src, Dst, DstOff, Len, Lane,
@@ -134,6 +150,8 @@ void Fabric::postRead(NodeId Src, NodeId Dst, MemOffset DstOff,
         if (Hook)
           Wire += Hook->onOneSidedOp(Src, Dst, /*IsWrite=*/false, Len)
                       .ExtraDelay;
+        if (HistWireNs)
+          HistWireNs->record(Wire);
         sim::SimTime SampleAt = channelDeliveryTime(Src, Dst, Wire);
         Sim.scheduleAt(SampleAt, [this, Src, Dst, DstOff, Len, Lane,
                                   OnComplete]() {
@@ -158,6 +176,8 @@ void Fabric::send(NodeId Src, NodeId Dst, std::vector<std::uint8_t> Msg,
                   CompletionFn OnComplete, unsigned Lane) {
   assert(Dst < Nodes.size() && "destination out of range");
   ++SendsPosted;
+  if (CtrSend)
+    CtrSend->add();
   auto Payload = std::make_shared<std::vector<std::uint8_t>>(std::move(Msg));
   runOnCpu(
       Src, Model.MsgStackSendCpu,

@@ -28,6 +28,7 @@ HambandCluster::HambandCluster(sim::Simulator &Sim, unsigned NumNodes,
       Cfg.BackupSlotBytes);
   std::size_t MemBytes = Map->totalBytes() + (1u << 20);
   Fab = std::make_unique<rdma::Fabric>(Sim, NumNodes, Model, MemBytes);
+  Fab->setObs(ClusterStats);
   // Reserve the mapped range so nothing else lands in it.
   for (rdma::NodeId N = 0; N < NumNodes; ++N)
     Fab->memory(N).alloc(Map->totalBytes());
@@ -153,6 +154,13 @@ rdma::NodeId HambandCluster::leaderOf(unsigned Group,
                                       rdma::NodeId Observer) const {
   assert(Observer < Nodes.size());
   return Nodes[Observer]->knownLeader(Group);
+}
+
+obs::StatsSnapshot HambandCluster::statsSnapshot() const {
+  obs::StatsSnapshot S = ClusterStats.snapshot();
+  for (const auto &N : Nodes)
+    S.merge(N->statsSnapshot());
+  return S;
 }
 
 std::uint64_t HambandCluster::replicationBacklog() const {

@@ -63,6 +63,18 @@ HambandNode::HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
   unsigned SumGroups = Spec.numSumGroups();
   assert(ConfKeys.size() == Groups && "one region key per sync group");
 
+  CtrCallQuery = &Stats.counter("node.calls.query");
+  CtrCallReduce = &Stats.counter("node.calls.reducible");
+  CtrCallFree = &Stats.counter("node.calls.free");
+  CtrCallConf = &Stats.counter("node.calls.conflicting");
+  CtrReductions = &Stats.counter("node.reductions");
+  CtrDepStallFree = &Stats.counter("node.dep_stall.free");
+  CtrDepStallConf = &Stats.counter("node.dep_stall.conf");
+  CtrRecovered = &Stats.counter("bcast.recovered");
+  HistRespNs = &Stats.histogram("node.resp_ns");
+  GaugePendingFree = &Stats.gauge("node.pending_free");
+  GaugePendingConf = &Stats.gauge("node.pending_conf");
+
   Stored = Type.initialState();
   Applied.assign(N, std::vector<std::uint64_t>(Type.numMethods(), 0));
   SummaryCache.assign(SumGroups, std::vector<std::optional<Call>>(N));
@@ -96,6 +108,10 @@ HambandNode::HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
     MailWriters[J] = std::make_unique<RingWriter>(
         Fabric, Self, J, Map.mailRingData(Self), Map.mailRingFeedback(J),
         Map.mailGeom(), rdma::UnprotectedRegion, rdma::Fabric::LaneClient);
+    FreeReaders[J]->attachStats(Stats);
+    FreeWriters[J]->attachStats(Stats);
+    MailReaders[J]->attachStats(Stats);
+    MailWriters[J]->attachStats(Stats);
   }
 
   ConfReaders.resize(Groups);
@@ -137,8 +153,10 @@ HambandNode::HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
     Hooks.IsSuspected = [this](rdma::NodeId Peer) {
       return Detector->isSuspected(Peer);
     };
+    ConfReaders[G]->attachStats(Stats);
     Consensus[G] = std::make_unique<MuConsensus>(
         Fabric, Self, G, InitialLeader, Map, ConfKeys[G], std::move(Hooks));
+    Consensus[G]->attachStats(Stats);
     Consensus[G]->installInitialPermissions();
   }
 
@@ -148,6 +166,7 @@ HambandNode::HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
   Detector->onSuspect([this](rdma::NodeId Peer) { onPeerSuspected(Peer); });
   Broadcast = std::make_unique<ReliableBroadcast>(
       Fabric, Self, Map.backupSlot(), Cfg.BackupSlotBytes);
+  Broadcast->attachStats(Stats);
 
   const rdma::NetworkModel &M = Fabric.model();
   unsigned Checks = (N - 1) * 2         // free + mail rings
@@ -264,17 +283,31 @@ void HambandNode::submit(const Call &C, SubmitCallback Done) {
       Done(false, 0);
     return;
   }
+#if HAMBAND_OBS_ENABLED
+  // The submit→completion latency in simulated time; the wrap is compiled
+  // out entirely in HAMBAND_OBS=OFF builds.
+  Done = [this, T0 = Fabric.simulator().now(),
+          Inner = std::move(Done)](bool Ok, Value V) {
+    HistRespNs->record(Fabric.simulator().now() - T0);
+    if (Inner)
+      Inner(Ok, V);
+  };
+#endif
   switch (Spec.category(C.Method)) {
   case MethodCategory::Query:
+    CtrCallQuery->add();
     handleQuery(C, std::move(Done));
     return;
   case MethodCategory::Reducible:
+    CtrCallReduce->add();
     handleReduce(C, std::move(Done));
     return;
   case MethodCategory::IrreducibleFree:
+    CtrCallFree->add();
     handleFree(C, std::move(Done));
     return;
   case MethodCategory::Conflicting:
+    CtrCallConf->add();
     handleConf(C, std::move(Done));
     return;
   }
@@ -313,6 +346,7 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
           bool Ok = Type.summarize(*OwnSummary[G], P, NewSummary);
           assert(Ok && "summarization group not closed");
           (void)Ok;
+          CtrReductions->add();
         }
         OwnSummary[G] = NewSummary;
         std::uint64_t Seq = ++OwnSummarySeq[G];
@@ -686,6 +720,10 @@ void HambandNode::pollOnce() {
     Consensus[G]->poll();
     retryLeaderQueue(G);
   }
+#if HAMBAND_OBS_ENABLED
+  GaugePendingFree->set(static_cast<std::int64_t>(pendingFreeTotal()));
+  GaugePendingConf->set(static_cast<std::int64_t>(pendingConfTotal()));
+#endif
   sim::SimDuration Extra =
       Parsed * M.ParseCpu + AppliedN * M.ApplyCpu;
   if (Extra > 0)
@@ -848,6 +886,10 @@ unsigned HambandNode::applyPendingFree() {
       ++AppliedN;
       ++NumAppliedBuffered;
     }
+    // Head entry present but its dependency array is unsatisfied: the
+    // buffer is stalled waiting for another process's calls.
+    if (!Q.empty())
+      CtrDepStallFree->add();
   }
   return AppliedN;
 }
@@ -870,6 +912,8 @@ unsigned HambandNode::applyPendingConf() {
       ++NumAppliedBuffered;
       It = M.find(ConfAppliedIdx[G]);
     }
+    if (It != M.end())
+      CtrDepStallConf->add();
   }
   return AppliedN;
 }
@@ -894,6 +938,7 @@ void HambandNode::onPeerSuspected(rdma::NodeId Peer) {
           Img.Seq > SummarySeqSeen[G][Peer]) {
         installSummary(G, Peer, Img);
         ++NumRecovered;
+        CtrRecovered->add();
       }
       return;
     }
@@ -912,6 +957,7 @@ void HambandNode::onPeerSuspected(rdma::NodeId Peer) {
         // Skip the ring cell that will never be written.
         FreeReaders[Peer]->setHead(NextSeq + 1);
         ++NumRecovered;
+        CtrRecovered->add();
       }
       return;
     }

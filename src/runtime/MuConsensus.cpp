@@ -34,6 +34,16 @@ MuConsensus::MuConsensus(rdma::Fabric &Fabric, rdma::NodeId Self,
         writerTo(F);
 }
 
+void MuConsensus::attachStats(obs::Registry &R) {
+  Obs = &R;
+  CtrProposal = &R.counter("mu.proposal");
+  CtrViewChange = &R.counter("mu.view_change");
+  CtrAppend = &R.counter("mu.append");
+  CtrCommit = &R.counter("mu.commit");
+  for (auto &[F, W] : Writers)
+    W->attachStats(R);
+}
+
 void MuConsensus::installInitialPermissions() {
   for (rdma::NodeId W = 0; W < Fabric.numNodes(); ++W)
     Fabric.setWritePermission(Self, W, LogKey, W == Leader);
@@ -47,6 +57,8 @@ RingWriter &MuConsensus::writerTo(rdma::NodeId Follower) {
       Fabric, Self, Follower, Map.confRingData(Group),
       Map.confRingFeedback(Group, Follower), Map.confGeom(), LogKey,
       rdma::Fabric::LaneClient);
+  if (Obs)
+    W->attachStats(*Obs);
   W->setTail(NextIndex);
   return *Writers.emplace(Follower, std::move(W)).first->second;
 }
@@ -64,6 +76,15 @@ bool MuConsensus::leaderAppend(const std::vector<std::uint8_t> &EntryBytes,
                                std::function<void(bool)> OnCommitted) {
   if (!canAppend())
     return false;
+  if (CtrAppend) {
+    CtrAppend->add();
+    OnCommitted = [C = CtrCommit, Inner = std::move(OnCommitted)](bool Ok) {
+      if (Ok)
+        C->add();
+      if (Inner)
+        Inner(Ok);
+    };
+  }
 
   unsigned N = Fabric.numNodes();
   unsigned Majority = N / 2 + 1;
@@ -129,6 +150,11 @@ void MuConsensus::onPeerSuspected(rdma::NodeId Peer) {
 void MuConsensus::campaign() {
   Campaigning = true;
   CampaignEpoch = Epoch + 1;
+  if (CtrProposal)
+    CtrProposal->add();
+  if (Obs)
+    CampaignSpan =
+        obs::Span(*Obs, "mu.campaign_ns", Fabric.simulator().now());
   AckSeen.assign(Fabric.numNodes(), false);
   AckReceived.assign(Fabric.numNodes(), 0);
   std::vector<std::uint8_t> Proposal(16, 0);
@@ -160,6 +186,8 @@ void MuConsensus::poll() {
     rdma::NodeId Old = Leader;
     Epoch = BestEpoch;
     Leader = BestCand;
+    if (CtrViewChange)
+      CtrViewChange->add();
     if (Campaigning && CampaignEpoch < Epoch)
       Campaigning = false; // Lost the race to a higher epoch.
     // Revoke the deposed leader's permission *before* granting the new
@@ -251,6 +279,7 @@ void MuConsensus::becomeLeaderAfterCatchUp(std::uint64_t MaxReceived,
   if (Mine >= MaxReceived) {
     NextIndex = MaxReceived;
     CatchingUp = false;
+    CampaignSpan.finish(Fabric.simulator().now());
     replicateMissingToFollowers();
     return;
   }
@@ -265,6 +294,7 @@ void MuConsensus::becomeLeaderAfterCatchUp(std::uint64_t MaxReceived,
     if (Index >= MaxReceived) {
       NextIndex = MaxReceived;
       CatchingUp = false;
+      CampaignSpan.finish(Fabric.simulator().now());
       replicateMissingToFollowers();
       return;
     }

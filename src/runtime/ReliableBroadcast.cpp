@@ -18,6 +18,11 @@ ReliableBroadcast::ReliableBroadcast(rdma::Fabric &Fabric, rdma::NodeId Self,
     : Fabric(Fabric), Self(Self), BackupOff(BackupOff),
       SlotBytes(SlotBytes) {}
 
+void ReliableBroadcast::attachStats(obs::Registry &R) {
+  CtrStage = &R.counter("bcast.stage");
+  CtrFetch = &R.counter("bcast.fetch");
+}
+
 void ReliableBroadcast::stage(Kind K, std::uint8_t Aux,
                               const std::vector<std::uint8_t> &Payload) {
   assert(Payload.size() + 7 <= SlotBytes && "backup slot too small");
@@ -30,6 +35,8 @@ void ReliableBroadcast::stage(Kind K, std::uint8_t Aux,
   if (Len)
     Mem.write(BackupOff + 6, Payload.data(), Len);
   Mem.writeU8(BackupOff + SlotBytes - 1, 1);
+  if (CtrStage)
+    CtrStage->add();
   if (OnStage)
     OnStage();
 }
@@ -40,6 +47,8 @@ void ReliableBroadcast::clear() {
 
 void ReliableBroadcast::fetch(
     rdma::NodeId Peer, std::function<void(BackupMessage)> Done) const {
+  if (CtrFetch)
+    CtrFetch->add();
   Fabric.postRead(
       Self, Peer, BackupOff, SlotBytes,
       [SlotBytes = SlotBytes, Done = std::move(Done)](

@@ -21,6 +21,18 @@ RingWriter::RingWriter(rdma::Fabric &Fabric, rdma::NodeId Writer,
   assert(Writer != Reader && "rings connect distinct nodes");
 }
 
+void RingWriter::attachStats(obs::Registry &R) {
+  CtrAppend = &R.counter("ring.append");
+  CtrFullStall = &R.counter("ring.full_stall");
+  CtrWrap = &R.counter("ring.wrap");
+  HistOccupancy = &R.histogram("ring.occupancy");
+}
+
+void RingReader::attachStats(obs::Registry &R) {
+  CtrConsume = &R.counter("ring.consume");
+  CtrCanaryRetry = &R.counter("ring.canary_retry");
+}
+
 bool RingWriter::full() const {
   // The feedback slot lives in the writer's own memory; reading it is a
   // plain local load.
@@ -31,8 +43,18 @@ bool RingWriter::full() const {
 bool RingWriter::append(const std::vector<std::uint8_t> &Payload,
                         rdma::CompletionFn OnComplete) {
   assert(Payload.size() <= Geom.maxPayload() && "payload exceeds cell size");
-  if (full())
+  if (full()) {
+    if (CtrFullStall)
+      CtrFullStall->add();
     return false;
+  }
+  if (CtrAppend)
+    CtrAppend->add();
+  if (CtrWrap && Tail != 0 && Tail % Geom.NumCells == 0)
+    CtrWrap->add();
+  if (HistOccupancy)
+    HistOccupancy->record(Tail + 1 -
+                          Fabric.memory(Writer).readU64(FeedbackOff));
 
   // Build the whole cell -- header, payload, trailing canary -- and ship
   // it with one RDMA write, exactly like the runtime in Section 4.
@@ -74,8 +96,13 @@ bool RingReader::readCell(std::uint64_t Index,
   Mem.read(CellOff, Header, sizeof(Header));
   std::memcpy(&Len, Header, 4);
   std::memcpy(&Seq, Header + 4, 8);
-  if (Seq != Index || Len > Geom.maxPayload())
-    return false; // A stale lap or torn header; retry next traversal.
+  if (Seq != Index || Len > Geom.maxPayload()) {
+    // A stale lap or torn header; retry next traversal. (A clear canary is
+    // just an empty cell and is not counted.)
+    if (CtrCanaryRetry)
+      CtrCanaryRetry->add();
+    return false;
+  }
   Out = Mem.slice(CellOff + RingGeometry::HeaderBytes, Len);
   return true;
 }
@@ -117,6 +144,8 @@ void RingReader::consume() {
   // Clear the canary so the slot can be reused by a later lap.
   Fabric.memory(Reader).writeU8(CellOff + Geom.CellSize - 1, 0);
   ++Head;
+  if (CtrConsume)
+    CtrConsume->add();
   // Publish the head to the writer once per quarter ring so it can reuse
   // cells without ever overwriting unconsumed ones.
   if (Head - LastFeedback >= Geom.NumCells / 4) {

@@ -32,7 +32,8 @@ RdmaConfiguration::RdmaConfiguration(const ObjectType &Type,
 }
 
 RdmaConfiguration::RdmaConfiguration(const RdmaConfiguration &O)
-    : Type(O.Type), Spec(O.Spec), Leaders(O.Leaders), Log(O.Log) {
+    : Type(O.Type), Spec(O.Spec), Leaders(O.Leaders), Log(O.Log),
+      RuleCounts(O.RuleCounts) {
   Procs.resize(O.Procs.size());
   for (std::size_t I = 0; I < O.Procs.size(); ++I) {
     const ProcState &Src = O.Procs[I];
@@ -169,6 +170,7 @@ bool RdmaConfiguration::tryReduce(ProcessId P, const Call &C) {
     PS.Applied[P][C.Method] = N;
   }
   Log.push_back(StepRecord{StepKind::Reduce, P, C});
+  ++RuleCounts[static_cast<unsigned>(Rule::Reduce)];
   return true;
 }
 
@@ -195,6 +197,7 @@ bool RdmaConfiguration::tryFree(ProcessId P, const Call &C) {
     if (I != P)
       Procs[I].FreeBufs[P].push_back(BufferedCall{C, D});
   Log.push_back(StepRecord{StepKind::Free, P, C});
+  ++RuleCounts[static_cast<unsigned>(Rule::Free)];
   return true;
 }
 
@@ -226,6 +229,7 @@ bool RdmaConfiguration::tryConf(ProcessId P, const Call &C) {
     if (I != P)
       Procs[I].ConfBufs[*Group].push_back(BufferedCall{C, D});
   Log.push_back(StepRecord{StepKind::Conf, P, C});
+  ++RuleCounts[static_cast<unsigned>(Rule::Conf)];
   return true;
 }
 
@@ -261,6 +265,7 @@ bool RdmaConfiguration::tryFreeApp(ProcessId P, ProcessId From) {
   Buf.pop_front();
   applyBuffered(P, C);
   Log.push_back(StepRecord{StepKind::FreeApp, P, C});
+  ++RuleCounts[static_cast<unsigned>(Rule::FreeApp)];
   return true;
 }
 
@@ -276,12 +281,14 @@ bool RdmaConfiguration::tryConfApp(ProcessId P, unsigned Group) {
   Buf.pop_front();
   applyBuffered(P, C);
   Log.push_back(StepRecord{StepKind::ConfApp, P, C});
+  ++RuleCounts[static_cast<unsigned>(Rule::ConfApp)];
   return true;
 }
 
 Value RdmaConfiguration::query(ProcessId P, const Call &C) const {
   assert(Type.method(C.Method).Kind == MethodKind::Query);
   StatePtr Visible = visibleState(P);
+  ++RuleCounts[static_cast<unsigned>(Rule::Query)];
   return Type.query(*Visible, C);
 }
 

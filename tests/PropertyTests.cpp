@@ -295,3 +295,132 @@ INSTANTIATE_TEST_SUITE_P(Kinds, DeterminismTest,
                          ::testing::Values(benchlib::RuntimeKind::Hamband,
                                            benchlib::RuntimeKind::Msg,
                                            benchlib::RuntimeKind::MuSmr));
+
+// -- Randomized wire-format round trips ---------------------------------------
+
+// Property: encodeCall/decodeCall round-trip arbitrary calls with
+// arbitrary dependency arrays. The decoder reconstructs a sparse DepMap
+// (zero counts are dropped), so equality is asserted on the dense block.
+TEST(WireRandomized, CallRoundTripsUnderRandomDepsAndArgs) {
+  sim::Rng R(314159);
+  for (const std::string &Name : hamband::registeredTypeNames()) {
+    auto Type = makeType(Name);
+    const CoordinationSpec &S = Type->coordination();
+    for (unsigned Iter = 0; Iter < 40; ++Iter) {
+      unsigned Procs = 1 + static_cast<unsigned>(R.index(7));
+      MethodId M = static_cast<MethodId>(R.index(Type->numMethods()));
+      if (!S.isUpdate(M))
+        continue;
+      WireCall In;
+      In.TheCall =
+          Type->randomClientCall(M, static_cast<ProcessId>(R.index(Procs)),
+                                 R.nextU64(), R);
+      In.BcastSeq = R.nextU64();
+      for (MethodId Dep : S.dependencies(M)) {
+        // Random subset of processes, counts spanning 0..uint64 max.
+        for (ProcessId P = 0; P < Procs; ++P) {
+          if (R.index(2))
+            continue;
+          std::uint64_t Count =
+              R.index(3) ? R.nextU64() % 1000 : ~std::uint64_t{0};
+          In.Deps.push_back(semantics::DepEntry{P, Dep, Count});
+        }
+      }
+      std::vector<std::uint8_t> Bytes = encodeCall(S, Procs, In);
+      WireCall Out;
+      ASSERT_TRUE(decodeCall(S, Procs, Bytes.data(), Bytes.size(), Out))
+          << Name;
+      EXPECT_EQ(Out.TheCall, In.TheCall) << Name;
+      EXPECT_EQ(Out.BcastSeq, In.BcastSeq) << Name;
+      EXPECT_EQ(denseDeps(S, Procs, M, Out.Deps),
+                denseDeps(S, Procs, M, In.Deps))
+          << Name;
+      // Any strict prefix must be rejected, never mis-decoded.
+      if (!Bytes.empty()) {
+        WireCall Trunc;
+        EXPECT_FALSE(decodeCall(S, Procs, Bytes.data(),
+                                R.index(Bytes.size()), Trunc))
+            << Name;
+      }
+    }
+  }
+}
+
+// Edge shapes: a zero-argument, zero-dependency call (the smallest
+// encodable payload) and a maximal one (full argument vector, every
+// dependency cell saturated).
+TEST(WireRandomized, CallRoundTripsAtPayloadExtremes) {
+  auto Type = makeType("counter");
+  const CoordinationSpec &S = Type->coordination();
+  const unsigned Procs = 7;
+
+  WireCall Tiny;
+  Tiny.TheCall = Call(0, {}, 0, 0);
+  Tiny.BcastSeq = 0;
+  std::vector<std::uint8_t> TinyBytes = encodeCall(S, Procs, Tiny);
+  WireCall TinyOut;
+  ASSERT_TRUE(
+      decodeCall(S, Procs, TinyBytes.data(), TinyBytes.size(), TinyOut));
+  EXPECT_EQ(TinyOut.TheCall, Tiny.TheCall);
+  EXPECT_TRUE(TinyOut.TheCall.Args.empty());
+  EXPECT_TRUE(TinyOut.Deps.empty());
+
+  WireCall Big;
+  Big.TheCall = Call(0, std::vector<Value>(255, INT64_MIN), Procs - 1,
+                     ~std::uint64_t{0});
+  Big.BcastSeq = ~std::uint64_t{0};
+  for (MethodId Dep : S.dependencies(0))
+    for (ProcessId P = 0; P < Procs; ++P)
+      Big.Deps.push_back(
+          semantics::DepEntry{P, Dep, ~std::uint64_t{0}});
+  std::vector<std::uint8_t> BigBytes = encodeCall(S, Procs, Big);
+  WireCall BigOut;
+  ASSERT_TRUE(
+      decodeCall(S, Procs, BigBytes.data(), BigBytes.size(), BigOut));
+  EXPECT_EQ(BigOut.TheCall, Big.TheCall);
+  EXPECT_EQ(denseDeps(S, Procs, 0, BigOut.Deps),
+            denseDeps(S, Procs, 0, Big.Deps));
+}
+
+// The mailbox and summary-slot codecs under the same random sweep.
+TEST(WireRandomized, MailAndSummaryRoundTrip) {
+  sim::Rng R(2718);
+  auto Type = makeType("bank-account");
+  for (unsigned Iter = 0; Iter < 60; ++Iter) {
+    MailMsg In;
+    In.Kind = R.index(2) ? MailKind::ConfResponse : MailKind::ConfRequest;
+    In.Origin = static_cast<ProcessId>(R.index(8));
+    In.ReqId = R.nextU64();
+    In.Ok = static_cast<std::uint8_t>(R.index(2));
+    MethodId M = static_cast<MethodId>(R.index(Type->numMethods()));
+    In.TheCall = Type->randomClientCall(M, In.Origin, R.nextU64(), R);
+    if (Iter == 0)
+      In.TheCall.Args.clear(); // Zero-length argument edge.
+    std::vector<std::uint8_t> Bytes = encodeMail(In);
+    MailMsg Out;
+    ASSERT_TRUE(decodeMail(Bytes.data(), Bytes.size(), Out));
+    EXPECT_EQ(Out.Kind, In.Kind);
+    EXPECT_EQ(Out.Origin, In.Origin);
+    EXPECT_EQ(Out.ReqId, In.ReqId);
+    EXPECT_EQ(Out.Ok, In.Ok);
+    EXPECT_EQ(Out.TheCall, In.TheCall);
+    MailMsg Trunc;
+    EXPECT_FALSE(decodeMail(Bytes.data(), Bytes.size() - 1, Trunc));
+
+    SummaryImage Img;
+    Img.Seq = R.nextU64();
+    Img.Summary = In.TheCall;
+    for (std::size_t K = R.index(4); K > 0; --K)
+      Img.AppliedCounts.emplace_back(
+          static_cast<MethodId>(R.index(Type->numMethods())), R.nextU64());
+    std::vector<std::uint8_t> SumBytes = encodeSummary(Img);
+    SummaryImage SumOut;
+    ASSERT_TRUE(decodeSummary(SumBytes.data(), SumBytes.size(), SumOut));
+    EXPECT_EQ(SumOut.Seq, Img.Seq);
+    EXPECT_EQ(SumOut.Summary, Img.Summary);
+    EXPECT_EQ(SumOut.AppliedCounts, Img.AppliedCounts);
+    SummaryImage SumTrunc;
+    EXPECT_FALSE(
+        decodeSummary(SumBytes.data(), SumBytes.size() - 1, SumTrunc));
+  }
+}

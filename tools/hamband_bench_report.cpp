@@ -1,0 +1,307 @@
+//===- tools/hamband_bench_report.cpp - Regression bench report -----------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the two headline figure points (fig8 reduction throughput on the
+// counter, fig9 buffering latency on the ORSet) through benchlib and emits
+// a machine-readable hamband-bench-v1 JSON report:
+//
+//   hamband_bench_report --out BENCH.json          # run and emit
+//   hamband_bench_report --smoke --out BENCH.json  # tiny op count for CI
+//   hamband_bench_report --check BENCH.json        # validate a report
+//   hamband_bench_report --compare A.json B.json --tolerance 0.05
+//
+// Latency percentiles come from the merged per-node node.resp_ns
+// histograms when the observability layer is compiled in, with the
+// driver's exact per-call samples as the fallback (and as a cross-check).
+// --compare exits nonzero when fig8 throughput differs by more than the
+// tolerance, which is how scripts/bench_regress.sh asserts that an
+// HAMBAND_OBS=ON build performs within noise of an OFF build.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/benchlib/Runner.h"
+#include "hamband/core/TypeRegistry.h"
+#include "hamband/obs/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace hamband;
+using namespace hamband::benchlib;
+namespace json = hamband::obs::json;
+
+namespace {
+
+struct Options {
+  std::uint64_t Ops = 6000;
+  unsigned Reps = 1;
+  bool Smoke = false;
+  std::string Out;        // Empty = stdout.
+  std::string CheckFile;  // --check mode.
+  std::string CompareA;   // --compare mode.
+  std::string CompareB;
+  double Tolerance = 0.05;
+};
+
+/// One figure point: the workload result plus the percentile source.
+struct PointReport {
+  RunResult R;
+  double P50Us = 0;
+  double P99Us = 0;
+  double MaxUs = 0;
+  const char *Source = "driver";
+};
+
+PointReport runFigPoint(const std::string &TypeName, unsigned Nodes,
+                        double UpdateRatio, const Options &Opt) {
+  auto Type = makeType(TypeName);
+  WorkloadSpec W;
+  W.NumOps = Opt.Ops;
+  W.UpdateRatio = UpdateRatio;
+  RunnerOptions RO;
+  RO.Kind = RuntimeKind::Hamband;
+  RO.NumNodes = Nodes;
+  RO.Repetitions = Opt.Reps;
+
+  PointReport P;
+  P.R = runWorkload(*Type, W, RO);
+
+  // Prefer the runtime's own histogram: it is what production deployments
+  // would export. The driver's exact samples remain the fallback for
+  // HAMBAND_OBS=OFF builds.
+  if (const obs::HistogramSnapshot *H =
+          P.R.ClusterStats.histogram("node.resp_ns")) {
+    if (H->Count) {
+      P.P50Us = static_cast<double>(H->quantile(0.50)) / 1000.0;
+      P.P99Us = static_cast<double>(H->quantile(0.99)) / 1000.0;
+      P.MaxUs = static_cast<double>(H->Max) / 1000.0;
+      P.Source = "obs";
+      return P;
+    }
+  }
+  P.P50Us = P.R.P50ResponseUs;
+  P.P99Us = P.R.P99ResponseUs;
+  P.MaxUs = P.R.MaxResponseUs;
+  return P;
+}
+
+json::Value pointToJson(const std::string &TypeName, unsigned Nodes,
+                        double UpdateRatio, const PointReport &P) {
+  json::Value O = json::Value::makeObject();
+  O.add("type", json::Value::makeString(TypeName));
+  O.add("nodes", json::Value::makeUInt(Nodes));
+  O.add("update_pct", json::Value::makeDouble(UpdateRatio * 100.0));
+  O.add("throughput_ops_us",
+        json::Value::makeDouble(P.R.ThroughputOpsPerUs));
+  O.add("mean_response_us", json::Value::makeDouble(P.R.MeanResponseUs));
+  O.add("p50_response_us", json::Value::makeDouble(P.P50Us));
+  O.add("p99_response_us", json::Value::makeDouble(P.P99Us));
+  O.add("max_response_us", json::Value::makeDouble(P.MaxUs));
+  O.add("percentile_source", json::Value::makeString(P.Source));
+  O.add("completed_ops", json::Value::makeUInt(P.R.CompletedOps));
+  O.add("completed", json::Value::makeBool(P.R.Completed));
+  return O;
+}
+
+/// The report's required numeric fields per figure point.
+const char *const PointFields[] = {
+    "throughput_ops_us", "mean_response_us", "p50_response_us",
+    "p99_response_us",   "max_response_us",
+};
+
+bool checkPoint(const json::Value &Doc, const char *Fig, std::string &Err) {
+  const json::Value *P = Doc.find(Fig);
+  if (!P || !P->isObject()) {
+    Err = std::string(Fig) + " missing or not an object";
+    return false;
+  }
+  for (const char *F : PointFields) {
+    const json::Value *V = P->find(F);
+    if (!V || !V->isNumber() || !std::isfinite(V->asDouble()) ||
+        V->asDouble() < 0) {
+      Err = std::string(Fig) + "." + F + " missing or not a finite number";
+      return false;
+    }
+  }
+  const json::Value *C = P->find("completed");
+  if (!C || !C->isBool() || !C->B) {
+    Err = std::string(Fig) + " run did not complete";
+    return false;
+  }
+  return true;
+}
+
+bool loadDoc(const std::string &Path, json::Value &Doc, std::string &Err) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    Err = "cannot open " + Path;
+    return false;
+  }
+  std::stringstream SS;
+  SS << IS.rdbuf();
+  if (!json::parse(SS.str(), Doc)) {
+    Err = "malformed JSON in " + Path;
+    return false;
+  }
+  const json::Value *Schema = Doc.find("schema");
+  if (!Schema || !Schema->isString() || Schema->Str != "hamband-bench-v1") {
+    Err = "bad or missing schema tag in " + Path;
+    return false;
+  }
+  return true;
+}
+
+int checkMode(const Options &Opt) {
+  json::Value Doc;
+  std::string Err;
+  if (!loadDoc(Opt.CheckFile, Doc, Err) ||
+      !checkPoint(Doc, "fig8", Err) || !checkPoint(Doc, "fig9", Err)) {
+    std::fprintf(stderr, "check failed: %s\n", Err.c_str());
+    return 1;
+  }
+  // The embedded stats snapshot, when present, must itself round-trip.
+  if (const json::Value *Stats = Doc.find("stats")) {
+    obs::StatsSnapshot S;
+    if (!obs::StatsSnapshot::fromJson(Stats->write(), S)) {
+      std::fprintf(stderr, "check failed: embedded stats snapshot is not "
+                           "a valid hamband-stats-v1 document\n");
+      return 1;
+    }
+  }
+  std::printf("%s: ok\n", Opt.CheckFile.c_str());
+  return 0;
+}
+
+int compareMode(const Options &Opt) {
+  json::Value A, B;
+  std::string Err;
+  if (!loadDoc(Opt.CompareA, A, Err) || !loadDoc(Opt.CompareB, B, Err)) {
+    std::fprintf(stderr, "compare failed: %s\n", Err.c_str());
+    return 1;
+  }
+  const json::Value *TA = A.find("fig8");
+  const json::Value *TB = B.find("fig8");
+  if (!TA || !TB) {
+    std::fprintf(stderr, "compare failed: fig8 section missing\n");
+    return 1;
+  }
+  double XA = TA->find("throughput_ops_us")
+                  ? TA->find("throughput_ops_us")->asDouble()
+                  : 0;
+  double XB = TB->find("throughput_ops_us")
+                  ? TB->find("throughput_ops_us")->asDouble()
+                  : 0;
+  if (XA <= 0 || XB <= 0) {
+    std::fprintf(stderr, "compare failed: non-positive throughput\n");
+    return 1;
+  }
+  double Rel = std::fabs(XA - XB) / XB;
+  std::printf("fig8 throughput: %s=%.4f %s=%.4f relative diff %.2f%% "
+              "(tolerance %.2f%%)\n",
+              Opt.CompareA.c_str(), XA, Opt.CompareB.c_str(), XB,
+              Rel * 100.0, Opt.Tolerance * 100.0);
+  if (Rel > Opt.Tolerance) {
+    std::fprintf(stderr, "compare failed: outside tolerance\n");
+    return 1;
+  }
+  return 0;
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--ops N] [--reps N] [--smoke] [--out FILE]\n"
+               "       %s --check FILE\n"
+               "       %s --compare A.json B.json [--tolerance T]\n",
+               Argv0, Argv0, Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    const char *V = nullptr;
+    if (A == "--ops" && (V = Next()))
+      Opt.Ops = std::strtoull(V, nullptr, 10);
+    else if (A == "--reps" && (V = Next()))
+      Opt.Reps = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (A == "--smoke")
+      Opt.Smoke = true;
+    else if (A == "--out" && (V = Next()))
+      Opt.Out = V;
+    else if (A == "--check" && (V = Next()))
+      Opt.CheckFile = V;
+    else if (A == "--tolerance" && (V = Next()))
+      Opt.Tolerance = std::strtod(V, nullptr);
+    else if (A == "--compare") {
+      const char *VA = Next();
+      const char *VB = Next();
+      if (!VA || !VB)
+        return usage(Argv[0]);
+      Opt.CompareA = VA;
+      Opt.CompareB = VB;
+    } else
+      return usage(Argv[0]);
+  }
+  if (Opt.Smoke)
+    Opt.Ops = std::min<std::uint64_t>(Opt.Ops, 600);
+
+  if (!Opt.CheckFile.empty())
+    return checkMode(Opt);
+  if (!Opt.CompareA.empty())
+    return compareMode(Opt);
+
+  // Fig8 point: reducible updates (counter), 4 nodes, 25% update ratio --
+  // the headline throughput configuration. Fig9 point: irreducible
+  // conflict-free updates through the F rings (ORSet), same shape.
+  PointReport Fig8 = runFigPoint("counter", 4, 0.25, Opt);
+  PointReport Fig9 = runFigPoint("orset", 4, 0.25, Opt);
+
+  json::Value Doc = json::Value::makeObject();
+  Doc.add("schema", json::Value::makeString("hamband-bench-v1"));
+#if HAMBAND_OBS_ENABLED
+  Doc.add("obs_enabled", json::Value::makeBool(true));
+#else
+  Doc.add("obs_enabled", json::Value::makeBool(false));
+#endif
+  Doc.add("ops", json::Value::makeUInt(Opt.Ops));
+  Doc.add("reps", json::Value::makeUInt(std::max(1u, Opt.Reps)));
+  Doc.add("fig8", pointToJson("counter", 4, 0.25, Fig8));
+  Doc.add("fig9", pointToJson("orset", 4, 0.25, Fig9));
+
+  // Embed the fig9 run's merged snapshot so a report is self-describing:
+  // readers can recompute the percentiles from the raw buckets.
+  if (!Fig9.R.ClusterStats.empty()) {
+    json::Value Stats;
+    if (json::parse(Fig9.R.ClusterStats.toJson(), Stats))
+      Doc.add("stats", std::move(Stats));
+  }
+
+  std::string Text = Doc.write();
+  Text += "\n";
+  if (Opt.Out.empty()) {
+    std::fputs(Text.c_str(), stdout);
+  } else {
+    std::ofstream OS(Opt.Out);
+    OS << Text;
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot write %s\n", Opt.Out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (fig8 tput %.4f ops/us, fig9 p99 %.2f us)\n",
+                Opt.Out.c_str(), Fig8.R.ThroughputOpsPerUs, Fig9.P99Us);
+  }
+  return 0;
+}

@@ -62,6 +62,7 @@ struct Options {
   bool Verbose = false;
   bool NoReplay = false;
   bool Minimize = false;
+  bool Stats = false; // Dump the merged metrics snapshot as JSON.
 };
 
 /// Everything needed to reproduce one run.
@@ -143,7 +144,8 @@ RunConfig configForRun(const Options &Opt, unsigned RunIdx,
 /// of generating one from Cfg; with \p ReplayFrom the injector re-applies
 /// the recorded trace instead of drawing decisions from the RNG.
 RunResult executeRun(const RunConfig &Cfg, const FaultPlan *PlanOverride,
-                     const FaultTrace *ReplayFrom) {
+                     const FaultTrace *ReplayFrom,
+                     obs::StatsSnapshot *StatsOut = nullptr) {
   RunResult Res;
   auto Fail = [&Res](const std::string &Msg) {
     Res.Ok = false;
@@ -283,6 +285,8 @@ RunResult executeRun(const RunConfig &Cfg, const FaultPlan *PlanOverride,
     }
   }
 
+  if (StatsOut)
+    StatsOut->merge(C.statsSnapshot());
   Res.Trace = FI->trace();
   return Res;
 }
@@ -371,7 +375,7 @@ int usage(const char *Argv0) {
       "usage: %s [--runs N] [--seed S] [--calls N] [--nodes N]\n"
       "          [--type NAME] [--only RUN] [--dump FILE]\n"
       "          [--replay-trace FILE] [--minimize] [--no-replay]\n"
-      "          [--verbose]\n",
+      "          [--stats] [--verbose]\n",
       Argv0);
   return 2;
 }
@@ -406,6 +410,8 @@ int main(int Argc, char **Argv) {
       Opt.Minimize = true;
     else if (A == "--no-replay")
       Opt.NoReplay = true;
+    else if (A == "--stats")
+      Opt.Stats = true;
     else if (A == "--verbose")
       Opt.Verbose = true;
     else
@@ -451,9 +457,11 @@ int main(int Argc, char **Argv) {
   unsigned Last =
       Opt.Only >= 0 ? static_cast<unsigned>(Opt.Only) + 1 : Opt.Runs;
   unsigned Failures = 0;
+  obs::StatsSnapshot Merged;
   for (unsigned RunIdx = First; RunIdx < Last; ++RunIdx) {
     RunConfig Cfg = configForRun(Opt, RunIdx, Types);
-    RunResult R = executeRun(Cfg, nullptr, nullptr);
+    RunResult R = executeRun(Cfg, nullptr, nullptr,
+                             Opt.Stats ? &Merged : nullptr);
 
     // Serialization round trip + bit-for-bit replay of the trace.
     std::string Ser = R.Trace.serialize();
@@ -495,5 +503,7 @@ int main(int Argc, char **Argv) {
   }
   std::printf("%u/%u schedules passed\n", (Last - First) - Failures,
               Last - First);
+  if (Opt.Stats)
+    std::printf("%s\n", Merged.toJson().c_str());
   return Failures ? 1 : 0;
 }
