@@ -77,15 +77,14 @@ private:
 
 /// Result of method-level inference.
 struct InferredCoordination {
-  /// Conflict matrix over methods (row-major NumMethods^2), via exists
-  /// over sampled call pairs.
-  std::vector<char> Conflicts;
+  /// Conflict matrix over methods, via exists over sampled call pairs.
+  SymmetricMatrix Conflicts;
   /// Dep sets per method.
   std::vector<std::vector<MethodId>> Dependencies;
   unsigned NumMethods = 0;
 
   bool conflicts(MethodId A, MethodId B) const {
-    return Conflicts[static_cast<std::size_t>(A) * NumMethods + B] != 0;
+    return Conflicts.get(A, B);
   }
 };
 

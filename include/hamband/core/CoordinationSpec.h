@@ -17,6 +17,7 @@
 #define HAMBAND_CORE_COORDINATIONSPEC_H
 
 #include "hamband/core/Call.h"
+#include "hamband/core/SymMatrix.h"
 
 #include <optional>
 #include <vector>
@@ -116,7 +117,7 @@ private:
   unsigned NumMethods = 0;
   bool Finalized = false;
   std::vector<bool> IsQuery;
-  std::vector<char> ConflictMatrix; // NumMethods x NumMethods.
+  SymmetricMatrix ConflictMatrix; // NumMethods x NumMethods.
   std::vector<std::vector<MethodId>> Deps;
   std::vector<std::optional<unsigned>> SumGroups;
   unsigned NumSumGroups = 0;
@@ -124,10 +125,6 @@ private:
   std::vector<std::optional<unsigned>> SyncGroups;
   std::vector<std::vector<MethodId>> SyncGroupList;
   std::vector<MethodCategory> Categories;
-
-  std::size_t cellIndex(MethodId A, MethodId B) const {
-    return static_cast<std::size_t>(A) * NumMethods + B;
-  }
 };
 
 } // namespace hamband

@@ -97,6 +97,17 @@ public:
   /// default generates small argument tuples from the method's arity.
   virtual std::vector<Call> sampleCalls(MethodId M) const;
 
+  /// Bounded-exhaustive argument enumerator for the verifier
+  /// (analysis::Verifier): every effect-form call on \p M over the type's
+  /// argument domain at \p Bound. Unlike sampleCalls() -- a hand-picked
+  /// representative set -- this is the *complete* call alphabet the
+  /// bounded verification quantifies over, so freedom claims are
+  /// exhaustive at the bound. The default enumerates all argument tuples
+  /// over the value domain {0 .. min(Bound, 3) - 1}; types with
+  /// structured arguments (tags, timestamps, batches) override it and
+  /// must return prepared (effect-form) calls.
+  virtual std::vector<Call> enumerateCalls(MethodId M, unsigned Bound) const;
+
   /// Sample states for the analysis: by default, states reachable from σ0
   /// via short permissible sequences of sampled calls (bounded).
   virtual std::vector<StatePtr> sampleStates() const;

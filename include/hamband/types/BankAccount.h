@@ -61,6 +61,7 @@ public:
   bool summarize(const Call &First, const Call &Second,
                  Call &Out) const override;
   std::vector<Call> sampleCalls(MethodId M) const override;
+  std::vector<Call> enumerateCalls(MethodId M, unsigned Bound) const override;
   Call randomClientCall(MethodId M, ProcessId Issuer, RequestId Req,
                         sim::Rng &R) const override;
 

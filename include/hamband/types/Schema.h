@@ -77,6 +77,7 @@ public:
   bool summarize(const Call &First, const Call &Second,
                  Call &Out) const override;
   std::vector<Call> sampleCalls(MethodId M) const override;
+  std::vector<Call> enumerateCalls(MethodId M, unsigned Bound) const override;
 
 private:
   /// Decodes the relationship call's (A-key, B-key) pair.

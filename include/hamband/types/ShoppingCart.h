@@ -55,6 +55,7 @@ public:
   const CoordinationSpec &coordination() const override { return Spec; }
   bool concurrentlyIssuable(const Call &A, const Call &B) const override;
   std::vector<Call> sampleCalls(MethodId M) const override;
+  std::vector<Call> enumerateCalls(MethodId M, unsigned Bound) const override;
 
 private:
   CoordinationSpec Spec;

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a fault-schedule fuzz smoke.
+# Tier-1 verification plus a fault-schedule fuzz smoke, the bounded
+# coordination-verifier gate, a TSan threaded-mutation smoke, and lint.
 #
 # Usage: scripts/ci.sh [build-dir]
-#   HAMBAND_SANITIZE=ON   configure the build with ASan/UBSan
-#   FUZZ_RUNS=N           fuzz schedule count (default 50)
+#   HAMBAND_SANITIZE=ON|address|thread  configure with ASan+UBSan or TSan
+#   FUZZ_RUNS=N                         fuzz schedule count (default 50)
+#   SKIP_TSAN=1                         skip the TSan smoke build
 
 set -euo pipefail
 
@@ -21,5 +23,26 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 "$REPO/scripts/bench_regress.sh" --smoke --out "$BUILD/BENCH_smoke.json" \
   "$BUILD"
 "$BUILD/tools/hamband_bench_report" --check "$BUILD/BENCH_smoke.json"
+
+# Coordination-verifier gate: every registered type's declared spec must
+# be sound at the default bound (a soundness violation is a convergence or
+# integrity bug and fails CI). Spurious over-coordination edges are
+# performance defects, not safety ones: the run prints them as warnings
+# and the exactness tests in ctest (VerifierExactness) keep them at zero.
+echo "ci: bounded coordination verification"
+"$BUILD/tools/hamband_analyze" --verify all
+
+# TSan smoke: the observability registry's threaded-mutation test under
+# -fsanitize=thread, in a separate build tree (TSan and ASan cannot mix).
+if [ "${SKIP_TSAN:-0}" != "1" ]; then
+  echo "ci: TSan threaded-mutation smoke"
+  cmake -B "$BUILD-tsan" -S "$REPO" -DHAMBAND_SANITIZE=thread
+  cmake --build "$BUILD-tsan" -j"$(nproc)" --target obs_tests
+  "$BUILD-tsan/tests/obs_tests" \
+    --gtest_filter='ObsRegistry.ConcurrentMutationIsExact'
+fi
+
+# Lint: no-op (with a notice) when clang-tidy is not installed.
+"$REPO/scripts/lint.sh" "$BUILD"
 
 echo "ci: all checks passed"

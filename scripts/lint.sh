@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# clang-tidy over the library, tools and tests, driven by the compilation
+# database (CMAKE_EXPORT_COMPILE_COMMANDS is on by default). The check set
+# lives in .clang-tidy at the repo root.
+#
+# Usage: scripts/lint.sh [build-dir]
+#
+# Exits 0 with a notice when clang-tidy is not installed, so CI degrades
+# gracefully on minimal toolchains.
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO/build}"
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "lint: $TIDY not found; skipping (install clang-tidy to enable)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "lint: $BUILD/compile_commands.json missing; configure first:" >&2
+  echo "  cmake -B $BUILD -S $REPO" >&2
+  exit 1
+fi
+
+# Only first-party sources; the database also holds bench/example targets
+# whose third-party headers (gtest, benchmark) we do not lint.
+mapfile -t FILES < <(find "$REPO/src" "$REPO/tools" "$REPO/tests" \
+  -name '*.cpp' | sort)
+
+echo "lint: running $TIDY on ${#FILES[@]} files"
+"$TIDY" -p "$BUILD" --quiet "${FILES[@]}"
+echo "lint: clean"

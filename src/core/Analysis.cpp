@@ -86,7 +86,7 @@ InferredCoordination analysis::inferCoordination(const ObjectType &Type) {
   const unsigned N = Type.numMethods();
   InferredCoordination Out;
   Out.NumMethods = N;
-  Out.Conflicts.assign(static_cast<std::size_t>(N) * N, 0);
+  Out.Conflicts = SymmetricMatrix(N);
   Out.Dependencies.resize(N);
 
   std::vector<std::vector<Call>> Samples(N);
@@ -119,10 +119,8 @@ InferredCoordination analysis::inferCoordination(const ObjectType &Type) {
         if (Conflicts)
           break;
       }
-      if (Conflicts) {
-        Out.Conflicts[static_cast<std::size_t>(A) * N + B] = 1;
-        Out.Conflicts[static_cast<std::size_t>(B) * N + A] = 1;
-      }
+      if (Conflicts)
+        Out.Conflicts.set(A, B);
     }
   }
 

@@ -28,8 +28,8 @@ const char *hamband::categoryName(MethodCategory C) {
 
 CoordinationSpec::CoordinationSpec(unsigned NumMethods)
     : NumMethods(NumMethods), IsQuery(NumMethods, false),
-      ConflictMatrix(static_cast<std::size_t>(NumMethods) * NumMethods, 0),
-      Deps(NumMethods), SumGroups(NumMethods), SyncGroups(NumMethods),
+      ConflictMatrix(NumMethods), Deps(NumMethods), SumGroups(NumMethods),
+      SyncGroups(NumMethods),
       Categories(NumMethods, MethodCategory::IrreducibleFree) {}
 
 void CoordinationSpec::setQuery(MethodId M) {
@@ -39,8 +39,7 @@ void CoordinationSpec::setQuery(MethodId M) {
 
 void CoordinationSpec::addConflict(MethodId A, MethodId B) {
   assert(A < NumMethods && B < NumMethods && !Finalized);
-  ConflictMatrix[cellIndex(A, B)] = 1;
-  ConflictMatrix[cellIndex(B, A)] = 1;
+  ConflictMatrix.set(A, B);
 }
 
 void CoordinationSpec::addDependency(MethodId M, MethodId On) {
@@ -75,7 +74,7 @@ void CoordinationSpec::finalize() {
   };
   for (MethodId A = 0; A < NumMethods; ++A)
     for (MethodId B = 0; B < NumMethods; ++B)
-      if (ConflictMatrix[cellIndex(A, B)])
+      if (ConflictMatrix.get(A, B))
         Parent[Find(A)] = Find(B);
 
   // Number the components that contain at least one conflicting method.
@@ -112,16 +111,12 @@ void CoordinationSpec::finalize() {
 }
 
 bool CoordinationSpec::conflicts(MethodId A, MethodId B) const {
-  assert(A < NumMethods && B < NumMethods);
-  return ConflictMatrix[cellIndex(A, B)] != 0;
+  return ConflictMatrix.get(A, B);
 }
 
 bool CoordinationSpec::isConflicting(MethodId M) const {
   assert(M < NumMethods);
-  for (MethodId O = 0; O < NumMethods; ++O)
-    if (ConflictMatrix[cellIndex(M, O)])
-      return true;
-  return false;
+  return ConflictMatrix.anyInRow(M);
 }
 
 const std::vector<MethodId> &

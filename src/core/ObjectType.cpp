@@ -6,6 +6,7 @@
 
 #include "hamband/core/ObjectType.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <unordered_set>
@@ -52,6 +53,34 @@ std::vector<Call> ObjectType::sampleCalls(MethodId M) const {
     for (unsigned A = 0; A < Info.Arity; ++A)
       Args.push_back(Seed + static_cast<Value>(A));
     Out.emplace_back(M, std::move(Args));
+  }
+  return Out;
+}
+
+std::vector<Call> ObjectType::enumerateCalls(MethodId M,
+                                             unsigned Bound) const {
+  const MethodInfo &Info = method(M);
+  std::vector<Call> Out;
+  if (Info.Arity == 0) {
+    Out.emplace_back(M, std::vector<Value>{});
+    return Out;
+  }
+  // All tuples over {0 .. D-1}^Arity via an odometer. D is capped so the
+  // alphabet stays small even at large bounds; the bound's main job is the
+  // reachability depth, not the value domain.
+  const Value D = static_cast<Value>(std::min(Bound, 3u) < 2u
+                                        ? 2u
+                                        : std::min(Bound, 3u));
+  std::vector<Value> Args(Info.Arity, 0);
+  for (;;) {
+    Out.emplace_back(M, Args);
+    unsigned Pos = 0;
+    while (Pos < Info.Arity && ++Args[Pos] == D) {
+      Args[Pos] = 0;
+      ++Pos;
+    }
+    if (Pos == Info.Arity)
+      break;
   }
   return Out;
 }

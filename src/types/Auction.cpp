@@ -150,3 +150,14 @@ Call Auction::randomClientCall(MethodId M, ProcessId Issuer, RequestId Req,
     return Call(M, {R.uniformInt(0, 3)}, Issuer, Req);
   }
 }
+
+std::vector<Call> Auction::enumerateCalls(MethodId M, unsigned Bound) const {
+  if (M == Winner)
+    return ObjectType::enumerateCalls(M, Bound);
+  // Two auction ids; bid amounts 1..2 expose the winner-recording
+  // asymmetry (a late higher bid vs. a recorded lower winner).
+  if (M == Bid)
+    return {Call(Bid, {0, 1}), Call(Bid, {0, 2}), Call(Bid, {1, 1}),
+            Call(Bid, {1, 2})};
+  return {Call(M, {0}), Call(M, {1})};
+}

@@ -6,6 +6,7 @@
 
 #include "hamband/types/BankAccount.h"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -86,4 +87,17 @@ std::vector<Call> BankAccount::sampleCalls(MethodId M) const {
   // Both small and larger amounts so the sampled states expose the
   // permissibility asymmetries (a withdraw that zeroes the balance).
   return {Call(M, {1}), Call(M, {2}), Call(M, {3})};
+}
+
+std::vector<Call> BankAccount::enumerateCalls(MethodId M,
+                                              unsigned Bound) const {
+  if (M == Balance)
+    return ObjectType::enumerateCalls(M, Bound);
+  // Every positive amount up to the bound: with path length <= Bound this
+  // covers every balance the relations can distinguish (a zero amount is
+  // a no-op and adds nothing).
+  std::vector<Call> Out;
+  for (Value A = 1; A <= static_cast<Value>(std::max(Bound, 2u)); ++A)
+    Out.emplace_back(M, std::vector<Value>{A});
+  return Out;
 }

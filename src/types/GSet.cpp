@@ -108,3 +108,12 @@ std::vector<Call> GSet::sampleCalls(MethodId M) const {
       Call(Add, {0, 2}),
   };
 }
+
+std::vector<Call> GSet::enumerateCalls(MethodId M, unsigned Bound) const {
+  if (M != Add)
+    return ObjectType::enumerateCalls(M, Bound);
+  // Singletons plus overlapping batches: batches exercise the union
+  // summarization, overlap exercises idempotence.
+  return {Call(Add, {0}), Call(Add, {1}), Call(Add, {1, 2}),
+          Call(Add, {0, 2})};
+}

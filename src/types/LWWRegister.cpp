@@ -90,3 +90,18 @@ std::vector<Call> LWWRegister::sampleCalls(MethodId M) const {
       Call(Write, {9, 2, 2}),
   };
 }
+
+std::vector<Call> LWWRegister::enumerateCalls(MethodId M,
+                                              unsigned Bound) const {
+  if (M == Read)
+    return ObjectType::enumerateCalls(M, Bound);
+  // Writes carry globally unique (ts, tie) stamps; enumerate Bound
+  // distinct timestamps plus one stamp sharing the highest timestamp and
+  // differing only in the tiebreak (the order-sensitive case).
+  std::vector<Call> Out;
+  const Value N = static_cast<Value>(Bound < 2 ? 2 : Bound);
+  for (Value I = 1; I <= N; ++I)
+    Out.emplace_back(Write, std::vector<Value>{10 + I, I, 0});
+  Out.emplace_back(Write, std::vector<Value>{99, N, 1});
+  return Out;
+}

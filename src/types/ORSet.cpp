@@ -143,3 +143,18 @@ std::vector<Call> ORSet::sampleCalls(MethodId M) const {
       Call(Remove, {1, 0}),
   };
 }
+
+std::vector<Call> ORSet::enumerateCalls(MethodId M, unsigned Bound) const {
+  if (M != Add && M != Remove)
+    return ObjectType::enumerateCalls(M, Bound);
+  // Prepared effect calls over two elements and the unique tags the adds
+  // mint; removes cover every observed-tag subset per element, including
+  // the empty observation (remove of an absent element).
+  if (M == Add)
+    return {Call(Add, {0, 100}), Call(Add, {1, 101}), Call(Add, {0, 102})};
+  return {
+      Call(Remove, {0, 1, 100}),  Call(Remove, {0, 1, 102}),
+      Call(Remove, {0, 2, 100, 102}), Call(Remove, {1, 1, 101}),
+      Call(Remove, {1, 0}),
+  };
+}

@@ -165,3 +165,27 @@ ProjectManagement::ProjectManagement()
                       {"addProject", "deleteProject", "worksOn",
                        "addEmployee", "query"},
                       /*RelArgsAB=*/false) {}
+
+std::vector<Call> TwoEntitySchema::enumerateCalls(MethodId M,
+                                                  unsigned Bound) const {
+  if (M == QueryA)
+    return ObjectType::enumerateCalls(M, Bound);
+  // Two keys per entity set suffice: the relations only distinguish
+  // same-key from different-key calls, and the bound governs how many
+  // rows a path can build up.
+  switch (M) {
+  case AddA:
+  case DelA:
+    return {Call(M, {0}), Call(M, {1})};
+  case Rel: {
+    std::vector<Call> Out;
+    for (Value A = 0; A < 2; ++A)
+      for (Value B = 0; B < 2; ++B)
+        Out.emplace_back(Rel, RelArgsAB ? std::vector<Value>{A, B}
+                                        : std::vector<Value>{B, A});
+    return Out;
+  }
+  default:
+    return {Call(AddB, {0}), Call(AddB, {1}), Call(AddB, {0, 1})};
+  }
+}

@@ -142,3 +142,24 @@ std::vector<Call> ShoppingCart::sampleCalls(MethodId M) const {
       Call(RemoveItem, {1, 0}),
   };
 }
+
+std::vector<Call> ShoppingCart::enumerateCalls(MethodId M,
+                                               unsigned Bound) const {
+  if (M != AddItem && M != RemoveItem)
+    return ObjectType::enumerateCalls(M, Bound);
+  // Prepared effect calls over two items with unique tags; removes cover
+  // the observed-tag subsets per item, including the empty observation.
+  if (M == AddItem)
+    return {
+        Call(AddItem, {0, 2, 200}),
+        Call(AddItem, {1, 1, 201}),
+        Call(AddItem, {0, 3, 202}),
+    };
+  return {
+      Call(RemoveItem, {0, 1, 200}),
+      Call(RemoveItem, {0, 1, 202}),
+      Call(RemoveItem, {0, 2, 200, 202}),
+      Call(RemoveItem, {1, 1, 201}),
+      Call(RemoveItem, {1, 0}),
+  };
+}

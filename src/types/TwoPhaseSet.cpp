@@ -99,3 +99,12 @@ Call TwoPhaseSet::randomClientCall(MethodId M, ProcessId Issuer,
     Args.push_back(R.uniformInt(0, 7));
   return Call(M, std::move(Args), Issuer, Req);
 }
+
+std::vector<Call> TwoPhaseSet::enumerateCalls(MethodId M,
+                                              unsigned Bound) const {
+  if (M == Contains)
+    return ObjectType::enumerateCalls(M, Bound);
+  // Singletons plus overlapping batches: batches exercise the union
+  // summarization, overlap exercises idempotence.
+  return {Call(M, {0}), Call(M, {1}), Call(M, {1, 2}), Call(M, {0, 2})};
+}

@@ -10,17 +10,23 @@
 /// built from -- method categories, the conflict graph and its
 /// synchronization groups, dependency sets, summarization groups -- and
 /// cross-checks the declared spec against the sampling-based inference of
-/// the Section 3.2 relations. Optionally runs the bounded model checker.
+/// the Section 3.2 relations. Optionally runs the bounded model checker,
+/// or the bounded-exhaustive verifier with certified counterexamples
+/// (--verify; see docs/analysis.md for the hamband-analysis-v1 JSON
+/// schema emitted under --json).
 ///
-/// Usage:  hamband_analyze [--check] [type-name | all]
+/// Usage:  hamband_analyze [--check] [--verify] [--bound N] [--json]
+///                         [type-name | all]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "hamband/core/Analysis.h"
 #include "hamband/core/TypeRegistry.h"
+#include "hamband/core/Verifier.h"
 #include "hamband/semantics/ModelChecker.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -95,30 +101,103 @@ void printType(const ObjectType &T, bool RunChecks) {
   std::printf("\n");
 }
 
+/// Renders one verification report as text. Returns false on a soundness
+/// violation (a witnessed-but-undeclared edge or a summarization failure).
+bool printVerifyReport(const analysis::VerifyReport &R) {
+  std::printf("== %s (bound %u) ==\n", R.TypeName.c_str(), R.Bound);
+  std::printf("states explored: %llu%s\n",
+              static_cast<unsigned long long>(R.StatesExplored),
+              R.Exhausted ? "" : " (truncated; freedom claims partial)");
+  for (const analysis::EdgeFinding &F : R.Conflicts) {
+    std::printf("conflict (%s, %s): declared=%s witnessed=%s\n",
+                F.AName.c_str(), F.BName.c_str(), F.Declared ? "yes" : "no",
+                F.Witnessed ? "yes" : "no");
+    for (const analysis::CounterexampleTrace &T : F.Witnesses)
+      std::printf("  witness: %s\n", T.str().c_str());
+  }
+  for (const analysis::EdgeFinding &F : R.Dependencies) {
+    std::printf("dependency %s -> %s: declared=%s witnessed=%s%s\n",
+                F.AName.c_str(), F.BName.c_str(), F.Declared ? "yes" : "no",
+                F.Witnessed ? "yes" : "no", F.Causal ? " (causal)" : "");
+    for (const analysis::CounterexampleTrace &T : F.Witnesses)
+      std::printf("  witness: %s\n", T.str().c_str());
+  }
+  for (const std::string &S : R.SoundnessViolations)
+    std::printf("SOUNDNESS VIOLATION: %s\n", S.c_str());
+  for (const std::string &S : R.SummarizationViolations)
+    std::printf("SUMMARIZATION VIOLATION: %s\n", S.c_str());
+  for (const std::string &S : R.SpuriousEdges)
+    std::printf("warning: %s\n", S.c_str());
+  std::printf("verdict: %s, %s\n\n", R.sound() ? "sound" : "UNSOUND",
+              R.minimal() ? "minimal" : "over-coordinated");
+  return R.sound();
+}
+
+/// Runs the bounded-exhaustive verifier over \p Names. Text mode streams
+/// per-type reports; JSON mode emits one hamband-analysis-v1 envelope.
+/// Exit status is nonzero iff some type is unsound at the bound; spurious
+/// (over-coordination) edges only warn.
+int runVerify(const std::vector<std::string> &Names, unsigned Bound,
+              bool Json) {
+  analysis::VerifierOptions Opts;
+  Opts.Bound = Bound;
+  bool AllSound = true;
+  obs::json::Value Types = obs::json::Value::makeArray();
+  for (const std::string &N : Names) {
+    analysis::VerifyReport R = analysis::verifyType(*makeType(N), Opts);
+    AllSound &= R.sound();
+    if (Json)
+      Types.Arr.push_back(analysis::reportToJson(R));
+    else
+      printVerifyReport(R);
+  }
+  if (Json) {
+    obs::json::Value Env = obs::json::Value::makeObject();
+    Env.add("schema", obs::json::Value::makeString("hamband-analysis-v1"));
+    Env.add("bound", obs::json::Value::makeUInt(Bound));
+    Env.add("types", std::move(Types));
+    std::printf("%s\n", Env.write().c_str());
+  }
+  return AllSound ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   bool RunChecks = false;
+  bool RunVerify = false;
+  bool Json = false;
+  unsigned Bound = analysis::DefaultVerifyBound;
   std::string Name = "all";
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--check") == 0)
       RunChecks = true;
+    else if (std::strcmp(argv[I], "--verify") == 0)
+      RunVerify = true;
+    else if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else if (std::strcmp(argv[I], "--bound") == 0 && I + 1 < argc)
+      Bound = static_cast<unsigned>(std::atoi(argv[++I]));
     else
       Name = argv[I];
   }
 
+  std::vector<std::string> Names;
   if (Name == "all") {
-    for (const std::string &N : registeredTypeNames())
-      printType(*makeType(N), RunChecks);
-    return 0;
-  }
-  if (!isTypeRegistered(Name)) {
+    Names = registeredTypeNames();
+  } else if (isTypeRegistered(Name)) {
+    Names.push_back(Name);
+  } else {
     std::fprintf(stderr, "error: unknown type '%s'; registered:\n",
                  Name.c_str());
     for (const std::string &N : registeredTypeNames())
       std::fprintf(stderr, "  %s\n", N.c_str());
     return 1;
   }
-  printType(*makeType(Name), RunChecks);
+
+  if (RunVerify)
+    return runVerify(Names, Bound, Json);
+  for (const std::string &N : Names)
+    printType(*makeType(N), RunChecks);
   return 0;
 }
