@@ -47,13 +47,38 @@
 namespace hamband {
 namespace runtime {
 
+/// Reduction-aware batching of the broadcast hot path (docs/batching.md).
+///
+/// When enabled, reducible calls keep folding into the local summary per
+/// call but the summary-slot writes ship once per flush, and irreducible
+/// conflict-free calls accumulate into one spanning F-ring batch record
+/// per flush (a single doorbell). Conflicting calls never batch; their
+/// arrival flushes eagerly to preserve PropConfSync/PropDep ordering.
+struct BatchingConfig {
+  /// Master switch; disabled preserves the per-call paths unchanged.
+  bool Enabled = false;
+  /// Size trigger: flush as soon as this many calls are pending across
+  /// the free batch and all dirty summary groups.
+  std::uint32_t MaxCalls = 16;
+  /// Byte trigger for the encoded free batch record (0 = derive from the
+  /// free ring's spanning-record capacity and the backup slot size).
+  std::uint32_t MaxBytes = 0;
+  /// Timeout trigger: pending calls never wait longer than this. It is a
+  /// backstop -- the common flush is completion-driven doorbell
+  /// coalescing (the next batch ships when the previous flush's writes
+  /// complete).
+  sim::SimDuration FlushInterval = sim::micros(2);
+};
+
 /// Tunables of the Hamband runtime.
 struct HambandConfig {
   RingGeometry FreeGeom{4096, 256};
   RingGeometry ConfGeom{4096, 256};
   RingGeometry MailGeom{4096, 256};
   std::uint32_t SummarySlotBytes = 512;
-  std::uint32_t BackupSlotBytes = 1024;
+  /// Sized so a batched flush image (summaries + free batch record) can
+  /// be staged whole.
+  std::uint32_t BackupSlotBytes = 4096;
   /// Period of the buffer-traversal loop.
   sim::SimDuration PollInterval = sim::micros(0.5);
   /// Origin-side retry timeout for redirected conflicting calls.
@@ -69,6 +94,8 @@ struct HambandConfig {
   /// Ablation: complete client calls after remote-write completions
   /// (true, default) or right after the local apply (unsafe-fast).
   bool RespondAfterCompletion = true;
+  /// Reduction-aware batching of the broadcast hot path.
+  BatchingConfig Batch;
 };
 
 /// One replica node of a Hamband cluster.
@@ -156,6 +183,16 @@ public:
     return AwaitingResponse.size();
   }
 
+  // -- Batching (docs/batching.md) ----------------------------------------
+
+  /// Number of locally issued calls accumulated and not yet flushed.
+  std::uint32_t batchPending() const { return BatchedPending; }
+
+  /// Forces an immediate flush of all accumulated calls (tests; also the
+  /// eager flush on conflicting-call arrival). No-op when batching is
+  /// off or nothing is pending.
+  void flushOutgoing();
+
 private:
   struct PendingConfRequest {
     Call TheCall;
@@ -217,6 +254,21 @@ private:
 
   // Broadcast recovery.
   void onPeerSuspected(rdma::NodeId Peer);
+  /// Applies a batch of ring/backup-decoded free calls from \p Issuer,
+  /// dropping entries the FreeSeqNext cursor marks as already delivered.
+  void enqueueDecodedFree(ProcessId Issuer, std::vector<WireCall> Calls);
+
+  // Batching (docs/batching.md).
+  /// Why a flush fired (obs counter selection).
+  enum class FlushCause : std::uint8_t { Pipe, Size, Timeout, Conf };
+  /// Bookkeeping after a call is enqueued into a batch: counts it,
+  /// applies the size trigger, arms the timeout backstop, or flushes
+  /// immediately when no flush is in flight (doorbell coalescing).
+  void noteBatchedCall();
+  void armFlushTimer();
+  void flushBatches(FlushCause Cause);
+  /// Effective byte cap for the encoded free-batch record.
+  std::size_t freeBatchCapBytes() const;
 
   rdma::Fabric &Fabric;
   rdma::NodeId Self;
@@ -281,6 +333,31 @@ private:
 
   // Broadcast bookkeeping.
   std::uint64_t BcastSeqOut = 0;
+  /// Per-issuer next-expected broadcast sequence (reader-side dedup
+  /// cursor shared by the ring path and backup-slot recovery).
+  std::vector<std::uint64_t> FreeSeqNext; // [issuer]
+
+  // Batching state (all dormant unless Cfg.Batch.Enabled).
+  struct BatchedFree {
+    std::vector<std::uint8_t> Bytes; // encodeCall output
+    SubmitCallback Done;
+  };
+  std::vector<BatchedFree> FreeBatch;
+  std::size_t FreeBatchBytes = 0;
+  /// Calls folded into each group's summary since its last shipped image.
+  std::vector<std::uint32_t> SumBatchCalls; // [group]
+  std::vector<std::vector<SubmitCallback>> SumBatchDone; // [group]
+  std::uint32_t BatchedPending = 0;
+  /// When the oldest unflushed call was enqueued (timeout backstop).
+  sim::SimTime OldestPendingAt = 0;
+  unsigned FlushesInFlight = 0;
+  bool FlushTimerArmed = false;
+  obs::Counter *CtrFlushPipe = nullptr;
+  obs::Counter *CtrFlushSize = nullptr;
+  obs::Counter *CtrFlushTimeout = nullptr;
+  obs::Counter *CtrFlushConf = nullptr;
+  obs::Histogram *HistBatchCalls = nullptr;
+  obs::Histogram *HistBatchBytes = nullptr;
 
   sim::SimDuration PollBaseCost = 0;
   bool Started = false;

@@ -40,6 +40,10 @@ public:
     FreeCall = 1,
     /// Payload is a summary-slot image; Aux is the summarization group.
     Summary = 2,
+    /// Payload is a flush image (encodeFlushImage): the summary images
+    /// plus the free-call batch record of one batched flush, staged as a
+    /// single unit so the whole flush is recovered atomically.
+    FreeBatch = 3,
   };
 
   /// A fetched backup message.

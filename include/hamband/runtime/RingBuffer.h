@@ -43,10 +43,34 @@ struct RingGeometry {
   /// Cell header: u32 payload length + u64 sequence number.
   static constexpr std::uint32_t HeaderBytes = 12;
 
+  /// Length sentinel marking a padding record: a filler that occupies the
+  /// cells from its position to the end of the ring so a spanning record
+  /// never splits across the wrap boundary.
+  static constexpr std::uint32_t PadLen = 0xFFFFFFFFu;
+
   std::size_t dataBytes() const {
     return static_cast<std::size_t>(NumCells) * CellSize;
   }
   std::size_t maxPayload() const { return CellSize - HeaderBytes - 1; }
+
+  /// Number of consecutive cells a record with \p PayloadLen bytes spans
+  /// (header + payload + one trailing canary for the whole span).
+  std::uint32_t cellsFor(std::size_t PayloadLen) const {
+    return static_cast<std::uint32_t>(
+        (PayloadLen + HeaderBytes + 1 + CellSize - 1) / CellSize);
+  }
+
+  /// Longest span a record may occupy: half the ring, so the writer can
+  /// always make progress even with a lagging head feedback.
+  std::uint32_t maxSpanCells() const {
+    return NumCells / 2 > 0 ? NumCells / 2 : 1;
+  }
+
+  /// Largest payload appendRecord() accepts.
+  std::size_t maxRecordPayload() const {
+    return static_cast<std::size_t>(maxSpanCells()) * CellSize - HeaderBytes -
+           1;
+  }
 };
 
 /// The writer's end of a single-writer ring living on a remote reader.
@@ -68,6 +92,21 @@ public:
   bool append(const std::vector<std::uint8_t> &Payload,
               rdma::CompletionFn OnComplete = nullptr);
 
+  /// Like append() but accepts payloads spanning up to maxSpanCells()
+  /// consecutive cells. The whole span is shipped as ONE remote write with
+  /// a single trailing canary -- one doorbell per record, however many
+  /// calls it batches. A span that would split across the ring end is
+  /// preceded by a padding record (PadLen sentinel) filling the remainder
+  /// of the lap, and the real record starts at cell 0; both writes ride
+  /// the same FIFO channel, so the reader observes them in order. Returns
+  /// false (posting nothing) when the ring lacks room for pad + span.
+  bool appendRecord(const std::vector<std::uint8_t> &Payload,
+                    rdma::CompletionFn OnComplete = nullptr);
+
+  /// True when a record spanning \p Cells cells -- plus any wrap padding
+  /// it would need at the current tail -- fits the ring right now.
+  bool canReserve(std::uint32_t Cells) const;
+
   /// Number of cells appended so far.
   std::uint64_t tail() const { return Tail; }
 
@@ -77,14 +116,17 @@ public:
   rdma::NodeId reader() const { return Reader; }
 
   /// Wires this ring into the owning node's metrics (ring.append,
-  /// ring.full_stall, ring.wrap, ring.occupancy — shared across all the
-  /// node's rings). Optional; an unattached ring records nothing.
+  /// ring.full_stall, ring.wrap, ring.span_append, ring.pad_cells,
+  /// ring.occupancy — shared across all the node's rings). Optional; an
+  /// unattached ring records nothing.
   void attachStats(obs::Registry &R);
 
 private:
   obs::Counter *CtrAppend = nullptr;
   obs::Counter *CtrFullStall = nullptr;
   obs::Counter *CtrWrap = nullptr;
+  obs::Counter *CtrSpanAppend = nullptr;
+  obs::Counter *CtrPadCells = nullptr;
   obs::Histogram *HistOccupancy = nullptr;
 
   rdma::Fabric &Fabric;
@@ -106,13 +148,19 @@ public:
              RingGeometry Geom,
              unsigned Lane = rdma::Fabric::LanePoller);
 
-  /// Checks the head cell's canary; fills \p Out with the payload when a
-  /// complete cell is present. Does not consume.
-  bool peek(std::vector<std::uint8_t> &Out) const;
+  /// Checks the head record's canary; fills \p Out with the payload when a
+  /// complete record (single-cell or spanning) is present. Complete wrap
+  /// padding records at the head are skipped (consumed) transparently, so
+  /// callers only ever see real payloads. Does not consume the payload
+  /// record itself.
+  bool peek(std::vector<std::uint8_t> &Out);
 
-  /// Consumes the head cell after a successful peek: clears the canary so
-  /// the cell can be reused and occasionally posts the head position to
-  /// the writer's feedback slot.
+  /// Consumes the head record after a successful peek. A single-cell
+  /// record only has its canary cleared -- its bytes stay readable for
+  /// leader-change catch-up -- while a spanning record additionally has
+  /// every span cell's header zeroed so stale interior bytes can never be
+  /// mistaken for a record header on a later lap. Occasionally posts the
+  /// head position to the writer's feedback slot.
   void consume();
 
   std::uint64_t head() const { return Head; }
@@ -141,12 +189,24 @@ public:
   void forceFeedback();
 
   /// Wires this ring into the owning node's metrics (ring.consume,
-  /// ring.canary_retry).
+  /// ring.canary_retry, ring.pad_skip).
   void attachStats(obs::Registry &R);
 
 private:
+  /// Parses the record starting at absolute \p Index: fills \p Out with
+  /// the payload (empty for padding), \p SpanCells with the number of
+  /// cells it occupies and \p IsPad. False when the record is incomplete
+  /// (canary clear), stale (sequence mismatch) or malformed.
+  bool readRecordAt(std::uint64_t Index, std::vector<std::uint8_t> &Out,
+                    std::uint32_t &SpanCells, bool &IsPad) const;
+
+  /// Consumes \p SpanCells cells starting at Head (shared tail of consume
+  /// and the transparent pad skip in peek).
+  void consumeSpan(std::uint32_t SpanCells);
+
   obs::Counter *CtrConsume = nullptr;
   obs::Counter *CtrCanaryRetry = nullptr;
+  obs::Counter *CtrPadSkip = nullptr;
 
   rdma::Fabric &Fabric;
   rdma::NodeId Reader;

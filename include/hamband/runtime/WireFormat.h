@@ -99,6 +99,45 @@ std::vector<std::uint64_t> denseDeps(const CoordinationSpec &Spec,
                                      unsigned NumProcesses, MethodId U,
                                      const semantics::DepMap &Deps);
 
+/// Marker distinguishing a call-batch record from a single encoded call:
+/// it occupies the u16 method slot of the header and is never a valid
+/// method id (decodeCall rejects any id >= numMethods()).
+inline constexpr std::uint16_t CallBatchMarker = 0xFFFF;
+
+/// True when \p Data starts with the call-batch marker.
+bool isCallBatch(const std::uint8_t *Data, std::size_t Len);
+
+/// Serializes several already-encoded calls (encodeCall outputs) into one
+/// length-prefixed batch record:
+///   u16 CallBatchMarker | u16 count | count x (u32 len | bytes)
+/// A batch is the unit shipped per ring doorbell / backup-slot stage on
+/// the batched broadcast hot path.
+std::vector<std::uint8_t>
+encodeCallBatch(const std::vector<std::vector<std::uint8_t>> &EncodedCalls);
+
+/// Decodes a batch record into its calls, in issue order. False on a
+/// malformed buffer or when any inner call fails decodeCall.
+bool decodeCallBatch(const CoordinationSpec &Spec, unsigned NumProcesses,
+                     const std::uint8_t *Data, std::size_t Len,
+                     std::vector<WireCall> &Out);
+
+/// Everything one batched flush ships, staged as ONE backup-slot image so
+/// reliable-broadcast recovery covers the whole flush atomically (staging
+/// summaries and the free batch separately would make the single slot
+/// self-overwriting).
+/// Layout: u8 k | k x (u8 group | u32 len | encodeSummary bytes) |
+///         u32 freeLen | encodeCallBatch bytes (freeLen == 0: none)
+struct FlushImage {
+  /// (summarization group, encodeSummary output) per dirty group.
+  std::vector<std::pair<std::uint8_t, std::vector<std::uint8_t>>> Summaries;
+  /// encodeCallBatch output, or empty when the flush carried no free calls.
+  std::vector<std::uint8_t> FreeRecord;
+};
+
+std::vector<std::uint8_t> encodeFlushImage(const FlushImage &Img);
+bool decodeFlushImage(const std::uint8_t *Data, std::size_t Len,
+                      FlushImage &Out);
+
 /// Kinds of mailbox messages (leader redirection of conflicting calls).
 enum class MailKind : std::uint8_t {
   /// A client's conflicting call forwarded to the group leader.

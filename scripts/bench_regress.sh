@@ -1,6 +1,13 @@
 #!/usr/bin/env bash
-# Benchmark-regression harness: runs the fig8/fig9 headline points through
-# hamband_bench_report and emits BENCH_pr2.json, then validates it.
+# Benchmark-regression harness: runs the fig8/fig9 headline points (plus
+# the batched fig8 twin) through hamband_bench_report and emits
+# BENCH_pr4.json, then validates it. Two gates run on every invocation:
+#
+#  - batching on/off: fig8_batched throughput must beat fig8 by at least
+#    --min-batch-speedup (default 1.25x);
+#  - unbatched no-regression: fig8 throughput must stay within --tolerance
+#    of the committed BENCH_pr2.json baseline (full runs only -- the smoke
+#    op count is too small to compare against the full-run baseline).
 #
 # The full run (no --smoke) additionally builds the tree with
 # -DHAMBAND_OBS=OFF and asserts that fig8 throughput with the
@@ -10,16 +17,19 @@
 # scheduling -- this check catches exactly that kind of regression.
 #
 # Usage: scripts/bench_regress.sh [--smoke] [--out FILE] [--ops N]
-#                                 [--reps N] [--tolerance T] [build-dir]
+#                                 [--reps N] [--tolerance T]
+#                                 [--min-batch-speedup X] [build-dir]
 
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$REPO/build"
-OUT="$REPO/BENCH_pr2.json"
+OUT="$REPO/BENCH_pr4.json"
+BASELINE="$REPO/BENCH_pr2.json"
 OPS="${HAMBAND_OPS:-6000}"
 REPS="${HAMBAND_REPS:-1}"
 TOLERANCE=0.05
+MIN_BATCH_SPEEDUP=1.25
 SMOKE=0
 
 while [ $# -gt 0 ]; do
@@ -29,6 +39,7 @@ while [ $# -gt 0 ]; do
     --ops) OPS="$2"; shift ;;
     --reps) REPS="$2"; shift ;;
     --tolerance) TOLERANCE="$2"; shift ;;
+    --min-batch-speedup) MIN_BATCH_SPEEDUP="$2"; shift ;;
     -*) echo "usage: $0 [--smoke] [--out FILE] [--ops N] [--reps N]" \
              "[--tolerance T] [build-dir]" >&2; exit 2 ;;
     *) BUILD="$1" ;;
@@ -43,11 +54,19 @@ cmake -B "$BUILD" -S "$REPO" >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" --target hamband_bench_report
 
 "$BUILD/tools/hamband_bench_report" "${REPORT_ARGS[@]}" --out "$OUT"
-"$BUILD/tools/hamband_bench_report" --check "$OUT"
+"$BUILD/tools/hamband_bench_report" --check "$OUT" \
+  --min-batch-speedup "$MIN_BATCH_SPEEDUP"
 
 if [ "$SMOKE" = 1 ]; then
   echo "bench_regress: smoke ok ($OUT)"
   exit 0
+fi
+
+# Unbatched no-regression gate: batching must cost the unbatched fig8 path
+# nothing. The baseline is the committed pre-batching report.
+if [ -f "$BASELINE" ] && [ "$OUT" != "$BASELINE" ]; then
+  "$BUILD/tools/hamband_bench_report" \
+    --compare "$OUT" "$BASELINE" --tolerance "$TOLERANCE"
 fi
 
 # Overhead check: same points with the observability layer compiled out.

@@ -19,6 +19,11 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
 "$BUILD/tools/hamband_fuzz" --runs "$FUZZ_RUNS" --seed 42
 
+# Batching smoke: every schedule re-runs against a batched cluster and the
+# crash-free observation-independent runs are diffed state-for-state
+# against the unbatched twin (see docs/batching.md).
+"$BUILD/tools/hamband_fuzz" --runs "$((FUZZ_RUNS / 2))" --seed 43 --batch
+
 # Bench smoke: the regression harness must produce a well-formed report.
 "$REPO/scripts/bench_regress.sh" --smoke --out "$BUILD/BENCH_smoke.json" \
   "$BUILD"

@@ -6,6 +6,7 @@
 
 #include "hamband/runtime/HambandNode.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -16,12 +17,13 @@ using hamband::semantics::DepMap;
 
 namespace {
 
-/// Appends to a ring, retrying every \p RetryAfter while it is full.
+/// Appends a (possibly spanning) record to a ring, retrying every
+/// \p RetryAfter while it is full.
 void appendWithRetry(sim::Simulator &Sim, RingWriter &W,
                      std::vector<std::uint8_t> Bytes,
                      sim::SimDuration RetryAfter,
                      rdma::CompletionFn OnComplete) {
-  if (W.append(Bytes, OnComplete))
+  if (W.appendRecord(Bytes, OnComplete))
     return;
   // The pending retry event owns the closure; the closure holds only a
   // weak_ptr to itself so the chain never forms a reference cycle.
@@ -29,7 +31,7 @@ void appendWithRetry(sim::Simulator &Sim, RingWriter &W,
   std::weak_ptr<std::function<void()>> Weak = Retry;
   *Retry = [&Sim, &W, Bytes = std::move(Bytes), RetryAfter, OnComplete,
             Weak]() {
-    if (!W.append(Bytes, OnComplete))
+    if (!W.appendRecord(Bytes, OnComplete))
       if (auto R = Weak.lock())
         Sim.schedule(RetryAfter, [R]() { (*R)(); });
   };
@@ -74,6 +76,12 @@ HambandNode::HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
   HistRespNs = &Stats.histogram("node.resp_ns");
   GaugePendingFree = &Stats.gauge("node.pending_free");
   GaugePendingConf = &Stats.gauge("node.pending_conf");
+  CtrFlushPipe = &Stats.counter("node.batch.flush.pipe");
+  CtrFlushSize = &Stats.counter("node.batch.flush.size");
+  CtrFlushTimeout = &Stats.counter("node.batch.flush.timeout");
+  CtrFlushConf = &Stats.counter("node.batch.flush.conf");
+  HistBatchCalls = &Stats.histogram("node.batch.calls");
+  HistBatchBytes = &Stats.histogram("node.batch.bytes");
 
   Stored = Type.initialState();
   Applied.assign(N, std::vector<std::uint64_t>(Type.numMethods(), 0));
@@ -82,6 +90,9 @@ HambandNode::HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
   OwnSummary.assign(SumGroups, std::nullopt);
   OwnSummarySeq.assign(SumGroups, 0);
   FreePending.resize(N);
+  FreeSeqNext.assign(N, 0);
+  SumBatchCalls.assign(SumGroups, 0);
+  SumBatchDone.resize(SumGroups);
   ConfPending.resize(Groups);
   ConfReceivedContig.assign(Groups, 0);
   ConfAppliedIdx.assign(Groups, 0);
@@ -262,6 +273,8 @@ std::size_t HambandNode::leaderQueueTotal() const {
 }
 
 bool HambandNode::idle() const {
+  if (BatchedPending != 0)
+    return false;
   for (const auto &Q : FreePending)
     if (!Q.empty())
       return false;
@@ -332,8 +345,12 @@ void HambandNode::handleQuery(const Call &C, SubmitCallback Done) {
 
 void HambandNode::handleReduce(Call C, SubmitCallback Done) {
   const rdma::NetworkModel &M = Fabric.model();
+  // Batched calls defer the serialization work to the flush (one
+  // ParseCpu per flush instead of per call).
+  sim::SimDuration Cost =
+      Cfg.Batch.Enabled ? M.ApplyCpu : M.ApplyCpu + M.ParseCpu;
   Fabric.runOnCpu(
-      Self, M.ApplyCpu + M.ParseCpu,
+      Self, Cost,
       [this, C = std::move(C), Done = std::move(Done)]() mutable {
         Call P = Type.prepare(visibleState(), C);
         if (!Type.permissible(visibleState(), P)) {
@@ -354,6 +371,22 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
         ++NumLocalUpdates;
         SummaryCache[G][Self] = NewSummary;
         VisibleDirty = true;
+
+        if (Cfg.Batch.Enabled) {
+          // The call is already folded into OwnSummary[G]; the flush
+          // ships one image covering every fold since the last one.
+          if (Fabric.numNodes() == 1) {
+            Done(true, 0);
+            return;
+          }
+          ++SumBatchCalls[G];
+          if (Cfg.RespondAfterCompletion)
+            SumBatchDone[G].push_back(std::move(Done));
+          else
+            Done(true, 0);
+          noteBatchedCall();
+          return;
+        }
 
         // Ship the summary with the per-method applied counts so peers
         // advance A(self, u) without a separate write.
@@ -423,6 +456,31 @@ void HambandNode::handleFree(Call C, SubmitCallback Done) {
         WC.BcastSeq = BcastSeqOut++;
         std::vector<std::uint8_t> Bytes =
             encodeCall(Spec, Fabric.numNodes(), WC);
+
+        if (Cfg.Batch.Enabled) {
+          if (Fabric.numNodes() == 1) {
+            Done(true, 0);
+            return;
+          }
+          // Pre-flush when this call would overflow the batch record
+          // cap (flushBatches also chunks oversized batches defensively,
+          // but flushing here keeps each staged image within the cap).
+          std::size_t Framed = Bytes.size() + 4; // u32 length prefix
+          if (!FreeBatch.empty() &&
+              4 + FreeBatchBytes + Framed > freeBatchCapBytes())
+            flushBatches(FlushCause::Size);
+          BatchedFree B;
+          B.Bytes = std::move(Bytes);
+          if (Cfg.RespondAfterCompletion)
+            B.Done = std::move(Done);
+          else
+            Done(true, 0);
+          FreeBatchBytes += Framed;
+          FreeBatch.push_back(std::move(B));
+          noteBatchedCall();
+          return;
+        }
+
         if (Cfg.UseBackupSlot)
           Broadcast->stage(ReliableBroadcast::Kind::FreeCall, 0, Bytes);
 
@@ -465,6 +523,9 @@ void HambandNode::handleConf(Call C, SubmitCallback Done) {
     Fabric.runOnCpu(
         Self, M.ParseCpu + M.ApplyCpu,
         [this, G, C = std::move(C), Done = std::move(Done)]() mutable {
+          // A conflicting call flushes the batch eagerly so the calls
+          // issued before it are ordered before it, as when unbatched.
+          flushOutgoing();
           leaderProcessConf(G, Self, C.Req, std::move(C), std::move(Done));
         },
         rdma::Fabric::LaneClient);
@@ -487,6 +548,10 @@ void HambandNode::handleConf(Call C, SubmitCallback Done) {
   Fabric.runOnCpu(
       Self, M.ParseCpu,
       [this, Leader, Bytes = std::move(Bytes)]() {
+        // Eager flush: the batched calls' ring/slot writes post before
+        // the redirect mail on the same lane, preserving the unbatched
+        // arrival order at the leader.
+        flushOutgoing();
         appendWithRetry(this->Fabric.simulator(), *MailWriters[Leader],
                         Bytes, Cfg.PollInterval, nullptr);
       },
@@ -739,6 +804,18 @@ unsigned HambandNode::pollFreeRings() {
       continue;
     // Bounded batch per traversal; a missed call is picked up next round.
     for (unsigned K = 0; K < 64 && FreeReaders[J]->peek(Bytes); ++K) {
+      if (isCallBatch(Bytes.data(), Bytes.size())) {
+        std::vector<WireCall> Calls;
+        if (!decodeCallBatch(Spec, Fabric.numNodes(), Bytes.data(),
+                             Bytes.size(), Calls)) {
+          assert(false && "malformed F-ring batch record");
+          break;
+        }
+        FreeReaders[J]->consume();
+        Parsed += static_cast<unsigned>(Calls.size());
+        enqueueDecodedFree(J, std::move(Calls));
+        continue;
+      }
       WireCall WC;
       if (!decodeCall(Spec, Fabric.numNodes(), Bytes.data(), Bytes.size(),
                       WC)) {
@@ -746,11 +823,26 @@ unsigned HambandNode::pollFreeRings() {
         break;
       }
       FreeReaders[J]->consume();
-      FreePending[J].push_back(std::move(WC));
       ++Parsed;
+      std::vector<WireCall> One;
+      One.push_back(std::move(WC));
+      enqueueDecodedFree(J, std::move(One));
     }
   }
   return Parsed;
+}
+
+void HambandNode::enqueueDecodedFree(ProcessId Issuer,
+                                     std::vector<WireCall> Calls) {
+  for (WireCall &WC : Calls) {
+    // The cursor is the reader-side dedup of reliable broadcast: ring
+    // delivery and backup-slot recovery both advance it, so an entry
+    // arriving through both paths is delivered exactly once.
+    if (WC.BcastSeq < FreeSeqNext[Issuer])
+      continue;
+    FreeSeqNext[Issuer] = WC.BcastSeq + 1;
+    FreePending[Issuer].push_back(std::move(WC));
+  }
 }
 
 unsigned HambandNode::pollSummaries() {
@@ -849,6 +941,10 @@ void HambandNode::handleMail(ProcessId /*From*/, const MailMsg &Msg) {
     if (Spec.category(Msg.TheCall.Method) != MethodCategory::Conflicting)
       return;
     unsigned G = *Spec.syncGroup(Msg.TheCall.Method);
+    // A conflicting call arriving at the leader flushes its own pending
+    // batch so the ordered entry never overtakes this node's earlier
+    // unshipped calls.
+    flushOutgoing();
     leaderProcessConf(G, Msg.Origin, Msg.ReqId, Msg.TheCall, nullptr);
     return;
   }
@@ -918,6 +1014,200 @@ unsigned HambandNode::applyPendingConf() {
   return AppliedN;
 }
 
+// -- Batching (docs/batching.md) ---------------------------------------------
+
+std::size_t HambandNode::freeBatchCapBytes() const {
+  // A wire record must fit one spanning ring reservation, and the staged
+  // flush image (which also carries summaries) must fit the backup slot.
+  std::size_t Cap = Cfg.FreeGeom.maxRecordPayload();
+  Cap = std::min(Cap, static_cast<std::size_t>(Cfg.BackupSlotBytes / 2));
+  if (Cfg.Batch.MaxBytes > 0)
+    Cap = std::min(Cap, static_cast<std::size_t>(Cfg.Batch.MaxBytes));
+  return Cap;
+}
+
+void HambandNode::noteBatchedCall() {
+  ++BatchedPending;
+  if (BatchedPending == 1)
+    OldestPendingAt = Fabric.simulator().now();
+  if (FlushesInFlight == 0) {
+    // Doorbell coalescing: ship immediately while the wire is idle;
+    // calls arriving during the flight accumulate into the next batch,
+    // which ships when the in-flight writes complete.
+    flushBatches(FlushCause::Pipe);
+    return;
+  }
+  if (BatchedPending >= Cfg.Batch.MaxCalls) {
+    // Size trigger: overflow ships concurrently with the in-flight
+    // flush rather than growing without bound.
+    flushBatches(FlushCause::Size);
+    return;
+  }
+  armFlushTimer();
+}
+
+void HambandNode::armFlushTimer() {
+  if (FlushTimerArmed)
+    return;
+  FlushTimerArmed = true;
+  Fabric.simulator().schedule(Cfg.Batch.FlushInterval, [this]() {
+    FlushTimerArmed = false;
+    if (BatchedPending == 0)
+      return;
+    // The backstop bounds how long any call waits: completion-driven
+    // flushes normally ship sooner, so this only fires when the wire
+    // stalls (full rings, injected delays).
+    sim::SimDuration Age = Fabric.simulator().now() - OldestPendingAt;
+    if (Age >= Cfg.Batch.FlushInterval) {
+      flushBatches(FlushCause::Timeout);
+      return;
+    }
+    armFlushTimer();
+  });
+}
+
+void HambandNode::flushOutgoing() {
+  if (!Cfg.Batch.Enabled || BatchedPending == 0)
+    return;
+  flushBatches(FlushCause::Conf);
+}
+
+void HambandNode::flushBatches(FlushCause Cause) {
+  if (BatchedPending == 0)
+    return;
+  unsigned N = Fabric.numNodes();
+  assert(N > 1 && "batched calls complete inline when N == 1");
+  const rdma::NetworkModel &M = Fabric.model();
+
+  switch (Cause) {
+  case FlushCause::Pipe:
+    CtrFlushPipe->add();
+    break;
+  case FlushCause::Size:
+    CtrFlushSize->add();
+    break;
+  case FlushCause::Timeout:
+    CtrFlushTimeout->add();
+    break;
+  case FlushCause::Conf:
+    CtrFlushConf->add();
+    break;
+  }
+  HistBatchCalls->record(BatchedPending);
+  HistBatchBytes->record(FreeBatchBytes);
+
+  // Take ownership of the accumulated batch; calls arriving while this
+  // flush is in flight accumulate into fresh state.
+  std::vector<BatchedFree> Free = std::move(FreeBatch);
+  FreeBatch.clear();
+  FreeBatchBytes = 0;
+  BatchedPending = 0;
+  std::vector<unsigned> DirtyGroups;
+  std::vector<SubmitCallback> Dones;
+  for (unsigned G = 0; G < SumBatchCalls.size(); ++G) {
+    if (SumBatchCalls[G] == 0)
+      continue;
+    DirtyGroups.push_back(G);
+    SumBatchCalls[G] = 0;
+    for (SubmitCallback &D : SumBatchDone[G])
+      Dones.push_back(std::move(D));
+    SumBatchDone[G].clear();
+  }
+
+  // One image per dirty group covering every call folded since the last
+  // shipped image (the Seq jump is fine: peers only check for newer).
+  FlushImage Img;
+  std::vector<std::vector<std::uint8_t>> SummarySlots;
+  for (unsigned G : DirtyGroups) {
+    SummaryImage SImg;
+    SImg.Seq = OwnSummarySeq[G];
+    SImg.Summary = *OwnSummary[G];
+    for (MethodId U = 0; U < Type.numMethods(); ++U)
+      if (Spec.isUpdate(U) && Spec.sumGroup(U) && *Spec.sumGroup(U) == G)
+        SImg.AppliedCounts.emplace_back(U, Applied[Self][U]);
+    std::vector<std::uint8_t> Payload = encodeSummary(SImg);
+    Img.Summaries.emplace_back(static_cast<std::uint8_t>(G), Payload);
+    SummarySlots.push_back(slotBytes(Payload, Cfg.SummarySlotBytes));
+  }
+
+  // The free calls, chunked into wire records that each fit a spanning
+  // ring reservation. A single-call chunk uses the plain record format.
+  std::vector<std::vector<std::uint8_t>> AllCalls;
+  AllCalls.reserve(Free.size());
+  for (BatchedFree &B : Free) {
+    if (B.Done)
+      Dones.push_back(std::move(B.Done));
+    AllCalls.push_back(std::move(B.Bytes));
+  }
+  if (!AllCalls.empty())
+    Img.FreeRecord = encodeCallBatch(AllCalls);
+  std::vector<std::vector<std::uint8_t>> Records;
+  const std::size_t Cap = freeBatchCapBytes();
+  for (std::size_t I = 0; I < AllCalls.size();) {
+    std::size_t J = I;
+    std::size_t ChunkBytes = 4; // marker + count
+    while (J < AllCalls.size() &&
+           (J == I || ChunkBytes + AllCalls[J].size() + 4 <= Cap)) {
+      ChunkBytes += AllCalls[J].size() + 4;
+      ++J;
+    }
+    if (J - I == 1)
+      Records.push_back(std::move(AllCalls[I]));
+    else
+      Records.push_back(encodeCallBatch(std::vector<std::vector<std::uint8_t>>(
+          std::make_move_iterator(AllCalls.begin() + I),
+          std::make_move_iterator(AllCalls.begin() + J))));
+    I = J;
+  }
+
+  if (Cfg.UseBackupSlot)
+    Broadcast->stage(ReliableBroadcast::Kind::FreeBatch, 0,
+                     encodeFlushImage(Img));
+
+  unsigned Writes = static_cast<unsigned>(
+      (DirtyGroups.size() + Records.size()) * (N - 1));
+  assert(Writes > 0 && "pending batch with nothing to ship");
+  ++FlushesInFlight;
+  // One serialization charge per flush (vs one per call unbatched).
+  Fabric.runOnCpu(Self, M.ParseCpu, []() {}, rdma::Fabric::LaneClient);
+
+  auto Remaining = std::make_shared<unsigned>(Writes);
+  auto DonesP = std::make_shared<std::vector<SubmitCallback>>(
+      std::move(Dones));
+  auto Finish = [this, Remaining, DonesP](rdma::WcStatus) {
+    if (--*Remaining != 0)
+      return;
+    if (Cfg.UseBackupSlot)
+      Broadcast->clear();
+    --FlushesInFlight;
+    for (SubmitCallback &D : *DonesP)
+      D(true, 0);
+    // The coalescing continuation: ship whatever accumulated meanwhile.
+    if (BatchedPending > 0)
+      flushBatches(BatchedPending >= Cfg.Batch.MaxCalls ? FlushCause::Size
+                                                        : FlushCause::Pipe);
+  };
+
+  // Summaries post before the free records: a free call's dependency
+  // array may reference applied counts that travel with a summary image,
+  // and the per-lane FIFO fabric delivers writes in post order.
+  for (std::size_t K = 0; K < DirtyGroups.size(); ++K)
+    for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
+      if (Peer == Self)
+        continue;
+      Fabric.postWrite(Self, Peer, Map.summarySlot(DirtyGroups[K], Self),
+                       SummarySlots[K], rdma::UnprotectedRegion, Finish,
+                       rdma::Fabric::LaneClient);
+    }
+  for (const std::vector<std::uint8_t> &Rec : Records)
+    for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
+      if (Peer == Self)
+        continue;
+      appendWithRetry(Fabric.simulator(), *FreeWriters[Peer], Rec,
+                      Cfg.PollInterval, Finish);
+    }
+}
+
 // -- Failure handling --------------------------------------------------------
 
 void HambandNode::onPeerSuspected(rdma::NodeId Peer) {
@@ -948,14 +1238,47 @@ void HambandNode::onPeerSuspected(rdma::NodeId Peer) {
                       Msg.Payload.size(), WC))
         return;
       // Deliver only if it is exactly the next broadcast we have not
-      // received; otherwise it is a duplicate (agreement is preserved).
-      // The ring head counts consumed cells, so it is the sequence number
-      // of the next expected broadcast from this peer.
-      std::uint64_t NextSeq = FreeReaders[Peer]->head();
-      if (WC.BcastSeq == NextSeq) {
+      // received; a smaller sequence is a duplicate (agreement is
+      // preserved), a larger one means earlier entries are still in our
+      // ring and the cursor will catch up through the normal poll path.
+      if (WC.BcastSeq == FreeSeqNext[Peer]) {
+        FreeSeqNext[Peer] = WC.BcastSeq + 1;
         FreePending[Peer].push_back(std::move(WC));
-        // Skip the ring cell that will never be written.
-        FreeReaders[Peer]->setHead(NextSeq + 1);
+        ++NumRecovered;
+        CtrRecovered->add();
+      }
+      return;
+    }
+    case ReliableBroadcast::Kind::FreeBatch: {
+      // A batched flush staged as one image: its summary images and its
+      // free-call batch recover together or not at all.
+      FlushImage Img;
+      if (!decodeFlushImage(Msg.Payload.data(), Msg.Payload.size(), Img))
+        return;
+      for (const auto &[G, SumBytes] : Img.Summaries) {
+        SummaryImage SImg;
+        if (!decodeSummary(SumBytes.data(), SumBytes.size(), SImg))
+          continue;
+        if (G < SummaryCache.size() &&
+            SImg.Seq > SummarySeqSeen[G][Peer]) {
+          installSummary(G, Peer, SImg);
+          ++NumRecovered;
+          CtrRecovered->add();
+        }
+      }
+      if (Img.FreeRecord.empty())
+        return;
+      std::vector<WireCall> Calls;
+      if (!decodeCallBatch(Spec, Fabric.numNodes(), Img.FreeRecord.data(),
+                           Img.FreeRecord.size(), Calls))
+        return;
+      // Batch entries carry consecutive sequences; deliver the
+      // contiguous-next suffix and drop already-received duplicates.
+      for (WireCall &WC : Calls) {
+        if (WC.BcastSeq != FreeSeqNext[Peer])
+          continue;
+        FreeSeqNext[Peer] = WC.BcastSeq + 1;
+        FreePending[Peer].push_back(std::move(WC));
         ++NumRecovered;
         CtrRecovered->add();
       }

@@ -25,12 +25,15 @@ void RingWriter::attachStats(obs::Registry &R) {
   CtrAppend = &R.counter("ring.append");
   CtrFullStall = &R.counter("ring.full_stall");
   CtrWrap = &R.counter("ring.wrap");
+  CtrSpanAppend = &R.counter("ring.span_append");
+  CtrPadCells = &R.counter("ring.pad_cells");
   HistOccupancy = &R.histogram("ring.occupancy");
 }
 
 void RingReader::attachStats(obs::Registry &R) {
   CtrConsume = &R.counter("ring.consume");
   CtrCanaryRetry = &R.counter("ring.canary_retry");
+  CtrPadSkip = &R.counter("ring.pad_skip");
 }
 
 bool RingWriter::full() const {
@@ -40,38 +43,83 @@ bool RingWriter::full() const {
   return Tail - KnownHead >= Geom.NumCells;
 }
 
+bool RingWriter::canReserve(std::uint32_t Cells) const {
+  std::uint32_t Pos = static_cast<std::uint32_t>(Tail % Geom.NumCells);
+  // A span that would split across the ring end is preceded by a padding
+  // record filling the current lap; the pad cells count against capacity.
+  std::uint32_t Pad = (Pos + Cells > Geom.NumCells) ? Geom.NumCells - Pos : 0;
+  std::uint64_t KnownHead = Fabric.memory(Writer).readU64(FeedbackOff);
+  return Tail + Pad + Cells - KnownHead <= Geom.NumCells;
+}
+
 bool RingWriter::append(const std::vector<std::uint8_t> &Payload,
                         rdma::CompletionFn OnComplete) {
   assert(Payload.size() <= Geom.maxPayload() && "payload exceeds cell size");
-  if (full()) {
+  return appendRecord(Payload, std::move(OnComplete));
+}
+
+bool RingWriter::appendRecord(const std::vector<std::uint8_t> &Payload,
+                              rdma::CompletionFn OnComplete) {
+  assert(Payload.size() <= Geom.maxRecordPayload() &&
+         "payload exceeds ring span capacity");
+  std::uint32_t Span = Geom.cellsFor(Payload.size());
+  if (!canReserve(Span)) {
     if (CtrFullStall)
       CtrFullStall->add();
     return false;
   }
+
+  std::uint32_t Pos = static_cast<std::uint32_t>(Tail % Geom.NumCells);
+  if (Pos + Span > Geom.NumCells) {
+    // Pad-and-wrap: a record never splits across the ring end. Fill the
+    // rest of the lap with one padding record (PadLen sentinel, canary at
+    // the lap's last byte) and start the real record at cell 0. Channel
+    // FIFO ordering delivers pad before record, and the reader's canary
+    // retry tolerates the gap between the two writes.
+    std::uint32_t PadCells = Geom.NumCells - Pos;
+    std::vector<std::uint8_t> Pad(
+        static_cast<std::size_t>(PadCells) * Geom.CellSize, 0);
+    std::uint32_t Sentinel = RingGeometry::PadLen;
+    std::memcpy(Pad.data(), &Sentinel, 4);
+    std::memcpy(Pad.data() + 4, &Tail, 8);
+    Pad[Pad.size() - 1] = 1; // Canary: the pad is complete.
+    rdma::MemOffset PadOff =
+        DataOff + static_cast<rdma::MemOffset>(Pos) * Geom.CellSize;
+    Fabric.postWrite(Writer, Reader, PadOff, std::move(Pad), Key, nullptr,
+                     Lane);
+    if (CtrPadCells)
+      CtrPadCells->add(PadCells);
+    Tail += PadCells;
+    Pos = 0;
+  }
+
   if (CtrAppend)
     CtrAppend->add();
+  if (CtrSpanAppend && Span > 1)
+    CtrSpanAppend->add();
   if (CtrWrap && Tail != 0 && Tail % Geom.NumCells == 0)
     CtrWrap->add();
   if (HistOccupancy)
-    HistOccupancy->record(Tail + 1 -
+    HistOccupancy->record(Tail + Span -
                           Fabric.memory(Writer).readU64(FeedbackOff));
 
-  // Build the whole cell -- header, payload, trailing canary -- and ship
-  // it with one RDMA write, exactly like the runtime in Section 4.
-  std::vector<std::uint8_t> Cell(Geom.CellSize, 0);
+  // Build the whole record -- header, payload, one trailing canary at the
+  // end of the span -- and ship it with ONE RDMA write: a single doorbell
+  // however many cells (and batched calls) it covers.
+  std::vector<std::uint8_t> Record(
+      static_cast<std::size_t>(Span) * Geom.CellSize, 0);
   std::uint32_t Len = static_cast<std::uint32_t>(Payload.size());
-  std::memcpy(Cell.data(), &Len, 4);
-  std::memcpy(Cell.data() + 4, &Tail, 8);
-  std::memcpy(Cell.data() + RingGeometry::HeaderBytes, Payload.data(),
+  std::memcpy(Record.data(), &Len, 4);
+  std::memcpy(Record.data() + 4, &Tail, 8);
+  std::memcpy(Record.data() + RingGeometry::HeaderBytes, Payload.data(),
               Payload.size());
-  Cell[Geom.CellSize - 1] = 1; // Canary: the cell is complete.
+  Record[Record.size() - 1] = 1; // Canary: the record is complete.
 
-  rdma::MemOffset CellOff =
-      DataOff + static_cast<rdma::MemOffset>(Tail % Geom.NumCells) *
-                    Geom.CellSize;
-  Fabric.postWrite(Writer, Reader, CellOff, std::move(Cell), Key,
+  rdma::MemOffset RecOff =
+      DataOff + static_cast<rdma::MemOffset>(Pos) * Geom.CellSize;
+  Fabric.postWrite(Writer, Reader, RecOff, std::move(Record), Key,
                    std::move(OnComplete), Lane);
-  ++Tail;
+  Tail += Span;
   return true;
 }
 
@@ -133,19 +181,102 @@ void RingReader::forceFeedback() {
   LastFeedback = Head;
 }
 
-bool RingReader::peek(std::vector<std::uint8_t> &Out) const {
-  return readCell(Head, Out);
+bool RingReader::readRecordAt(std::uint64_t Index,
+                              std::vector<std::uint8_t> &Out,
+                              std::uint32_t &SpanCells, bool &IsPad) const {
+  const rdma::MemoryRegion &Mem = Fabric.memory(Reader);
+  std::uint32_t Pos = static_cast<std::uint32_t>(Index % Geom.NumCells);
+  rdma::MemOffset CellOff =
+      DataOff + static_cast<rdma::MemOffset>(Pos) * Geom.CellSize;
+  std::uint32_t Len = 0;
+  std::uint64_t Seq = 0;
+  std::uint8_t Header[RingGeometry::HeaderBytes];
+  Mem.read(CellOff, Header, sizeof(Header));
+  std::memcpy(&Len, Header, 4);
+  std::memcpy(&Seq, Header + 4, 8);
+
+  IsPad = (Len == RingGeometry::PadLen);
+  std::uint32_t Span;
+  if (IsPad) {
+    Span = Geom.NumCells - Pos; // A pad always runs to the ring end.
+  } else {
+    Span = Geom.cellsFor(Len);
+    if (Span > Geom.maxSpanCells() || Pos + Span > Geom.NumCells) {
+      // Garbage header (an empty cell reads Len == 0 and fails the canary
+      // below instead): stale bytes from an earlier lap; retry next
+      // traversal once the writer has rewritten the cell.
+      if (CtrCanaryRetry)
+        CtrCanaryRetry->add();
+      return false;
+    }
+  }
+  // One canary for the whole span, at its last byte.
+  rdma::MemOffset CanaryOff =
+      DataOff +
+      static_cast<rdma::MemOffset>(Pos + Span) * Geom.CellSize - 1;
+  if (Mem.readU8(CanaryOff) != 1)
+    return false; // Empty or mid-flight; not counted as a retry.
+  if (Seq != Index) {
+    // A stale lap; the writer's record for this index is still in flight.
+    if (CtrCanaryRetry)
+      CtrCanaryRetry->add();
+    return false;
+  }
+  SpanCells = Span;
+  if (IsPad)
+    Out.clear();
+  else
+    Out = Mem.slice(CellOff + RingGeometry::HeaderBytes, Len);
+  return true;
+}
+
+bool RingReader::peek(std::vector<std::uint8_t> &Out) {
+  std::uint32_t Span = 1;
+  bool IsPad = false;
+  while (readRecordAt(Head, Out, Span, IsPad)) {
+    if (!IsPad)
+      return true;
+    // A complete wrap pad: swallow it so callers only see real records.
+    if (CtrPadSkip)
+      CtrPadSkip->add();
+    consumeSpan(Span);
+  }
+  return false;
 }
 
 void RingReader::consume() {
-  rdma::MemOffset CellOff =
-      DataOff + static_cast<rdma::MemOffset>(Head % Geom.NumCells) *
-                    Geom.CellSize;
-  // Clear the canary so the slot can be reused by a later lap.
-  Fabric.memory(Reader).writeU8(CellOff + Geom.CellSize - 1, 0);
-  ++Head;
+  std::vector<std::uint8_t> Out;
+  std::uint32_t Span = 1;
+  bool IsPad = false;
+  bool Ok = readRecordAt(Head, Out, Span, IsPad);
+  assert(Ok && !IsPad && "consume without a successful peek");
+  (void)Ok;
+  consumeSpan(Span);
   if (CtrConsume)
     CtrConsume->add();
+}
+
+void RingReader::consumeSpan(std::uint32_t SpanCells) {
+  rdma::MemoryRegion &Mem = Fabric.memory(Reader);
+  std::uint32_t Pos = static_cast<std::uint32_t>(Head % Geom.NumCells);
+  // Clear the span canary so the slots can be reused by a later lap. A
+  // single-cell record keeps its bytes intact (leader-change catch-up
+  // reads consumed cells via readCellIgnoringCanary); a spanning record
+  // additionally gets every span cell's header zeroed, so stale interior
+  // payload bytes can never be misparsed as a record header later.
+  Mem.writeU8(DataOff +
+                  static_cast<rdma::MemOffset>(Pos + SpanCells) *
+                      Geom.CellSize -
+                  1,
+              0);
+  if (SpanCells > 1) {
+    static const std::uint8_t ZeroHeader[RingGeometry::HeaderBytes] = {};
+    for (std::uint32_t I = 0; I < SpanCells; ++I)
+      Mem.write(DataOff +
+                    static_cast<rdma::MemOffset>(Pos + I) * Geom.CellSize,
+                ZeroHeader, sizeof(ZeroHeader));
+  }
+  Head += SpanCells;
   // Publish the head to the writer once per quarter ring so it can reuse
   // cells without ever overwriting unconsumed ones.
   if (Head - LastFeedback >= Geom.NumCells / 4) {

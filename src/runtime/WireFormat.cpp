@@ -170,6 +170,99 @@ bool runtime::decodeSummary(const std::uint8_t *Data, std::size_t Len,
   return R.ok();
 }
 
+bool runtime::isCallBatch(const std::uint8_t *Data, std::size_t Len) {
+  if (Len < 2)
+    return false;
+  std::uint16_t Marker = 0;
+  std::memcpy(&Marker, Data, 2);
+  return Marker == CallBatchMarker;
+}
+
+std::vector<std::uint8_t> runtime::encodeCallBatch(
+    const std::vector<std::vector<std::uint8_t>> &EncodedCalls) {
+  assert(!EncodedCalls.empty() && "empty batch");
+  assert(EncodedCalls.size() <= 0xFFFF && "batch count exceeds u16");
+  ByteWriter W;
+  W.u16(CallBatchMarker);
+  W.u16(static_cast<std::uint16_t>(EncodedCalls.size()));
+  for (const std::vector<std::uint8_t> &Bytes : EncodedCalls) {
+    W.u32(static_cast<std::uint32_t>(Bytes.size()));
+    for (std::uint8_t B : Bytes)
+      W.u8(B);
+  }
+  return W.take();
+}
+
+bool runtime::decodeCallBatch(const CoordinationSpec &Spec,
+                              unsigned NumProcesses,
+                              const std::uint8_t *Data, std::size_t Len,
+                              std::vector<WireCall> &Out) {
+  Out.clear();
+  if (!isCallBatch(Data, Len))
+    return false;
+  ByteReader R(Data, Len);
+  (void)R.u16(); // Marker, already checked.
+  std::uint16_t Count = R.u16();
+  std::size_t Pos = 4;
+  for (unsigned I = 0; I < Count; ++I) {
+    std::uint32_t InnerLen = R.u32();
+    Pos += 4;
+    if (!R.ok() || Pos + InnerLen > Len)
+      return false;
+    WireCall WC;
+    if (!decodeCall(Spec, NumProcesses, Data + Pos, InnerLen, WC))
+      return false;
+    Out.push_back(std::move(WC));
+    for (std::uint32_t J = 0; J < InnerLen; ++J)
+      (void)R.u8(); // Advance past the inner call bytes.
+    Pos += InnerLen;
+  }
+  return R.ok();
+}
+
+std::vector<std::uint8_t> runtime::encodeFlushImage(const FlushImage &Img) {
+  assert(Img.Summaries.size() <= 0xFF && "too many summary groups");
+  ByteWriter W;
+  W.u8(static_cast<std::uint8_t>(Img.Summaries.size()));
+  for (const auto &[Group, Bytes] : Img.Summaries) {
+    W.u8(Group);
+    W.u32(static_cast<std::uint32_t>(Bytes.size()));
+    for (std::uint8_t B : Bytes)
+      W.u8(B);
+  }
+  W.u32(static_cast<std::uint32_t>(Img.FreeRecord.size()));
+  for (std::uint8_t B : Img.FreeRecord)
+    W.u8(B);
+  return W.take();
+}
+
+bool runtime::decodeFlushImage(const std::uint8_t *Data, std::size_t Len,
+                               FlushImage &Out) {
+  Out.Summaries.clear();
+  Out.FreeRecord.clear();
+  ByteReader R(Data, Len);
+  std::uint8_t K = R.u8();
+  std::size_t Pos = 1;
+  for (unsigned I = 0; I < K; ++I) {
+    std::uint8_t Group = R.u8();
+    std::uint32_t InnerLen = R.u32();
+    Pos += 5;
+    if (!R.ok() || Pos + InnerLen > Len)
+      return false;
+    Out.Summaries.emplace_back(
+        Group, std::vector<std::uint8_t>(Data + Pos, Data + Pos + InnerLen));
+    for (std::uint32_t J = 0; J < InnerLen; ++J)
+      (void)R.u8();
+    Pos += InnerLen;
+  }
+  std::uint32_t FreeLen = R.u32();
+  Pos += 4;
+  if (!R.ok() || Pos + FreeLen > Len)
+    return false;
+  Out.FreeRecord.assign(Data + Pos, Data + Pos + FreeLen);
+  return true;
+}
+
 bool runtime::decodeCall(const CoordinationSpec &Spec,
                          unsigned NumProcesses, const std::uint8_t *Data,
                          std::size_t Len, WireCall &Out) {

@@ -31,6 +31,16 @@ struct IssuedCall {
   Call TheCall;
 };
 
+/// A batched runtime configuration for the Lemma-3 cross-checks below:
+/// the same call schedules must match the semantics whether or not the
+/// runtime coalesces them into flush batches on the wire.
+HambandConfig batchedConfig() {
+  HambandConfig Cfg;
+  Cfg.Batch.Enabled = true;
+  Cfg.Batch.MaxCalls = 6;
+  return Cfg;
+}
+
 std::vector<IssuedCall> makeCallSequence(const ObjectType &T,
                                          unsigned NumNodes, unsigned Count,
                                          std::uint64_t Seed) {
@@ -52,17 +62,20 @@ std::vector<IssuedCall> makeCallSequence(const ObjectType &T,
 
 } // namespace
 
-class ConflictFreeCrossValidation
-    : public ::testing::TestWithParam<std::string> {};
+namespace {
 
 // Exact-match world comparison is only meaningful for objects whose
 // prepared effect does not depend on the issuing replica's observations:
 // an ORSet remove, for example, deletes exactly the tags its replica had
 // seen, which legitimately differs with propagation timing. Types here
 // have identity prepare (or observation-independent effects), so the
-// final state is a pure function of the call multiset.
-TEST_P(ConflictFreeCrossValidation, RuntimeMatchesSemanticsExactly) {
-  auto T = makeType(GetParam());
+// final state is a pure function of the call multiset. \p BurstSize > 1
+// submits calls in back-to-back bursts, which keeps the batching layer
+// loaded with multi-call flushes when \p Cfg enables it.
+void crossValidateConflictFree(const std::string &Name,
+                               const HambandConfig &Cfg,
+                               unsigned BurstSize) {
+  auto T = makeType(Name);
   ASSERT_EQ(T->coordination().numSyncGroups(), 0u)
       << "this suite is for conflict-free objects";
   const unsigned Nodes = 3;
@@ -80,15 +93,16 @@ TEST_P(ConflictFreeCrossValidation, RuntimeMatchesSemanticsExactly) {
 
   // World 2: the full runtime over the simulated fabric.
   sim::Simulator Sim;
-  HambandCluster C(Sim, Nodes, *T);
+  HambandCluster C(Sim, Nodes, *T, {}, Cfg);
   C.start();
   unsigned Done = 0;
-  for (const IssuedCall &IC : Calls) {
-    C.submit(IC.Origin, IC.TheCall, [&Done](bool Ok, Value) {
+  for (std::size_t I = 0; I < Calls.size(); ++I) {
+    C.submit(Calls[I].Origin, Calls[I].TheCall, [&Done](bool Ok, Value) {
       ASSERT_TRUE(Ok);
       ++Done;
     });
-    Sim.run(Sim.now() + sim::micros(3)); // Realistic pacing.
+    if ((I + 1) % BurstSize == 0)
+      Sim.run(Sim.now() + sim::micros(3)); // Realistic pacing.
   }
   sim::SimTime Cap = Sim.now() + sim::millis(200);
   while (Sim.now() < Cap &&
@@ -101,15 +115,28 @@ TEST_P(ConflictFreeCrossValidation, RuntimeMatchesSemanticsExactly) {
   for (ProcessId P = 0; P < Nodes; ++P) {
     StatePtr FromSemantics = K.visibleState(P);
     EXPECT_TRUE(FromSemantics->equals(C.node(P).visibleState()))
-        << GetParam() << " node " << P << ":\n  semantics: "
+        << Name << " node " << P << ":\n  semantics: "
         << FromSemantics->str() << "\n  runtime:   "
         << C.node(P).visibleState().str();
     // Applied-call accounting matches too.
     for (ProcessId From = 0; From < Nodes; ++From)
       for (MethodId U = 0; U < T->numMethods(); ++U)
         EXPECT_EQ(K.applied(P, From, U), C.node(P).applied(From, U))
-            << GetParam();
+            << Name;
   }
+}
+
+} // namespace
+
+class ConflictFreeCrossValidation
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConflictFreeCrossValidation, RuntimeMatchesSemanticsExactly) {
+  crossValidateConflictFree(GetParam(), HambandConfig{}, 1);
+}
+
+TEST_P(ConflictFreeCrossValidation, BatchedRuntimeMatchesSemanticsExactly) {
+  crossValidateConflictFree(GetParam(), batchedConfig(), 4);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -128,11 +155,12 @@ INSTANTIATE_TEST_SUITE_P(
 // observation-dependent op-based objects (prepared effects depend on what
 // the issuer had seen): each world must converge internally and keep the
 // invariant, but the two worlds need not agree with each other.
-class ConflictingCrossValidation
-    : public ::testing::TestWithParam<std::string> {};
+namespace {
 
-TEST_P(ConflictingCrossValidation, BothWorldsConvergeWithSameAccounting) {
-  auto T = makeType(GetParam());
+void crossValidateConflicting(const std::string &Name,
+                              const HambandConfig &Cfg,
+                              unsigned BurstSize) {
+  auto T = makeType(Name);
   const unsigned Nodes = 3;
   std::vector<IssuedCall> Calls = makeCallSequence(*T, Nodes, 30, 7);
 
@@ -145,17 +173,18 @@ TEST_P(ConflictingCrossValidation, BothWorldsConvergeWithSameAccounting) {
   }
   K.drain();
   ASSERT_TRUE(K.quiescent());
-  EXPECT_TRUE(K.checkConvergence()) << GetParam();
-  EXPECT_TRUE(K.checkIntegrity()) << GetParam();
+  EXPECT_TRUE(K.checkConvergence()) << Name;
+  EXPECT_TRUE(K.checkIntegrity()) << Name;
 
   sim::Simulator Sim;
-  HambandCluster C(Sim, Nodes, *T);
+  HambandCluster C(Sim, Nodes, *T, {}, Cfg);
   C.start();
   unsigned Done = 0;
-  for (const IssuedCall &IC : Calls) {
-    C.submit(IC.Origin, IC.TheCall,
+  for (std::size_t I = 0; I < Calls.size(); ++I) {
+    C.submit(Calls[I].Origin, Calls[I].TheCall,
              [&Done](bool, Value) { ++Done; });
-    Sim.run(Sim.now() + sim::micros(5));
+    if ((I + 1) % BurstSize == 0)
+      Sim.run(Sim.now() + sim::micros(5));
   }
   sim::SimTime Cap = Sim.now() + sim::millis(500);
   while (Sim.now() < Cap &&
@@ -163,11 +192,28 @@ TEST_P(ConflictingCrossValidation, BothWorldsConvergeWithSameAccounting) {
     Sim.run(Sim.now() + sim::micros(20));
   ASSERT_EQ(Done, Calls.size());
   ASSERT_TRUE(C.fullyReplicated());
-  EXPECT_TRUE(C.converged()) << GetParam();
+  EXPECT_TRUE(C.converged()) << Name;
   // Integrity at every replica of the runtime world.
   for (ProcessId P = 0; P < Nodes; ++P)
     EXPECT_TRUE(T->invariant(C.node(P).visibleState()))
-        << GetParam() << " node " << P;
+        << Name << " node " << P;
+}
+
+} // namespace
+
+class ConflictingCrossValidation
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConflictingCrossValidation, BothWorldsConvergeWithSameAccounting) {
+  crossValidateConflicting(GetParam(), HambandConfig{}, 1);
+}
+
+// The batched run submits in bursts, so conflicting calls routinely find
+// reducible/free calls still pending in the batch -- every one of them
+// exercises the flush-on-conflicting-call path before reaching the
+// leader (node.batch.flush.conf in the metrics).
+TEST_P(ConflictingCrossValidation, BatchedBothWorldsConvergeWithFlushOnConf) {
+  crossValidateConflicting(GetParam(), batchedConfig(), 4);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -225,10 +271,11 @@ void runUnderFaults(
     const ObjectType &T, unsigned Nodes, unsigned Count, std::uint64_t Seed,
     const sim::FaultSpec &Spec,
     const std::function<void(HambandCluster &, sim::FaultInjector &,
-                             const std::vector<FaultedIssue> &)> &Check) {
+                             const std::vector<FaultedIssue> &)> &Check,
+    const HambandConfig &Cfg = HambandConfig{}) {
   const CoordinationSpec &CSpec = T.coordination();
   sim::Simulator Sim;
-  HambandCluster C(Sim, Nodes, T);
+  HambandCluster C(Sim, Nodes, T, {}, Cfg);
   sim::FaultInjector FI(Sim, sim::FaultPlan::generate(Seed, Spec, Nodes));
   C.attachFaultInjector(FI);
   FI.arm();
@@ -298,84 +345,112 @@ replayInSemantics(const ObjectType &T, unsigned Nodes,
 
 } // namespace
 
-class FaultScheduleCrossValidation
-    : public ::testing::TestWithParam<std::string> {};
+namespace {
 
-TEST_P(FaultScheduleCrossValidation, SoftFaultsPreserveAgreement) {
-  auto T = makeType(GetParam());
+void softFaultAgreement(const std::string &Name, const HambandConfig &Cfg,
+                        std::uint64_t SeedSalt) {
+  auto T = makeType(Name);
   const unsigned Nodes = 4;
   sim::FaultSpec Spec;
   Spec.OneSidedDelayProb = 0.05;
   Spec.NumSuspends = 1;
   Spec.NumPartitions = 1;
   runUnderFaults(
-      *T, Nodes, 30, typeSeed(GetParam()) ^ 0x50f7, Spec,
+      *T, Nodes, 30, typeSeed(Name) ^ SeedSalt, Spec,
       [&](HambandCluster &C, sim::FaultInjector &FI,
           const std::vector<FaultedIssue> &Issued) {
         // Soft faults all heal: the whole cluster must recover.
         for (ProcessId P = 0; P < Nodes; ++P)
           ASSERT_TRUE(C.isLive(P));
-        ASSERT_TRUE(C.fullyReplicatedLive()) << GetParam();
-        EXPECT_TRUE(C.converged()) << GetParam();
+        ASSERT_TRUE(C.fullyReplicatedLive()) << Name;
+        EXPECT_TRUE(C.converged()) << Name;
         for (ProcessId P = 0; P < Nodes; ++P)
           EXPECT_TRUE(T->invariant(C.node(P).visibleState()))
-              << GetParam() << " node " << P;
+              << Name << " node " << P;
         EXPECT_FALSE(FI.trace().Events.empty());
 
         semantics::RdmaConfiguration K =
             replayInSemantics(*T, Nodes, Issued);
         ASSERT_TRUE(K.quiescent());
-        EXPECT_TRUE(K.checkConvergence()) << GetParam();
-        EXPECT_TRUE(K.checkIntegrity()) << GetParam();
-        if (!isObservationIndependent(GetParam()))
+        EXPECT_TRUE(K.checkConvergence()) << Name;
+        EXPECT_TRUE(K.checkIntegrity()) << Name;
+        if (!isObservationIndependent(Name))
           return;
         // Exact two-world agreement, replica by replica.
         for (ProcessId P = 0; P < Nodes; ++P) {
           EXPECT_TRUE(
               K.visibleState(P)->equals(C.node(P).visibleState()))
-              << GetParam() << " node " << P;
+              << Name << " node " << P;
           for (ProcessId From = 0; From < Nodes; ++From)
             for (MethodId U = 0; U < T->numMethods(); ++U)
               EXPECT_EQ(K.applied(P, From, U), C.node(P).applied(From, U))
-                  << GetParam();
+                  << Name;
         }
-      });
+      },
+      Cfg);
 }
 
-TEST_P(FaultScheduleCrossValidation, CrashFaultsLeaveLiveMajorityAgreeing) {
-  auto T = makeType(GetParam());
+void crashFaultAgreement(const std::string &Name, const HambandConfig &Cfg,
+                         std::uint64_t SeedSalt) {
+  auto T = makeType(Name);
   const unsigned Nodes = 4;
   sim::FaultSpec Spec;
   Spec.OneSidedDelayProb = 0.02;
   Spec.NumCrashes = 1;
   Spec.CrashOnStageProb = 0.005;
   runUnderFaults(
-      *T, Nodes, 30, typeSeed(GetParam()) ^ 0xc4a5, Spec,
+      *T, Nodes, 30, typeSeed(Name) ^ SeedSalt, Spec,
       [&](HambandCluster &C, sim::FaultInjector &FI,
           const std::vector<FaultedIssue> &Issued) {
-        ASSERT_TRUE(C.fullyReplicatedLive()) << GetParam();
-        EXPECT_TRUE(C.convergedLive()) << GetParam();
+        ASSERT_TRUE(C.fullyReplicatedLive()) << Name;
+        EXPECT_TRUE(C.convergedLive()) << Name;
         unsigned Live = 0;
         for (ProcessId P = 0; P < Nodes; ++P) {
           if (!C.isLive(P))
             continue;
           ++Live;
           EXPECT_TRUE(T->invariant(C.node(P).visibleState()))
-              << GetParam() << " node " << P;
+              << Name << " node " << P;
         }
         EXPECT_GT(Live, Nodes / 2u); // A majority always survives.
         // Calls still pending may only belong to crashed origins.
         for (const FaultedIssue &I : Issued)
           if (I.Status == 0)
-            EXPECT_FALSE(C.isLive(I.Origin)) << GetParam();
+            EXPECT_FALSE(C.isLive(I.Origin)) << Name;
         EXPECT_FALSE(FI.trace().Events.empty());
 
         semantics::RdmaConfiguration K =
             replayInSemantics(*T, Nodes, Issued);
         ASSERT_TRUE(K.quiescent());
-        EXPECT_TRUE(K.checkConvergence()) << GetParam();
-        EXPECT_TRUE(K.checkIntegrity()) << GetParam();
-      });
+        EXPECT_TRUE(K.checkConvergence()) << Name;
+        EXPECT_TRUE(K.checkIntegrity()) << Name;
+      },
+      Cfg);
+}
+
+} // namespace
+
+class FaultScheduleCrossValidation
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FaultScheduleCrossValidation, SoftFaultsPreserveAgreement) {
+  softFaultAgreement(GetParam(), HambandConfig{}, 0x50f7);
+}
+
+TEST_P(FaultScheduleCrossValidation, CrashFaultsLeaveLiveMajorityAgreeing) {
+  crashFaultAgreement(GetParam(), HambandConfig{}, 0xc4a5);
+}
+
+// The same fault schedules over a *batched* runtime: flush batches must
+// not weaken the Lemma-3 agreement, whether they are delayed, dropped or
+// cut short by a crash in the stage window.
+TEST_P(FaultScheduleCrossValidation, BatchedSoftFaultsPreserveAgreement) {
+  softFaultAgreement(GetParam(), batchedConfig(), 0xb50f7);
+}
+
+TEST_P(FaultScheduleCrossValidation,
+       BatchedCrashFaultsLeaveLiveMajorityAgreeing) {
+  crashFaultAgreement(GetParam(), batchedConfig(), 0xbc4a5);
 }
 
 INSTANTIATE_TEST_SUITE_P(

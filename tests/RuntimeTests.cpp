@@ -237,6 +237,145 @@ TEST_F(RingTest, ConsumedCellBytesRemainForCatchUp) {
   EXPECT_EQ(Got, (std::vector<std::uint8_t>{9, 9}));
 }
 
+// -- Spanning records (batched broadcast) ------------------------------------
+
+namespace {
+
+std::vector<std::uint8_t> patternPayload(std::size_t N) {
+  std::vector<std::uint8_t> P(N);
+  for (std::size_t I = 0; I < N; ++I)
+    P[I] = static_cast<std::uint8_t>(I * 37 + 11);
+  return P;
+}
+
+} // namespace
+
+TEST_F(RingTest, SpanningRecordRoundTrip) {
+  // Geom{8, 64}: one cell holds 51 payload bytes, so 100 bytes span 2.
+  std::vector<std::uint8_t> Payload = patternPayload(100);
+  ASSERT_EQ(Geom.cellsFor(Payload.size()), 2u);
+  ASSERT_TRUE(W.appendRecord(Payload));
+  Sim.run();
+  std::vector<std::uint8_t> Got;
+  ASSERT_TRUE(R.peek(Got));
+  EXPECT_EQ(Got, Payload);
+  R.consume();
+  EXPECT_EQ(R.head(), 2u); // The whole span is consumed at once.
+  EXPECT_FALSE(R.peek(Got));
+  EXPECT_EQ(W.tail(), 2u);
+}
+
+TEST_F(RingTest, SpanningRecordInterleavesWithSingleCells) {
+  ASSERT_TRUE(W.append({7}));
+  ASSERT_TRUE(W.appendRecord(patternPayload(120)));
+  ASSERT_TRUE(W.append({8}));
+  Sim.run();
+  std::vector<std::uint8_t> Got;
+  ASSERT_TRUE(R.peek(Got));
+  EXPECT_EQ(Got, (std::vector<std::uint8_t>{7}));
+  R.consume();
+  ASSERT_TRUE(R.peek(Got));
+  EXPECT_EQ(Got, patternPayload(120));
+  R.consume();
+  ASSERT_TRUE(R.peek(Got));
+  EXPECT_EQ(Got, (std::vector<std::uint8_t>{8}));
+  R.consume();
+  EXPECT_FALSE(R.peek(Got));
+}
+
+// The wrap-around edge case the batching layer depends on: a reservation
+// that does not fit in the current lap's remainder must pad to the ring
+// end and place the whole span at cell 0, published as one record -- the
+// reader must never see a record split across the wrap.
+TEST_F(RingTest, SpanningRecordPadsAndWrapsInOnePublish) {
+  std::vector<std::uint8_t> Got;
+  // Advance the tail to cell 7 of 8 and free the consumed cells.
+  for (unsigned I = 0; I < 7; ++I) {
+    ASSERT_TRUE(W.append({static_cast<std::uint8_t>(I)}));
+    Sim.run();
+    ASSERT_TRUE(R.peek(Got));
+    R.consume();
+  }
+  R.forceFeedback();
+  Sim.run();
+  // A 2-cell span cannot fit in the single remaining cell of this lap.
+  std::vector<std::uint8_t> Payload = patternPayload(90);
+  ASSERT_EQ(Geom.cellsFor(Payload.size()), 2u);
+  ASSERT_TRUE(W.appendRecord(Payload));
+  EXPECT_EQ(W.tail(), 10u); // 7 singles + 1 pad + 2 span cells.
+  Sim.run();
+  // peek() skips the pad transparently and returns the span intact.
+  ASSERT_TRUE(R.peek(Got));
+  EXPECT_EQ(Got, Payload);
+  R.consume();
+  EXPECT_EQ(R.head(), 10u);
+  EXPECT_FALSE(R.peek(Got));
+  // The ring keeps working on the next lap.
+  ASSERT_TRUE(W.append({42}));
+  Sim.run();
+  ASSERT_TRUE(R.peek(Got));
+  EXPECT_EQ(Got, (std::vector<std::uint8_t>{42}));
+}
+
+TEST_F(RingTest, SpanningRecordBlocksUntilSpaceFrees) {
+  // Occupy 7 of 8 cells, then free exactly one. Two cells are free, which
+  // would fit the raw 2-cell span -- but the writer sits at position 7, so
+  // the span needs a 1-cell wrap pad too. The pad must count against
+  // capacity: reserving here would overwrite unconsumed cells.
+  for (unsigned I = 0; I < 7; ++I)
+    ASSERT_TRUE(W.append({static_cast<std::uint8_t>(I)}));
+  Sim.run();
+  std::vector<std::uint8_t> Got;
+  ASSERT_TRUE(R.peek(Got));
+  R.consume();
+  R.forceFeedback();
+  Sim.run();
+  std::vector<std::uint8_t> Payload = patternPayload(90);
+  EXPECT_FALSE(W.canReserve(Geom.cellsFor(Payload.size())));
+  EXPECT_FALSE(W.appendRecord(Payload));
+  for (unsigned I = 0; I < 6; ++I) {
+    ASSERT_TRUE(R.peek(Got));
+    R.consume();
+  }
+  R.forceFeedback();
+  Sim.run();
+  EXPECT_TRUE(W.canReserve(Geom.cellsFor(Payload.size())));
+  ASSERT_TRUE(W.appendRecord(Payload));
+  Sim.run();
+  ASSERT_TRUE(R.peek(Got));
+  EXPECT_EQ(Got, Payload);
+}
+
+TEST_F(RingTest, MaxRecordPayloadFitsExactly) {
+  // Half the ring (4 cells of 64) minus header and canary.
+  ASSERT_EQ(Geom.maxRecordPayload(), 4u * 64 - 12 - 1);
+  std::vector<std::uint8_t> Payload =
+      patternPayload(Geom.maxRecordPayload());
+  ASSERT_TRUE(W.appendRecord(Payload));
+  Sim.run();
+  std::vector<std::uint8_t> Got;
+  ASSERT_TRUE(R.peek(Got));
+  EXPECT_EQ(Got, Payload);
+  R.consume();
+  EXPECT_EQ(R.head(), 4u);
+}
+
+TEST_F(RingTest, ConsumedSpanInteriorNeverMisparsedOnLaterLaps) {
+  // A span whose payload bytes could look like a plausible record header
+  // must not be re-parsed after consumption: consume() zeroes the span
+  // cells' header regions.
+  std::vector<std::uint8_t> Payload(100, 0x01);
+  ASSERT_TRUE(W.appendRecord(Payload));
+  Sim.run();
+  std::vector<std::uint8_t> Got;
+  ASSERT_TRUE(R.peek(Got));
+  R.consume();
+  // The reader is at cell 2 with nothing written there: no phantom
+  // records from the stale span interior.
+  EXPECT_FALSE(R.peek(Got));
+  EXPECT_EQ(R.head(), 2u);
+}
+
 // -- Heartbeats and broadcast -------------------------------------------------
 
 TEST(HeartbeatTest, SuspendedNodeGetsSuspected) {

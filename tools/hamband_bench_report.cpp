@@ -4,13 +4,15 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Runs the two headline figure points (fig8 reduction throughput on the
-// counter, fig9 buffering latency on the ORSet) through benchlib and emits
-// a machine-readable hamband-bench-v1 JSON report:
+// Runs the headline figure points (fig8 reduction throughput on the
+// counter -- unbatched and with reduction-aware call batching -- and fig9
+// buffering latency on the ORSet) through benchlib and emits a
+// machine-readable hamband-bench-v1 JSON report:
 //
 //   hamband_bench_report --out BENCH.json          # run and emit
 //   hamband_bench_report --smoke --out BENCH.json  # tiny op count for CI
 //   hamband_bench_report --check BENCH.json        # validate a report
+//   hamband_bench_report --check BENCH.json --min-batch-speedup 1.25
 //   hamband_bench_report --compare A.json B.json --tolerance 0.05
 //
 // Latency percentiles come from the merged per-node node.resp_ns
@@ -48,6 +50,9 @@ struct Options {
   std::string CompareA;   // --compare mode.
   std::string CompareB;
   double Tolerance = 0.05;
+  /// With --check: require fig8_batched throughput to be at least this
+  /// multiple of fig8 (0 = no gate).
+  double MinBatchSpeedup = 0;
 };
 
 /// One figure point: the workload result plus the percentile source.
@@ -60,7 +65,8 @@ struct PointReport {
 };
 
 PointReport runFigPoint(const std::string &TypeName, unsigned Nodes,
-                        double UpdateRatio, const Options &Opt) {
+                        double UpdateRatio, const Options &Opt,
+                        bool Batched = false) {
   auto Type = makeType(TypeName);
   WorkloadSpec W;
   W.NumOps = Opt.Ops;
@@ -69,6 +75,7 @@ PointReport runFigPoint(const std::string &TypeName, unsigned Nodes,
   RO.Kind = RuntimeKind::Hamband;
   RO.NumNodes = Nodes;
   RO.Repetitions = Opt.Reps;
+  RO.Cfg.Batch.Enabled = Batched;
 
   PointReport P;
   P.R = runWorkload(*Type, W, RO);
@@ -166,6 +173,31 @@ int checkMode(const Options &Opt) {
     std::fprintf(stderr, "check failed: %s\n", Err.c_str());
     return 1;
   }
+  // fig8_batched is validated when present (reports predating the
+  // batching layer stay checkable), and required by the speedup gate.
+  bool HasBatched = Doc.find("fig8_batched") != nullptr;
+  if (HasBatched && !checkPoint(Doc, "fig8_batched", Err)) {
+    std::fprintf(stderr, "check failed: %s\n", Err.c_str());
+    return 1;
+  }
+  if (Opt.MinBatchSpeedup > 0) {
+    if (!HasBatched) {
+      std::fprintf(stderr,
+                   "check failed: --min-batch-speedup needs fig8_batched\n");
+      return 1;
+    }
+    double Base = Doc.find("fig8")->find("throughput_ops_us")->asDouble();
+    double Batched =
+        Doc.find("fig8_batched")->find("throughput_ops_us")->asDouble();
+    double Speedup = Base > 0 ? Batched / Base : 0;
+    std::printf("fig8 batching speedup: %.2fx (batched %.4f / unbatched "
+                "%.4f ops/us, floor %.2fx)\n",
+                Speedup, Batched, Base, Opt.MinBatchSpeedup);
+    if (Speedup < Opt.MinBatchSpeedup) {
+      std::fprintf(stderr, "check failed: batching speedup below floor\n");
+      return 1;
+    }
+  }
   // The embedded stats snapshot, when present, must itself round-trip.
   if (const json::Value *Stats = Doc.find("stats")) {
     obs::StatsSnapshot S;
@@ -217,7 +249,7 @@ int compareMode(const Options &Opt) {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--ops N] [--reps N] [--smoke] [--out FILE]\n"
-               "       %s --check FILE\n"
+               "       %s --check FILE [--min-batch-speedup X]\n"
                "       %s --compare A.json B.json [--tolerance T]\n",
                Argv0, Argv0, Argv0);
   return 2;
@@ -245,6 +277,8 @@ int main(int Argc, char **Argv) {
       Opt.CheckFile = V;
     else if (A == "--tolerance" && (V = Next()))
       Opt.Tolerance = std::strtod(V, nullptr);
+    else if (A == "--min-batch-speedup" && (V = Next()))
+      Opt.MinBatchSpeedup = std::strtod(V, nullptr);
     else if (A == "--compare") {
       const char *VA = Next();
       const char *VB = Next();
@@ -264,9 +298,11 @@ int main(int Argc, char **Argv) {
     return compareMode(Opt);
 
   // Fig8 point: reducible updates (counter), 4 nodes, 25% update ratio --
-  // the headline throughput configuration. Fig9 point: irreducible
-  // conflict-free updates through the F rings (ORSet), same shape.
+  // the headline throughput configuration -- plus the same point with the
+  // call-batching layer enabled. Fig9 point: irreducible conflict-free
+  // updates through the F rings (ORSet), same shape.
   PointReport Fig8 = runFigPoint("counter", 4, 0.25, Opt);
+  PointReport Fig8B = runFigPoint("counter", 4, 0.25, Opt, true);
   PointReport Fig9 = runFigPoint("orset", 4, 0.25, Opt);
 
   json::Value Doc = json::Value::makeObject();
@@ -279,6 +315,9 @@ int main(int Argc, char **Argv) {
   Doc.add("ops", json::Value::makeUInt(Opt.Ops));
   Doc.add("reps", json::Value::makeUInt(std::max(1u, Opt.Reps)));
   Doc.add("fig8", pointToJson("counter", 4, 0.25, Fig8));
+  json::Value Fig8BJson = pointToJson("counter", 4, 0.25, Fig8B);
+  Fig8BJson.add("batched", json::Value::makeBool(true));
+  Doc.add("fig8_batched", std::move(Fig8BJson));
   Doc.add("fig9", pointToJson("orset", 4, 0.25, Fig9));
 
   // Embed the fig9 run's merged snapshot so a report is self-describing:
@@ -300,8 +339,10 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: cannot write %s\n", Opt.Out.c_str());
       return 1;
     }
-    std::printf("wrote %s (fig8 tput %.4f ops/us, fig9 p99 %.2f us)\n",
-                Opt.Out.c_str(), Fig8.R.ThroughputOpsPerUs, Fig9.P99Us);
+    std::printf("wrote %s (fig8 tput %.4f ops/us, batched %.4f ops/us, "
+                "fig9 p99 %.2f us)\n",
+                Opt.Out.c_str(), Fig8.R.ThroughputOpsPerUs,
+                Fig8B.R.ThroughputOpsPerUs, Fig9.P99Us);
   }
   return 0;
 }

@@ -20,9 +20,17 @@
 // Every run is reproducible from the base seed and its run index:
 //
 //   hamband_fuzz --runs 100 --seed 42            # the full sweep
+//   hamband_fuzz --runs 100 --seed 42 --batch    # + batched-twin diffing
 //   hamband_fuzz --seed 42 --only 17 --verbose   # re-run one schedule
 //   hamband_fuzz --seed 42 --only 17 --dump t.ftrace
 //   hamband_fuzz --replay-trace t.ftrace         # re-execute a dumped run
+//
+// With --batch every schedule also runs against a *batched* cluster
+// (reduction-aware call batching on the broadcast hot path, see
+// docs/batching.md): the twin run is subjected to the same checks and its
+// own bit-for-bit replay, and for crash-free schedules over
+// observation-independent types the batched and unbatched final states
+// are diffed replica by replica -- batching must be invisible.
 //
 // On failure, --minimize greedily shrinks the fault schedule (removing
 // timed faults and zeroing probabilities while the failure persists) and
@@ -62,6 +70,7 @@ struct Options {
   bool Verbose = false;
   bool NoReplay = false;
   bool Minimize = false;
+  bool Batch = false; // Also run a batched twin and diff the outcomes.
   bool Stats = false; // Dump the merged metrics snapshot as JSON.
 };
 
@@ -73,6 +82,7 @@ struct RunConfig {
   std::uint64_t WorkSeed = 0;  // Workload generator seed.
   std::uint64_t FaultSeed = 0; // Fault-plan seed.
   FaultSpec Spec;
+  bool Batched = false; // Enable the call-batching layer.
 };
 
 struct RunResult {
@@ -83,6 +93,10 @@ struct RunResult {
   unsigned Rejected = 0;
   unsigned LostAtCrashed = 0;
   unsigned Skipped = 0;
+  bool HadCrash = false;
+  /// Final visible state per node (empty string for crashed nodes), for
+  /// the --batch twin diff.
+  std::vector<std::string> States;
 };
 
 std::uint64_t mixSeed(std::uint64_t A, std::uint64_t B) {
@@ -157,7 +171,10 @@ RunResult executeRun(const RunConfig &Cfg, const FaultPlan *PlanOverride,
   auto T = makeType(Cfg.TypeName);
   const CoordinationSpec &Spec = T->coordination();
   sim::Simulator Sim;
-  HambandCluster C(Sim, Cfg.Nodes, *T);
+  HambandConfig HCfg;
+  HCfg.Batch.Enabled = Cfg.Batched;
+  HCfg.Batch.MaxCalls = 6;
+  HambandCluster C(Sim, Cfg.Nodes, *T, {}, HCfg);
   std::unique_ptr<FaultInjector> FI;
   if (ReplayFrom)
     FI = std::make_unique<FaultInjector>(Sim, *ReplayFrom);
@@ -249,6 +266,7 @@ RunResult executeRun(const RunConfig &Cfg, const FaultPlan *PlanOverride,
   bool HadCrash = false;
   for (const TraceEvent &E : FI->trace().Events)
     HadCrash |= E.Kind == FaultKind::Crash;
+  Res.HadCrash = HadCrash;
   bool Exact = !HadCrash && isObservationIndependent(Cfg.TypeName);
   semantics::RdmaConfiguration Konf(*T, Cfg.Nodes);
   for (const Issue &I : Issued) {
@@ -287,6 +305,9 @@ RunResult executeRun(const RunConfig &Cfg, const FaultPlan *PlanOverride,
 
   if (StatsOut)
     StatsOut->merge(C.statsSnapshot());
+  for (ProcessId P = 0; P < Cfg.Nodes; ++P)
+    Res.States.push_back(C.isLive(P) ? C.node(P).visibleState().str()
+                                     : std::string());
   Res.Trace = FI->trace();
   return Res;
 }
@@ -375,7 +396,7 @@ int usage(const char *Argv0) {
       "usage: %s [--runs N] [--seed S] [--calls N] [--nodes N]\n"
       "          [--type NAME] [--only RUN] [--dump FILE]\n"
       "          [--replay-trace FILE] [--minimize] [--no-replay]\n"
-      "          [--stats] [--verbose]\n",
+      "          [--batch] [--stats] [--verbose]\n",
       Argv0);
   return 2;
 }
@@ -408,6 +429,8 @@ int main(int Argc, char **Argv) {
       Opt.ReplayFile = V;
     else if (A == "--minimize")
       Opt.Minimize = true;
+    else if (A == "--batch")
+      Opt.Batch = true;
     else if (A == "--no-replay")
       Opt.NoReplay = true;
     else if (A == "--stats")
@@ -478,6 +501,45 @@ int main(int Argc, char **Argv) {
       } else if (!Rep.Ok) {
         R.Ok = false;
         R.Failure += "; replayed run failed: " + Rep.Failure;
+      }
+    }
+
+    if (Opt.Batch) {
+      // The batched twin: same workload, same fault plan, batching on.
+      // It faces every check the unbatched run does, including its own
+      // bit-for-bit replay (its trace differs -- flushes change the
+      // number and timing of stage events -- so it replays separately).
+      RunConfig CfgB = Cfg;
+      CfgB.Batched = true;
+      RunResult RB = executeRun(CfgB, nullptr, nullptr,
+                                Opt.Stats ? &Merged : nullptr);
+      if (!RB.Ok) {
+        R.Ok = false;
+        R.Failure += "; batched twin failed: " + RB.Failure;
+      }
+      if (!Opt.NoReplay) {
+        RunResult RepB = executeRun(CfgB, nullptr, &RB.Trace);
+        if (!(RepB.Trace == RB.Trace)) {
+          R.Ok = false;
+          R.Failure += "; batched replay produced a different trace";
+        } else if (!RepB.Ok) {
+          R.Ok = false;
+          R.Failure += "; batched replayed run failed: " + RepB.Failure;
+        }
+      }
+      // Crash-free schedules over observation-independent types: the
+      // final state is a pure function of the call multiset, so the two
+      // modes must agree replica by replica. (Crashes are excluded
+      // because probabilistic stage-crash decisions fire at different
+      // points once flushes change the stage sequence.)
+      if (!R.HadCrash && !RB.HadCrash &&
+          isObservationIndependent(Cfg.TypeName) && R.States != RB.States) {
+        R.Ok = false;
+        for (unsigned P = 0; P < Cfg.Nodes; ++P)
+          if (R.States[P] != RB.States[P])
+            R.Failure += "; batched/unbatched state diff at node " +
+                         std::to_string(P) + ": unbatched=" + R.States[P] +
+                         " batched=" + RB.States[P];
       }
     }
 
