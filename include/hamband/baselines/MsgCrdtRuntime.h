@@ -20,6 +20,7 @@
 #ifndef HAMBAND_BASELINES_MSGCRDTRUNTIME_H
 #define HAMBAND_BASELINES_MSGCRDTRUNTIME_H
 
+#include "hamband/rdma/Fabric.h"
 #include "hamband/runtime/Runtime.h"
 #include "hamband/runtime/WireFormat.h"
 
@@ -45,8 +46,9 @@ public:
   unsigned numNodes() const override {
     return static_cast<unsigned>(Replicas.size());
   }
-  sim::Simulator &simulator() override { return Sim; }
-  rdma::Fabric &fabric() override { return *Fab; }
+  rdma::Transport &transport() override { return *Fab; }
+  sim::Simulator *simulator() override { return &Sim; }
+  rdma::Fabric &fabric() { return *Fab; }
   const ObjectType &objectType() const override { return Type; }
   void submit(rdma::NodeId Origin, const Call &C,
               runtime::SubmitCallback Done) override;

@@ -78,8 +78,8 @@ public:
   runtime::HambandCluster &cluster() { return *Cluster; }
 
   unsigned numNodes() const override { return Cluster->numNodes(); }
-  sim::Simulator &simulator() override { return Cluster->simulator(); }
-  rdma::Fabric &fabric() override { return Cluster->fabric(); }
+  rdma::Transport &transport() override { return Cluster->transport(); }
+  rdma::Fabric &fabric() { return Cluster->fabric(); }
   const ObjectType &objectType() const override { return *Adapter; }
   void submit(rdma::NodeId Origin, const Call &C,
               runtime::SubmitCallback Done) override {

@@ -20,6 +20,7 @@
 #include "hamband/benchlib/Metrics.h"
 #include "hamband/benchlib/Workload.h"
 #include "hamband/rdma/NetworkModel.h"
+#include "hamband/rdma/Transport.h"
 #include "hamband/runtime/HambandNode.h"
 
 namespace hamband {
@@ -39,8 +40,16 @@ struct RunnerOptions {
   runtime::HambandConfig Cfg;
   /// Repetitions averaged per data point (the paper uses 3).
   unsigned Repetitions = 3;
-  /// Give up (marking the run incomplete) after this much simulated time.
+  /// Give up (marking the run incomplete) after this much simulated time
+  /// (sim backend) or wall-clock time (shm backend).
   sim::SimDuration SafetyCap = sim::millis(30000);
+  /// Which transport to deploy on. TransportKind::Sim is the deterministic
+  /// default; TransportKind::Shm runs each node on its own OS thread and
+  /// measures wall-clock time (Hamband runtime only -- the baselines are
+  /// sim-only). On shm the per-call intervals come from
+  /// HambandConfig::tunedFor, and a run that cannot finish is cut off by
+  /// SafetyCap interpreted as wall-clock nanoseconds.
+  rdma::TransportKind Transport = rdma::TransportKind::Sim;
 };
 
 /// Runs the workload once with the given seed.

@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A simulated RDMA cluster: N nodes, each with a CPU and a registered
-/// memory region, connected by Reliable-Connection queue pairs. The fabric
-/// exposes the verbs the Hamband runtime needs:
+/// The deterministic Transport backend: a simulated RDMA cluster of N
+/// nodes, each with a CPU and a registered memory region, connected by
+/// Reliable-Connection queue pairs over a discrete-event simulator. The
+/// fabric implements the verbs the Hamband runtime needs:
 ///
 ///  - one-sided WRITE / READ: remote memory is accessed after wire latency
 ///    with *no* remote CPU involvement, mirroring ibverbs RDMA_WRITE/READ;
@@ -29,9 +30,7 @@
 #ifndef HAMBAND_RDMA_FABRIC_H
 #define HAMBAND_RDMA_FABRIC_H
 
-#include "hamband/obs/Metrics.h"
-#include "hamband/rdma/MemoryRegion.h"
-#include "hamband/rdma/NetworkModel.h"
+#include "hamband/rdma/Transport.h"
 #include "hamband/sim/Simulator.h"
 
 #include <cstdint>
@@ -43,64 +42,29 @@
 namespace hamband {
 namespace rdma {
 
-/// Identifier of a protected memory region for permission checks.
-using RegionKey = std::uint32_t;
-
-/// Region key meaning "no permission check".
-inline constexpr RegionKey UnprotectedRegion = 0;
-
-/// Completion status of a posted verb.
-enum class WcStatus {
-  Success,
-  /// The responder rejected the access (permission revoked). This is how a
-  /// deposed Mu leader learns it can no longer append to follower logs.
-  AccessError,
-};
-
-/// Completion callback for writes and sends.
-using CompletionFn = std::function<void(WcStatus)>;
-
-/// Completion callback for reads; Data is empty on error.
-using ReadCompletionFn =
-    std::function<void(WcStatus, std::vector<std::uint8_t> Data)>;
-
-/// Handler invoked on the receiver CPU for two-sided messages.
-using RecvHandler =
-    std::function<void(NodeId Src, const std::vector<std::uint8_t> &Msg)>;
-
 /// Simulated RDMA cluster over a discrete-event simulator.
-class Fabric {
+class Fabric : public Transport {
 public:
-  /// Each node models a small multi-core host (the paper's nodes have 8
-  /// cores and run dedicated threads). Work on different lanes proceeds in
-  /// parallel; work on one lane is serial.
-  enum CpuLane : unsigned {
-    /// Client-request handling and protocol leader work.
-    LaneClient = 0,
-    /// The buffer-traversal threads (F/L/mailbox polling).
-    LanePoller = 1,
-    /// Heartbeats, failure detection, recovery, leader change.
-    LaneBackground = 2,
-  };
-  static constexpr unsigned NumCpuLanes = 3;
-
   Fabric(sim::Simulator &Sim, unsigned NumNodes,
          NetworkModel Model = NetworkModel(),
          std::size_t MemBytesPerNode = 64u << 20);
-  ~Fabric();
+  ~Fabric() override;
 
-  Fabric(const Fabric &) = delete;
-  Fabric &operator=(const Fabric &) = delete;
+  TransportKind kind() const override { return TransportKind::Sim; }
+  sim::Simulator *simulatorOrNull() override { return &Sim; }
 
-  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+  unsigned numNodes() const override {
+    return static_cast<unsigned>(Nodes.size());
+  }
   sim::Simulator &simulator() { return Sim; }
-  const NetworkModel &model() const { return Model; }
+  const NetworkModel &model() const override { return Model; }
+  sim::SimTime now() const override { return Sim.now(); }
 
   /// Direct access to a node's registered memory. Local code uses this for
   /// its *own* memory; remote access must go through the verbs so that it
   /// pays wire latency.
-  MemoryRegion &memory(NodeId Node);
-  const MemoryRegion &memory(NodeId Node) const;
+  MemoryRegion &memory(NodeId Node) override;
+  const MemoryRegion &memory(NodeId Node) const override;
 
   /// Posts a one-sided RDMA WRITE of \p Data to (\p Dst, \p DstOff).
   /// The bytes become visible in the destination memory after wire latency
@@ -111,68 +75,90 @@ public:
                  std::vector<std::uint8_t> Data,
                  RegionKey Key = UnprotectedRegion,
                  CompletionFn OnComplete = nullptr,
-                 unsigned Lane = LaneClient);
+                 unsigned Lane = LaneClient) override;
 
   /// Posts a one-sided RDMA READ of \p Len bytes from (\p Dst, \p DstOff).
   /// The remote memory is sampled after wire latency; the data reaches the
   /// issuer with the completion.
   void postRead(NodeId Src, NodeId Dst, MemOffset DstOff, std::size_t Len,
-                ReadCompletionFn OnComplete, unsigned Lane = LaneClient);
+                ReadCompletionFn OnComplete,
+                unsigned Lane = LaneClient) override;
 
   /// Sends a two-sided message through the (simulated) kernel stack. The
   /// receiver's RecvHandler runs on its CPU; if the receiver has crashed
   /// the message is silently dropped and the completion still succeeds
   /// (TCP-like: the sender cannot tell).
   void send(NodeId Src, NodeId Dst, std::vector<std::uint8_t> Msg,
-            CompletionFn OnComplete = nullptr, unsigned Lane = LaneClient);
+            CompletionFn OnComplete = nullptr,
+            unsigned Lane = LaneClient) override;
 
   /// Installs the two-sided receive handler for \p Node.
-  void setRecvHandler(NodeId Node, RecvHandler Handler);
+  void setRecvHandler(NodeId Node, RecvHandler Handler) override;
 
   /// Runs \p Fn on \p Node's CPU lane \p Lane after the lane has executed
   /// everything already queued, charging \p Cost of CPU time. Work within
   /// a lane is serial; lanes run in parallel. If the node crashed, \p Fn
   /// is dropped.
   void runOnCpu(NodeId Node, sim::SimDuration Cost, std::function<void()> Fn,
-                unsigned Lane = LaneClient);
+                unsigned Lane = LaneClient) override;
+
+  /// A per-node timer is just a simulator event: it fires even on a
+  /// crashed node, exactly as raw Sim.schedule() always has.
+  void runAfter(NodeId Node, sim::SimDuration Delay,
+                std::function<void()> Fn) override {
+    (void)Node;
+    Sim.schedule(Delay, std::move(Fn));
+  }
+
+  /// The single simulator thread IS every node's execution context, so a
+  /// driver-side call into node state simply runs inline.
+  void callOn(NodeId Node, std::function<void()> Fn) override {
+    (void)Node;
+    Fn();
+  }
 
   /// Allocates a fresh region key for permission-controlled writes.
-  RegionKey createRegionKey();
+  RegionKey createRegionKey() override;
 
   /// Grants or revokes \p Writer's permission to WRITE regions tagged
   /// \p Key on \p Target. Checked at delivery time on the responder, like
   /// ibverbs memory-window permissions.
   void setWritePermission(NodeId Target, NodeId Writer, RegionKey Key,
-                          bool Allowed);
+                          bool Allowed) override;
 
   /// Returns whether \p Writer may write \p Key-tagged regions on
   /// \p Target.
-  bool hasWritePermission(NodeId Target, NodeId Writer, RegionKey Key) const;
+  bool hasWritePermission(NodeId Target, NodeId Writer,
+                          RegionKey Key) const override;
 
   /// Crashes \p Node: its CPU stops (pending and future closures dropped)
   /// and incoming two-sided messages are discarded. One-sided access to its
   /// memory keeps working, per the RDMA failure model.
-  void crash(NodeId Node);
+  void crash(NodeId Node) override;
 
   /// True if the node has not crashed.
-  bool isAlive(NodeId Node) const;
+  bool isAlive(NodeId Node) const override;
 
   /// Installs (or clears, with nullptr) the fault hook consulted whenever
   /// an operation reaches the wire. The hook must outlive the fabric or be
   /// cleared before destruction.
-  void setFaultHook(FabricFaultHook *H) { Hook = H; }
-  FabricFaultHook *faultHook() const { return Hook; }
+  void setFaultHook(FabricFaultHook *H) override { Hook = H; }
+  FabricFaultHook *faultHook() const override { return Hook; }
 
   /// Diagnostic counters.
-  std::uint64_t totalWritesPosted() const { return WritesPosted; }
-  std::uint64_t totalReadsPosted() const { return ReadsPosted; }
-  std::uint64_t totalSendsPosted() const { return SendsPosted; }
-  std::uint64_t totalBytesWritten() const { return BytesWritten; }
+  std::uint64_t totalWritesPosted() const override { return WritesPosted; }
+  std::uint64_t totalReadsPosted() const override { return ReadsPosted; }
+  std::uint64_t totalSendsPosted() const override { return SendsPosted; }
+  std::uint64_t totalBytesWritten() const override { return BytesWritten; }
 
   /// Wires verb-level metrics (rdma.write / rdma.read / rdma.send /
   /// rdma.bytes_written, plus the rdma.wire_ns simulated-latency
   /// histogram) into \p R, which must outlive the fabric's last verb.
-  void setObs(obs::Registry &R);
+  void setObs(obs::Registry &R) override;
+
+  /// On the simulator, "no queued node work" is the event queue's
+  /// idleness.
+  bool idle() const override { return Sim.idle(); }
 
 private:
   struct NodeCtx;

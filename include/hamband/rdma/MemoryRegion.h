@@ -11,6 +11,14 @@
 /// Remote peers address this memory by (node, offset), exactly like an
 /// (rkey, addr) pair addresses an ibverbs memory region.
 ///
+/// A region can be constructed in *concurrent* mode (the shm transport
+/// does this): every accessor then uses relaxed-size atomic element
+/// accesses -- acquire loads, release stores, issued in increasing address
+/// order -- so that cross-thread one-sided access is free of data races
+/// and the last byte of a bulk write publishes everything before it. See
+/// docs/transport.md for the full memory-ordering argument. The default
+/// (simulator) mode keeps the plain memcpy fast path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HAMBAND_RDMA_MEMORYREGION_H
@@ -29,13 +37,17 @@ using MemOffset = std::uint64_t;
 /// A node's registered, remotely accessible memory.
 class MemoryRegion {
 public:
-  explicit MemoryRegion(std::size_t Size);
+  explicit MemoryRegion(std::size_t Size, bool Concurrent = false);
 
   std::size_t size() const { return Bytes.size(); }
 
+  /// True when accessors use atomic element accesses (shm transport).
+  bool concurrent() const { return Concurrent; }
+
   /// Bump-allocates \p Size bytes aligned to \p Align; returns the offset.
   /// Asserts (and aborts) on exhaustion -- region sizing is a configuration
-  /// decision, not a runtime condition.
+  /// decision, not a runtime condition. NOT thread-safe: layout is carved
+  /// out by the driver before any node thread runs.
   MemOffset alloc(std::size_t Size, std::size_t Align = 8);
 
   /// Bytes remaining in the allocator.
@@ -46,6 +58,13 @@ public:
 
   /// Copies \p Len bytes from \p Src into the region at \p Off.
   void write(MemOffset Off, const void *Src, std::size_t Len);
+
+  /// Like read(), but in concurrent mode re-reads until two consecutive
+  /// passes return identical bytes, yielding a plausible point snapshot of
+  /// a multi-word slot that a concurrent writer may be overwriting. The
+  /// caller must still validate the snapshot (canary/sequence), since a
+  /// writer stalled mid-update makes any double-read stabilize.
+  void readStable(MemOffset Off, void *Dst, std::size_t Len) const;
 
   /// Reads a little-endian uint64 at \p Off.
   std::uint64_t readU64(MemOffset Off) const;
@@ -62,12 +81,16 @@ public:
   /// Returns a copy of the byte range [Off, Off+Len).
   std::vector<std::uint8_t> slice(MemOffset Off, std::size_t Len) const;
 
+  /// Like slice(), but snapshotted via readStable().
+  std::vector<std::uint8_t> sliceStable(MemOffset Off, std::size_t Len) const;
+
   /// Zero-fills [Off, Off+Len).
   void zero(MemOffset Off, std::size_t Len);
 
 private:
   std::vector<std::uint8_t> Bytes;
   std::size_t Brk = 0;
+  bool Concurrent = false;
 };
 
 } // namespace rdma

@@ -5,10 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Owns a simulated fabric plus one HambandNode per process and implements
-/// the ReplicaRuntime interface the benchmark harness drives. This is the
-/// top-level public API: construct a cluster around an ObjectType, start
-/// it, submit calls at any node, and run the simulator.
+/// Owns a transport (simulated fabric or shared-memory threads) plus one
+/// HambandNode per process and implements the ReplicaRuntime interface
+/// the benchmark harness drives. This is the top-level public API:
+/// construct a cluster around an ObjectType, start it, submit calls at
+/// any node, and drive the transport (run the simulator, or simply wait
+/// on the shm backend, whose node threads run on their own).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,25 +19,42 @@
 
 #include "hamband/runtime/HambandNode.h"
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 namespace hamband {
+namespace rdma {
+class Fabric;
+} // namespace rdma
 namespace sim {
 class FaultInjector;
 } // namespace sim
 namespace runtime {
 
-/// A Hamband deployment: N replicas of one object over one fabric.
+/// A Hamband deployment: N replicas of one object over one transport.
 class HambandCluster : public ReplicaRuntime {
 public:
+  /// Deterministic deployment over a caller-owned simulator (the form
+  /// every test and replayable tool uses).
   HambandCluster(sim::Simulator &Sim, unsigned NumNodes,
+                 const ObjectType &Type,
+                 rdma::NetworkModel Model = rdma::NetworkModel(),
+                 HambandConfig Cfg = HambandConfig());
+
+  /// Deployment by transport kind. TransportKind::Shm runs each node on
+  /// its own OS thread over shared memory with the config's intervals
+  /// stretched to wall-clock scale (HambandConfig::tunedFor);
+  /// TransportKind::Sim builds a cluster-owned simulator, which
+  /// runTransport()-style drivers can reach via simulator().
+  HambandCluster(rdma::TransportKind Kind, unsigned NumNodes,
                  const ObjectType &Type,
                  rdma::NetworkModel Model = rdma::NetworkModel(),
                  HambandConfig Cfg = HambandConfig());
   ~HambandCluster() override;
 
-  /// Starts pollers, heartbeats and detectors on every node.
+  /// Starts pollers, heartbeats and detectors on every node (marshalled
+  /// into each node's execution context).
   void start();
 
   HambandNode &node(rdma::NodeId Id) { return *Nodes[Id]; }
@@ -47,12 +66,15 @@ public:
   const MemoryMap &memoryMap() const { return *Map; }
   const HambandConfig &config() const { return Cfg; }
 
+  /// The simulated fabric; asserts on a non-sim transport. Convenience
+  /// for the deterministic tests that poke wire-level state.
+  rdma::Fabric &fabric();
+
   // -- ReplicaRuntime ------------------------------------------------------
   unsigned numNodes() const override {
     return static_cast<unsigned>(Nodes.size());
   }
-  sim::Simulator &simulator() override { return Sim; }
-  rdma::Fabric &fabric() override { return *Fab; }
+  rdma::Transport &transport() override { return *Trans; }
   const ObjectType &objectType() const override { return Type; }
   void submit(rdma::NodeId Origin, const Call &C,
               SubmitCallback Done) override;
@@ -63,20 +85,22 @@ public:
                         rdma::NodeId Observer) const override;
   std::uint64_t replicationBacklog() const override;
 
-  /// Fabric-level stats merged with every node's registry.
+  /// Transport-level stats merged with every node's registry.
   obs::StatsSnapshot statsSnapshot() const override;
 
-  /// The cluster-level registry the fabric reports into.
+  /// The cluster-level registry the transport reports into.
   obs::Registry &clusterStats() { return ClusterStats; }
 
   /// Number of submitted calls whose completion is still pending.
-  std::uint64_t outstanding() const { return Outstanding; }
+  std::uint64_t outstanding() const {
+    return Outstanding.load(std::memory_order_acquire);
+  }
 
   /// Outstanding calls submitted at \p Origin. A call submitted at a node
   /// that later hard-crashes never completes; live-cluster checks use this
   /// to discount such losses.
   std::uint64_t outstandingAt(rdma::NodeId Origin) const {
-    return OutstandingPer[Origin];
+    return OutstandingPer[Origin].load(std::memory_order_acquire);
   }
 
   /// Test helper: all nodes' visible states are equal.
@@ -85,19 +109,39 @@ public:
   /// Test helper: all nodes' applied tables are equal.
   bool appliedTablesEqual() const;
 
+  // -- Concurrency helpers (trivial on the sim transport) ------------------
+
+  /// Runs \p Fn with every node thread parked, so it may inspect or
+  /// compare node state race-free. Inline on the sim transport.
+  void withPausedWorld(const std::function<void()> &Fn);
+
+  /// fullyReplicated(), evaluated inside withPausedWorld().
+  bool fullyReplicatedQuiesced();
+
+  /// converged(), evaluated inside withPausedWorld().
+  bool convergedQuiesced();
+
+  /// Permanently stops the transport's node threads (idempotent, no-op on
+  /// sim). The destructor calls this; tests whose driver state is
+  /// captured by in-flight closures call it earlier.
+  void stopTransport();
+
   // -- Fault injection -----------------------------------------------------
 
   /// Wires \p FI into this cluster: installs it as the fabric fault hook,
   /// routes every node's broadcast-stage event to it, and binds its
   /// crash/suspend/recover actions to crashNode() / injectFailure() /
   /// recoverFailure(). Call after construction and before FI.arm().
-  void attachFaultInjector(sim::FaultInjector &FI);
+  /// Returns false (wiring nothing) on a non-deterministic transport:
+  /// fault schedules are defined in simulated time and their traces are
+  /// only replayable against the simulator.
+  bool attachFaultInjector(sim::FaultInjector &FI);
 
   /// Undoes injectFailure(): the heartbeat resumes and the node serves
   /// client calls again. No-op on a crashed node.
   void recoverFailure(rdma::NodeId Node);
 
-  /// Hard-crashes \p Node at the fabric level: its CPU stops for good;
+  /// Hard-crashes \p Node at the transport level: its CPU stops for good;
   /// its registered memory stays remotely accessible (the RDMA failure
   /// model).
   void crashNode(rdma::NodeId Node);
@@ -115,18 +159,21 @@ public:
   bool convergedLive();
 
 private:
-  sim::Simulator &Sim;
+  void build(unsigned NumNodes, rdma::NetworkModel Model);
+
   const ObjectType &Type;
   HambandConfig Cfg;
-  /// Declared before the fabric, which caches pointers into it.
+  /// Declared before the transport, which caches pointers into it.
   obs::Registry ClusterStats;
   std::unique_ptr<MemoryMap> Map;
-  std::unique_ptr<rdma::Fabric> Fab;
+  /// Only set by the kind constructor with TransportKind::Sim.
+  std::unique_ptr<sim::Simulator> OwnedSim;
+  std::unique_ptr<rdma::Transport> Trans;
   std::vector<rdma::RegionKey> ConfKeys;
   std::vector<std::unique_ptr<HambandNode>> Nodes;
   std::vector<bool> Failed;
-  std::uint64_t Outstanding = 0;
-  std::vector<std::uint64_t> OutstandingPer;
+  std::atomic<std::uint64_t> Outstanding{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> OutstandingPer;
 };
 
 } // namespace runtime

@@ -96,12 +96,20 @@ struct HambandConfig {
   bool RespondAfterCompletion = true;
   /// Reduction-aware batching of the broadcast hot path.
   BatchingConfig Batch;
+
+  /// Returns this config with every interval stretched to suit \p Kind.
+  /// The defaults above are calibrated against the simulator's virtual
+  /// NetworkModel nanoseconds; on the wall-clock shm transport (OS
+  /// threads, possibly oversubscribed cores, sanitizer slowdowns) the
+  /// same numbers would make pollers spin and detectors suspect healthy
+  /// nodes. Applied by HambandCluster's transport-kind constructor.
+  HambandConfig tunedFor(rdma::TransportKind Kind) const;
 };
 
 /// One replica node of a Hamband cluster.
 class HambandNode {
 public:
-  HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
+  HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
               const ObjectType &Type, const MemoryMap &Map,
               const HambandConfig &Cfg,
               const std::vector<rdma::RegionKey> &ConfKeys);
@@ -270,7 +278,7 @@ private:
   /// Effective byte cap for the encoded free-batch record.
   std::size_t freeBatchCapBytes() const;
 
-  rdma::Fabric &Fabric;
+  rdma::Transport &Fabric;
   rdma::NodeId Self;
   const ObjectType &Type;
   const CoordinationSpec &Spec;

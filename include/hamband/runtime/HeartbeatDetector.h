@@ -19,7 +19,7 @@
 #ifndef HAMBAND_RUNTIME_HEARTBEATDETECTOR_H
 #define HAMBAND_RUNTIME_HEARTBEATDETECTOR_H
 
-#include "hamband/rdma/Fabric.h"
+#include "hamband/rdma/Transport.h"
 
 #include <functional>
 #include <vector>
@@ -38,7 +38,7 @@ public:
 
   /// \p HeartbeatOff is the offset of the counter in every node's memory
   /// (the layout is symmetric).
-  HeartbeatDetector(rdma::Fabric &Fabric, rdma::NodeId Self,
+  HeartbeatDetector(rdma::Transport &Fabric, rdma::NodeId Self,
                     rdma::MemOffset HeartbeatOff, Config Cfg);
 
   /// Starts the beat timer and the peer checks.
@@ -64,7 +64,7 @@ private:
   void beat();
   void checkPeers();
 
-  rdma::Fabric &Fabric;
+  rdma::Transport &Fabric;
   rdma::NodeId Self;
   rdma::MemOffset HeartbeatOff;
   Config Cfg;

@@ -63,7 +63,7 @@ public:
     std::function<bool(rdma::NodeId)> IsSuspected;
   };
 
-  MuConsensus(rdma::Fabric &Fabric, rdma::NodeId Self, unsigned Group,
+  MuConsensus(rdma::Transport &Fabric, rdma::NodeId Self, unsigned Group,
               rdma::NodeId InitialLeader, const MemoryMap &Map,
               rdma::RegionKey LogKey, Hooks TheHooks);
 
@@ -118,7 +118,7 @@ private:
   void replicateMissingToFollowers();
   RingWriter &writerTo(rdma::NodeId Follower);
 
-  rdma::Fabric &Fabric;
+  rdma::Transport &Fabric;
   rdma::NodeId Self;
   unsigned Group;
   const MemoryMap &Map;

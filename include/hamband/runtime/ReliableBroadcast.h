@@ -21,7 +21,7 @@
 #define HAMBAND_RUNTIME_RELIABLEBROADCAST_H
 
 #include "hamband/obs/Metrics.h"
-#include "hamband/rdma/Fabric.h"
+#include "hamband/rdma/Transport.h"
 
 #include <functional>
 #include <vector>
@@ -53,7 +53,7 @@ public:
     std::vector<std::uint8_t> Payload;
   };
 
-  ReliableBroadcast(rdma::Fabric &Fabric, rdma::NodeId Self,
+  ReliableBroadcast(rdma::Transport &Fabric, rdma::NodeId Self,
                     rdma::MemOffset BackupOff, std::uint32_t SlotBytes);
 
   /// Stages a message in the local backup slot (a local store -- it must
@@ -81,7 +81,7 @@ private:
   obs::Counter *CtrStage = nullptr;
   obs::Counter *CtrFetch = nullptr;
 
-  rdma::Fabric &Fabric;
+  rdma::Transport &Fabric;
   rdma::NodeId Self;
   rdma::MemOffset BackupOff;
   std::uint32_t SlotBytes;

@@ -27,7 +27,7 @@
 #define HAMBAND_RUNTIME_RINGBUFFER_H
 
 #include "hamband/obs/Metrics.h"
-#include "hamband/rdma/Fabric.h"
+#include "hamband/rdma/Transport.h"
 
 #include <cstdint>
 #include <vector>
@@ -76,11 +76,11 @@ struct RingGeometry {
 /// The writer's end of a single-writer ring living on a remote reader.
 class RingWriter {
 public:
-  RingWriter(rdma::Fabric &Fabric, rdma::NodeId Writer, rdma::NodeId Reader,
+  RingWriter(rdma::Transport &Fabric, rdma::NodeId Writer, rdma::NodeId Reader,
              rdma::MemOffset DataOff, rdma::MemOffset FeedbackOff,
              RingGeometry Geom,
              rdma::RegionKey Key = rdma::UnprotectedRegion,
-             unsigned Lane = rdma::Fabric::LaneClient);
+             unsigned Lane = rdma::Transport::LaneClient);
 
   /// True when appending would overwrite an unconsumed cell; refreshes the
   /// writer-local view of the reader's head from the feedback slot.
@@ -114,6 +114,7 @@ public:
   void setTail(std::uint64_t T) { Tail = T; }
 
   rdma::NodeId reader() const { return Reader; }
+  rdma::NodeId writer() const { return Writer; }
 
   /// Wires this ring into the owning node's metrics (ring.append,
   /// ring.full_stall, ring.wrap, ring.span_append, ring.pad_cells,
@@ -129,7 +130,7 @@ private:
   obs::Counter *CtrPadCells = nullptr;
   obs::Histogram *HistOccupancy = nullptr;
 
-  rdma::Fabric &Fabric;
+  rdma::Transport &Fabric;
   rdma::NodeId Writer;
   rdma::NodeId Reader;
   rdma::MemOffset DataOff;
@@ -143,10 +144,10 @@ private:
 /// The reader's end of a single-writer ring in its own memory.
 class RingReader {
 public:
-  RingReader(rdma::Fabric &Fabric, rdma::NodeId Reader, rdma::NodeId Writer,
+  RingReader(rdma::Transport &Fabric, rdma::NodeId Reader, rdma::NodeId Writer,
              rdma::MemOffset DataOff, rdma::MemOffset FeedbackOff,
              RingGeometry Geom,
-             unsigned Lane = rdma::Fabric::LanePoller);
+             unsigned Lane = rdma::Transport::LanePoller);
 
   /// Checks the head record's canary; fills \p Out with the payload when a
   /// complete record (single-cell or spanning) is present. Complete wrap
@@ -208,7 +209,7 @@ private:
   obs::Counter *CtrCanaryRetry = nullptr;
   obs::Counter *CtrPadSkip = nullptr;
 
-  rdma::Fabric &Fabric;
+  rdma::Transport &Fabric;
   rdma::NodeId Reader;
   rdma::NodeId Writer;
   rdma::MemOffset DataOff;

@@ -16,7 +16,7 @@
 
 #include "hamband/core/ObjectType.h"
 #include "hamband/obs/Metrics.h"
-#include "hamband/rdma/Fabric.h"
+#include "hamband/rdma/Transport.h"
 #include "hamband/sim/Simulator.h"
 
 #include <functional>
@@ -28,14 +28,25 @@ namespace runtime {
 /// (permissible / committed) and, for queries, the result value.
 using SubmitCallback = std::function<void(bool Ok, Value Result)>;
 
-/// A replicated object runtime over the simulated cluster.
+/// A replicated object runtime over an RDMA transport.
 class ReplicaRuntime {
 public:
   virtual ~ReplicaRuntime();
 
   virtual unsigned numNodes() const = 0;
-  virtual sim::Simulator &simulator() = 0;
-  virtual rdma::Fabric &fabric() = 0;
+
+  /// The transport the deployment runs on (sim fabric or shm threads).
+  virtual rdma::Transport &transport() = 0;
+  const rdma::Transport &transport() const {
+    return const_cast<ReplicaRuntime *>(this)->transport();
+  }
+
+  /// The driving simulator, or nullptr on a non-simulated transport.
+  /// Anything needing determinism (fault schedules, replay) checks this.
+  virtual sim::Simulator *simulator() {
+    return transport().simulatorOrNull();
+  }
+
   virtual const ObjectType &objectType() const = 0;
 
   /// Submits a client call at node \p Origin. The runtime routes it

@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
 # Benchmark-regression harness: runs the fig8/fig9 headline points (plus
 # the batched fig8 twin) through hamband_bench_report and emits
-# BENCH_pr4.json, then validates it. Two gates run on every invocation:
+# BENCH_pr6.json, then validates it. Two gates run on every invocation:
 #
 #  - batching on/off: fig8_batched throughput must beat fig8 by at least
 #    --min-batch-speedup (default 1.25x);
 #  - unbatched no-regression: fig8 throughput must stay within --tolerance
-#    of the committed BENCH_pr2.json baseline (full runs only -- the smoke
+#    of the committed BENCH_pr4.json baseline (full runs only -- the smoke
 #    op count is too small to compare against the full-run baseline).
+#
+# The report also carries a transport dimension (--transport, default
+# "both"): alongside the simulated-time figures it records fig8_shm /
+# fig8_shm_batched, the same fig8 point deployed on the shared-memory
+# transport where each node is a real OS thread and throughput is
+# wall-clock ops/us (see docs/transport.md). The shm numbers are
+# machine-dependent, so no gate compares them against a baseline; they
+# are recorded so a report shows simulated and measured throughput side
+# by side. All regression gates below act on the sim figures only.
 #
 # The full run (no --smoke) additionally builds the tree with
 # -DHAMBAND_OBS=OFF and asserts that fig8 throughput with the
@@ -15,21 +24,25 @@
 # of the stripped build. The simulation is deterministic in simulated
 # time, so instrumentation can only perturb throughput if it changes
 # scheduling -- this check catches exactly that kind of regression.
+# The obs-off twin runs sim-only: the comparison never reads shm points,
+# and wall-clock reruns would double the harness time for no signal.
 #
 # Usage: scripts/bench_regress.sh [--smoke] [--out FILE] [--ops N]
 #                                 [--reps N] [--tolerance T]
-#                                 [--min-batch-speedup X] [build-dir]
+#                                 [--min-batch-speedup X]
+#                                 [--transport sim|shm|both] [build-dir]
 
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$REPO/build"
-OUT="$REPO/BENCH_pr4.json"
-BASELINE="$REPO/BENCH_pr2.json"
+OUT="$REPO/BENCH_pr6.json"
+BASELINE="$REPO/BENCH_pr4.json"
 OPS="${HAMBAND_OPS:-6000}"
 REPS="${HAMBAND_REPS:-1}"
 TOLERANCE=0.05
 MIN_BATCH_SPEEDUP=1.25
+TRANSPORT=both
 SMOKE=0
 
 while [ $# -gt 0 ]; do
@@ -40,14 +53,16 @@ while [ $# -gt 0 ]; do
     --reps) REPS="$2"; shift ;;
     --tolerance) TOLERANCE="$2"; shift ;;
     --min-batch-speedup) MIN_BATCH_SPEEDUP="$2"; shift ;;
+    --transport) TRANSPORT="$2"; shift ;;
     -*) echo "usage: $0 [--smoke] [--out FILE] [--ops N] [--reps N]" \
-             "[--tolerance T] [build-dir]" >&2; exit 2 ;;
+             "[--tolerance T] [--transport sim|shm|both] [build-dir]" >&2
+        exit 2 ;;
     *) BUILD="$1" ;;
   esac
   shift
 done
 
-REPORT_ARGS=(--ops "$OPS" --reps "$REPS")
+REPORT_ARGS=(--ops "$OPS" --reps "$REPS" --transport "$TRANSPORT")
 [ "$SMOKE" = 1 ] && REPORT_ARGS+=(--smoke)
 
 cmake -B "$BUILD" -S "$REPO" >/dev/null
@@ -70,11 +85,16 @@ if [ -f "$BASELINE" ] && [ "$OUT" != "$BASELINE" ]; then
 fi
 
 # Overhead check: same points with the observability layer compiled out.
+# Sim-only (see header) and written into the build tree: the obs-off twin
+# is a transient comparison input, not a committed report, so it must not
+# land next to the BENCH_prN.json files (docs/testing.md names the
+# convention).
 BUILD_OFF="${BUILD}-obs-off"
-OUT_OFF="${OUT%.json}_obs_off.json"
+OUT_OFF="$BUILD_OFF/$(basename "${OUT%.json}")_obs_off.json"
+OFF_ARGS=(--ops "$OPS" --reps "$REPS" --transport sim)
 cmake -B "$BUILD_OFF" -S "$REPO" -DHAMBAND_OBS=OFF >/dev/null
 cmake --build "$BUILD_OFF" -j"$(nproc)" --target hamband_bench_report
-"$BUILD_OFF/tools/hamband_bench_report" "${REPORT_ARGS[@]}" --out "$OUT_OFF"
+"$BUILD_OFF/tools/hamband_bench_report" "${OFF_ARGS[@]}" --out "$OUT_OFF"
 "$BUILD_OFF/tools/hamband_bench_report" --check "$OUT_OFF"
 "$BUILD/tools/hamband_bench_report" \
   --compare "$OUT" "$OUT_OFF" --tolerance "$TOLERANCE"

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus a fault-schedule fuzz smoke, the bounded
-# coordination-verifier gate, a TSan threaded-mutation smoke, and lint.
+# coordination-verifier gate, a TSan flavor (threaded obs mutation, shm
+# ring stress, and the shm transport conformance corpus), and lint.
 #
 # Usage: scripts/ci.sh [build-dir]
 #   HAMBAND_SANITIZE=ON|address|thread  configure with ASan+UBSan or TSan
@@ -37,14 +38,32 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 echo "ci: bounded coordination verification"
 "$BUILD/tools/hamband_analyze" --verify all
 
-# TSan smoke: the observability registry's threaded-mutation test under
-# -fsanitize=thread, in a separate build tree (TSan and ASan cannot mix).
+# Transport policy smoke: fault-schedule fuzzing is sim-only and must
+# refuse the shm transport with a clear error (exit 2), not fall through
+# to a nondeterministic run.
+if "$BUILD/tools/hamband_fuzz" --runs 1 --transport shm 2>/dev/null; then
+  echo "ci: hamband_fuzz accepted --transport shm (must reject)" >&2
+  exit 1
+fi
+
+# TSan flavor, in a separate build tree (TSan and ASan cannot mix):
+#  - the observability registry's threaded-mutation test;
+#  - the shm ring stress suite (real writer/reader threads hammering one
+#    ring through wraps, pads, spans and a mid-stream crash);
+#  - the shm half of the transport conformance suite -- the full
+#    lockstep-equivalence corpus, batched and unbatched, with every node
+#    on its own OS thread. The sim half runs in the main ctest pass
+#    above, under ASan+UBSan when HAMBAND_SANITIZE is set.
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
-  echo "ci: TSan threaded-mutation smoke"
+  echo "ci: TSan threaded smoke (obs + shm transport)"
   cmake -B "$BUILD-tsan" -S "$REPO" -DHAMBAND_SANITIZE=thread
-  cmake --build "$BUILD-tsan" -j"$(nproc)" --target obs_tests
+  cmake --build "$BUILD-tsan" -j"$(nproc)" \
+    --target obs_tests shm_ring_stress_tests transport_conformance_tests
   "$BUILD-tsan/tests/obs_tests" \
     --gtest_filter='ObsRegistry.ConcurrentMutationIsExact'
+  "$BUILD-tsan/tests/shm_ring_stress_tests"
+  "$BUILD-tsan/tests/transport_conformance_tests" \
+    --gtest_filter='*shm*:*FaultInjection*'
 fi
 
 # Lint: no-op (with a notice) when clang-tidy is not installed.

@@ -12,8 +12,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 using namespace hamband;
 using namespace hamband::benchlib;
@@ -33,8 +36,13 @@ const char *hamband::benchlib::runtimeKindName(RuntimeKind K) {
 
 namespace {
 
-/// Mutable driver state shared by the per-node client loops.
+/// Mutable driver state shared by the per-node client loops. On the sim
+/// transport everything runs on the driving thread; on the shm transport
+/// completion callbacks arrive on node threads, so all access goes
+/// through Mu. (The lock never shows up in sim figures: those measure
+/// simulated time, which an uncontended mutex does not advance.)
 struct DriverState {
+  std::mutex Mu;
   std::uint64_t IssuedTotal = 0;
   std::uint64_t Completed = 0;
   std::uint64_t Rejected = 0;
@@ -66,36 +74,55 @@ double sortedQuantile(const std::vector<double> &Sorted, double Q) {
 RunResult benchlib::runOnce(const ObjectType &Type,
                             const WorkloadSpec &Workload,
                             const RunnerOptions &Opts, std::uint64_t Seed) {
-  sim::Simulator Sim;
+  const bool OnShm = Opts.Transport == rdma::TransportKind::Shm;
+  sim::Simulator SimObj; // Used only by the sim transport.
   std::unique_ptr<ReplicaRuntime> RT;
-  baselines::MsgCrdtRuntime *Msg = nullptr;
+  runtime::HambandCluster *Cluster = nullptr;
 
-  switch (Opts.Kind) {
-  case RuntimeKind::Hamband: {
+  if (OnShm) {
+    // The baselines model their costs in simulated time and have no
+    // concurrent execution path; only the Hamband runtime deploys on shm.
+    assert(Opts.Kind == RuntimeKind::Hamband &&
+           "shm transport supports the Hamband runtime only");
+    if (Opts.Kind != RuntimeKind::Hamband) {
+      RunResult R;
+      R.Completed = false;
+      return R;
+    }
     auto C = std::make_unique<runtime::HambandCluster>(
-        Sim, Opts.NumNodes, Type, Opts.Model, Opts.Cfg);
+        rdma::TransportKind::Shm, Opts.NumNodes, Type, Opts.Model, Opts.Cfg);
+    Cluster = C.get();
     C->start();
     RT = std::move(C);
-    break;
+  } else {
+    switch (Opts.Kind) {
+    case RuntimeKind::Hamband: {
+      auto C = std::make_unique<runtime::HambandCluster>(
+          SimObj, Opts.NumNodes, Type, Opts.Model, Opts.Cfg);
+      Cluster = C.get();
+      C->start();
+      RT = std::move(C);
+      break;
+    }
+    case RuntimeKind::MuSmr: {
+      auto C = std::make_unique<baselines::MuSmrRuntime>(
+          SimObj, Opts.NumNodes, Type, Opts.Model, Opts.Cfg);
+      C->start();
+      RT = std::move(C);
+      break;
+    }
+    case RuntimeKind::Msg: {
+      auto C = std::make_unique<baselines::MsgCrdtRuntime>(
+          SimObj, Opts.NumNodes, Type, Opts.Model);
+      C->start();
+      RT = std::move(C);
+      break;
+    }
+    }
   }
-  case RuntimeKind::MuSmr: {
-    auto C = std::make_unique<baselines::MuSmrRuntime>(
-        Sim, Opts.NumNodes, Type, Opts.Model, Opts.Cfg);
-    C->start();
-    RT = std::move(C);
-    break;
-  }
-  case RuntimeKind::Msg: {
-    auto C = std::make_unique<baselines::MsgCrdtRuntime>(Sim, Opts.NumNodes,
-                                                         Type, Opts.Model);
-    C->start();
-    Msg = C.get();
-    RT = std::move(C);
-    break;
-  }
-  }
-  (void)Msg;
+  (void)Cluster;
 
+  rdma::Transport &T = RT->transport();
   const CoordinationSpec &Spec = RT->objectType().coordination();
   WorkloadSpec W = Workload;
   W.Seed = Seed;
@@ -109,7 +136,7 @@ RunResult benchlib::runOnce(const ObjectType &Type,
 
   // Routes around failed nodes: the paper redirects a failed node's
   // requests to the next available node. Rotating the start point spreads
-  // the orphaned load across the survivors.
+  // the orphaned load across the survivors. Called under State->Mu.
   auto Rotation = std::make_shared<unsigned>(0);
   auto AliveOrigin = [&RT, Rotation](unsigned N) {
     unsigned Nodes = RT->numNodes();
@@ -126,87 +153,137 @@ RunResult benchlib::runOnce(const ObjectType &Type,
   // The per-node closed-loop client.
   // The closure holds only a weak reference to itself (the local strong
   // reference below outlives the whole run), so no ownership cycle forms.
+  // The stack state captured by reference stays valid because the shm
+  // transport is shut down -- all node threads joined, queued closures
+  // discarded -- before runOnce returns.
   auto IssueNext = std::make_shared<std::function<void(unsigned)>>();
   std::weak_ptr<std::function<void(unsigned)>> WeakIssue = IssueNext;
-  *IssueNext = [&, State, WeakIssue](unsigned Node) {
-    if (State->IssuedTotal >= W.NumOps)
-      return;
-    if (W.FailNode && !State->FailureInjected &&
-        static_cast<double>(State->IssuedTotal) >=
-            W.FailAtFraction * static_cast<double>(W.NumOps)) {
-      State->FailureInjected = true;
-      RT->injectFailure(*W.FailNode);
+  *IssueNext = [&, State, WeakIssue, OnShm](unsigned Node) {
+    Call C;
+    unsigned Target;
+    bool IsUpdate;
+    std::string MethodName;
+    {
+      std::lock_guard<std::mutex> G(State->Mu);
+      if (State->IssuedTotal >= W.NumOps)
+        return;
+      if (W.FailNode && !State->FailureInjected &&
+          static_cast<double>(State->IssuedTotal) >=
+              W.FailAtFraction * static_cast<double>(W.NumOps)) {
+        State->FailureInjected = true;
+        RT->injectFailure(*W.FailNode);
+      }
+      ++State->IssuedTotal;
+      unsigned Origin = AliveOrigin(Node);
+      C = Gens[Node]->next(Origin, State->NextReq++);
+      IsUpdate = Gens[Node]->lastWasUpdate();
+      Target = Origin;
+      if (Spec.category(C.Method) == MethodCategory::Conflicting) {
+        if (OnShm) {
+          // Leadership is concurrent node state here; submit at the
+          // origin and let the runtime's mailbox redirection route the
+          // call to whoever currently leads the group.
+          Target = Origin;
+        } else {
+          // Conflicting calls go straight to the group leader; if the
+          // known leader has failed, the call enters at a live node,
+          // whose runtime retries it against successive leaders.
+          unsigned Observer = AliveOrigin(0);
+          Target = RT->leaderOf(*Spec.syncGroup(C.Method), Observer);
+          if (RT->isFailed(Target))
+            Target = Origin;
+        }
+        C.Issuer = Target;
+      }
+      MethodName = RT->objectType().method(C.Method).Name;
     }
-    ++State->IssuedTotal;
-    unsigned Origin = AliveOrigin(Node);
-    Call C = Gens[Node]->next(Origin, State->NextReq++);
-    bool IsUpdate = Gens[Node]->lastWasUpdate();
-    unsigned Target = Origin;
-    if (Spec.category(C.Method) == MethodCategory::Conflicting) {
-      // Conflicting calls go straight to the group leader; if the known
-      // leader has failed, the call enters at a live node, whose runtime
-      // retries it against successive leaders.
-      unsigned Observer = AliveOrigin(0);
-      Target = RT->leaderOf(*Spec.syncGroup(C.Method), Observer);
-      if (RT->isFailed(Target))
-        Target = Origin;
-      C.Issuer = Target;
-    }
-    std::string MethodName = RT->objectType().method(C.Method).Name;
-    sim::SimTime IssuedAt = Sim.now();
+    sim::SimTime IssuedAt = T.now();
     RT->submit(Target, C,
                [&, State, WeakIssue, Node, IsUpdate, IssuedAt,
                 MethodName](bool Ok, Value) {
-                 double RespUs = sim::toMicros(Sim.now() - IssuedAt);
-                 State->RespSum += RespUs;
-                 State->RespSamples.push_back(RespUs);
-                 State->Result.PerMethod[MethodName].add(RespUs);
-                 if (IsUpdate) {
-                   State->UpdateRespSum += RespUs;
-                   ++State->UpdateRespN;
-                 } else {
-                   State->QueryRespSum += RespUs;
-                   ++State->QueryRespN;
+                 double RespUs = sim::toMicros(T.now() - IssuedAt);
+                 {
+                   std::lock_guard<std::mutex> G(State->Mu);
+                   State->RespSum += RespUs;
+                   State->RespSamples.push_back(RespUs);
+                   State->Result.PerMethod[MethodName].add(RespUs);
+                   if (IsUpdate) {
+                     State->UpdateRespSum += RespUs;
+                     ++State->UpdateRespN;
+                   } else {
+                     State->QueryRespSum += RespUs;
+                     ++State->QueryRespN;
+                   }
+                   if (!Ok)
+                     ++State->Rejected;
+                   ++State->Completed;
                  }
-                 if (!Ok)
-                   ++State->Rejected;
-                 ++State->Completed;
                  if (auto Next = WeakIssue.lock())
                    (*Next)(Node);
                });
   };
 
-  // Prime the pipelines with a slight stagger.
+  // Prime the pipelines with a slight stagger. On the sim fabric this is
+  // exactly the old Sim.schedule; on shm it seeds each node's timer heap.
+  const sim::SimTime StartT = T.now();
   for (unsigned N = 0; N < Opts.NumNodes; ++N)
     for (unsigned D = 0; D < W.PipelineDepth; ++D)
-      Sim.schedule(sim::nanos(10) * (N * W.PipelineDepth + D + 1),
-                   [IssueNext, N]() { (*IssueNext)(N); });
+      T.runAfter(N, sim::nanos(10) * (N * W.PipelineDepth + D + 1),
+                 [IssueNext, N]() { (*IssueNext)(N); });
 
   // Run in slices until every call completed and replication finished,
   // sampling the replication backlog (staleness) along the way.
-  const sim::SimDuration Slice = sim::micros(20);
   bool Done = false;
   double BacklogSum = 0;
   double BacklogMax = 0;
   std::uint64_t BacklogSamples = 0;
-  while (Sim.now() < Opts.SafetyCap) {
-    Sim.run(Sim.now() + Slice);
-    double Backlog = static_cast<double>(RT->replicationBacklog());
-    BacklogSum += Backlog;
-    BacklogMax = std::max(BacklogMax, Backlog);
-    ++BacklogSamples;
-    if (State->Completed >= W.NumOps && RT->fullyReplicated()) {
-      Done = true;
-      break;
+  if (!OnShm) {
+    sim::Simulator &Sim = SimObj;
+    const sim::SimDuration Slice = sim::micros(20);
+    while (Sim.now() < Opts.SafetyCap) {
+      Sim.run(Sim.now() + Slice);
+      double Backlog = static_cast<double>(RT->replicationBacklog());
+      BacklogSum += Backlog;
+      BacklogMax = std::max(BacklogMax, Backlog);
+      ++BacklogSamples;
+      if (State->Completed >= W.NumOps && RT->fullyReplicated()) {
+        Done = true;
+        break;
+      }
+      if (Sim.idle())
+        break; // Nothing scheduled: the run cannot progress further.
     }
-    if (Sim.idle())
-      break; // Nothing scheduled: the run cannot progress further.
+  } else {
+    // The node threads make progress on their own; the driver thread just
+    // wakes up periodically, parks the world, and inspects race-free.
+    const auto Slice = std::chrono::milliseconds(2);
+    while (T.now() - StartT < static_cast<sim::SimTime>(Opts.SafetyCap)) {
+      std::this_thread::sleep_for(Slice);
+      bool AllDone = false;
+      Cluster->withPausedWorld([&]() {
+        double Backlog = static_cast<double>(RT->replicationBacklog());
+        BacklogSum += Backlog;
+        BacklogMax = std::max(BacklogMax, Backlog);
+        ++BacklogSamples;
+        std::lock_guard<std::mutex> G(State->Mu);
+        AllDone = State->Completed >= W.NumOps && RT->fullyReplicated();
+      });
+      if (AllDone) {
+        Done = true;
+        break;
+      }
+    }
   }
+  const sim::SimTime EndT = T.now();
+
+  // Join the node threads (no-op on sim) before touching State without
+  // the lock: after shutdown() no closure capturing this frame can run.
+  T.shutdown();
 
   RunResult R = std::move(State->Result);
   R.CompletedOps = State->Completed;
   R.RejectedOps = State->Rejected;
-  R.DurationUs = sim::toMicros(Sim.now());
+  R.DurationUs = sim::toMicros(EndT - StartT);
   R.Completed = Done;
   if (BacklogSamples)
     R.MeanBacklogCalls = BacklogSum / static_cast<double>(BacklogSamples);

@@ -1,0 +1,37 @@
+//===- src/rdma/Transport.cpp - Pluggable RDMA transport ----------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/rdma/Transport.h"
+
+namespace hamband {
+namespace rdma {
+
+Transport::~Transport() = default;
+
+const char *transportKindName(TransportKind K) {
+  switch (K) {
+  case TransportKind::Sim:
+    return "sim";
+  case TransportKind::Shm:
+    return "shm";
+  }
+  return "?";
+}
+
+bool transportKindFromName(const std::string &Name, TransportKind &K) {
+  if (Name == "sim") {
+    K = TransportKind::Sim;
+    return true;
+  }
+  if (Name == "shm") {
+    K = TransportKind::Shm;
+    return true;
+  }
+  return false;
+}
+
+} // namespace rdma
+} // namespace hamband

@@ -6,6 +6,8 @@
 
 #include "hamband/runtime/HambandCluster.h"
 
+#include "hamband/rdma/Fabric.h"
+#include "hamband/rdma/ShmTransport.h"
 #include "hamband/sim/FaultInjector.h"
 
 #include <cassert>
@@ -18,8 +20,7 @@ ReplicaRuntime::~ReplicaRuntime() = default;
 HambandCluster::HambandCluster(sim::Simulator &Sim, unsigned NumNodes,
                                const ObjectType &Type,
                                rdma::NetworkModel Model, HambandConfig Cfg)
-    : Sim(Sim), Type(Type), Cfg(Cfg), Failed(NumNodes, false),
-      OutstandingPer(NumNodes, 0) {
+    : Type(Type), Cfg(Cfg) {
   const CoordinationSpec &Spec = Type.coordination();
   assert(Spec.finalized() && "coordination spec must be finalized");
   Map = std::make_unique<MemoryMap>(
@@ -27,41 +28,90 @@ HambandCluster::HambandCluster(sim::Simulator &Sim, unsigned NumNodes,
       Cfg.ConfGeom, Cfg.MailGeom, Cfg.SummarySlotBytes,
       Cfg.BackupSlotBytes);
   std::size_t MemBytes = Map->totalBytes() + (1u << 20);
-  Fab = std::make_unique<rdma::Fabric>(Sim, NumNodes, Model, MemBytes);
-  Fab->setObs(ClusterStats);
-  // Reserve the mapped range so nothing else lands in it.
-  for (rdma::NodeId N = 0; N < NumNodes; ++N)
-    Fab->memory(N).alloc(Map->totalBytes());
-  for (unsigned G = 0; G < Spec.numSyncGroups(); ++G)
-    ConfKeys.push_back(Fab->createRegionKey());
-  for (rdma::NodeId N = 0; N < NumNodes; ++N)
-    Nodes.push_back(std::make_unique<HambandNode>(*Fab, N, Type, *Map, Cfg,
-                                                  ConfKeys));
+  Trans = std::make_unique<rdma::Fabric>(Sim, NumNodes, Model, MemBytes);
+  build(NumNodes, Model);
 }
 
-HambandCluster::~HambandCluster() = default;
+HambandCluster::HambandCluster(rdma::TransportKind Kind, unsigned NumNodes,
+                               const ObjectType &Type,
+                               rdma::NetworkModel Model, HambandConfig Cfg)
+    : Type(Type), Cfg(Cfg.tunedFor(Kind)) {
+  const CoordinationSpec &Spec = Type.coordination();
+  assert(Spec.finalized() && "coordination spec must be finalized");
+  Map = std::make_unique<MemoryMap>(
+      NumNodes, Spec.numSumGroups(), Spec.numSyncGroups(),
+      this->Cfg.FreeGeom, this->Cfg.ConfGeom, this->Cfg.MailGeom,
+      this->Cfg.SummarySlotBytes, this->Cfg.BackupSlotBytes);
+  std::size_t MemBytes = Map->totalBytes() + (1u << 20);
+  if (Kind == rdma::TransportKind::Sim) {
+    OwnedSim = std::make_unique<sim::Simulator>();
+    Trans =
+        std::make_unique<rdma::Fabric>(*OwnedSim, NumNodes, Model, MemBytes);
+  } else {
+    Trans = std::make_unique<rdma::ShmTransport>(NumNodes, Model, MemBytes);
+  }
+  build(NumNodes, Model);
+}
+
+void HambandCluster::build(unsigned NumNodes, rdma::NetworkModel Model) {
+  (void)Model;
+  Failed.assign(NumNodes, false);
+  OutstandingPer =
+      std::make_unique<std::atomic<std::uint64_t>[]>(NumNodes);
+  for (unsigned N = 0; N < NumNodes; ++N)
+    OutstandingPer[N].store(0, std::memory_order_relaxed);
+  Trans->setObs(ClusterStats);
+  // Reserve the mapped range so nothing else lands in it.
+  for (rdma::NodeId N = 0; N < NumNodes; ++N)
+    Trans->memory(N).alloc(Map->totalBytes());
+  for (unsigned G = 0; G < Type.coordination().numSyncGroups(); ++G)
+    ConfKeys.push_back(Trans->createRegionKey());
+  for (rdma::NodeId N = 0; N < NumNodes; ++N)
+    Nodes.push_back(std::make_unique<HambandNode>(*Trans, N, Type, *Map,
+                                                  Cfg, ConfKeys));
+}
+
+HambandCluster::~HambandCluster() {
+  // Node threads must stop before the nodes (and anything their queued
+  // closures reference) are destroyed.
+  stopTransport();
+}
+
+void HambandCluster::stopTransport() { Trans->shutdown(); }
+
+rdma::Fabric &HambandCluster::fabric() {
+  assert(Trans->kind() == rdma::TransportKind::Sim &&
+         "fabric() is only meaningful on the simulated transport");
+  return static_cast<rdma::Fabric &>(*Trans);
+}
 
 void HambandCluster::start() {
-  for (auto &N : Nodes)
-    N->start();
+  // Marshal each start() into its node's execution context. Per-node
+  // queues are FIFO, so everything submitted afterwards through callOn
+  // finds the node started; on the sim transport this runs inline and is
+  // identical to the historical direct loop.
+  for (rdma::NodeId N = 0; N < numNodes(); ++N)
+    Trans->callOn(N, [this, N]() { Nodes[N]->start(); });
 }
 
 void HambandCluster::submit(rdma::NodeId Origin, const Call &C,
                             SubmitCallback Done) {
   assert(Origin < Nodes.size());
-  ++Outstanding;
-  ++OutstandingPer[Origin];
-  Nodes[Origin]->submit(
-      C, [this, Origin, Done = std::move(Done)](bool Ok, Value V) {
-        --Outstanding;
-        --OutstandingPer[Origin];
-        if (Done)
-          Done(Ok, V);
-      });
+  Outstanding.fetch_add(1, std::memory_order_acq_rel);
+  OutstandingPer[Origin].fetch_add(1, std::memory_order_acq_rel);
+  Trans->callOn(Origin, [this, Origin, C, Done = std::move(Done)]() {
+    Nodes[Origin]->submit(
+        C, [this, Origin, Done = std::move(Done)](bool Ok, Value V) {
+          Outstanding.fetch_sub(1, std::memory_order_acq_rel);
+          OutstandingPer[Origin].fetch_sub(1, std::memory_order_acq_rel);
+          if (Done)
+            Done(Ok, V);
+        });
+  });
 }
 
 bool HambandCluster::fullyReplicated() const {
-  if (Outstanding != 0)
+  if (outstanding() != 0)
     return false;
   for (const auto &N : Nodes)
     if (!N->idle())
@@ -84,6 +134,24 @@ bool HambandCluster::converged() {
   return true;
 }
 
+void HambandCluster::withPausedWorld(const std::function<void()> &Fn) {
+  Trans->pauseWorld();
+  Fn();
+  Trans->resumeWorld();
+}
+
+bool HambandCluster::fullyReplicatedQuiesced() {
+  bool R = false;
+  withPausedWorld([&]() { R = fullyReplicated(); });
+  return R;
+}
+
+bool HambandCluster::convergedQuiesced() {
+  bool R = false;
+  withPausedWorld([&]() { R = converged(); });
+  return R;
+}
+
 void HambandCluster::injectFailure(rdma::NodeId Node) {
   assert(Node < Nodes.size());
   Failed[Node] = true;
@@ -93,7 +161,7 @@ void HambandCluster::injectFailure(rdma::NodeId Node) {
 
 void HambandCluster::recoverFailure(rdma::NodeId Node) {
   assert(Node < Nodes.size());
-  if (!Fab->isAlive(Node))
+  if (!Trans->isAlive(Node))
     return;
   Failed[Node] = false;
   Nodes[Node]->resumeHeartbeat();
@@ -105,21 +173,24 @@ void HambandCluster::crashNode(rdma::NodeId Node) {
   Failed[Node] = true;
   Nodes[Node]->suspendHeartbeat();
   Nodes[Node]->setOutOfService();
-  Fab->crash(Node);
+  Trans->crash(Node);
 }
 
 bool HambandCluster::isLive(rdma::NodeId Node) const {
-  return Fab->isAlive(Node);
+  return Trans->isAlive(Node);
 }
 
-void HambandCluster::attachFaultInjector(sim::FaultInjector &FI) {
+bool HambandCluster::attachFaultInjector(sim::FaultInjector &FI) {
+  if (!Trans->deterministic())
+    return false; // Fault schedules/traces are simulated-time artifacts.
   FI.onCrash([this](std::uint32_t N) { crashNode(N); });
   FI.onSuspend([this](std::uint32_t N) { injectFailure(N); });
   FI.onRecover([this](std::uint32_t N) { recoverFailure(N); });
   for (rdma::NodeId N = 0; N < numNodes(); ++N)
     Nodes[N]->broadcast().setOnStage(
         [&FI, N]() { FI.onBroadcastStaged(N); });
-  Fab->setFaultHook(&FI);
+  Trans->setFaultHook(&FI);
+  return true;
 }
 
 bool HambandCluster::fullyReplicatedLive() const {
@@ -127,7 +198,7 @@ bool HambandCluster::fullyReplicatedLive() const {
   for (rdma::NodeId N = 0; N < numNodes(); ++N) {
     if (!isLive(N))
       continue;
-    if (OutstandingPer[N] != 0 || !Nodes[N]->idle())
+    if (outstandingAt(N) != 0 || !Nodes[N]->idle())
       return false;
     if (!First)
       First = Nodes[N].get();

@@ -19,42 +19,70 @@ namespace {
 
 /// Appends a (possibly spanning) record to a ring, retrying every
 /// \p RetryAfter while it is full.
-void appendWithRetry(sim::Simulator &Sim, RingWriter &W,
+void appendWithRetry(rdma::Transport &T, RingWriter &W,
                      std::vector<std::uint8_t> Bytes,
                      sim::SimDuration RetryAfter,
                      rdma::CompletionFn OnComplete) {
   if (W.appendRecord(Bytes, OnComplete))
     return;
   // The pending retry event owns the closure; the closure holds only a
-  // weak_ptr to itself so the chain never forms a reference cycle.
+  // weak_ptr to itself so the chain never forms a reference cycle. Retries
+  // run on the writer node's timer so the ring stays single-threaded.
   auto Retry = std::make_shared<std::function<void()>>();
   std::weak_ptr<std::function<void()>> Weak = Retry;
-  *Retry = [&Sim, &W, Bytes = std::move(Bytes), RetryAfter, OnComplete,
+  *Retry = [&T, &W, Bytes = std::move(Bytes), RetryAfter, OnComplete,
             Weak]() {
     if (!W.appendRecord(Bytes, OnComplete))
       if (auto R = Weak.lock())
-        Sim.schedule(RetryAfter, [R]() { (*R)(); });
+        T.runAfter(W.writer(), RetryAfter, [R]() { (*R)(); });
   };
-  Sim.schedule(RetryAfter, [Retry]() { (*Retry)(); });
+  T.runAfter(W.writer(), RetryAfter, [Retry]() { (*Retry)(); });
 }
 
 /// Pads a summary image into a full slot write: u32 len | payload | ...
 /// zeros ... | canary.
 std::vector<std::uint8_t> slotBytes(const std::vector<std::uint8_t> &Payload,
                                     std::uint32_t SlotSize) {
-  assert(Payload.size() + 5 <= SlotSize &&
+  assert(Payload.size() >= 8 && "summary payload leads with its seq");
+  assert(Payload.size() + 13 <= SlotSize &&
          "summary exceeds slot; raise SummarySlotBytes or shrink keyspace");
   std::vector<std::uint8_t> Out(SlotSize, 0);
   std::uint32_t Len = static_cast<std::uint32_t>(Payload.size());
   std::memcpy(Out.data(), &Len, 4);
   std::memcpy(Out.data() + 4, Payload.data(), Payload.size());
+  // Seqlock-style trailer: restate the image's sequence number (the
+  // payload's leading u64) just before the canary. Slot writes land in
+  // increasing address order, so a reader that snapshots a torn overwrite
+  // sees a NEW header with an OLD trailer and rejects the blend.
+  std::memcpy(Out.data() + SlotSize - 9, Payload.data(), 8);
   Out[SlotSize - 1] = 1;
   return Out;
 }
 
 } // namespace
 
-HambandNode::HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
+HambandConfig HambandConfig::tunedFor(rdma::TransportKind Kind) const {
+  HambandConfig Out = *this;
+  if (Kind == rdma::TransportKind::Sim)
+    return Out;
+  // Wall-clock floors for the shm transport. max() keeps any explicitly
+  // slowed-down test configuration intact.
+  auto Floor = [](sim::SimDuration &D, sim::SimDuration Min) {
+    D = std::max(D, Min);
+  };
+  Floor(Out.PollInterval, sim::micros(50));
+  Floor(Out.ConfRetryTimeout, sim::millis(2));
+  Floor(Out.PermissibilityWait, sim::millis(1));
+  Floor(Out.Batch.FlushInterval, sim::micros(200));
+  Floor(Out.Heartbeat.BeatInterval, sim::millis(2));
+  Floor(Out.Heartbeat.CheckInterval, sim::millis(10));
+  // A scheduler stall under sanitizers can easily exceed a few check
+  // periods; demand a long silence before suspecting a peer.
+  Out.Heartbeat.SuspectAfter = std::max(Out.Heartbeat.SuspectAfter, 30u);
+  return Out;
+}
+
+HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
                          const ObjectType &Type, const MemoryMap &Map,
                          const HambandConfig &Cfg,
                          const std::vector<rdma::RegionKey> &ConfKeys)
@@ -109,16 +137,16 @@ HambandNode::HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
       continue;
     FreeReaders[J] = std::make_unique<RingReader>(
         Fabric, Self, J, Map.freeRingData(J), Map.freeRingFeedback(Self),
-        Map.freeGeom(), rdma::Fabric::LanePoller);
+        Map.freeGeom(), rdma::Transport::LanePoller);
     FreeWriters[J] = std::make_unique<RingWriter>(
         Fabric, Self, J, Map.freeRingData(Self), Map.freeRingFeedback(J),
-        Map.freeGeom(), rdma::UnprotectedRegion, rdma::Fabric::LaneClient);
+        Map.freeGeom(), rdma::UnprotectedRegion, rdma::Transport::LaneClient);
     MailReaders[J] = std::make_unique<RingReader>(
         Fabric, Self, J, Map.mailRingData(J), Map.mailRingFeedback(Self),
-        Map.mailGeom(), rdma::Fabric::LanePoller);
+        Map.mailGeom(), rdma::Transport::LanePoller);
     MailWriters[J] = std::make_unique<RingWriter>(
         Fabric, Self, J, Map.mailRingData(Self), Map.mailRingFeedback(J),
-        Map.mailGeom(), rdma::UnprotectedRegion, rdma::Fabric::LaneClient);
+        Map.mailGeom(), rdma::UnprotectedRegion, rdma::Transport::LaneClient);
     FreeReaders[J]->attachStats(Stats);
     FreeWriters[J]->attachStats(Stats);
     MailReaders[J]->attachStats(Stats);
@@ -132,7 +160,7 @@ HambandNode::HambandNode(rdma::Fabric &Fabric, rdma::NodeId Self,
     ConfReaders[G] = std::make_unique<RingReader>(
         Fabric, Self, InitialLeader, Map.confRingData(G),
         Map.confRingFeedback(G, Self), Map.confGeom(),
-        rdma::Fabric::LanePoller);
+        rdma::Transport::LanePoller);
     MuConsensus::Hooks Hooks;
     Hooks.ReceivedCount = [this, G]() { return ConfReceivedContig[G]; };
     Hooks.DeliverEntry = [this, G](std::uint64_t Idx,
@@ -203,10 +231,10 @@ void HambandNode::start() {
     *Tick = [this, Weak]() {
       checkConfTimeouts();
       if (auto T = Weak.lock())
-        this->Fabric.simulator().schedule(Cfg.ConfRetryTimeout,
+        this->Fabric.runAfter(this->Self, Cfg.ConfRetryTimeout,
                                           [T]() { (*T)(); });
     };
-    Fabric.simulator().schedule(Cfg.ConfRetryTimeout, [Tick]() { (*Tick)(); });
+    Fabric.runAfter(Self, Cfg.ConfRetryTimeout, [Tick]() { (*Tick)(); });
   }
 }
 
@@ -299,9 +327,9 @@ void HambandNode::submit(const Call &C, SubmitCallback Done) {
 #if HAMBAND_OBS_ENABLED
   // The submit→completion latency in simulated time; the wrap is compiled
   // out entirely in HAMBAND_OBS=OFF builds.
-  Done = [this, T0 = Fabric.simulator().now(),
+  Done = [this, T0 = Fabric.now(),
           Inner = std::move(Done)](bool Ok, Value V) {
-    HistRespNs->record(Fabric.simulator().now() - T0);
+    HistRespNs->record(Fabric.now() - T0);
     if (Inner)
       Inner(Ok, V);
   };
@@ -340,7 +368,7 @@ void HambandNode::handleQuery(const Call &C, SubmitCallback Done) {
         Value V = Type.query(visibleState(), C);
         Done(true, V);
       },
-      rdma::Fabric::LaneClient);
+      rdma::Transport::LaneClient);
 }
 
 void HambandNode::handleReduce(Call C, SubmitCallback Done) {
@@ -430,10 +458,10 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
                 if (RespondLate)
                   (*DoneP)(true, 0);
               },
-              rdma::Fabric::LaneClient);
+              rdma::Transport::LaneClient);
         }
       },
-      rdma::Fabric::LaneClient);
+      rdma::Transport::LaneClient);
 }
 
 void HambandNode::handleFree(Call C, SubmitCallback Done) {
@@ -508,11 +536,11 @@ void HambandNode::handleFree(Call C, SubmitCallback Done) {
         for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
           if (Peer == Self)
             continue;
-          appendWithRetry(this->Fabric.simulator(), *FreeWriters[Peer],
+          appendWithRetry(this->Fabric, *FreeWriters[Peer],
                           Bytes, Cfg.PollInterval, OnOne);
         }
       },
-      rdma::Fabric::LaneClient);
+      rdma::Transport::LaneClient);
 }
 
 void HambandNode::handleConf(Call C, SubmitCallback Done) {
@@ -528,7 +556,7 @@ void HambandNode::handleConf(Call C, SubmitCallback Done) {
           flushOutgoing();
           leaderProcessConf(G, Self, C.Req, std::move(C), std::move(Done));
         },
-        rdma::Fabric::LaneClient);
+        rdma::Transport::LaneClient);
     return;
   }
   // Redirect through the single-writer mailbox ring on the leader.
@@ -536,7 +564,7 @@ void HambandNode::handleConf(Call C, SubmitCallback Done) {
   Req.TheCall = C;
   Req.Done = std::move(Done);
   Req.Group = G;
-  Req.SentAt = Fabric.simulator().now();
+  Req.SentAt = Fabric.now();
   Req.SentTo = Leader;
   AwaitingResponse.emplace(C.Req, std::move(Req));
   MailMsg Msg;
@@ -552,10 +580,10 @@ void HambandNode::handleConf(Call C, SubmitCallback Done) {
         // the redirect mail on the same lane, preserving the unbatched
         // arrival order at the leader.
         flushOutgoing();
-        appendWithRetry(this->Fabric.simulator(), *MailWriters[Leader],
+        appendWithRetry(this->Fabric, *MailWriters[Leader],
                         Bytes, Cfg.PollInterval, nullptr);
       },
-      rdma::Fabric::LaneClient);
+      rdma::Transport::LaneClient);
 }
 
 void HambandNode::leaderProcessConf(unsigned G, ProcessId Origin,
@@ -582,7 +610,7 @@ void HambandNode::leaderProcessConf(unsigned G, ProcessId Origin,
     Req.TheCall = std::move(C);
     Req.Done = std::move(LocalDone);
     Req.Group = G;
-    Req.SentAt = Fabric.simulator().now();
+    Req.SentAt = Fabric.now();
     Req.SentTo = Origin; // Reused as the origin for queued requests.
     LeaderQueue[G].push_back(std::move(Req));
     return;
@@ -594,7 +622,7 @@ void HambandNode::leaderProcessConf(unsigned G, ProcessId Origin,
     Req.TheCall = std::move(C);
     Req.Done = std::move(LocalDone);
     Req.Group = G;
-    Req.SentAt = Fabric.simulator().now();
+    Req.SentAt = Fabric.now();
     Req.SentTo = Origin;
     LeaderQueue[G].push_back(std::move(Req));
     return;
@@ -612,7 +640,7 @@ void HambandNode::leaderProcessConf(unsigned G, ProcessId Origin,
     // its dependencies are delivered (e.g. worksOn waiting for its
     // addProject), so hold it briefly before rejecting -- this wait is
     // what makes dependent methods slower in Figure 11(b).
-    sim::SimTime Now = Fabric.simulator().now();
+    sim::SimTime Now = Fabric.now();
     if (WaitDeadline == 0)
       WaitDeadline = Now + Cfg.PermissibilityWait;
     if (Now >= WaitDeadline) {
@@ -667,7 +695,7 @@ void HambandNode::leaderProcessConf(unsigned G, ProcessId Origin,
   LeaderSpeculative[G].push_back(Prepared);
   // Sequencing an entry occupies the leader beyond the raw verb posts.
   Fabric.runOnCpu(Self, Fabric.model().ConsensusEntryCpu, []() {},
-                  rdma::Fabric::LaneClient);
+                  rdma::Transport::LaneClient);
 }
 
 void HambandNode::retryLeaderQueue(unsigned G) {
@@ -691,7 +719,7 @@ void HambandNode::retryLeaderQueue(unsigned G) {
   // proceed re-queue themselves (with their original wait deadline).
   std::deque<PendingConfRequest> Snapshot;
   Snapshot.swap(LeaderQueue[G]);
-  sim::SimTime Now = Fabric.simulator().now();
+  sim::SimTime Now = Fabric.now();
   for (PendingConfRequest &Req : Snapshot) {
     // Permissibility waiters are re-evaluated every few microseconds, not
     // every poll tick.
@@ -722,14 +750,14 @@ void HambandNode::respondConf(ProcessId Origin, RequestId ReqId,
   Msg.Origin = Self;
   Msg.ReqId = ReqId;
   Msg.Ok = static_cast<std::uint8_t>(Outcome);
-  appendWithRetry(Fabric.simulator(), *MailWriters[Origin],
+  appendWithRetry(Fabric, *MailWriters[Origin],
                   encodeMail(Msg), Cfg.PollInterval, nullptr);
 }
 
 void HambandNode::checkConfTimeouts() {
   if (AwaitingResponse.empty())
     return;
-  sim::SimTime Now = Fabric.simulator().now();
+  sim::SimTime Now = Fabric.now();
   std::vector<RequestId> TakeOver;
   for (auto &[ReqId, Req] : AwaitingResponse) {
     if (Now - Req.SentAt < Cfg.ConfRetryTimeout)
@@ -746,7 +774,7 @@ void HambandNode::checkConfTimeouts() {
     Msg.Origin = Self;
     Msg.ReqId = ReqId;
     Msg.TheCall = Req.TheCall;
-    appendWithRetry(Fabric.simulator(), *MailWriters[Leader],
+    appendWithRetry(Fabric, *MailWriters[Leader],
                     encodeMail(Msg), Cfg.PollInterval, nullptr);
   }
   for (RequestId Id : TakeOver) {
@@ -764,10 +792,10 @@ void HambandNode::checkConfTimeouts() {
 // -- Poller -----------------------------------------------------------------
 
 void HambandNode::schedulePoll() {
-  Fabric.simulator().schedule(Cfg.PollInterval, [this]() {
+  Fabric.runAfter(Self, Cfg.PollInterval, [this]() {
     Fabric.runOnCpu(
         Self, PollBaseCost, [this]() { pollOnce(); },
-        rdma::Fabric::LanePoller);
+        rdma::Transport::LanePoller);
   });
 }
 
@@ -792,7 +820,7 @@ void HambandNode::pollOnce() {
   sim::SimDuration Extra =
       Parsed * M.ParseCpu + AppliedN * M.ApplyCpu;
   if (Extra > 0)
-    Fabric.runOnCpu(Self, Extra, []() {}, rdma::Fabric::LanePoller);
+    Fabric.runOnCpu(Self, Extra, []() {}, rdma::Transport::LanePoller);
   schedulePoll();
 }
 
@@ -859,15 +887,26 @@ unsigned HambandNode::pollSummaries() {
       std::uint64_t Seq = Mem.readU64(Off + 4);
       if (Seq == SummarySeqSeen[G][Src])
         continue;
-      std::uint32_t Len = 0;
-      std::uint8_t LenRaw[4];
-      Mem.read(Off, LenRaw, 4);
-      std::memcpy(&Len, LenRaw, 4);
-      if (Len + 5 > Cfg.SummarySlotBytes)
+      // Snapshot the whole slot before parsing: on the shm transport a
+      // concurrent overwrite with a newer image could otherwise tear the
+      // bytes between the length read and the payload slice. The snapshot
+      // is validated via the seqlock trailer slotBytes() stamps: a torn
+      // blend pairs a new header with an old trailer.
+      std::vector<std::uint8_t> Slot =
+          Mem.sliceStable(Off, Cfg.SummarySlotBytes);
+      if (Slot[Cfg.SummarySlotBytes - 1] != 1)
         continue;
-      std::vector<std::uint8_t> Payload = Mem.slice(Off + 4, Len);
+      std::uint64_t SnapSeq = 0, Trailer = 0;
+      std::memcpy(&SnapSeq, Slot.data() + 4, 8);
+      std::memcpy(&Trailer, Slot.data() + Cfg.SummarySlotBytes - 9, 8);
+      if (Trailer != SnapSeq)
+        continue; // Overwrite in flight; retry next traversal.
+      std::uint32_t Len = 0;
+      std::memcpy(&Len, Slot.data(), 4);
+      if (Len < 8 || Len + 13 > Cfg.SummarySlotBytes)
+        continue;
       SummaryImage Img;
-      if (!decodeSummary(Payload.data(), Payload.size(), Img))
+      if (!decodeSummary(Slot.data() + 4, Len, Img))
         continue;
       installSummary(G, Src, Img);
       ++Parsed;
@@ -1029,7 +1068,7 @@ std::size_t HambandNode::freeBatchCapBytes() const {
 void HambandNode::noteBatchedCall() {
   ++BatchedPending;
   if (BatchedPending == 1)
-    OldestPendingAt = Fabric.simulator().now();
+    OldestPendingAt = Fabric.now();
   if (FlushesInFlight == 0) {
     // Doorbell coalescing: ship immediately while the wire is idle;
     // calls arriving during the flight accumulate into the next batch,
@@ -1050,14 +1089,14 @@ void HambandNode::armFlushTimer() {
   if (FlushTimerArmed)
     return;
   FlushTimerArmed = true;
-  Fabric.simulator().schedule(Cfg.Batch.FlushInterval, [this]() {
+  Fabric.runAfter(Self, Cfg.Batch.FlushInterval, [this]() {
     FlushTimerArmed = false;
     if (BatchedPending == 0)
       return;
     // The backstop bounds how long any call waits: completion-driven
     // flushes normally ship sooner, so this only fires when the wire
     // stalls (full rings, injected delays).
-    sim::SimDuration Age = Fabric.simulator().now() - OldestPendingAt;
+    sim::SimDuration Age = Fabric.now() - OldestPendingAt;
     if (Age >= Cfg.Batch.FlushInterval) {
       flushBatches(FlushCause::Timeout);
       return;
@@ -1169,7 +1208,7 @@ void HambandNode::flushBatches(FlushCause Cause) {
   assert(Writes > 0 && "pending batch with nothing to ship");
   ++FlushesInFlight;
   // One serialization charge per flush (vs one per call unbatched).
-  Fabric.runOnCpu(Self, M.ParseCpu, []() {}, rdma::Fabric::LaneClient);
+  Fabric.runOnCpu(Self, M.ParseCpu, []() {}, rdma::Transport::LaneClient);
 
   auto Remaining = std::make_shared<unsigned>(Writes);
   auto DonesP = std::make_shared<std::vector<SubmitCallback>>(
@@ -1197,13 +1236,13 @@ void HambandNode::flushBatches(FlushCause Cause) {
         continue;
       Fabric.postWrite(Self, Peer, Map.summarySlot(DirtyGroups[K], Self),
                        SummarySlots[K], rdma::UnprotectedRegion, Finish,
-                       rdma::Fabric::LaneClient);
+                       rdma::Transport::LaneClient);
     }
   for (const std::vector<std::uint8_t> &Rec : Records)
     for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
       if (Peer == Self)
         continue;
-      appendWithRetry(Fabric.simulator(), *FreeWriters[Peer], Rec,
+      appendWithRetry(Fabric, *FreeWriters[Peer], Rec,
                       Cfg.PollInterval, Finish);
     }
 }

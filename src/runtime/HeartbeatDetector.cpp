@@ -11,7 +11,7 @@
 using namespace hamband;
 using namespace hamband::runtime;
 
-HeartbeatDetector::HeartbeatDetector(rdma::Fabric &Fabric, rdma::NodeId Self,
+HeartbeatDetector::HeartbeatDetector(rdma::Transport &Fabric, rdma::NodeId Self,
                                      rdma::MemOffset HeartbeatOff,
                                      Config Cfg)
     : Fabric(Fabric), Self(Self), HeartbeatOff(HeartbeatOff), Cfg(Cfg),
@@ -21,7 +21,7 @@ HeartbeatDetector::HeartbeatDetector(rdma::Fabric &Fabric, rdma::NodeId Self,
 void HeartbeatDetector::start() {
   beat();
   // Stagger the first check so nodes do not read in lock step.
-  Fabric.simulator().schedule(
+  Fabric.runAfter(Self, 
       Cfg.CheckInterval + sim::micros(1) * Self, [this]() { checkPeers(); });
 }
 
@@ -35,12 +35,12 @@ void HeartbeatDetector::beat() {
   }
   // The thread keeps rescheduling even while suspended so that tests can
   // resume it if they want to.
-  Fabric.simulator().schedule(Cfg.BeatInterval, [this]() { beat(); });
+  Fabric.runAfter(Self, Cfg.BeatInterval, [this]() { beat(); });
 }
 
 void HeartbeatDetector::checkPeers() {
   if (!Fabric.isAlive(Self)) {
-    Fabric.simulator().schedule(Cfg.CheckInterval,
+    Fabric.runAfter(Self, Cfg.CheckInterval,
                                 [this]() { checkPeers(); });
     return;
   }
@@ -65,7 +65,7 @@ void HeartbeatDetector::checkPeers() {
               SuspectFn(Peer);
           }
         },
-        rdma::Fabric::LaneBackground);
+        rdma::Transport::LaneBackground);
   }
-  Fabric.simulator().schedule(Cfg.CheckInterval, [this]() { checkPeers(); });
+  Fabric.runAfter(Self, Cfg.CheckInterval, [this]() { checkPeers(); });
 }

@@ -21,7 +21,7 @@ struct CommitTally {
 };
 } // namespace
 
-MuConsensus::MuConsensus(rdma::Fabric &Fabric, rdma::NodeId Self,
+MuConsensus::MuConsensus(rdma::Transport &Fabric, rdma::NodeId Self,
                          unsigned Group, rdma::NodeId InitialLeader,
                          const MemoryMap &Map, rdma::RegionKey LogKey,
                          Hooks TheHooks)
@@ -56,7 +56,7 @@ RingWriter &MuConsensus::writerTo(rdma::NodeId Follower) {
   auto W = std::make_unique<RingWriter>(
       Fabric, Self, Follower, Map.confRingData(Group),
       Map.confRingFeedback(Group, Follower), Map.confGeom(), LogKey,
-      rdma::Fabric::LaneClient);
+      rdma::Transport::LaneClient);
   if (Obs)
     W->attachStats(*Obs);
   W->setTail(NextIndex);
@@ -154,7 +154,7 @@ void MuConsensus::campaign() {
     CtrProposal->add();
   if (Obs)
     CampaignSpan =
-        obs::Span(*Obs, "mu.campaign_ns", Fabric.simulator().now());
+        obs::Span(*Obs, "mu.campaign_ns", Fabric.now());
   AckSeen.assign(Fabric.numNodes(), false);
   AckReceived.assign(Fabric.numNodes(), 0);
   std::vector<std::uint8_t> Proposal(16, 0);
@@ -166,7 +166,7 @@ void MuConsensus::campaign() {
     if (Peer != Self)
       Fabric.postWrite(Self, Peer, Map.proposalSlot(Group, Self), Proposal,
                        rdma::UnprotectedRegion, nullptr,
-                       rdma::Fabric::LaneBackground);
+                       rdma::Transport::LaneBackground);
 }
 
 void MuConsensus::poll() {
@@ -212,7 +212,7 @@ void MuConsensus::poll() {
     else
       Fabric.postWrite(Self, Leader, Map.ackSlot(Group, Self),
                        std::move(Ack), rdma::UnprotectedRegion, nullptr,
-                       rdma::Fabric::LaneBackground);
+                       rdma::Transport::LaneBackground);
   }
 
   // 2) Candidate / leader: gather acks.
@@ -223,7 +223,10 @@ void MuConsensus::poll() {
     if (AckSeen[Voter])
       continue;
     std::uint8_t Raw[24];
-    Mem.read(Map.ackSlot(Group, Voter), Raw, sizeof(Raw));
+    // Stable snapshot: on the shm transport a voter may be overwriting
+    // its ack slot concurrently; a torn {epoch, received, flag} triple
+    // must not be trusted. (Plain read on the simulator.)
+    Mem.readStable(Map.ackSlot(Group, Voter), Raw, sizeof(Raw));
     std::uint64_t E = 0, Received = 0, Flag = 0;
     std::memcpy(&E, Raw, 8);
     std::memcpy(&Received, Raw + 8, 8);
@@ -279,7 +282,7 @@ void MuConsensus::becomeLeaderAfterCatchUp(std::uint64_t MaxReceived,
   if (Mine >= MaxReceived) {
     NextIndex = MaxReceived;
     CatchingUp = false;
-    CampaignSpan.finish(Fabric.simulator().now());
+    CampaignSpan.finish(Fabric.now());
     replicateMissingToFollowers();
     return;
   }
@@ -294,7 +297,7 @@ void MuConsensus::becomeLeaderAfterCatchUp(std::uint64_t MaxReceived,
     if (Index >= MaxReceived) {
       NextIndex = MaxReceived;
       CatchingUp = false;
-      CampaignSpan.finish(Fabric.simulator().now());
+      CampaignSpan.finish(Fabric.now());
       replicateMissingToFollowers();
       return;
     }
@@ -322,7 +325,7 @@ void MuConsensus::becomeLeaderAfterCatchUp(std::uint64_t MaxReceived,
           if (Next)
             (*Next)(Index + 1);
         },
-        rdma::Fabric::LaneBackground);
+        rdma::Transport::LaneBackground);
   };
   (*FetchNext)(Mine);
 }

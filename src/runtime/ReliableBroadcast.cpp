@@ -12,7 +12,7 @@
 using namespace hamband;
 using namespace hamband::runtime;
 
-ReliableBroadcast::ReliableBroadcast(rdma::Fabric &Fabric, rdma::NodeId Self,
+ReliableBroadcast::ReliableBroadcast(rdma::Transport &Fabric, rdma::NodeId Self,
                                      rdma::MemOffset BackupOff,
                                      std::uint32_t SlotBytes)
     : Fabric(Fabric), Self(Self), BackupOff(BackupOff),
@@ -68,5 +68,5 @@ void ReliableBroadcast::fetch(
           Msg.TheKind = Kind::None; // Torn slot; treat as empty.
         Done(std::move(Msg));
       },
-      rdma::Fabric::LaneBackground);
+      rdma::Transport::LaneBackground);
 }

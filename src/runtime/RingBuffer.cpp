@@ -12,7 +12,7 @@
 using namespace hamband;
 using namespace hamband::runtime;
 
-RingWriter::RingWriter(rdma::Fabric &Fabric, rdma::NodeId Writer,
+RingWriter::RingWriter(rdma::Transport &Fabric, rdma::NodeId Writer,
                        rdma::NodeId Reader, rdma::MemOffset DataOff,
                        rdma::MemOffset FeedbackOff, RingGeometry Geom,
                        rdma::RegionKey Key, unsigned Lane)
@@ -123,7 +123,7 @@ bool RingWriter::appendRecord(const std::vector<std::uint8_t> &Payload,
   return true;
 }
 
-RingReader::RingReader(rdma::Fabric &Fabric, rdma::NodeId Reader,
+RingReader::RingReader(rdma::Transport &Fabric, rdma::NodeId Reader,
                        rdma::NodeId Writer, rdma::MemOffset DataOff,
                        rdma::MemOffset FeedbackOff, RingGeometry Geom,
                        unsigned Lane)
@@ -216,6 +216,20 @@ bool RingReader::readRecordAt(std::uint64_t Index,
       static_cast<rdma::MemOffset>(Pos + Span) * Geom.CellSize - 1;
   if (Mem.readU8(CanaryOff) != 1)
     return false; // Empty or mid-flight; not counted as a retry.
+  // Under a concurrent writer the byte just accepted as a canary may be an
+  // interior payload byte of a *larger* record that was still landing when
+  // the header above was sampled (the header is read before the canary).
+  // Re-read the header: a mismatch means the parse raced the writer's bulk
+  // copy -- retry next traversal, by which time the record (whose trailing
+  // canary is stored last, with release order) is complete. On the
+  // simulator memory cannot change between the two reads, so this is free.
+  std::uint8_t Header2[RingGeometry::HeaderBytes];
+  Mem.read(CellOff, Header2, sizeof(Header2));
+  if (std::memcmp(Header, Header2, sizeof(Header)) != 0) {
+    if (CtrCanaryRetry)
+      CtrCanaryRetry->add();
+    return false;
+  }
   if (Seq != Index) {
     // A stale lap; the writer's record for this index is still in flight.
     if (CtrCanaryRetry)

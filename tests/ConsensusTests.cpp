@@ -8,6 +8,7 @@
 // single-leader safety, leader change and log catch-up.
 //===----------------------------------------------------------------------===//
 
+#include "hamband/rdma/Fabric.h"
 #include "hamband/runtime/MuConsensus.h"
 
 #include <gtest/gtest.h>

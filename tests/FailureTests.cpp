@@ -8,6 +8,7 @@
 // injection, and convergence across leader changes under load.
 //===----------------------------------------------------------------------===//
 
+#include "hamband/rdma/Fabric.h"
 #include "hamband/benchlib/Runner.h"
 #include "hamband/core/TypeRegistry.h"
 #include "hamband/runtime/HambandCluster.h"

@@ -8,6 +8,7 @@
 // replay of recorded traces.
 //===----------------------------------------------------------------------===//
 
+#include "hamband/rdma/Fabric.h"
 #include "hamband/sim/FaultInjector.h"
 
 #include "hamband/core/TypeRegistry.h"

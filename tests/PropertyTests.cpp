@@ -9,6 +9,7 @@
 // and end-to-end determinism of the simulation.
 //===----------------------------------------------------------------------===//
 
+#include "hamband/rdma/Fabric.h"
 #include "hamband/benchlib/Runner.h"
 #include "hamband/core/TypeRegistry.h"
 #include "hamband/runtime/RingBuffer.h"

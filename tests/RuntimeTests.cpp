@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "hamband/rdma/Fabric.h"
 #include "hamband/core/TypeRegistry.h"
 #include "hamband/runtime/HambandCluster.h"
 #include "hamband/types/BankAccount.h"

@@ -11,9 +11,18 @@
 //
 //   hamband_bench_report --out BENCH.json          # run and emit
 //   hamband_bench_report --smoke --out BENCH.json  # tiny op count for CI
+//   hamband_bench_report --transport both --out B.json  # + shm wall-clock
 //   hamband_bench_report --check BENCH.json        # validate a report
 //   hamband_bench_report --check BENCH.json --min-batch-speedup 1.25
 //   hamband_bench_report --compare A.json B.json --tolerance 0.05
+//
+// --transport selects the backend dimension: "sim" (default) emits the
+// simulated-time figures fig8/fig8_batched/fig9; "shm" emits only the
+// wall-clock shared-memory points fig8_shm/fig8_shm_batched; "both"
+// emits all five sections side by side. The shm numbers measure real
+// threads on real memory and depend on the host's core count, so they
+// are recorded for trend-watching but never gated on a speedup floor,
+// and --compare only ever examines the sim fig8 section.
 //
 // Latency percentiles come from the merged per-node node.resp_ns
 // histograms when the observability layer is compiled in, with the
@@ -53,6 +62,8 @@ struct Options {
   /// With --check: require fig8_batched throughput to be at least this
   /// multiple of fig8 (0 = no gate).
   double MinBatchSpeedup = 0;
+  /// Backend dimension: "sim", "shm", or "both".
+  std::string Transport = "sim";
 };
 
 /// One figure point: the workload result plus the percentile source.
@@ -66,7 +77,9 @@ struct PointReport {
 
 PointReport runFigPoint(const std::string &TypeName, unsigned Nodes,
                         double UpdateRatio, const Options &Opt,
-                        bool Batched = false) {
+                        bool Batched = false,
+                        rdma::TransportKind Transport =
+                            rdma::TransportKind::Sim) {
   auto Type = makeType(TypeName);
   WorkloadSpec W;
   W.NumOps = Opt.Ops;
@@ -76,6 +89,7 @@ PointReport runFigPoint(const std::string &TypeName, unsigned Nodes,
   RO.NumNodes = Nodes;
   RO.Repetitions = Opt.Reps;
   RO.Cfg.Batch.Enabled = Batched;
+  RO.Transport = Transport;
 
   PointReport P;
   P.R = runWorkload(*Type, W, RO);
@@ -100,9 +114,11 @@ PointReport runFigPoint(const std::string &TypeName, unsigned Nodes,
 }
 
 json::Value pointToJson(const std::string &TypeName, unsigned Nodes,
-                        double UpdateRatio, const PointReport &P) {
+                        double UpdateRatio, const PointReport &P,
+                        const char *Transport = "sim") {
   json::Value O = json::Value::makeObject();
   O.add("type", json::Value::makeString(TypeName));
+  O.add("transport", json::Value::makeString(Transport));
   O.add("nodes", json::Value::makeUInt(Nodes));
   O.add("update_pct", json::Value::makeDouble(UpdateRatio * 100.0));
   O.add("throughput_ops_us",
@@ -175,11 +191,18 @@ int checkMode(const Options &Opt) {
   }
   // fig8_batched is validated when present (reports predating the
   // batching layer stay checkable), and required by the speedup gate.
+  // The wall-clock shm sections are likewise validated only when present:
+  // their shape must be sound, but no speedup floor applies to them.
   bool HasBatched = Doc.find("fig8_batched") != nullptr;
   if (HasBatched && !checkPoint(Doc, "fig8_batched", Err)) {
     std::fprintf(stderr, "check failed: %s\n", Err.c_str());
     return 1;
   }
+  for (const char *ShmFig : {"fig8_shm", "fig8_shm_batched"})
+    if (Doc.find(ShmFig) && !checkPoint(Doc, ShmFig, Err)) {
+      std::fprintf(stderr, "check failed: %s\n", Err.c_str());
+      return 1;
+    }
   if (Opt.MinBatchSpeedup > 0) {
     if (!HasBatched) {
       std::fprintf(stderr,
@@ -249,6 +272,7 @@ int compareMode(const Options &Opt) {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--ops N] [--reps N] [--smoke] [--out FILE]\n"
+               "          [--transport sim|shm|both]\n"
                "       %s --check FILE [--min-batch-speedup X]\n"
                "       %s --compare A.json B.json [--tolerance T]\n",
                Argv0, Argv0, Argv0);
@@ -279,6 +303,8 @@ int main(int Argc, char **Argv) {
       Opt.Tolerance = std::strtod(V, nullptr);
     else if (A == "--min-batch-speedup" && (V = Next()))
       Opt.MinBatchSpeedup = std::strtod(V, nullptr);
+    else if (A == "--transport" && (V = Next()))
+      Opt.Transport = V;
     else if (A == "--compare") {
       const char *VA = Next();
       const char *VB = Next();
@@ -296,14 +322,13 @@ int main(int Argc, char **Argv) {
     return checkMode(Opt);
   if (!Opt.CompareA.empty())
     return compareMode(Opt);
-
-  // Fig8 point: reducible updates (counter), 4 nodes, 25% update ratio --
-  // the headline throughput configuration -- plus the same point with the
-  // call-batching layer enabled. Fig9 point: irreducible conflict-free
-  // updates through the F rings (ORSet), same shape.
-  PointReport Fig8 = runFigPoint("counter", 4, 0.25, Opt);
-  PointReport Fig8B = runFigPoint("counter", 4, 0.25, Opt, true);
-  PointReport Fig9 = runFigPoint("orset", 4, 0.25, Opt);
+  if (Opt.Transport != "sim" && Opt.Transport != "shm" &&
+      Opt.Transport != "both") {
+    std::fprintf(stderr, "error: --transport must be sim, shm, or both\n");
+    return 2;
+  }
+  const bool RunSim = Opt.Transport != "shm";
+  const bool RunShm = Opt.Transport != "sim";
 
   json::Value Doc = json::Value::makeObject();
   Doc.add("schema", json::Value::makeString("hamband-bench-v1"));
@@ -314,18 +339,50 @@ int main(int Argc, char **Argv) {
 #endif
   Doc.add("ops", json::Value::makeUInt(Opt.Ops));
   Doc.add("reps", json::Value::makeUInt(std::max(1u, Opt.Reps)));
-  Doc.add("fig8", pointToJson("counter", 4, 0.25, Fig8));
-  json::Value Fig8BJson = pointToJson("counter", 4, 0.25, Fig8B);
-  Fig8BJson.add("batched", json::Value::makeBool(true));
-  Doc.add("fig8_batched", std::move(Fig8BJson));
-  Doc.add("fig9", pointToJson("orset", 4, 0.25, Fig9));
 
-  // Embed the fig9 run's merged snapshot so a report is self-describing:
-  // readers can recompute the percentiles from the raw buckets.
-  if (!Fig9.R.ClusterStats.empty()) {
-    json::Value Stats;
-    if (json::parse(Fig9.R.ClusterStats.toJson(), Stats))
-      Doc.add("stats", std::move(Stats));
+  double SimTput = 0, SimBTput = 0, Fig9P99 = 0;
+  if (RunSim) {
+    // Fig8 point: reducible updates (counter), 4 nodes, 25% update ratio
+    // -- the headline throughput configuration -- plus the same point
+    // with the call-batching layer enabled. Fig9 point: irreducible
+    // conflict-free updates through the F rings (ORSet), same shape.
+    PointReport Fig8 = runFigPoint("counter", 4, 0.25, Opt);
+    PointReport Fig8B = runFigPoint("counter", 4, 0.25, Opt, true);
+    PointReport Fig9 = runFigPoint("orset", 4, 0.25, Opt);
+    SimTput = Fig8.R.ThroughputOpsPerUs;
+    SimBTput = Fig8B.R.ThroughputOpsPerUs;
+    Fig9P99 = Fig9.P99Us;
+    Doc.add("fig8", pointToJson("counter", 4, 0.25, Fig8));
+    json::Value Fig8BJson = pointToJson("counter", 4, 0.25, Fig8B);
+    Fig8BJson.add("batched", json::Value::makeBool(true));
+    Doc.add("fig8_batched", std::move(Fig8BJson));
+    Doc.add("fig9", pointToJson("orset", 4, 0.25, Fig9));
+
+    // Embed the fig9 run's merged snapshot so a report is
+    // self-describing: readers can recompute the percentiles from the
+    // raw buckets.
+    if (!Fig9.R.ClusterStats.empty()) {
+      json::Value Stats;
+      if (json::parse(Fig9.R.ClusterStats.toJson(), Stats))
+        Doc.add("stats", std::move(Stats));
+    }
+  }
+
+  double ShmTput = 0, ShmBTput = 0;
+  if (RunShm) {
+    // The same fig8 point on real threads over real shared memory:
+    // throughput here is wall-clock operations per microsecond on this
+    // host, measured over the exact protocol code the simulator runs.
+    PointReport Shm = runFigPoint("counter", 4, 0.25, Opt, false,
+                                  rdma::TransportKind::Shm);
+    PointReport ShmB = runFigPoint("counter", 4, 0.25, Opt, true,
+                                   rdma::TransportKind::Shm);
+    ShmTput = Shm.R.ThroughputOpsPerUs;
+    ShmBTput = ShmB.R.ThroughputOpsPerUs;
+    Doc.add("fig8_shm", pointToJson("counter", 4, 0.25, Shm, "shm"));
+    json::Value ShmBJson = pointToJson("counter", 4, 0.25, ShmB, "shm");
+    ShmBJson.add("batched", json::Value::makeBool(true));
+    Doc.add("fig8_shm_batched", std::move(ShmBJson));
   }
 
   std::string Text = Doc.write();
@@ -339,10 +396,14 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: cannot write %s\n", Opt.Out.c_str());
       return 1;
     }
-    std::printf("wrote %s (fig8 tput %.4f ops/us, batched %.4f ops/us, "
-                "fig9 p99 %.2f us)\n",
-                Opt.Out.c_str(), Fig8.R.ThroughputOpsPerUs,
-                Fig8B.R.ThroughputOpsPerUs, Fig9.P99Us);
+    if (RunSim)
+      std::printf("wrote %s (fig8 tput %.4f ops/us, batched %.4f ops/us, "
+                  "fig9 p99 %.2f us)\n",
+                  Opt.Out.c_str(), SimTput, SimBTput, Fig9P99);
+    if (RunShm)
+      std::printf("wrote %s (fig8_shm wall-clock tput %.4f ops/us, "
+                  "batched %.4f ops/us)\n",
+                  Opt.Out.c_str(), ShmTput, ShmBTput);
   }
   return 0;
 }

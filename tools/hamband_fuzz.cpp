@@ -72,6 +72,7 @@ struct Options {
   bool Minimize = false;
   bool Batch = false; // Also run a batched twin and diff the outcomes.
   bool Stats = false; // Dump the merged metrics snapshot as JSON.
+  std::string Transport = "sim"; // Only "sim" is accepted; see below.
 };
 
 /// Everything needed to reproduce one run.
@@ -396,7 +397,7 @@ int usage(const char *Argv0) {
       "usage: %s [--runs N] [--seed S] [--calls N] [--nodes N]\n"
       "          [--type NAME] [--only RUN] [--dump FILE]\n"
       "          [--replay-trace FILE] [--minimize] [--no-replay]\n"
-      "          [--batch] [--stats] [--verbose]\n",
+      "          [--batch] [--stats] [--verbose] [--transport sim]\n",
       Argv0);
   return 2;
 }
@@ -437,8 +438,22 @@ int main(int Argc, char **Argv) {
       Opt.Stats = true;
     else if (A == "--verbose")
       Opt.Verbose = true;
+    else if (A == "--transport" && (V = Next()))
+      Opt.Transport = V;
     else
       return usage(Argv[0]);
+  }
+
+  // Fault schedules are defined in simulated time and their traces replay
+  // bit-for-bit only against the deterministic simulator; the concurrent
+  // shm transport has neither property (see docs/transport.md).
+  if (Opt.Transport != "sim") {
+    std::fprintf(stderr,
+                 "error: --transport %s is not supported: fault-schedule "
+                 "fuzzing and trace replay are sim-only (the shm backend "
+                 "is not deterministic and cannot replay traces)\n",
+                 Opt.Transport.c_str());
+    return 2;
   }
 
   if (!Opt.ReplayFile.empty()) {
