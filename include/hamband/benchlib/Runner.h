@@ -50,6 +50,14 @@ struct RunnerOptions {
   /// HambandConfig::tunedFor, and a run that cannot finish is cut off by
   /// SafetyCap interpreted as wall-clock nanoseconds.
   rdma::TransportKind Transport = rdma::TransportKind::Sim;
+  /// Sharded keyspace deployment: number of shards (0 = the classic
+  /// unsharded single-object cluster). Hamband runtime only. When > 0,
+  /// the workload's NumObjects ids ("obj<i>") are registered up front and
+  /// every generated call is keyed by its drawn object index, dispatching
+  /// to the owning shard (runtime/ShardedCluster.h).
+  unsigned NumShards = 0;
+  /// Virtual nodes per shard on the placement ring (NumShards > 0 only).
+  unsigned KeyspaceVirtualNodes = 64;
 };
 
 /// Runs the workload once with the given seed.

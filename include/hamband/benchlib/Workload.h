@@ -42,6 +42,15 @@ struct WorkloadSpec {
   /// Inject a failure into this node when FailAtFraction of ops issued.
   std::optional<unsigned> FailNode;
   double FailAtFraction = 0.4;
+  /// Keyed (multi-object) workloads: number of distinct objects the calls
+  /// target. 0 = single-object workload (no key dimension); when > 0 the
+  /// generator draws an object index per call (see lastObjectIndex()) and
+  /// the sharded runner addresses that object's interned key.
+  std::uint64_t NumObjects = 0;
+  /// Zipfian skew of the object popularity distribution (YCSB's theta):
+  /// 0 = uniform; 0.99 = the YCSB default hot-key skew. Only meaningful
+  /// with NumObjects > 1.
+  double ZipfSkew = 0.0;
 };
 
 /// Per-node call generator (deterministic from the seed).
@@ -57,13 +66,23 @@ public:
   /// True if the last drawn call was an update.
   bool lastWasUpdate() const { return LastWasUpdate; }
 
+  /// Object index drawn for the last call (uniform or zipfian over
+  /// [0, Spec.NumObjects)); 0 when the workload is single-object.
+  std::uint64_t lastObjectIndex() const { return LastObject; }
+
 private:
+  std::uint64_t drawObjectIndex();
+
   const ObjectType &Type;
   const WorkloadSpec &Spec;
   sim::Rng Rng;
   std::vector<MethodId> Updates;
   std::vector<MethodId> Queries;
   bool LastWasUpdate = false;
+  std::uint64_t LastObject = 0;
+  // Zipfian state (Gray et al. / YCSB): precomputed in the constructor so
+  // each draw is O(1).
+  double Zetan = 0, Zeta2 = 0, Alpha = 0, Eta = 0;
 };
 
 /// Reads the HAMBAND_OPS environment override (0 = unset).

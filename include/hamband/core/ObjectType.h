@@ -21,6 +21,7 @@
 #include "hamband/core/ObjectState.h"
 #include "hamband/sim/Rng.h"
 
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -122,8 +123,20 @@ public:
 
   // -- Convenience helpers ------------------------------------------------
 
-  /// P(σ, c): the invariant holds after applying \p C to \p S.
-  bool permissible(const ObjectState &S, const Call &C) const;
+  /// P(σ, c): the invariant holds after applying \p C to \p S. The default
+  /// applies \p C to a full clone of \p S; types whose state partitions
+  /// into independent pieces (KeyedObjectType) override it to clone and
+  /// check only the piece \p C touches.
+  virtual bool permissible(const ObjectState &S, const Call &C) const;
+
+  /// Speculative permissibility on the leader's conflicting-call path:
+  /// I(c(p_k(... p_1(σ)))) -- whether \p C keeps the invariant once the
+  /// already-appended-but-not-yet-delivered \p Pending calls land on \p S.
+  /// The default clones \p S whole and replays everything; partitioned
+  /// types override it to restrict the replay to \p C's piece.
+  virtual bool invariantAfter(const ObjectState &S,
+                              const std::deque<Call> &Pending,
+                              const Call &C) const;
 
   /// Applies \p C to a clone of \p S and returns the result.
   StatePtr applyCopy(const ObjectState &S, const Call &C) const;

@@ -34,6 +34,16 @@ std::unique_ptr<ObjectType> makeType(const std::string &Name);
 /// True when the name is registered.
 bool isTypeRegistered(const std::string &Name);
 
+/// Creates the keyed multi-object lift of registered base type
+/// \p BaseName (see core/KeyedObjectType.h): state becomes a map of
+/// independent base substates and every call carries its key as the
+/// first argument. The returned type owns its base instance. Keyed lifts
+/// are deliberately *not* listed in registeredTypeNames(): the fuzz /
+/// verifier / conformance "every registered type" loops stay the base
+/// corpus, and sharded deployments build the lift explicitly.
+std::unique_ptr<ObjectType> makeKeyedType(const std::string &BaseName,
+                                          Value SampleKeyDomain = 2);
+
 } // namespace hamband
 
 #endif // HAMBAND_CORE_TYPEREGISTRY_H

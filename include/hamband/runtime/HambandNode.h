@@ -96,6 +96,11 @@ struct HambandConfig {
   bool RespondAfterCompletion = true;
   /// Reduction-aware batching of the broadcast hot path.
   BatchingConfig Batch;
+  /// Rotates initial consensus leadership: group G starts led by node
+  /// (G + LeaderOffset) % N. A sharded deployment gives each shard a
+  /// distinct offset so shard leaders spread across the cluster instead
+  /// of piling every group-0 leader onto node 0.
+  unsigned LeaderOffset = 0;
 
   /// Returns this config with every interval stretched to suit \p Kind.
   /// The defaults above are calibrated against the simulator's virtual

@@ -44,12 +44,15 @@ public:
             unsigned NumSyncGroups, RingGeometry FreeGeom,
             RingGeometry ConfGeom, RingGeometry MailGeom,
             std::uint32_t SummarySlotBytes = 512,
-            std::uint32_t BackupSlotBytes = 1024)
+            std::uint32_t BackupSlotBytes = 1024, rdma::MemOffset Base = 0)
       : Procs(NumProcesses), SumGroups(NumSumGroups),
         SyncGroups(NumSyncGroups), FreeGeom(FreeGeom), ConfGeom(ConfGeom),
         MailGeom(MailGeom), SummaryBytes(SummarySlotBytes),
-        BackupBytes(BackupSlotBytes) {
-    rdma::MemOffset Cur = 64; // Keep offset 0 unused to catch bugs.
+        BackupBytes(BackupSlotBytes), Base(Base) {
+    // Keep the first 64 bytes of every map unused to catch zero-offset
+    // bugs; with a non-zero Base the map occupies [Base, totalBytes()),
+    // which lets several maps (one per shard) share one registered region.
+    rdma::MemOffset Cur = Base + 64;
     SummaryBase = Cur;
     Cur += static_cast<rdma::MemOffset>(SumGroups) * Procs * SummaryBytes;
     FreeDataBase = Cur;
@@ -153,8 +156,15 @@ public:
            (static_cast<rdma::MemOffset>(Group) * Procs + Voter) * 24;
   }
 
-  /// Total bytes a node must register.
+  /// End offset of the map: the number of bytes a node must register for
+  /// its slots to be addressable (includes the [0, baseOffset()) prefix).
   std::size_t totalBytes() const { return Total; }
+
+  /// First offset of this map within the registered region.
+  rdma::MemOffset baseOffset() const { return Base; }
+
+  /// Bytes occupied by this map alone (totalBytes() - baseOffset()).
+  std::size_t sizeBytes() const { return Total - Base; }
 
 private:
   unsigned Procs;
@@ -165,6 +175,7 @@ private:
   RingGeometry MailGeom;
   std::uint32_t SummaryBytes;
   std::uint32_t BackupBytes;
+  rdma::MemOffset Base = 0;
 
   rdma::MemOffset SummaryBase = 0, FreeDataBase = 0, FreeFeedbackBase = 0,
                   ConfDataBase = 0, ConfFeedbackBase = 0, MailDataBase = 0,

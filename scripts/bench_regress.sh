@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Benchmark-regression harness: runs the fig8/fig9 headline points (plus
-# the batched fig8 twin) through hamband_bench_report and emits
-# BENCH_pr6.json, then validates it. Two gates run on every invocation:
+# the batched fig8 twin) and the fig_shard keyspace-scaling sweep through
+# hamband_bench_report and emits BENCH_pr7.json, then validates it. Three
+# gates run on every invocation:
 #
 #  - batching on/off: fig8_batched throughput must beat fig8 by at least
 #    --min-batch-speedup (default 1.25x);
+#  - shard scaling: the fig_shard sweep's top-shard-count throughput must
+#    beat its 1-shard point by at least --min-shard-speedup (default 2x;
+#    the sweep is deterministic simulated time, so the gate holds in
+#    smoke runs too);
 #  - unbatched no-regression: fig8 throughput must stay within --tolerance
 #    of the committed BENCH_pr4.json baseline (full runs only -- the smoke
 #    op count is too small to compare against the full-run baseline).
@@ -30,18 +35,23 @@
 # Usage: scripts/bench_regress.sh [--smoke] [--out FILE] [--ops N]
 #                                 [--reps N] [--tolerance T]
 #                                 [--min-batch-speedup X]
+#                                 [--min-shard-speedup X] [--shards LIST]
+#                                 [--shard-objects N]
 #                                 [--transport sim|shm|both] [build-dir]
 
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$REPO/build"
-OUT="$REPO/BENCH_pr6.json"
+OUT="$REPO/BENCH_pr7.json"
 BASELINE="$REPO/BENCH_pr4.json"
 OPS="${HAMBAND_OPS:-6000}"
 REPS="${HAMBAND_REPS:-1}"
 TOLERANCE=0.05
 MIN_BATCH_SPEEDUP=1.25
+MIN_SHARD_SPEEDUP=2.0
+SHARDS=1,2,4,8
+SHARD_OBJECTS=100000
 TRANSPORT=both
 SMOKE=0
 
@@ -53,6 +63,9 @@ while [ $# -gt 0 ]; do
     --reps) REPS="$2"; shift ;;
     --tolerance) TOLERANCE="$2"; shift ;;
     --min-batch-speedup) MIN_BATCH_SPEEDUP="$2"; shift ;;
+    --min-shard-speedup) MIN_SHARD_SPEEDUP="$2"; shift ;;
+    --shards) SHARDS="$2"; shift ;;
+    --shard-objects) SHARD_OBJECTS="$2"; shift ;;
     --transport) TRANSPORT="$2"; shift ;;
     -*) echo "usage: $0 [--smoke] [--out FILE] [--ops N] [--reps N]" \
              "[--tolerance T] [--transport sim|shm|both] [build-dir]" >&2
@@ -62,7 +75,8 @@ while [ $# -gt 0 ]; do
   shift
 done
 
-REPORT_ARGS=(--ops "$OPS" --reps "$REPS" --transport "$TRANSPORT")
+REPORT_ARGS=(--ops "$OPS" --reps "$REPS" --transport "$TRANSPORT"
+             --shards "$SHARDS" --shard-objects "$SHARD_OBJECTS")
 [ "$SMOKE" = 1 ] && REPORT_ARGS+=(--smoke)
 
 cmake -B "$BUILD" -S "$REPO" >/dev/null
@@ -70,7 +84,8 @@ cmake --build "$BUILD" -j"$(nproc)" --target hamband_bench_report
 
 "$BUILD/tools/hamband_bench_report" "${REPORT_ARGS[@]}" --out "$OUT"
 "$BUILD/tools/hamband_bench_report" --check "$OUT" \
-  --min-batch-speedup "$MIN_BATCH_SPEEDUP"
+  --min-batch-speedup "$MIN_BATCH_SPEEDUP" \
+  --min-shard-speedup "$MIN_SHARD_SPEEDUP"
 
 if [ "$SMOKE" = 1 ]; then
   echo "bench_regress: smoke ok ($OUT)"
@@ -91,7 +106,8 @@ fi
 # convention).
 BUILD_OFF="${BUILD}-obs-off"
 OUT_OFF="$BUILD_OFF/$(basename "${OUT%.json}")_obs_off.json"
-OFF_ARGS=(--ops "$OPS" --reps "$REPS" --transport sim)
+OFF_ARGS=(--ops "$OPS" --reps "$REPS" --transport sim
+          --shards "$SHARDS" --shard-objects "$SHARD_OBJECTS")
 cmake -B "$BUILD_OFF" -S "$REPO" -DHAMBAND_OBS=OFF >/dev/null
 cmake --build "$BUILD_OFF" -j"$(nproc)" --target hamband_bench_report
 "$BUILD_OFF/tools/hamband_bench_report" "${OFF_ARGS[@]}" --out "$OUT_OFF"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus a fault-schedule fuzz smoke, the bounded
 # coordination-verifier gate, a TSan flavor (threaded obs mutation, shm
-# ring stress, and the shm transport conformance corpus), and lint.
+# ring stress, the shm transport conformance corpus, and the shm sharded
+# keyspace corpus), and lint.
 #
 # Usage: scripts/ci.sh [build-dir]
 #   HAMBAND_SANITIZE=ON|address|thread  configure with ASan+UBSan or TSan
@@ -46,6 +47,14 @@ if "$BUILD/tools/hamband_fuzz" --runs 1 --transport shm 2>/dev/null; then
   exit 1
 fi
 
+# Keyspace policy smoke: the same fail-closed contract for sharded
+# deployments -- fuzz schedules and trace replay are defined against a
+# single unsharded cluster (the sharded corpus lives in sharding_tests).
+if "$BUILD/tools/hamband_fuzz" --runs 1 --shards 4 2>/dev/null; then
+  echo "ci: hamband_fuzz accepted --shards 4 (must reject)" >&2
+  exit 1
+fi
+
 # TSan flavor, in a separate build tree (TSan and ASan cannot mix):
 #  - the observability registry's threaded-mutation test;
 #  - the shm ring stress suite (real writer/reader threads hammering one
@@ -54,16 +63,23 @@ fi
 #    lockstep-equivalence corpus, batched and unbatched, with every node
 #    on its own OS thread. The sim half runs in the main ctest pass
 #    above, under ASan+UBSan when HAMBAND_SANITIZE is set.
+#  - the shm half of the sharded keyspace suite -- the cross-shard
+#    equivalence corpus over every registered type plus the sim-only
+#    fault-injection policy pin, with several shards multiplexed onto
+#    each node thread.
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
-  echo "ci: TSan threaded smoke (obs + shm transport)"
+  echo "ci: TSan threaded smoke (obs + shm transport + sharded keyspace)"
   cmake -B "$BUILD-tsan" -S "$REPO" -DHAMBAND_SANITIZE=thread
   cmake --build "$BUILD-tsan" -j"$(nproc)" \
-    --target obs_tests shm_ring_stress_tests transport_conformance_tests
+    --target obs_tests shm_ring_stress_tests transport_conformance_tests \
+             sharding_tests
   "$BUILD-tsan/tests/obs_tests" \
     --gtest_filter='ObsRegistry.ConcurrentMutationIsExact'
   "$BUILD-tsan/tests/shm_ring_stress_tests"
   "$BUILD-tsan/tests/transport_conformance_tests" \
     --gtest_filter='*shm*:*FaultInjection*'
+  "$BUILD-tsan/tests/sharding_tests" \
+    --gtest_filter='*shm_*:*FaultInjectionIsSimOnly*'
 fi
 
 # Lint: no-op (with a notice) when clang-tidy is not installed.

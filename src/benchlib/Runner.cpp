@@ -8,7 +8,9 @@
 
 #include "hamband/baselines/MsgCrdtRuntime.h"
 #include "hamband/baselines/MuSmrRuntime.h"
+#include "hamband/core/KeyedObjectType.h"
 #include "hamband/runtime/HambandCluster.h"
+#include "hamband/runtime/ShardedCluster.h"
 
 #include <algorithm>
 #include <cassert>
@@ -75,9 +77,25 @@ RunResult benchlib::runOnce(const ObjectType &Type,
                             const WorkloadSpec &Workload,
                             const RunnerOptions &Opts, std::uint64_t Seed) {
   const bool OnShm = Opts.Transport == rdma::TransportKind::Shm;
+  const bool IsSharded = Opts.NumShards > 0;
   sim::Simulator SimObj; // Used only by the sim transport.
   std::unique_ptr<ReplicaRuntime> RT;
   runtime::HambandCluster *Cluster = nullptr;
+  runtime::ShardedCluster *Sharded = nullptr;
+
+  // Builds the sharded deployment: the workload's objects are registered
+  // as ids "obj<i>" so the drawn object index IS the interned key.
+  auto buildSharded = [&](std::unique_ptr<runtime::ShardedCluster> C) {
+    std::uint64_t Objects = std::max<std::uint64_t>(1, Workload.NumObjects);
+    for (std::uint64_t I = 0; I < Objects; ++I)
+      C->registerObject("obj" + std::to_string(I));
+    Sharded = C.get();
+    C->start();
+    RT = std::move(C);
+  };
+  runtime::KeyspaceConfig KSCfg;
+  KSCfg.NumShards = Opts.NumShards;
+  KSCfg.VirtualNodes = Opts.KeyspaceVirtualNodes;
 
   if (OnShm) {
     // The baselines model their costs in simulated time and have no
@@ -89,11 +107,23 @@ RunResult benchlib::runOnce(const ObjectType &Type,
       R.Completed = false;
       return R;
     }
-    auto C = std::make_unique<runtime::HambandCluster>(
-        rdma::TransportKind::Shm, Opts.NumNodes, Type, Opts.Model, Opts.Cfg);
-    Cluster = C.get();
-    C->start();
-    RT = std::move(C);
+    if (IsSharded) {
+      buildSharded(std::make_unique<runtime::ShardedCluster>(
+          rdma::TransportKind::Shm, Opts.NumNodes, Type, KSCfg, Opts.Model,
+          Opts.Cfg));
+    } else {
+      auto C = std::make_unique<runtime::HambandCluster>(
+          rdma::TransportKind::Shm, Opts.NumNodes, Type, Opts.Model,
+          Opts.Cfg);
+      Cluster = C.get();
+      C->start();
+      RT = std::move(C);
+    }
+  } else if (IsSharded) {
+    assert(Opts.Kind == RuntimeKind::Hamband &&
+           "sharded deployments run the Hamband runtime only");
+    buildSharded(std::make_unique<runtime::ShardedCluster>(
+        SimObj, Opts.NumNodes, Type, KSCfg, Opts.Model, Opts.Cfg));
   } else {
     switch (Opts.Kind) {
     case RuntimeKind::Hamband: {
@@ -131,8 +161,12 @@ RunResult benchlib::runOnce(const ObjectType &Type,
 
   auto State = std::make_shared<DriverState>();
   std::vector<std::unique_ptr<CallGenerator>> Gens;
+  // Sharded runs generate base-form calls (the keyed lift's own sampler
+  // draws keys from a tiny analysis domain); the key is attached below
+  // from the generator's object index.
+  const ObjectType &GenType = IsSharded ? Type : RT->objectType();
   for (unsigned N = 0; N < Opts.NumNodes; ++N)
-    Gens.push_back(std::make_unique<CallGenerator>(RT->objectType(), W, N));
+    Gens.push_back(std::make_unique<CallGenerator>(GenType, W, N));
 
   // Routes around failed nodes: the paper redirects a failed node's
   // requests to the next available node. Rotating the start point spreads
@@ -177,6 +211,11 @@ RunResult benchlib::runOnce(const ObjectType &Type,
       unsigned Origin = AliveOrigin(Node);
       C = Gens[Node]->next(Origin, State->NextReq++);
       IsUpdate = Gens[Node]->lastWasUpdate();
+      Value ObjKey = 0;
+      if (IsSharded) {
+        ObjKey = static_cast<Value>(Gens[Node]->lastObjectIndex());
+        C = KeyedObjectType::keyCall(ObjKey, C);
+      }
       Target = Origin;
       if (Spec.category(C.Method) == MethodCategory::Conflicting) {
         if (OnShm) {
@@ -187,9 +226,15 @@ RunResult benchlib::runOnce(const ObjectType &Type,
         } else {
           // Conflicting calls go straight to the group leader; if the
           // known leader has failed, the call enters at a live node,
-          // whose runtime retries it against successive leaders.
+          // whose runtime retries it against successive leaders. On a
+          // sharded deployment the leader is the *owning shard's* group
+          // leader (shards rotate leadership across nodes).
           unsigned Observer = AliveOrigin(0);
-          Target = RT->leaderOf(*Spec.syncGroup(C.Method), Observer);
+          Target = IsSharded
+                       ? Sharded->leaderOfShard(Sharded->shardOfKey(ObjKey),
+                                                *Spec.syncGroup(C.Method),
+                                                Observer)
+                       : RT->leaderOf(*Spec.syncGroup(C.Method), Observer);
           if (RT->isFailed(Target))
             Target = Origin;
         }
@@ -260,7 +305,13 @@ RunResult benchlib::runOnce(const ObjectType &Type,
     while (T.now() - StartT < static_cast<sim::SimTime>(Opts.SafetyCap)) {
       std::this_thread::sleep_for(Slice);
       bool AllDone = false;
-      Cluster->withPausedWorld([&]() {
+      auto Inspect = [&](const std::function<void()> &Fn) {
+        if (Sharded)
+          Sharded->withPausedWorld(Fn);
+        else
+          Cluster->withPausedWorld(Fn);
+      };
+      Inspect([&]() {
         double Backlog = static_cast<double>(RT->replicationBacklog());
         BacklogSum += Backlog;
         BacklogMax = std::max(BacklogMax, Backlog);

@@ -140,6 +140,16 @@ bool ObjectType::permissible(const ObjectState &S, const Call &C) const {
   return invariant(*Post);
 }
 
+bool ObjectType::invariantAfter(const ObjectState &S,
+                                const std::deque<Call> &Pending,
+                                const Call &C) const {
+  StatePtr Spec = S.clone();
+  for (const Call &P : Pending)
+    apply(*Spec, P);
+  apply(*Spec, C);
+  return invariant(*Spec);
+}
+
 StatePtr ObjectType::applyCopy(const ObjectState &S, const Call &C) const {
   StatePtr Copy = S.clone();
   apply(*Copy, C);

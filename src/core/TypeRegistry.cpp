@@ -6,6 +6,7 @@
 
 #include "hamband/core/TypeRegistry.h"
 
+#include "hamband/core/KeyedObjectType.h"
 #include "hamband/types/Auction.h"
 #include "hamband/types/BankAccount.h"
 #include "hamband/types/Counter.h"
@@ -79,4 +80,27 @@ std::unique_ptr<ObjectType> hamband::makeType(const std::string &Name) {
       return E.Make();
   assert(false && "unknown data type name");
   std::abort();
+}
+
+namespace {
+
+/// KeyedObjectType holds a reference to its base; this wrapper keeps the
+/// base instance alive for the lift's lifetime. The base member is
+/// constructed (and thus valid) before the KeyedObjectType subobject
+/// reads it.
+class OwnedKeyedType : public KeyedObjectType {
+public:
+  OwnedKeyedType(std::unique_ptr<ObjectType> B, Value SampleKeyDomain)
+      : KeyedObjectType(*B, SampleKeyDomain), Owned(std::move(B)) {}
+
+private:
+  std::unique_ptr<ObjectType> Owned;
+};
+
+} // namespace
+
+std::unique_ptr<ObjectType>
+hamband::makeKeyedType(const std::string &BaseName, Value SampleKeyDomain) {
+  return std::make_unique<OwnedKeyedType>(makeType(BaseName),
+                                          SampleKeyDomain);
 }

@@ -156,7 +156,7 @@ HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
   ConfReaders.resize(Groups);
   Consensus.resize(Groups);
   for (unsigned G = 0; G < Groups; ++G) {
-    rdma::NodeId InitialLeader = G % N;
+    rdma::NodeId InitialLeader = (G + Cfg.LeaderOffset) % N;
     ConfReaders[G] = std::make_unique<RingReader>(
         Fabric, Self, InitialLeader, Map.confRingData(G),
         Map.confRingFeedback(G, Self), Map.confGeom(),
@@ -631,11 +631,7 @@ void HambandNode::leaderProcessConf(unsigned G, ProcessId Origin,
   // Speculative permissibility: the call must keep the invariant after
   // every already-appended (but not yet applied) call of this group.
   Call Prepared = Type.prepare(visibleState(), C);
-  StatePtr SpecState = visibleState().clone();
-  for (const Call &Pend : LeaderSpeculative[G])
-    Type.apply(*SpecState, Pend);
-  Type.apply(*SpecState, Prepared);
-  if (!Type.invariant(*SpecState)) {
+  if (!Type.invariantAfter(visibleState(), LeaderSpeculative[G], Prepared)) {
     // Not (yet) permissible. A dependent call may become permissible once
     // its dependencies are delivered (e.g. worksOn waiting for its
     // addProject), so hold it briefly before rejecting -- this wait is

@@ -1,0 +1,103 @@
+//===- runtime/Keyspace.cpp - Consistent-hash keyspace ---------------------=//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/runtime/Keyspace.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hamband;
+using namespace hamband::runtime;
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+Keyspace::Keyspace(KeyspaceConfig Cfg) : Cfg(Cfg) {
+  assert(Cfg.NumShards >= 1 && Cfg.VirtualNodes >= 1);
+  Ring.reserve(static_cast<std::size_t>(Cfg.NumShards) * Cfg.VirtualNodes);
+  for (std::uint32_t S = 0; S < Cfg.NumShards; ++S)
+    for (std::uint32_t V = 0; V < Cfg.VirtualNodes; ++V) {
+      std::uint64_t Point = splitmix64(
+          Cfg.HashSeed ^ ((static_cast<std::uint64_t>(S) << 32) | V));
+      Ring.emplace_back(Point, S);
+    }
+  // Sorting the full pair breaks point collisions by shard id, keeping
+  // lookup deterministic across replicas.
+  std::sort(Ring.begin(), Ring.end());
+}
+
+std::uint64_t Keyspace::hashId(std::string_view Id, std::uint64_t Seed) {
+  std::uint64_t H = 0xcbf29ce484222325ull; // FNV-1a.
+  for (unsigned char C : Id) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return splitmix64(H ^ Seed);
+}
+
+unsigned Keyspace::shardOf(std::string_view Id) const {
+  std::uint64_t Point = hashId(Id, Cfg.HashSeed);
+  // Successor virtual node, wrapping past the top of the ring.
+  auto It = std::upper_bound(
+      Ring.begin(), Ring.end(),
+      std::make_pair(Point, ~std::uint32_t(0)));
+  if (It == Ring.end())
+    It = Ring.begin();
+  return It->second;
+}
+
+Value Keyspace::registerObject(const std::string &Id) {
+  auto It = Index.find(Id);
+  if (It != Index.end())
+    return It->second;
+  Value Key = static_cast<Value>(Ids.size());
+  Index.emplace(Id, Key);
+  Ids.push_back(Id);
+  KeyShard.push_back(static_cast<std::uint32_t>(shardOf(Id)));
+  return Key;
+}
+
+std::optional<Value> Keyspace::keyOf(const std::string &Id) const {
+  auto It = Index.find(Id);
+  if (It == Index.end())
+    return std::nullopt;
+  return It->second;
+}
+
+const std::string &Keyspace::idOf(Value Key) const {
+  assert(knownKey(Key) && "unknown object key");
+  return Ids[static_cast<std::size_t>(Key)];
+}
+
+unsigned Keyspace::shardOfKey(Value Key) const {
+  assert(knownKey(Key) && "unknown object key");
+  return KeyShard[static_cast<std::size_t>(Key)];
+}
+
+std::vector<std::size_t> Keyspace::shardLoads() const {
+  std::vector<std::size_t> Loads(Cfg.NumShards, 0);
+  for (std::uint32_t S : KeyShard)
+    ++Loads[S];
+  return Loads;
+}
+
+double Keyspace::imbalance() const {
+  if (Ids.empty())
+    return 1.0;
+  std::vector<std::size_t> Loads = shardLoads();
+  std::size_t Max = *std::max_element(Loads.begin(), Loads.end());
+  double Mean =
+      static_cast<double>(Ids.size()) / static_cast<double>(Cfg.NumShards);
+  return static_cast<double>(Max) / Mean;
+}

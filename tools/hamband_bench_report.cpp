@@ -14,12 +14,21 @@
 //   hamband_bench_report --transport both --out B.json  # + shm wall-clock
 //   hamband_bench_report --check BENCH.json        # validate a report
 //   hamband_bench_report --check BENCH.json --min-batch-speedup 1.25
+//   hamband_bench_report --check BENCH.json --min-shard-speedup 2.0
 //   hamband_bench_report --compare A.json B.json --tolerance 0.05
 //
 // --transport selects the backend dimension: "sim" (default) emits the
-// simulated-time figures fig8/fig8_batched/fig9; "shm" emits only the
-// wall-clock shared-memory points fig8_shm/fig8_shm_batched; "both"
-// emits all five sections side by side. The shm numbers measure real
+// simulated-time figures fig8/fig8_batched/fig9 plus the fig_shard
+// sharding sweep; "shm" emits only the wall-clock shared-memory points
+// fig8_shm/fig8_shm_batched; "both" emits all sections side by side.
+//
+// The fig_shard sweep measures keyspace scaling: a conflicting-call
+// workload (movie addCustomer/deleteCustomer -- one sync group, so the
+// unsharded cluster funnels every call through a single leader node)
+// over --shard-objects distinct objects, run at 1/2/4/8 shards, plus
+// one zipfian hot-key companion point at the top shard count. --check
+// with --min-shard-speedup gates the top-shard-count throughput against
+// the 1-shard figure. The shm numbers measure real
 // threads on real memory and depend on the host's core count, so they
 // are recorded for trend-watching but never gated on a speedup floor,
 // and --compare only ever examines the sim fig8 section.
@@ -62,8 +71,16 @@ struct Options {
   /// With --check: require fig8_batched throughput to be at least this
   /// multiple of fig8 (0 = no gate).
   double MinBatchSpeedup = 0;
+  /// With --check: require the fig_shard sweep's top-shard-count
+  /// throughput to be at least this multiple of its 1-shard point
+  /// (0 = no gate).
+  double MinShardSpeedup = 0;
   /// Backend dimension: "sim", "shm", or "both".
   std::string Transport = "sim";
+  /// Shard counts for the fig_shard sweep (sim only; empty disables it).
+  std::vector<unsigned> Shards = {1, 2, 4, 8};
+  /// Distinct objects in the fig_shard keyspace.
+  std::uint64_t ShardObjects = 100000;
 };
 
 /// One figure point: the workload result plus the percentile source.
@@ -74,6 +91,26 @@ struct PointReport {
   double MaxUs = 0;
   const char *Source = "driver";
 };
+
+/// Fills the percentile fields from the run. Prefers the runtime's own
+/// histogram: it is what production deployments would export. The
+/// driver's exact samples remain the fallback for HAMBAND_OBS=OFF
+/// builds.
+void fillPercentiles(PointReport &P) {
+  if (const obs::HistogramSnapshot *H =
+          P.R.ClusterStats.histogram("node.resp_ns")) {
+    if (H->Count) {
+      P.P50Us = static_cast<double>(H->quantile(0.50)) / 1000.0;
+      P.P99Us = static_cast<double>(H->quantile(0.99)) / 1000.0;
+      P.MaxUs = static_cast<double>(H->Max) / 1000.0;
+      P.Source = "obs";
+      return;
+    }
+  }
+  P.P50Us = P.R.P50ResponseUs;
+  P.P99Us = P.R.P99ResponseUs;
+  P.MaxUs = P.R.MaxResponseUs;
+}
 
 PointReport runFigPoint(const std::string &TypeName, unsigned Nodes,
                         double UpdateRatio, const Options &Opt,
@@ -93,23 +130,33 @@ PointReport runFigPoint(const std::string &TypeName, unsigned Nodes,
 
   PointReport P;
   P.R = runWorkload(*Type, W, RO);
+  fillPercentiles(P);
+  return P;
+}
 
-  // Prefer the runtime's own histogram: it is what production deployments
-  // would export. The driver's exact samples remain the fallback for
-  // HAMBAND_OBS=OFF builds.
-  if (const obs::HistogramSnapshot *H =
-          P.R.ClusterStats.histogram("node.resp_ns")) {
-    if (H->Count) {
-      P.P50Us = static_cast<double>(H->quantile(0.50)) / 1000.0;
-      P.P99Us = static_cast<double>(H->quantile(0.99)) / 1000.0;
-      P.MaxUs = static_cast<double>(H->Max) / 1000.0;
-      P.Source = "obs";
-      return P;
-    }
-  }
-  P.P50Us = P.R.P50ResponseUs;
-  P.P99Us = P.R.P99ResponseUs;
-  P.MaxUs = P.R.MaxResponseUs;
+/// One fig_shard sweep entry: the movie conflicting-call workload
+/// (addCustomer/deleteCustomer only -- a single sync group, so the
+/// 1-shard baseline is bottlenecked on one leader node) over a keyspace
+/// of Opt.ShardObjects objects, deployed at the given shard count.
+PointReport runShardPoint(unsigned Shards, double ZipfSkew,
+                          const Options &Opt) {
+  auto Type = makeType("movie");
+  WorkloadSpec W;
+  W.NumOps = Opt.Ops;
+  W.UpdateRatio = 1.0;
+  W.UpdateMethods = {0, 1}; // addCustomer, deleteCustomer.
+  W.NumObjects = Opt.ShardObjects;
+  W.ZipfSkew = ZipfSkew;
+  RunnerOptions RO;
+  RO.Kind = RuntimeKind::Hamband;
+  RO.NumNodes = 4;
+  RO.Repetitions = Opt.Reps;
+  RO.Transport = rdma::TransportKind::Sim;
+  RO.NumShards = Shards;
+
+  PointReport P;
+  P.R = runWorkload(*Type, W, RO);
+  fillPercentiles(P);
   return P;
 }
 
@@ -203,6 +250,61 @@ int checkMode(const Options &Opt) {
       std::fprintf(stderr, "check failed: %s\n", Err.c_str());
       return 1;
     }
+  // fig_shard, like fig8_batched, is validated when present (reports
+  // predating the keyspace layer stay checkable) and required by the
+  // shard-speedup gate. Each sweep entry must be a sound figure point
+  // with a positive shard count; the 1-shard baseline must be present
+  // for the gate to be meaningful.
+  const json::Value *ShardSweep = Doc.find("fig_shard");
+  double Shard1Tput = 0, ShardTopTput = 0;
+  std::uint64_t TopShards = 0;
+  if (ShardSweep) {
+    const json::Value *Points = ShardSweep->find("points");
+    if (!Points || !Points->isArray() || Points->Arr.empty()) {
+      std::fprintf(stderr,
+                   "check failed: fig_shard.points missing or empty\n");
+      return 1;
+    }
+    for (const json::Value &P : Points->Arr) {
+      for (const char *F : PointFields) {
+        const json::Value *V = P.find(F);
+        if (!V || !V->isNumber() || !std::isfinite(V->asDouble()) ||
+            V->asDouble() < 0) {
+          std::fprintf(stderr, "check failed: fig_shard point %s missing "
+                               "or not a finite number\n",
+                       F);
+          return 1;
+        }
+      }
+      const json::Value *C = P.find("completed");
+      const json::Value *S = P.find("shards");
+      if (!C || !C->isBool() || !C->B || !S || !S->isNumber() ||
+          S->asDouble() < 1) {
+        std::fprintf(stderr, "check failed: fig_shard point incomplete "
+                             "or missing a positive shard count\n");
+        return 1;
+      }
+      auto Shards = static_cast<std::uint64_t>(S->asDouble());
+      double Tput = P.find("throughput_ops_us")->asDouble();
+      if (Shards == 1)
+        Shard1Tput = Tput;
+      if (Shards >= TopShards) {
+        TopShards = Shards;
+        ShardTopTput = Tput;
+      }
+    }
+    if (const json::Value *Z = ShardSweep->find("zipf"))
+      for (const char *F : PointFields) {
+        const json::Value *V = Z->find(F);
+        if (!V || !V->isNumber() || !std::isfinite(V->asDouble())) {
+          std::fprintf(stderr,
+                       "check failed: fig_shard.zipf.%s missing or not "
+                       "a finite number\n",
+                       F);
+          return 1;
+        }
+      }
+  }
   if (Opt.MinBatchSpeedup > 0) {
     if (!HasBatched) {
       std::fprintf(stderr,
@@ -218,6 +320,23 @@ int checkMode(const Options &Opt) {
                 Speedup, Batched, Base, Opt.MinBatchSpeedup);
     if (Speedup < Opt.MinBatchSpeedup) {
       std::fprintf(stderr, "check failed: batching speedup below floor\n");
+      return 1;
+    }
+  }
+  if (Opt.MinShardSpeedup > 0) {
+    if (!ShardSweep || Shard1Tput <= 0 || TopShards < 2) {
+      std::fprintf(stderr, "check failed: --min-shard-speedup needs a "
+                           "fig_shard sweep with a 1-shard baseline and "
+                           "a multi-shard point\n");
+      return 1;
+    }
+    double Speedup = ShardTopTput / Shard1Tput;
+    std::printf("fig_shard speedup: %.2fx (%llu shards %.4f / 1 shard "
+                "%.4f ops/us, floor %.2fx)\n",
+                Speedup, static_cast<unsigned long long>(TopShards),
+                ShardTopTput, Shard1Tput, Opt.MinShardSpeedup);
+    if (Speedup < Opt.MinShardSpeedup) {
+      std::fprintf(stderr, "check failed: shard speedup below floor\n");
       return 1;
     }
   }
@@ -272,8 +391,10 @@ int compareMode(const Options &Opt) {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--ops N] [--reps N] [--smoke] [--out FILE]\n"
-               "          [--transport sim|shm|both]\n"
+               "          [--transport sim|shm|both] [--shards LIST]\n"
+               "          [--shard-objects N]\n"
                "       %s --check FILE [--min-batch-speedup X]\n"
+               "          [--min-shard-speedup X]\n"
                "       %s --compare A.json B.json [--tolerance T]\n",
                Argv0, Argv0, Argv0);
   return 2;
@@ -303,6 +424,23 @@ int main(int Argc, char **Argv) {
       Opt.Tolerance = std::strtod(V, nullptr);
     else if (A == "--min-batch-speedup" && (V = Next()))
       Opt.MinBatchSpeedup = std::strtod(V, nullptr);
+    else if (A == "--min-shard-speedup" && (V = Next()))
+      Opt.MinShardSpeedup = std::strtod(V, nullptr);
+    else if (A == "--shards" && (V = Next())) {
+      // Comma-separated shard counts, e.g. "1,2,4,8"; "0" or an empty
+      // list disables the fig_shard sweep.
+      Opt.Shards.clear();
+      for (const char *P = V; *P;) {
+        char *End = nullptr;
+        unsigned long S = std::strtoul(P, &End, 10);
+        if (End == P)
+          return usage(Argv[0]);
+        if (S > 0)
+          Opt.Shards.push_back(static_cast<unsigned>(S));
+        P = *End == ',' ? End + 1 : End;
+      }
+    } else if (A == "--shard-objects" && (V = Next()))
+      Opt.ShardObjects = std::strtoull(V, nullptr, 10);
     else if (A == "--transport" && (V = Next()))
       Opt.Transport = V;
     else if (A == "--compare") {
@@ -315,8 +453,10 @@ int main(int Argc, char **Argv) {
     } else
       return usage(Argv[0]);
   }
-  if (Opt.Smoke)
+  if (Opt.Smoke) {
     Opt.Ops = std::min<std::uint64_t>(Opt.Ops, 600);
+    Opt.ShardObjects = std::min<std::uint64_t>(Opt.ShardObjects, 1000);
+  }
 
   if (!Opt.CheckFile.empty())
     return checkMode(Opt);
@@ -365,6 +505,47 @@ int main(int Argc, char **Argv) {
       json::Value Stats;
       if (json::parse(Fig9.R.ClusterStats.toJson(), Stats))
         Doc.add("stats", std::move(Stats));
+    }
+
+    // fig_shard: keyspace scaling sweep plus one zipfian hot-key
+    // companion at the top shard count.
+    if (!Opt.Shards.empty()) {
+      json::Value Sweep = json::Value::makeObject();
+      Sweep.add("type", json::Value::makeString("movie"));
+      Sweep.add("nodes", json::Value::makeUInt(4));
+      Sweep.add("objects", json::Value::makeUInt(Opt.ShardObjects));
+      json::Value Points = json::Value::makeArray();
+      double Shard1Tput = 0, ShardTopTput = 0;
+      unsigned TopShards = 0;
+      for (unsigned S : Opt.Shards) {
+        PointReport P = runShardPoint(S, 0.0, Opt);
+        json::Value PJ = pointToJson("movie", 4, 1.0, P);
+        PJ.add("shards", json::Value::makeUInt(S));
+        PJ.add("objects", json::Value::makeUInt(Opt.ShardObjects));
+        PJ.add("zipf_skew", json::Value::makeDouble(0.0));
+        Points.Arr.push_back(std::move(PJ));
+        if (S == 1)
+          Shard1Tput = P.R.ThroughputOpsPerUs;
+        if (S >= TopShards) {
+          TopShards = S;
+          ShardTopTput = P.R.ThroughputOpsPerUs;
+        }
+      }
+      Sweep.add("points", std::move(Points));
+      {
+        PointReport Z = runShardPoint(TopShards, 0.99, Opt);
+        json::Value ZJ = pointToJson("movie", 4, 1.0, Z);
+        ZJ.add("shards", json::Value::makeUInt(TopShards));
+        ZJ.add("objects", json::Value::makeUInt(Opt.ShardObjects));
+        ZJ.add("zipf_skew", json::Value::makeDouble(0.99));
+        Sweep.add("zipf", std::move(ZJ));
+      }
+      Doc.add("fig_shard", std::move(Sweep));
+      if (Shard1Tput > 0)
+        std::printf("fig_shard: %.4f ops/us at 1 shard, %.4f at %u shards "
+                    "(%.2fx)\n",
+                    Shard1Tput, ShardTopTput, TopShards,
+                    ShardTopTput / Shard1Tput);
     }
   }
 

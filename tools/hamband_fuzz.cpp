@@ -73,6 +73,7 @@ struct Options {
   bool Batch = false; // Also run a batched twin and diff the outcomes.
   bool Stats = false; // Dump the merged metrics snapshot as JSON.
   std::string Transport = "sim"; // Only "sim" is accepted; see below.
+  unsigned Shards = 1;           // Only 1 is accepted; see below.
 };
 
 /// Everything needed to reproduce one run.
@@ -397,7 +398,8 @@ int usage(const char *Argv0) {
       "usage: %s [--runs N] [--seed S] [--calls N] [--nodes N]\n"
       "          [--type NAME] [--only RUN] [--dump FILE]\n"
       "          [--replay-trace FILE] [--minimize] [--no-replay]\n"
-      "          [--batch] [--stats] [--verbose] [--transport sim]\n",
+      "          [--batch] [--stats] [--verbose] [--transport sim]\n"
+      "          [--shards 1]\n",
       Argv0);
   return 2;
 }
@@ -440,6 +442,8 @@ int main(int Argc, char **Argv) {
       Opt.Verbose = true;
     else if (A == "--transport" && (V = Next()))
       Opt.Transport = V;
+    else if (A == "--shards" && (V = Next()))
+      Opt.Shards = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
     else
       return usage(Argv[0]);
   }
@@ -453,6 +457,21 @@ int main(int Argc, char **Argv) {
                  "fuzzing and trace replay are sim-only (the shm backend "
                  "is not deterministic and cannot replay traces)\n",
                  Opt.Transport.c_str());
+    return 2;
+  }
+
+  // Same story for the sharded keyspace: fuzz schedules and dumped
+  // traces are defined against a single unsharded cluster, and a
+  // multi-shard deployment multiplexes several independent coordination
+  // instances whose interleaving is not captured by one FaultTrace. The
+  // option exists so drivers can probe for support and fail closed.
+  if (Opt.Shards != 1) {
+    std::fprintf(stderr,
+                 "error: --shards %u is not supported: fault-schedule "
+                 "fuzzing and trace replay run against a single unsharded "
+                 "cluster (sharded deployments are exercised by the "
+                 "sharding equivalence corpus instead)\n",
+                 Opt.Shards);
     return 2;
   }
 
