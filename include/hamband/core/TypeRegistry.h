@@ -44,6 +44,21 @@ bool isTypeRegistered(const std::string &Name);
 std::unique_ptr<ObjectType> makeKeyedType(const std::string &BaseName,
                                           Value SampleKeyDomain = 2);
 
+/// Creates a deliberately *corrupted* variant of registered base type
+/// \p BaseName whose coordination spec drops one declared edge -- the
+/// certified-counterexample fixture for `hamband_mc` and the verifier
+/// tests. \p Mutation is one of:
+///
+///   "drop-conflict:<methodA>/<methodB>"    remove the conflict edge
+///   "drop-dep:<method>/<on>"               remove the dependency edge
+///
+/// Behavior (apply/query/invariant/prepare) is forwarded to the base
+/// unchanged; only the declared relations lie. The name is decorated as
+/// "<base>#<mutation>". Mutated types are never registered. Returns
+/// nullptr when the base name, methods or edge do not exist.
+std::unique_ptr<ObjectType> makeMutatedType(const std::string &BaseName,
+                                            const std::string &Mutation);
+
 } // namespace hamband
 
 #endif // HAMBAND_CORE_TYPEREGISTRY_H

@@ -197,6 +197,47 @@ VerifyReport verifyType(const ObjectType &Type, VerifierOptions Opts = {});
 /// `hamband-analysis-v1` JSON schema (see docs/analysis.md).
 obs::json::Value reportToJson(const VerifyReport &R);
 
+/// Verdict of verifyKeyedLift: does the keyed multi-object lift
+/// (makeKeyedType) preserve the base type's coordination relations?
+struct KeyedLiftReport {
+  std::string BaseName;
+  std::string LiftName;
+  /// Bound used for the lift's own verification run.
+  unsigned Bound = 0;
+  /// Relation mismatches between the base and lift specs (query flags,
+  /// categories, conflict edges, dependency edges). Empty = preserved.
+  std::vector<std::string> Issues;
+  /// Base-Reducible methods the lift demotes to the irreducible
+  /// conflict-free path. This is the documented, deliberate
+  /// summarization drop (a keyed summary would not fit a fixed slot) --
+  /// reported explicitly rather than as a silent spec difference, and
+  /// semantics-preserving because reduce is faithful.
+  std::vector<std::string> DroppedSummarizations;
+  /// Soundness violations from the lift's own bounded verification.
+  std::vector<std::string> LiftViolations;
+  /// The lift's own verify() was sound at the bound.
+  bool LiftSound = false;
+  std::uint64_t StatesExplored = 0;
+
+  /// Every base relation survives the lift method-for-method.
+  bool preserved() const { return Issues.empty(); }
+  /// Overall gate: relations preserved and the lift itself verifies.
+  bool ok() const { return preserved() && LiftSound; }
+};
+
+/// Verifies that the keyed lift of registered type \p BaseName preserves
+/// the base coordination relations per key: update/query flags, method
+/// categories (modulo the explicit summarization drop), conflict edges
+/// and dependency edges must match method-for-method, and the lift must
+/// itself be sound under the bounded-exhaustive verifier (capped at
+/// bound 2: the keyed state space squares the base one).
+KeyedLiftReport verifyKeyedLift(const std::string &BaseName,
+                                VerifierOptions Opts = {});
+
+/// Serializes one keyed-lift report for the `hamband-analysis-v1`
+/// envelope's "keyed_lifts" array.
+obs::json::Value keyedLiftReportToJson(const KeyedLiftReport &R);
+
 } // namespace analysis
 } // namespace hamband
 

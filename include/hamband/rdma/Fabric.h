@@ -106,8 +106,7 @@ public:
   /// crashed node, exactly as raw Sim.schedule() always has.
   void runAfter(NodeId Node, sim::SimDuration Delay,
                 std::function<void()> Fn) override {
-    (void)Node;
-    Sim.schedule(Delay, std::move(Fn));
+    Sim.schedule(Delay, {sim::EventKind::Timer, Node}, std::move(Fn));
   }
 
   /// The single simulator thread IS every node's execution context, so a

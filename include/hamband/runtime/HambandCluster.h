@@ -158,6 +158,12 @@ public:
   /// converged() restricted to live nodes.
   bool convergedLive();
 
+  /// Canonical fingerprint of cluster-visible state: every node's
+  /// stateDigest() (crashed nodes hash as crashed) folded together. The
+  /// explorer combines this with the simulator's queue digest to dedup
+  /// visited configurations.
+  std::uint64_t stateFingerprint();
+
 private:
   void build(unsigned NumNodes, rdma::NetworkModel Model);
 

@@ -101,6 +101,11 @@ struct HambandConfig {
   /// distinct offset so shard leaders spread across the cluster instead
   /// of piling every group-0 leader onto node 0.
   unsigned LeaderOffset = 0;
+  /// Keep per-issuer/per-group apply-order logs (confApplyLog(),
+  /// freeApplyLog()) for the explorer's agreement and recovery-atomicity
+  /// oracles. Off by default: the logs grow with the run and would tax
+  /// the bench hot path.
+  bool RecordApplyLog = false;
 
   /// Returns this config with every interval stretched to suit \p Kind.
   /// The defaults above are calibrated against the simulator's virtual
@@ -195,6 +200,40 @@ public:
   std::size_t awaitingResponseCount() const {
     return AwaitingResponse.size();
   }
+
+  /// Apply-order logs (only populated under Cfg.RecordApplyLog): the
+  /// (issuer, request) sequence this node applied per consensus group, and
+  /// the request sequence applied per issuing process on the broadcast
+  /// path (local applies included). The explorer's agreement oracles
+  /// compare these across nodes.
+  const std::vector<std::vector<std::pair<ProcessId, RequestId>>> &
+  confApplyLog() const {
+    return ConfApplyLog;
+  }
+  const std::vector<std::vector<RequestId>> &freeApplyLog() const {
+    return FreeApplyLog;
+  }
+
+  /// Ring-cursor introspection for the explorer's ring-integrity oracle:
+  /// cells appended into the free ring this node exposes to \p Peer, and
+  /// cells consumed from \p Issuer's free ring (pad skips included). At
+  /// quiescence a live writer/reader pair must agree.
+  std::uint64_t freeWriterTail(rdma::NodeId Peer) const {
+    return Peer < FreeWriters.size() && FreeWriters[Peer]
+               ? FreeWriters[Peer]->tail()
+               : 0;
+  }
+  std::uint64_t freeReaderHead(rdma::NodeId Issuer) const {
+    return Issuer < FreeReaders.size() && FreeReaders[Issuer]
+               ? FreeReaders[Issuer]->head()
+               : 0;
+  }
+
+  /// Canonical hash of this node's cluster-visible state: object state,
+  /// applied table, broadcast/consensus cursors, ring heads/tails and
+  /// pending-queue shapes. Two nodes of two executions with equal digests
+  /// behave identically from here on (given equal pending events).
+  std::uint64_t stateDigest();
 
   // -- Batching (docs/batching.md) ----------------------------------------
 
@@ -338,6 +377,11 @@ private:
 
   // Redirected conflicting calls awaiting a response.
   std::unordered_map<RequestId, PendingConfRequest> AwaitingResponse;
+
+  // Apply-order logs (Cfg.RecordApplyLog only; see confApplyLog()).
+  std::vector<std::vector<std::pair<ProcessId, RequestId>>>
+      ConfApplyLog;                                  // [group]
+  std::vector<std::vector<RequestId>> FreeApplyLog;  // [issuer]
 
   // Components.
   std::unique_ptr<HeartbeatDetector> Detector;

@@ -29,19 +29,13 @@
 #define HAMBAND_SEMANTICS_MODELCHECKER_H
 
 #include "hamband/semantics/RdmaSemantics.h"
+#include "hamband/semantics/Schedule.h"
 
 #include <string>
 #include <vector>
 
 namespace hamband {
 namespace semantics {
-
-/// A client call scheduled for exhaustive exploration: issued at \p
-/// Process (which must be the group leader for conflicting methods).
-struct ScheduledCall {
-  ProcessId Process = 0;
-  Call TheCall;
-};
 
 /// Scope bounds and switches.
 struct ModelCheckOptions {
@@ -69,13 +63,6 @@ struct ModelCheckResult {
 ModelCheckResult modelCheck(const ObjectType &Type,
                             const std::vector<ScheduledCall> &Budget,
                             const ModelCheckOptions &Opts);
-
-/// Builds a default budget for \p Type: up to \p CallsPerMethod sampled
-/// calls per update method, issuers round-robin over the processes
-/// (leaders for conflicting methods), unique request ids.
-std::vector<ScheduledCall> defaultBudget(const ObjectType &Type,
-                                         unsigned NumProcesses,
-                                         unsigned CallsPerMethod = 1);
 
 } // namespace semantics
 } // namespace hamband

@@ -1,0 +1,43 @@
+//===- hamband/semantics/Schedule.h - Shared schedule budgets ---*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The schedule-enumeration vocabulary shared by the abstract-semantics
+/// ModelChecker, the randomized `hamband_fuzz` driver and the exhaustive
+/// `hamband_mc` explorer: a scheduled client call (who issues what) and
+/// the default per-type call budget. Keeping one source of truth here
+/// guarantees the three tools agree on what "a bounded workload" means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_SEMANTICS_SCHEDULE_H
+#define HAMBAND_SEMANTICS_SCHEDULE_H
+
+#include "hamband/core/ObjectType.h"
+
+#include <vector>
+
+namespace hamband {
+namespace semantics {
+
+/// A client call scheduled for exploration: issued at \p Process (which
+/// must be the group leader for conflicting methods).
+struct ScheduledCall {
+  ProcessId Process = 0;
+  Call TheCall;
+};
+
+/// Builds a default budget for \p Type: up to \p CallsPerMethod sampled
+/// calls per update method, issuers round-robin over the processes
+/// (leaders for conflicting methods), unique request ids.
+std::vector<ScheduledCall> defaultBudget(const ObjectType &Type,
+                                         unsigned NumProcesses,
+                                         unsigned CallsPerMethod = 1);
+
+} // namespace semantics
+} // namespace hamband
+
+#endif // HAMBAND_SEMANTICS_SCHEDULE_H

@@ -1,0 +1,91 @@
+//===- hamband/sim/EventLabel.h - Scheduler event labels -------*- C++ -*-===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic labels attached to scheduled events so that schedule explorers
+/// can reason about commutativity. A label names the kind of event (timer,
+/// CPU task, fabric delivery, completion) and the node whose observable
+/// state the event mutates. Two labeled events touching different nodes
+/// commute: the fabric serializes per-destination channel delivery times at
+/// post time, so swapping the execution order of events on distinct nodes
+/// cannot change any node-local observation. Unlabeled events are treated
+/// as dependent with everything (sound, never unsound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAMBAND_SIM_EVENTLABEL_H
+#define HAMBAND_SIM_EVENTLABEL_H
+
+#include <cstdint>
+
+namespace hamband {
+namespace sim {
+
+/// What a scheduled event does, for independence reasoning.
+enum class EventKind : std::uint8_t {
+  Unknown = 0,       ///< No metadata: dependent with everything.
+  Timer,             ///< runAfter() timer firing on a node.
+  CpuTask,           ///< Serialized CPU-lane task completing on a node.
+  OneSidedDelivery,  ///< RDMA write landing in the destination's memory.
+  ReadSample,        ///< RDMA read sampling the remote (destination) memory.
+  TwoSidedDelivery,  ///< Two-sided send delivered to the destination.
+  Completion,        ///< Verb completion callback running on the source.
+};
+
+/// Name of an event kind (diagnostics).
+const char *eventKindName(EventKind K);
+
+/// Sentinel for "no node attached to this label".
+inline constexpr std::uint32_t NoEventNode = 0xffffffffu;
+
+/// Label describing which node an event executes against. Node is the node
+/// whose state the closure mutates (delivery destination, completion
+/// source, timer owner); Peer is the other endpoint when one exists.
+struct EventLabel {
+  EventKind Kind = EventKind::Unknown;
+  std::uint32_t Node = NoEventNode;
+  std::uint32_t Peer = NoEventNode;
+
+  EventLabel() = default;
+  EventLabel(EventKind Kind, std::uint32_t Node, std::uint32_t Peer = NoEventNode)
+      : Kind(Kind), Node(Node), Peer(Peer) {}
+
+  /// True when the event carries enough metadata for independence claims.
+  bool labeled() const { return Kind != EventKind::Unknown && Node != NoEventNode; }
+
+  /// Sound commutativity check: both events are labeled and their node
+  /// footprints are disjoint. Every labeled closure mutates exactly one
+  /// node's observable state, so disjoint nodes => the two closures
+  /// commute; swapping them only renames insertion ids, and same-time ties
+  /// among their successors are themselves choice points explored
+  /// separately.
+  bool independentOf(const EventLabel &O) const {
+    return labeled() && O.labeled() && Node != O.Node;
+  }
+
+  /// Stable hash of the label (used as a sleep-set key and in queue
+  /// digests). Does not include event ids or times.
+  std::uint64_t digest() const {
+    std::uint64_t X = (static_cast<std::uint64_t>(Kind) << 48) ^
+                      (static_cast<std::uint64_t>(Node) << 16) ^
+                      static_cast<std::uint64_t>(Peer) ^ 0x9e3779b97f4a7c15ull;
+    X ^= X >> 30;
+    X *= 0xbf58476d1ce4e5b9ull;
+    X ^= X >> 27;
+    X *= 0x94d049bb133111ebull;
+    X ^= X >> 31;
+    return X;
+  }
+
+  bool operator==(const EventLabel &O) const {
+    return Kind == O.Kind && Node == O.Node && Peer == O.Peer;
+  }
+};
+
+} // namespace sim
+} // namespace hamband
+
+#endif // HAMBAND_SIM_EVENTLABEL_H

@@ -6,20 +6,24 @@
 ///
 /// \file
 /// A cancellable min-priority queue of timestamped events. Ties are broken
-/// by insertion order so that executions are fully deterministic.
+/// by insertion order so that executions are fully deterministic. Events in
+/// the earliest time bucket form the *enabled set*: schedule explorers can
+/// enumerate them (with their EventLabels) and pop any member, which is the
+/// choice-point API `hamband_mc` forks on.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HAMBAND_SIM_EVENTQUEUE_H
 #define HAMBAND_SIM_EVENTQUEUE_H
 
+#include "hamband/sim/EventLabel.h"
 #include "hamband/sim/SimTime.h"
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
+#include <map>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace hamband {
@@ -35,18 +39,34 @@ inline constexpr EventId InvalidEventId = 0;
 struct Event {
   SimTime At = 0;
   EventId Id = InvalidEventId;
+  EventLabel Label;
   std::function<void()> Fn;
+};
+
+/// One member of the enabled set (earliest time bucket), in canonical
+/// insertion order.
+struct EnabledEvent {
+  EventId Id = InvalidEventId;
+  SimTime At = 0;
+  EventLabel Label;
 };
 
 /// Min-priority queue of events ordered by (time, insertion sequence).
 ///
-/// Cancellation is lazy: cancelled ids are remembered in a side set and
-/// skipped at pop time, which keeps both push and cancel O(log n) / O(1).
+/// Events sharing a timestamp live in one insertion-ordered bucket, so the
+/// default pop order is identical to a (time, id) heap. Cancellation is
+/// lazy: the payload is dropped immediately and the stale id is skipped
+/// when its bucket reaches the front.
 class EventQueue {
 public:
   /// Enqueues \p Fn to fire at absolute time \p At. Returns a handle that
   /// can later be passed to cancel().
-  EventId push(SimTime At, std::function<void()> Fn);
+  EventId push(SimTime At, std::function<void()> Fn) {
+    return push(At, EventLabel(), std::move(Fn));
+  }
+
+  /// Enqueues a labeled event (see EventLabel for independence semantics).
+  EventId push(SimTime At, EventLabel Label, std::function<void()> Fn);
 
   /// Cancels a previously pushed event. Cancelling an already-fired or
   /// invalid handle is a harmless no-op.
@@ -54,6 +74,17 @@ public:
 
   /// Pops the earliest live event, or returns false when the queue is empty.
   bool pop(Event &Out);
+
+  /// Pops the N-th member (insertion order) of the enabled set. N must be
+  /// < enabledCount(). Returns false when the queue is empty.
+  bool popNth(std::size_t N, Event &Out);
+
+  /// Number of live events in the earliest time bucket.
+  std::size_t enabledCount();
+
+  /// The enabled set in canonical (insertion id) order. Index i here is the
+  /// N accepted by popNth().
+  std::vector<EnabledEvent> enabled();
 
   /// Returns true when no live events remain.
   bool empty() const { return LiveCount == 0; }
@@ -64,22 +95,24 @@ public:
   /// Time of the earliest live event; SimTimeMax when empty.
   SimTime nextTime();
 
+  /// Order-sensitive hash of the pending-event multiset: folds (time,
+  /// label) for every live event in (time, insertion) order. Event ids are
+  /// excluded so that two executions reaching the same pending work see the
+  /// same digest even if their id counters diverged.
+  std::uint64_t digest() const;
+
 private:
-  struct HeapEntry {
-    SimTime At;
-    EventId Id;
-    bool operator>(const HeapEntry &O) const {
-      if (At != O.At)
-        return At > O.At;
-      return Id > O.Id;
-    }
+  struct Payload {
+    std::function<void()> Fn;
+    EventLabel Label;
   };
 
-  void skipCancelled();
+  /// Drops stale (cancelled) ids from the front bucket, erasing emptied
+  /// buckets. Returns false when no live events remain.
+  bool compactFront();
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> Heap;
-  std::unordered_map<EventId, std::function<void()>> Payloads;
-  std::unordered_set<EventId> Cancelled;
+  std::map<SimTime, std::deque<EventId>> Buckets;
+  std::unordered_map<EventId, Payload> Payloads;
   EventId NextId = 1;
   std::size_t LiveCount = 0;
 };

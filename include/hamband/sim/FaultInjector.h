@@ -79,6 +79,11 @@ enum class FaultKind : std::uint8_t {
   /// Driver-recorded context event (e.g. a client call issue or
   /// completion); gives traces the per-process call order.
   Note,
+  /// A non-default tie-break pick among same-time simulator events (the
+  /// explorer's choice points). A records the picked index, B the size of
+  /// the enabled set. Only non-zero picks are recorded, so traces of
+  /// default-schedule runs are unchanged.
+  SchedChoice,
 };
 
 /// Printable name of a fault kind.
@@ -98,8 +103,10 @@ enum class FaultChannel : std::uint8_t {
   Broadcast = 3,
   /// Driver note() calls.
   External = 4,
+  /// Simulator schedule-choice consultations (ties at the earliest time).
+  Sched = 5,
 };
-inline constexpr unsigned NumFaultChannels = 5;
+inline constexpr unsigned NumFaultChannels = 6;
 
 /// Tunable fault intensities. All probabilities are per operation; all
 /// timed-event counts are upper bounds (the generator never fails more
@@ -215,6 +222,9 @@ public:
   /// injector then produces a trace equal to \p Recorded.
   FaultInjector(Simulator &Sim, const FaultTrace &Recorded);
 
+  /// Uninstalls the schedule chooser from the simulator.
+  ~FaultInjector();
+
   bool replaying() const { return Replay; }
   const FaultPlan &plan() const { return Plan; }
 
@@ -223,13 +233,35 @@ public:
   void onSuspend(NodeAction Fn) { SuspendFn = std::move(Fn); }
   void onRecover(NodeAction Fn) { RecoverFn = std::move(Fn); }
 
-  /// Schedules the timed faults on the simulator. Call exactly once,
-  /// after wiring the actions and before the run starts.
+  /// Schedules the timed faults on the simulator and installs the
+  /// schedule-choice hook. Call exactly once, after wiring the actions and
+  /// before the run starts.
   void arm();
 
   /// ReliableBroadcast stage hook: \p Node staged a backup message and is
   /// about to post its remote writes.
   void onBroadcastStaged(std::uint32_t Node);
+
+  /// Explorer override for schedule choices (record mode only). Called
+  /// with the consultation index and the enabled set; the returned index
+  /// is applied and, when non-zero, recorded as a SchedChoice event.
+  using ScheduleChoiceFn = std::function<std::size_t(
+      std::uint64_t ChoiceIdx, const std::vector<EnabledEvent> &Enabled)>;
+  void setScheduleOverride(ScheduleChoiceFn Fn) {
+    ScheduleOverride = std::move(Fn);
+  }
+
+  /// Record mode: deterministically crash the staging node at the
+  /// broadcast-stage consultation with this index (the explorer's
+  /// crash-point enumeration). The minority budget still applies. Pass -1
+  /// (the default) to disable.
+  void forceStageCrash(std::int64_t StageIdx) { ForcedStageCrash = StageIdx; }
+
+  /// Current operation counter of a channel (diagnostics / explorer
+  /// bounds).
+  std::uint64_t opCount(FaultChannel C) const {
+    return OpCount[static_cast<unsigned>(C)];
+  }
 
   /// Records a driver-level context event (client call issue/completion)
   /// into the trace; replays re-record it identically.
@@ -264,6 +296,11 @@ private:
   void fireTimed(FaultKind Kind, std::uint32_t A, std::uint32_t B,
                  SimTime Until);
 
+  /// Simulator tie-break hook (installed by arm()): picks which of the
+  /// enabled same-time events fires next, replaying recorded picks or
+  /// consulting the explorer override.
+  std::size_t onScheduleChoice(EventQueue &Queue, std::size_t NumEnabled);
+
   /// Marks \p Node crashed and runs the crash action. No-op if already
   /// crashed.
   void crashNode(std::uint32_t Node);
@@ -287,6 +324,9 @@ private:
   /// Per-channel operation counters.
   std::uint64_t OpCount[NumFaultChannels] = {};
   NodeAction CrashFn, SuspendFn, RecoverFn;
+  ScheduleChoiceFn ScheduleOverride;
+  std::int64_t ForcedStageCrash = -1;
+  bool ChooserInstalled = false;
   /// Active partitions: link -> heal time.
   std::map<std::pair<std::uint32_t, std::uint32_t>, SimTime> Partitioned;
   std::vector<bool> Crashed;

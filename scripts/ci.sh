@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus a fault-schedule fuzz smoke, the bounded
-# coordination-verifier gate, a TSan flavor (threaded obs mutation, shm
-# ring stress, the shm transport conformance corpus, and the shm sharded
-# keyspace corpus), and lint.
+# coordination-verifier gate (including keyed-lift preservation), the
+# hamband_mc exhaustive small-scope sweep, a TSan flavor (threaded obs
+# mutation, shm ring stress, the shm transport conformance corpus, and
+# the shm sharded keyspace corpus), and lint.
 #
 # Usage: scripts/ci.sh [build-dir]
 #   HAMBAND_SANITIZE=ON|address|thread  configure with ASan+UBSan or TSan
@@ -39,11 +40,38 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 echo "ci: bounded coordination verification"
 "$BUILD/tools/hamband_analyze" --verify all
 
+# Exhaustive small-scope model check: hamband_mc drives every registered
+# type through every schedule interleaving at the CI bound (3 nodes, 4
+# calls, 1 crash point, fair budget split over the crash placements) and
+# fails on any violated oracle. The JSON report records the explored /
+# deduped / pruned counts per type alongside the DPOR reduction factor.
+echo "ci: exhaustive schedule exploration (hamband_mc small-scope sweep)"
+"$BUILD/tools/hamband_mc" --type all --calls 4 --crashes 1 --json \
+  > "$BUILD/MC_sweep.json"
+echo "ci: explored-state counts recorded in $BUILD/MC_sweep.json"
+
 # Transport policy smoke: fault-schedule fuzzing is sim-only and must
 # refuse the shm transport with a clear error (exit 2), not fall through
 # to a nondeterministic run.
 if "$BUILD/tools/hamband_fuzz" --runs 1 --transport shm 2>/dev/null; then
   echo "ci: hamband_fuzz accepted --transport shm (must reject)" >&2
+  exit 1
+fi
+
+# The explorer has the same fail-closed contract: deterministic
+# re-execution is defined against the sim transport and a single
+# unsharded cluster only, so --transport shm and --shards must be
+# refused with the usage error code (exit 2), never silently ignored.
+rc=0; "$BUILD/tools/hamband_mc" --type counter --calls 2 \
+  --transport shm >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "ci: hamband_mc --transport shm must exit 2 (got $rc)" >&2
+  exit 1
+fi
+rc=0; "$BUILD/tools/hamband_mc" --type counter --calls 2 \
+  --shards 4 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "ci: hamband_mc --shards 4 must exit 2 (got $rc)" >&2
   exit 1
 fi
 

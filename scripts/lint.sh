@@ -31,5 +31,8 @@ mapfile -t FILES < <(find "$REPO/src" "$REPO/tools" "$REPO/tests" \
   -name '*.cpp' | sort)
 
 echo "lint: running $TIDY on ${#FILES[@]} files"
-"$TIDY" -p "$BUILD" --quiet "${FILES[@]}"
+# --warnings-as-errors promotes every enabled check to an error so the
+# script exits non-zero on findings (set -e propagates it to ci.sh);
+# without it clang-tidy exits 0 on plain warnings and CI would pass.
+"$TIDY" -p "$BUILD" --quiet --warnings-as-errors='*' "${FILES[@]}"
 echo "lint: clean"

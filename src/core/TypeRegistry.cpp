@@ -104,3 +104,139 @@ hamband::makeKeyedType(const std::string &BaseName, Value SampleKeyDomain) {
   return std::make_unique<OwnedKeyedType>(makeType(BaseName),
                                           SampleKeyDomain);
 }
+
+namespace {
+
+/// Forwards every behavior hook to the owned base type but serves a
+/// rebuilt CoordinationSpec with one declared edge removed. The runtime
+/// then routes the affected methods down the wrong coordination path,
+/// which is exactly the class of bug the explorer's oracles certify.
+class MutatedType : public ObjectType {
+public:
+  MutatedType(std::unique_ptr<ObjectType> B, CoordinationSpec S,
+              std::string Mutation)
+      : Base(std::move(B)), Spec(std::move(S)),
+        Name(Base->name() + "#" + std::move(Mutation)) {}
+
+  std::string name() const override { return Name; }
+  unsigned numMethods() const override { return Base->numMethods(); }
+  const MethodInfo &method(MethodId M) const override {
+    return Base->method(M);
+  }
+  StatePtr initialState() const override { return Base->initialState(); }
+  bool invariant(const ObjectState &S) const override {
+    return Base->invariant(S);
+  }
+  void apply(ObjectState &S, const Call &C) const override {
+    Base->apply(S, C);
+  }
+  Value query(const ObjectState &S, const Call &C) const override {
+    return Base->query(S, C);
+  }
+  Call prepare(const ObjectState &S, const Call &C) const override {
+    return Base->prepare(S, C);
+  }
+  const CoordinationSpec &coordination() const override { return Spec; }
+  bool summarize(const Call &First, const Call &Second,
+                 Call &Out) const override {
+    return Base->summarize(First, Second, Out);
+  }
+  bool concurrentlyIssuable(const Call &A, const Call &B) const override {
+    return Base->concurrentlyIssuable(A, B);
+  }
+  std::vector<Call> sampleCalls(MethodId M) const override {
+    return Base->sampleCalls(M);
+  }
+  std::vector<Call> enumerateCalls(MethodId M, unsigned Bound) const override {
+    return Base->enumerateCalls(M, Bound);
+  }
+  std::vector<StatePtr> sampleStates() const override {
+    return Base->sampleStates();
+  }
+  Call randomClientCall(MethodId M, ProcessId Issuer, RequestId Req,
+                        sim::Rng &R) const override {
+    return Base->randomClientCall(M, Issuer, Req, R);
+  }
+  bool permissible(const ObjectState &S, const Call &C) const override {
+    return Base->permissible(S, C);
+  }
+  bool invariantAfter(const ObjectState &S, const std::deque<Call> &Pending,
+                      const Call &C) const override {
+    return Base->invariantAfter(S, Pending, C);
+  }
+
+private:
+  std::unique_ptr<ObjectType> Base;
+  CoordinationSpec Spec;
+  std::string Name;
+};
+
+/// Method-name lookup without methodId()'s assert.
+bool lookupMethod(const ObjectType &T, const std::string &Name,
+                  MethodId &Out) {
+  for (MethodId M = 0; M < T.numMethods(); ++M)
+    if (T.method(M).Name == Name) {
+      Out = M;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+std::unique_ptr<ObjectType>
+hamband::makeMutatedType(const std::string &BaseName,
+                         const std::string &Mutation) {
+  if (!isTypeRegistered(BaseName))
+    return nullptr;
+  std::size_t Colon = Mutation.find(':');
+  if (Colon == std::string::npos)
+    return nullptr;
+  std::string Kind = Mutation.substr(0, Colon);
+  if (Kind != "drop-conflict" && Kind != "drop-dep")
+    return nullptr;
+  std::size_t Slash = Mutation.find('/', Colon + 1);
+  if (Slash == std::string::npos)
+    return nullptr;
+  std::string NameA = Mutation.substr(Colon + 1, Slash - Colon - 1);
+  std::string NameB = Mutation.substr(Slash + 1);
+
+  std::unique_ptr<ObjectType> Base = makeType(BaseName);
+  MethodId A = 0, B = 0;
+  if (!lookupMethod(*Base, NameA, A) || !lookupMethod(*Base, NameB, B))
+    return nullptr;
+
+  const CoordinationSpec &Orig = Base->coordination();
+  bool DropConflict = Kind == "drop-conflict";
+  if (DropConflict && !Orig.conflicts(A, B))
+    return nullptr;
+  if (!DropConflict) {
+    const std::vector<MethodId> &D = Orig.dependencies(A);
+    if (std::find(D.begin(), D.end(), B) == D.end())
+      return nullptr;
+  }
+
+  CoordinationSpec S(Orig.numMethods());
+  for (MethodId M = 0; M < Orig.numMethods(); ++M) {
+    if (!Orig.isUpdate(M)) {
+      S.setQuery(M);
+      continue;
+    }
+    for (MethodId On : Orig.dependencies(M))
+      if (DropConflict || !(M == A && On == B))
+        S.addDependency(M, On);
+    if (std::optional<unsigned> G = Orig.sumGroup(M))
+      S.setSumGroup(M, *G);
+  }
+  for (MethodId X = 0; X < Orig.numMethods(); ++X)
+    for (MethodId Y = X; Y < Orig.numMethods(); ++Y) {
+      if (!Orig.conflicts(X, Y))
+        continue;
+      if (DropConflict && ((X == A && Y == B) || (X == B && Y == A)))
+        continue;
+      S.addConflict(X, Y);
+    }
+  S.finalize();
+  return std::make_unique<MutatedType>(std::move(Base), std::move(S),
+                                       Mutation);
+}

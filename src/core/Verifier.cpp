@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "hamband/core/Verifier.h"
+#include "hamband/core/TypeRegistry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -622,5 +623,106 @@ JV analysis::reportToJson(const VerifyReport &R) {
   V.add("spurious_edges", stringsToJson(R.SpuriousEdges));
   V.add("summarization_violations",
         stringsToJson(R.SummarizationViolations));
+  return V;
+}
+
+// Renders one ordered method pair as "a -> b".
+static std::string pairStr(const ObjectType &T, MethodId A, MethodId B,
+                           const char *Arrow) {
+  return T.method(A).Name + Arrow + T.method(B).Name;
+}
+
+KeyedLiftReport analysis::verifyKeyedLift(const std::string &BaseName,
+                                          VerifierOptions Opts) {
+  KeyedLiftReport R;
+  R.BaseName = BaseName;
+  if (!isTypeRegistered(BaseName)) {
+    R.Issues.push_back("unknown base type '" + BaseName + "'");
+    return R;
+  }
+  std::unique_ptr<ObjectType> Base = makeType(BaseName);
+  std::unique_ptr<ObjectType> Lift = makeKeyedType(BaseName);
+  R.LiftName = Lift->name();
+
+  const CoordinationSpec &BS = Base->coordination();
+  const CoordinationSpec &LS = Lift->coordination();
+  if (Base->numMethods() != Lift->numMethods()) {
+    std::ostringstream OS;
+    OS << "method count changed: base has " << Base->numMethods()
+       << ", lift has " << Lift->numMethods();
+    R.Issues.push_back(OS.str());
+    return R;
+  }
+
+  // Method-for-method comparison: the lift must keep every relation the
+  // base declares, per key. The one sanctioned difference is the
+  // summarization drop -- a base-Reducible method travels the lift's
+  // irreducible conflict-free path (KeyedObjectType cannot summarize
+  // across keys into one fixed summary slot) -- which we surface as an
+  // explicit notice, never as a silent spec change.
+  for (MethodId M = 0; M < Base->numMethods(); ++M) {
+    const std::string &Name = Base->method(M).Name;
+    if (Lift->method(M).Name != Name) {
+      R.Issues.push_back("method " + std::to_string(M) + " renamed: '" +
+                         Name + "' vs '" + Lift->method(M).Name + "'");
+      continue;
+    }
+    if (BS.isUpdate(M) != LS.isUpdate(M)) {
+      R.Issues.push_back("update/query flag changed for '" + Name + "'");
+      continue;
+    }
+    MethodCategory BC = BS.category(M), LC = LS.category(M);
+    if (BC == MethodCategory::Reducible &&
+        LC == MethodCategory::IrreducibleFree) {
+      R.DroppedSummarizations.push_back(Name);
+    } else if (BC != LC) {
+      R.Issues.push_back("category changed for '" + Name + "': " +
+                         categoryName(BC) + " -> " + categoryName(LC));
+    }
+    if (BS.isUpdate(M) && BS.dependencies(M) != LS.dependencies(M)) {
+      std::ostringstream OS;
+      OS << "dependency set changed for '" << Name << "':";
+      for (MethodId D : BS.dependencies(M))
+        OS << " base:" << Base->method(D).Name;
+      for (MethodId D : LS.dependencies(M))
+        OS << " lift:" << Lift->method(D).Name;
+      R.Issues.push_back(OS.str());
+    }
+  }
+  for (MethodId A = 0; A < Base->numMethods(); ++A)
+    for (MethodId B = A; B < Base->numMethods(); ++B)
+      if (BS.conflicts(A, B) != LS.conflicts(A, B))
+        R.Issues.push_back(std::string("conflict edge ") +
+                           (BS.conflicts(A, B) ? "dropped" : "added") +
+                           " by the lift: " + pairStr(*Base, A, B, " >< "));
+
+  // The lift must also be sound in its own right: run it through the
+  // bounded-exhaustive verifier. The keyed state space multiplies the
+  // per-key spaces, so cap the bound at 2 to stay tractable.
+  VerifierOptions LiftOpts = Opts;
+  LiftOpts.Bound = std::min(Opts.Bound, 2u);
+  R.Bound = LiftOpts.Bound;
+  VerifyReport VR = verifyType(*Lift, LiftOpts);
+  R.StatesExplored = VR.StatesExplored;
+  R.LiftSound = VR.sound();
+  R.LiftViolations = VR.SoundnessViolations;
+  R.LiftViolations.insert(R.LiftViolations.end(),
+                          VR.SummarizationViolations.begin(),
+                          VR.SummarizationViolations.end());
+  return R;
+}
+
+JV analysis::keyedLiftReportToJson(const KeyedLiftReport &R) {
+  JV V = JV::makeObject();
+  V.add("base", JV::makeString(R.BaseName));
+  V.add("lift", JV::makeString(R.LiftName));
+  V.add("bound", JV::makeUInt(R.Bound));
+  V.add("states_explored", JV::makeUInt(R.StatesExplored));
+  V.add("preserved", JV::makeBool(R.preserved()));
+  V.add("lift_sound", JV::makeBool(R.LiftSound));
+  V.add("ok", JV::makeBool(R.ok()));
+  V.add("issues", stringsToJson(R.Issues));
+  V.add("dropped_summarizations", stringsToJson(R.DroppedSummarizations));
+  V.add("lift_violations", stringsToJson(R.LiftViolations));
   return V;
 }

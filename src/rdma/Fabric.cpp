@@ -82,10 +82,11 @@ void Fabric::runOnCpu(NodeId Node, sim::SimDuration Cost,
   sim::SimTime Start = std::max(Sim.now(), Ctx.CpuFreeAt[Lane]);
   Ctx.CpuFreeAt[Lane] = Start + Cost;
   sim::SimTime Done = Ctx.CpuFreeAt[Lane];
-  Sim.scheduleAt(Done, [this, Node, Fn = std::move(Fn)]() {
-    if (Nodes[Node]->Alive)
-      Fn();
-  });
+  Sim.scheduleAt(Done, {sim::EventKind::CpuTask, Node},
+                 [this, Node, Fn = std::move(Fn)]() {
+                   if (Nodes[Node]->Alive)
+                     Fn();
+                 });
 }
 
 void Fabric::postWrite(NodeId Src, NodeId Dst, MemOffset DstOff,
@@ -111,8 +112,10 @@ void Fabric::postWrite(NodeId Src, NodeId Dst, MemOffset DstOff,
         if (HistWireNs)
           HistWireNs->record(Wire);
         sim::SimTime DeliverAt = channelDeliveryTime(Src, Dst, Wire);
-        Sim.scheduleAt(DeliverAt, [this, Src, Dst, DstOff, Payload, Key,
-                                   Lane, OnComplete]() {
+        Sim.scheduleAt(DeliverAt,
+                       {sim::EventKind::OneSidedDelivery, Dst, Src},
+                       [this, Src, Dst, DstOff, Payload, Key, Lane,
+                        OnComplete]() {
           // Permission is checked by the responder NIC at access time. A
           // crashed node's NIC still serves one-sided traffic.
           WcStatus Status = WcStatus::Success;
@@ -123,6 +126,7 @@ void Fabric::postWrite(NodeId Src, NodeId Dst, MemOffset DstOff,
           if (!OnComplete)
             return;
           Sim.schedule(Model.CompletionDelay,
+                       {sim::EventKind::Completion, Src, Dst},
                        [this, Src, Status, OnComplete, Lane]() {
                          runOnCpu(
                              Src, Model.PollCpu,
@@ -153,11 +157,12 @@ void Fabric::postRead(NodeId Src, NodeId Dst, MemOffset DstOff,
         if (HistWireNs)
           HistWireNs->record(Wire);
         sim::SimTime SampleAt = channelDeliveryTime(Src, Dst, Wire);
-        Sim.scheduleAt(SampleAt, [this, Src, Dst, DstOff, Len, Lane,
-                                  OnComplete]() {
+        Sim.scheduleAt(SampleAt, {sim::EventKind::ReadSample, Dst, Src},
+                       [this, Src, Dst, DstOff, Len, Lane, OnComplete]() {
           auto Data = std::make_shared<std::vector<std::uint8_t>>(
               Nodes[Dst]->Mem.slice(DstOff, Len));
           Sim.schedule(Model.CompletionDelay,
+                       {sim::EventKind::Completion, Src, Dst},
                        [this, Src, Data, OnComplete, Lane]() {
                          runOnCpu(
                              Src, Model.PollCpu,
@@ -193,7 +198,9 @@ void Fabric::send(NodeId Src, NodeId Dst, std::vector<std::uint8_t> Msg,
         for (unsigned I = 0; I < Copies; ++I) {
           sim::SimTime DeliverAt =
               channelDeliveryTime(Src, Dst, Wire + Fault.ExtraDelay);
-          Sim.scheduleAt(DeliverAt, [this, Src, Dst, Payload]() {
+          Sim.scheduleAt(DeliverAt,
+                         {sim::EventKind::TwoSidedDelivery, Dst, Src},
+                         [this, Src, Dst, Payload]() {
             NodeCtx &Ctx = *Nodes[Dst];
             if (!Ctx.Alive || !Ctx.OnRecv)
               return; // Dropped at a dead receiver.

@@ -221,6 +221,22 @@ bool HambandCluster::convergedLive() {
   return true;
 }
 
+std::uint64_t HambandCluster::stateFingerprint() {
+  std::uint64_t H = 0x6a09e667f3bcc908ull;
+  auto Mix = [&H](std::uint64_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  };
+  for (rdma::NodeId N = 0; N < numNodes(); ++N) {
+    Mix(isLive(N) ? 1 : 0);
+    // A crashed node's CPU is gone but its memory is still part of the
+    // cluster-visible state (peers read it during recovery), so its
+    // digest stays in the fingerprint.
+    Mix(Nodes[N]->stateDigest());
+  }
+  Mix(Outstanding.load(std::memory_order_relaxed));
+  return H;
+}
+
 rdma::NodeId HambandCluster::leaderOf(unsigned Group,
                                       rdma::NodeId Observer) const {
   assert(Observer < Nodes.size());

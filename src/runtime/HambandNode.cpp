@@ -127,6 +127,8 @@ HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
   ConfSeen.resize(Groups);
   LeaderSpeculative.resize(Groups);
   LeaderQueue.resize(Groups);
+  ConfApplyLog.resize(Groups);
+  FreeApplyLog.resize(N);
 
   FreeReaders.resize(N);
   FreeWriters.resize(N);
@@ -315,6 +317,63 @@ bool HambandNode::idle() const {
   return AwaitingResponse.empty();
 }
 
+std::uint64_t HambandNode::stateDigest() {
+  std::uint64_t H = 0x5bd1e9955bd1e995ull ^ Self;
+  auto Mix = [&H](std::uint64_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  };
+  // Object state via its canonical rendering (types keep ordered
+  // containers, so str() is stable across executions).
+  const std::string S = visibleState().str();
+  std::uint64_t SH = 1469598103934665603ull; // FNV-1a
+  for (char Ch : S) {
+    SH ^= static_cast<unsigned char>(Ch);
+    SH *= 1099511628211ull;
+  }
+  Mix(SH);
+  for (const auto &Row : Applied)
+    for (std::uint64_t V : Row)
+      Mix(V);
+  for (std::uint64_t V : ConfReceivedContig)
+    Mix(V);
+  for (std::uint64_t V : ConfAppliedIdx)
+    Mix(V);
+  for (std::uint64_t V : FreeSeqNext)
+    Mix(V);
+  Mix(BcastSeqOut);
+  for (std::uint64_t V : OwnSummarySeq)
+    Mix(V);
+  for (const auto &Row : SummarySeqSeen)
+    for (std::uint64_t V : Row)
+      Mix(V);
+  for (const auto &R : FreeReaders)
+    Mix(R ? R->head() : 0);
+  for (const auto &W : FreeWriters)
+    Mix(W ? W->tail() : 0);
+  for (const auto &R : ConfReaders)
+    Mix(R ? R->head() : 0);
+  for (const auto &R : MailReaders)
+    Mix(R ? R->head() : 0);
+  for (const auto &W : MailWriters)
+    Mix(W ? W->tail() : 0);
+  for (const auto &Q : FreePending)
+    Mix(Q.size());
+  for (const auto &M : ConfPending)
+    Mix(M.size());
+  for (const auto &Q : LeaderQueue)
+    Mix(Q.size());
+  for (const auto &Q : LeaderSpeculative)
+    Mix(Q.size());
+  Mix(AwaitingResponse.size());
+  for (unsigned G = 0; G < Consensus.size(); ++G)
+    Mix(knownLeader(G));
+  Mix(OutOfService ? 1 : 0);
+  Mix(BatchedPending);
+  Mix(FreeBatchBytes);
+  Mix(FlushesInFlight);
+  return H;
+}
+
 // -- Request paths ---------------------------------------------------------
 
 void HambandNode::submit(const Call &C, SubmitCallback Done) {
@@ -476,6 +535,8 @@ void HambandNode::handleFree(Call C, SubmitCallback Done) {
         }
         applyToStored(P);
         Applied[Self][P.Method] += 1;
+        if (Cfg.RecordApplyLog)
+          FreeApplyLog[Self].push_back(P.Req);
         ++NumLocalUpdates;
 
         WireCall WC;
@@ -1013,6 +1074,8 @@ unsigned HambandNode::applyPendingFree() {
       const Call &C = Q.front().TheCall;
       applyToStored(C);
       Applied[C.Issuer][C.Method] += 1;
+      if (Cfg.RecordApplyLog)
+        FreeApplyLog[C.Issuer].push_back(C.Req);
       Q.pop_front();
       ++AppliedN;
       ++NumAppliedBuffered;
@@ -1034,6 +1097,8 @@ unsigned HambandNode::applyPendingConf() {
       const Call &C = It->second.TheCall;
       applyToStored(C);
       Applied[C.Issuer][C.Method] += 1;
+      if (Cfg.RecordApplyLog)
+        ConfApplyLog[G].push_back({C.Issuer, C.Req});
       if (C.Issuer == Self && !LeaderSpeculative[G].empty() &&
           LeaderSpeculative[G].front() == C)
         LeaderSpeculative[G].pop_front();

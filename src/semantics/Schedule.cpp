@@ -1,0 +1,40 @@
+//===- semantics/Schedule.cpp - Shared schedule budgets ------------------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamband/semantics/Schedule.h"
+
+#include "hamband/core/CoordinationSpec.h"
+#include "hamband/sim/Rng.h"
+
+using namespace hamband;
+
+std::vector<semantics::ScheduledCall>
+semantics::defaultBudget(const ObjectType &Type, unsigned NumProcesses,
+                         unsigned CallsPerMethod) {
+  // Budgets carry *client-form* calls: the checker runs prepare() against
+  // the issuing process's visible state at issue time, so op-based types
+  // (ORSet, cart) compute their observed tags causally -- exactly like
+  // the runtime. Shipping pre-prepared effect calls instead would let a
+  // process "observe" tags it never received, a divergence the checker
+  // readily demonstrates (see ModelCheckerTests).
+  const CoordinationSpec &Spec = Type.coordination();
+  std::vector<ScheduledCall> Budget;
+  sim::Rng R(0x5eed);
+  RequestId Req = 1;
+  ProcessId RoundRobin = 0;
+  for (MethodId M : Spec.updateMethods()) {
+    for (unsigned I = 0; I < CallsPerMethod; ++I) {
+      ScheduledCall SC;
+      if (Spec.category(M) == MethodCategory::Conflicting)
+        SC.Process = *Spec.syncGroup(M) % NumProcesses; // Default leader.
+      else
+        SC.Process = RoundRobin++ % NumProcesses;
+      SC.TheCall = Type.randomClientCall(M, SC.Process, Req++, R);
+      Budget.push_back(std::move(SC));
+    }
+  }
+  return Budget;
+}

@@ -38,12 +38,15 @@ const char *hamband::sim::faultKindName(FaultKind K) {
     return "heal";
   case FaultKind::Note:
     return "note";
+  case FaultKind::SchedChoice:
+    return "sched";
   }
   return "?";
 }
 
 static bool faultKindFromName(const char *Name, FaultKind &Out) {
-  for (unsigned K = 0; K <= static_cast<unsigned>(FaultKind::Note); ++K) {
+  for (unsigned K = 0; K <= static_cast<unsigned>(FaultKind::SchedChoice);
+       ++K) {
     if (std::strcmp(Name, faultKindName(static_cast<FaultKind>(K))) == 0) {
       Out = static_cast<FaultKind>(K);
       return true;
@@ -240,7 +243,17 @@ FaultInjector::FaultInjector(Simulator &Sim, const FaultTrace &Recorded)
       Pending[static_cast<unsigned>(E.Channel)].push_back(E);
 }
 
+FaultInjector::~FaultInjector() {
+  if (ChooserInstalled)
+    Sim.setScheduleChooser(nullptr);
+}
+
 void FaultInjector::arm() {
+  // Tie-breaks among same-time events are choice points: install the hook
+  // so recorded non-default picks replay exactly and explorers can fork.
+  Sim.setScheduleChooser(
+      [this](EventQueue &Q, std::size_t N) { return onScheduleChoice(Q, N); });
+  ChooserInstalled = true;
   if (Replay) {
     // Re-execute the recorded timed faults at their exact virtual times.
     for (const TraceEvent &E : Pending[static_cast<unsigned>(
@@ -327,6 +340,33 @@ void FaultInjector::fireTimed(FaultKind Kind, std::uint32_t A,
   }
 }
 
+std::size_t FaultInjector::onScheduleChoice(EventQueue &Queue,
+                                            std::size_t NumEnabled) {
+  std::uint64_t Idx = OpCount[static_cast<unsigned>(FaultChannel::Sched)]++;
+  if (Replay) {
+    if (const TraceEvent *E = replayMatch(FaultChannel::Sched, Idx)) {
+      std::size_t Pick = E->A;
+      record(FaultKind::SchedChoice, FaultChannel::Sched, Idx,
+             static_cast<std::uint32_t>(Pick),
+             static_cast<std::uint32_t>(NumEnabled), 0);
+      return Pick < NumEnabled ? Pick : 0;
+    }
+    return 0;
+  }
+  std::size_t Pick = 0;
+  if (ScheduleOverride)
+    Pick = ScheduleOverride(Idx, Queue.enabled());
+  if (Pick >= NumEnabled)
+    Pick = 0;
+  // Index 0 is the default tie-break; recording only deviations keeps
+  // default-schedule traces identical to what they were without the hook.
+  if (Pick != 0)
+    record(FaultKind::SchedChoice, FaultChannel::Sched, Idx,
+           static_cast<std::uint32_t>(Pick),
+           static_cast<std::uint32_t>(NumEnabled), 0);
+  return Pick;
+}
+
 void FaultInjector::onBroadcastStaged(std::uint32_t Node) {
   std::uint64_t Idx =
       OpCount[static_cast<unsigned>(FaultChannel::Broadcast)]++;
@@ -335,6 +375,17 @@ void FaultInjector::onBroadcastStaged(std::uint32_t Node) {
       record(FaultKind::Crash, FaultChannel::Broadcast, Idx, Node, 0, 0);
       crashNode(Node);
     }
+    return;
+  }
+  // Explorer-enumerated crash point: deterministic, RNG-free, and placed
+  // before the probabilistic path so the RNG stream is untouched. Replays
+  // reproduce it through the recorded Broadcast event above.
+  if (ForcedStageCrash >= 0 &&
+      static_cast<std::uint64_t>(ForcedStageCrash) == Idx &&
+      Node < Crashed.size() && !Crashed[Node] &&
+      failedNow() + 1 <= (Plan.NumNodes - 1) / 2) {
+    record(FaultKind::Crash, FaultChannel::Broadcast, Idx, Node, 0, 0);
+    crashNode(Node);
     return;
   }
   if (Plan.Spec.CrashOnStageProb <= 0)

@@ -12,11 +12,25 @@ using namespace hamband::sim;
 
 bool Simulator::runOne() {
   Event Ev;
-  if (!Queue.pop(Ev))
+  if (Chooser) {
+    std::size_t N = Queue.enabledCount();
+    if (N > 1) {
+      std::size_t Pick = Chooser(Queue, N);
+      if (Pick >= N)
+        Pick = 0;
+      if (!Queue.popNth(Pick, Ev))
+        return false;
+    } else if (!Queue.pop(Ev)) {
+      return false;
+    }
+  } else if (!Queue.pop(Ev)) {
     return false;
+  }
   assert(Ev.At >= Now && "event queue went backwards in time");
   Now = Ev.At;
   ++Executed;
+  if (Observer)
+    Observer(Ev.Label);
   Ev.Fn();
   return true;
 }

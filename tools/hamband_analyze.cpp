@@ -133,9 +133,32 @@ bool printVerifyReport(const analysis::VerifyReport &R) {
   return R.sound();
 }
 
-/// Runs the bounded-exhaustive verifier over \p Names. Text mode streams
-/// per-type reports; JSON mode emits one hamband-analysis-v1 envelope.
-/// Exit status is nonzero iff some type is unsound at the bound; spurious
+/// Renders one keyed-lift report as text. Returns the overall gate:
+/// relations preserved per key and the lift itself sound at its bound.
+bool printKeyedLiftReport(const analysis::KeyedLiftReport &R) {
+  std::printf("== %s -> %s (keyed lift, bound %u) ==\n", R.BaseName.c_str(),
+              R.LiftName.c_str(), R.Bound);
+  std::printf("states explored: %llu\n",
+              static_cast<unsigned long long>(R.StatesExplored));
+  for (const std::string &S : R.DroppedSummarizations)
+    std::printf("note: summarization dropped for '%s' (reducible -> "
+                "irreducible-free; keyed summaries do not fit one slot)\n",
+                S.c_str());
+  for (const std::string &S : R.Issues)
+    std::printf("LIFT VIOLATION: %s\n", S.c_str());
+  for (const std::string &S : R.LiftViolations)
+    std::printf("LIFT UNSOUND: %s\n", S.c_str());
+  std::printf("verdict: %s, lift %s\n\n",
+              R.preserved() ? "relations preserved" : "RELATIONS CHANGED",
+              R.LiftSound ? "sound" : "UNSOUND");
+  return R.ok();
+}
+
+/// Runs the bounded-exhaustive verifier over \p Names, plus the keyed-lift
+/// preservation check for each base type. Text mode streams per-type
+/// reports; JSON mode emits one hamband-analysis-v1 envelope (with a
+/// "keyed_lifts" array). Exit status is nonzero iff some type is unsound
+/// at the bound or some keyed lift changes a relation; spurious
 /// (over-coordination) edges only warn.
 int runVerify(const std::vector<std::string> &Names, unsigned Bound,
               bool Json) {
@@ -143,6 +166,7 @@ int runVerify(const std::vector<std::string> &Names, unsigned Bound,
   Opts.Bound = Bound;
   bool AllSound = true;
   obs::json::Value Types = obs::json::Value::makeArray();
+  obs::json::Value Lifts = obs::json::Value::makeArray();
   for (const std::string &N : Names) {
     analysis::VerifyReport R = analysis::verifyType(*makeType(N), Opts);
     AllSound &= R.sound();
@@ -151,11 +175,20 @@ int runVerify(const std::vector<std::string> &Names, unsigned Bound,
     else
       printVerifyReport(R);
   }
+  for (const std::string &N : Names) {
+    analysis::KeyedLiftReport R = analysis::verifyKeyedLift(N, Opts);
+    AllSound &= R.ok();
+    if (Json)
+      Lifts.Arr.push_back(analysis::keyedLiftReportToJson(R));
+    else
+      printKeyedLiftReport(R);
+  }
   if (Json) {
     obs::json::Value Env = obs::json::Value::makeObject();
     Env.add("schema", obs::json::Value::makeString("hamband-analysis-v1"));
     Env.add("bound", obs::json::Value::makeUInt(Bound));
     Env.add("types", std::move(Types));
+    Env.add("keyed_lifts", std::move(Lifts));
     std::printf("%s\n", Env.write().c_str());
   }
   return AllSound ? 0 : 1;

@@ -17,6 +17,11 @@
 //    replay mode (decisions taken from the trace, no RNG) produces an
 //    identical trace.
 //
+// The run harness (and thus the full oracle battery, including the
+// apply-log and ring-cursor checks) is shared with `hamband_mc`: see
+// include/hamband/explore/Harness.h. A counterexample trace dumped by
+// either tool replays here bit-for-bit.
+//
 // Every run is reproducible from the base seed and its run index:
 //
 //   hamband_fuzz --runs 100 --seed 42            # the full sweep
@@ -39,21 +44,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "hamband/core/TypeRegistry.h"
-#include "hamband/runtime/HambandCluster.h"
-#include "hamband/semantics/RdmaSemantics.h"
+#include "hamband/explore/Harness.h"
 #include "hamband/sim/FaultInjector.h"
 
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 using namespace hamband;
-using namespace hamband::runtime;
+using namespace hamband::explore;
 using namespace hamband::sim;
 
 namespace {
@@ -76,45 +78,11 @@ struct Options {
   unsigned Shards = 1;           // Only 1 is accepted; see below.
 };
 
-/// Everything needed to reproduce one run.
-struct RunConfig {
-  std::string TypeName;
-  unsigned Nodes = 3;
-  unsigned Calls = 30;
-  std::uint64_t WorkSeed = 0;  // Workload generator seed.
-  std::uint64_t FaultSeed = 0; // Fault-plan seed.
-  FaultSpec Spec;
-  bool Batched = false; // Enable the call-batching layer.
-};
-
-struct RunResult {
-  bool Ok = true;
-  std::string Failure;
-  FaultTrace Trace;
-  unsigned CompletedOk = 0;
-  unsigned Rejected = 0;
-  unsigned LostAtCrashed = 0;
-  unsigned Skipped = 0;
-  bool HadCrash = false;
-  /// Final visible state per node (empty string for crashed nodes), for
-  /// the --batch twin diff.
-  std::vector<std::string> States;
-};
-
 std::uint64_t mixSeed(std::uint64_t A, std::uint64_t B) {
   std::uint64_t Z = A + 0x9e3779b97f4a7c15ull * (B + 1);
   Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
   Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
   return Z ^ (Z >> 31);
-}
-
-/// Exact runtime-vs-semantics state agreement is only meaningful for types
-/// whose prepared effects do not depend on the issuing replica's
-/// observations (see tests/CrossValidationTests.cpp).
-bool isObservationIndependent(const std::string &Name) {
-  return Name == "counter" || Name == "pn-counter" || Name == "gset" ||
-         Name == "gset-buffered" || Name == "two-phase-set" ||
-         Name == "lww-register";
 }
 
 /// Four fault intensities the sweep rotates through.
@@ -144,9 +112,9 @@ FaultSpec specForProfile(unsigned Profile) {
   return S;
 }
 
-RunConfig configForRun(const Options &Opt, unsigned RunIdx,
-                       const std::vector<std::string> &Types) {
-  RunConfig Cfg;
+RunSpec configForRun(const Options &Opt, unsigned RunIdx,
+                     const std::vector<std::string> &Types) {
+  RunSpec Cfg;
   Cfg.TypeName = Opt.Type.empty() ? Types[RunIdx % Types.size()] : Opt.Type;
   Cfg.Nodes = Opt.Nodes ? Opt.Nodes : 3 + (RunIdx / 2) % 2;
   Cfg.Calls = Opt.Calls;
@@ -156,171 +124,13 @@ RunConfig configForRun(const Options &Opt, unsigned RunIdx,
   return Cfg;
 }
 
-/// Executes one run. With \p PlanOverride the given plan is used instead
-/// of generating one from Cfg; with \p ReplayFrom the injector re-applies
-/// the recorded trace instead of drawing decisions from the RNG.
-RunResult executeRun(const RunConfig &Cfg, const FaultPlan *PlanOverride,
-                     const FaultTrace *ReplayFrom,
-                     obs::StatsSnapshot *StatsOut = nullptr) {
-  RunResult Res;
-  auto Fail = [&Res](const std::string &Msg) {
-    Res.Ok = false;
-    if (!Res.Failure.empty())
-      Res.Failure += "; ";
-    Res.Failure += Msg;
-  };
-
-  auto T = makeType(Cfg.TypeName);
-  const CoordinationSpec &Spec = T->coordination();
-  sim::Simulator Sim;
-  HambandConfig HCfg;
-  HCfg.Batch.Enabled = Cfg.Batched;
-  HCfg.Batch.MaxCalls = 6;
-  HambandCluster C(Sim, Cfg.Nodes, *T, {}, HCfg);
-  std::unique_ptr<FaultInjector> FI;
-  if (ReplayFrom)
-    FI = std::make_unique<FaultInjector>(Sim, *ReplayFrom);
-  else if (PlanOverride)
-    FI = std::make_unique<FaultInjector>(Sim, *PlanOverride);
-  else
-    FI = std::make_unique<FaultInjector>(
-        Sim, FaultPlan::generate(Cfg.FaultSeed, Cfg.Spec, Cfg.Nodes));
-  C.attachFaultInjector(*FI);
-  FI->arm();
-  C.start();
-
-  // Issue the workload. Call content is drawn from WorkSeed; requests at
-  // failed nodes are redirected to the next live in-service node, as the
-  // paper's harness does. Issue and completion events are recorded into
-  // the trace as notes, giving it the per-process call order.
-  struct Issue {
-    ProcessId Origin;
-    Call TheCall;
-    int Status = 0; // 0 pending, 1 ok, 2 rejected.
-  };
-  std::vector<Issue> Issued;
-  sim::Rng WR(Cfg.WorkSeed);
-  std::vector<MethodId> Updates = Spec.updateMethods();
-  for (unsigned I = 0; I < Cfg.Calls; ++I) {
-    MethodId M = WR.pick(Updates);
-    ProcessId P0;
-    if (Spec.category(M) == MethodCategory::Conflicting)
-      P0 = *Spec.syncGroup(M) % Cfg.Nodes;
-    else
-      P0 = static_cast<ProcessId>(WR.index(Cfg.Nodes));
-    bool Routed = false;
-    ProcessId P = P0;
-    for (unsigned K = 0; K < Cfg.Nodes; ++K) {
-      ProcessId Q = (P0 + K) % Cfg.Nodes;
-      if (C.isLive(Q) && !C.node(Q).isOutOfService()) {
-        P = Q;
-        Routed = true;
-        break;
-      }
-    }
-    if (!Routed) {
-      ++Res.Skipped;
-      continue;
-    }
-    Issued.push_back({P, T->randomClientCall(M, P, 1000 + I, WR), 0});
-    std::size_t Idx = Issued.size() - 1;
-    FI->note(P, I, 0);
-    C.submit(P, Issued[Idx].TheCall,
-             [&Issued, &FI, Idx, I](bool Ok, Value) {
-               Issued[Idx].Status = Ok ? 1 : 2;
-               FI->note(Issued[Idx].Origin, I, Ok ? 1 : 2);
-             });
-    Sim.run(Sim.now() + sim::micros(3));
-  }
-
-  // Let the fault schedule finish (suspensions recover, partitions heal),
-  // then run until the live cluster is fully replicated.
-  sim::SimTime FaultsQuiet =
-      std::max(Cfg.Spec.Horizon, Cfg.Spec.HealBy) + sim::millis(1);
-  if (Sim.now() < FaultsQuiet)
-    Sim.run(FaultsQuiet);
-  sim::SimTime Cap = Sim.now() + sim::millis(400);
-  while (Sim.now() < Cap && !C.fullyReplicatedLive())
-    Sim.run(Sim.now() + sim::micros(20));
-
-  for (const Issue &I : Issued) {
-    if (I.Status == 1)
-      ++Res.CompletedOk;
-    else if (I.Status == 2)
-      ++Res.Rejected;
-    else if (!C.isLive(I.Origin))
-      ++Res.LostAtCrashed;
-    else
-      Fail("call never completed at live origin " +
-           std::to_string(I.Origin));
-  }
-
-  if (!C.fullyReplicatedLive())
-    Fail("live replicas did not reach full replication before the cap");
-  if (!C.convergedLive())
-    Fail("live replicas diverged");
-  for (ProcessId P = 0; P < Cfg.Nodes; ++P)
-    if (C.isLive(P) && !T->invariant(C.node(P).visibleState()))
-      Fail("integrity violated at node " + std::to_string(P));
-
-  // Lemma 3 cross-check: feed the issued sequence to the executable
-  // concrete semantics.
-  bool HadCrash = false;
-  for (const TraceEvent &E : FI->trace().Events)
-    HadCrash |= E.Kind == FaultKind::Crash;
-  Res.HadCrash = HadCrash;
-  bool Exact = !HadCrash && isObservationIndependent(Cfg.TypeName);
-  semantics::RdmaConfiguration Konf(*T, Cfg.Nodes);
-  for (const Issue &I : Issued) {
-    if (I.Status == 0)
-      continue; // Lost at a crashed origin: the semantics never saw it.
-    if (Spec.category(I.TheCall.Method) == MethodCategory::Conflicting) {
-      unsigned G = *Spec.syncGroup(I.TheCall.Method);
-      // Model the redirect: whichever node leads may issue, and the
-      // runtime's leader can differ after failovers.
-      if (Konf.leader(G) != I.Origin)
-        Konf.setLeader(G, I.Origin);
-      Konf.tryConf(I.Origin, Konf.prepareAt(I.Origin, I.TheCall));
-    } else if (!Konf.tryUpdate(I.Origin,
-                               Konf.prepareAt(I.Origin, I.TheCall))) {
-      Fail("semantics rejected a conflict-free call");
-    }
-  }
-  Konf.drain();
-  if (!Konf.quiescent())
-    Fail("semantics did not drain");
-  if (!Konf.checkConvergence())
-    Fail("semantics world diverged");
-  if (!Konf.checkIntegrity())
-    Fail("semantics world broke the invariant");
-  if (Exact && Res.Ok) {
-    for (ProcessId P = 0; P < Cfg.Nodes; ++P) {
-      if (!Konf.visibleState(P)->equals(C.node(P).visibleState()))
-        Fail("runtime state differs from semantics at node " +
-             std::to_string(P));
-      for (ProcessId From = 0; From < Cfg.Nodes; ++From)
-        for (MethodId U = 0; U < T->numMethods(); ++U)
-          if (Konf.applied(P, From, U) != C.node(P).applied(From, U))
-            Fail("applied-table mismatch at node " + std::to_string(P));
-    }
-  }
-
-  if (StatsOut)
-    StatsOut->merge(C.statsSnapshot());
-  for (ProcessId P = 0; P < Cfg.Nodes; ++P)
-    Res.States.push_back(C.isLive(P) ? C.node(P).visibleState().str()
-                                     : std::string());
-  Res.Trace = FI->trace();
-  return Res;
-}
-
-bool runFails(const RunConfig &Cfg, const FaultPlan &Plan) {
-  return !executeRun(Cfg, &Plan, nullptr).Ok;
+bool runFails(const RunSpec &Cfg, const FaultPlan &Plan) {
+  return !runSchedule(Cfg, &Plan, nullptr).Ok;
 }
 
 /// Greedy schedule minimization: drop timed faults and zero probability
 /// knobs as long as the run still fails.
-FaultPlan minimizePlan(const RunConfig &Cfg, FaultPlan Plan) {
+FaultPlan minimizePlan(const RunSpec &Cfg, FaultPlan Plan) {
   bool Progress = true;
   while (Progress) {
     Progress = false;
@@ -359,37 +169,6 @@ void printPlan(const FaultPlan &Plan) {
   for (const TimedFault &F : Plan.Timed)
     std::printf("  at %" PRIu64 "ns %s node/link %u %u until %" PRIu64 "\n",
                 F.At, faultKindName(F.Kind), F.A, F.B, F.Until);
-}
-
-bool dumpTrace(const std::string &Path, const RunConfig &Cfg,
-               const FaultTrace &Trace) {
-  std::ofstream OS(Path);
-  if (!OS)
-    return false;
-  OS << "# hamband_fuzz type=" << Cfg.TypeName << " nodes=" << Cfg.Nodes
-     << " calls=" << Cfg.Calls << " workseed=" << Cfg.WorkSeed << "\n";
-  OS << Trace.serialize();
-  return static_cast<bool>(OS);
-}
-
-bool loadDumpedTrace(const std::string &Path, RunConfig &Cfg,
-                     FaultTrace &Trace) {
-  std::ifstream IS(Path);
-  if (!IS)
-    return false;
-  std::string Header;
-  if (!std::getline(IS, Header))
-    return false;
-  char TypeName[64] = {};
-  if (std::sscanf(Header.c_str(),
-                  "# hamband_fuzz type=%63s nodes=%u calls=%u "
-                  "workseed=%" SCNu64,
-                  TypeName, &Cfg.Nodes, &Cfg.Calls, &Cfg.WorkSeed) != 4)
-    return false;
-  Cfg.TypeName = TypeName;
-  std::stringstream Rest;
-  Rest << IS.rdbuf();
-  return FaultTrace::deserialize(Rest.str(), Trace);
 }
 
 int usage(const char *Argv0) {
@@ -476,27 +255,36 @@ int main(int Argc, char **Argv) {
   }
 
   if (!Opt.ReplayFile.empty()) {
-    RunConfig Cfg;
+    RunSpec Cfg;
     FaultTrace Recorded;
-    if (!loadDumpedTrace(Opt.ReplayFile, Cfg, Recorded)) {
+    if (!readTraceFile(Opt.ReplayFile, Cfg, Recorded)) {
       std::fprintf(stderr, "error: cannot load trace %s\n",
                    Opt.ReplayFile.c_str());
       return 2;
     }
-    std::vector<std::string> Known = registeredTypeNames();
-    if (std::find(Known.begin(), Known.end(), Cfg.TypeName) == Known.end()) {
-      std::fprintf(stderr, "error: trace names unknown type '%s'\n",
-                   Cfg.TypeName.c_str());
+    if (!makeRunType(Cfg)) {
+      std::fprintf(stderr,
+                   "error: trace names unknown type '%s' or invalid "
+                   "mutation '%s'\n",
+                   Cfg.TypeName.c_str(), Cfg.Mutation.c_str());
       return 2;
     }
-    RunResult R = executeRun(Cfg, nullptr, &Recorded);
+    RunOutcome R = runSchedule(Cfg, nullptr, &Recorded);
     bool Identical = R.Trace == Recorded;
-    std::printf("replayed %s: type=%s events=%zu checks=%s trace=%s\n",
+    std::printf("replayed %s: type=%s%s%s events=%zu checks=%s trace=%s\n",
                 Opt.ReplayFile.c_str(), Cfg.TypeName.c_str(),
+                Cfg.Mutation.empty() ? "" : "#",
+                Cfg.Mutation.empty() ? "" : Cfg.Mutation.c_str(),
                 R.Trace.Events.size(), R.Ok ? "pass" : "FAIL",
                 Identical ? "identical" : "DIVERGED");
     if (!R.Ok)
       std::printf("  %s\n", R.Failure.c_str());
+    // A counterexample trace from hamband_mc is *expected* to fail its
+    // oracles -- replay certifies the reproduction, i.e. that the trace
+    // re-executes bit-for-bit. Against a corrupted (mutated) spec the
+    // exit code therefore reflects trace identity only.
+    if (!Cfg.Mutation.empty())
+      return Identical ? 0 : 1;
     return (R.Ok && Identical) ? 0 : 1;
   }
 
@@ -516,9 +304,9 @@ int main(int Argc, char **Argv) {
   unsigned Failures = 0;
   obs::StatsSnapshot Merged;
   for (unsigned RunIdx = First; RunIdx < Last; ++RunIdx) {
-    RunConfig Cfg = configForRun(Opt, RunIdx, Types);
-    RunResult R = executeRun(Cfg, nullptr, nullptr,
-                             Opt.Stats ? &Merged : nullptr);
+    RunSpec Cfg = configForRun(Opt, RunIdx, Types);
+    RunOutcome R = runSchedule(Cfg, nullptr, nullptr,
+                               Opt.Stats ? &Merged : nullptr);
 
     // Serialization round trip + bit-for-bit replay of the trace.
     std::string Ser = R.Trace.serialize();
@@ -528,7 +316,7 @@ int main(int Argc, char **Argv) {
       R.Failure += "; trace serialization round trip failed";
     }
     if (!Opt.NoReplay) {
-      RunResult Rep = executeRun(Cfg, nullptr, &R.Trace);
+      RunOutcome Rep = runSchedule(Cfg, nullptr, &R.Trace);
       if (!(Rep.Trace == R.Trace)) {
         R.Ok = false;
         R.Failure += "; replay produced a different trace";
@@ -543,16 +331,16 @@ int main(int Argc, char **Argv) {
       // It faces every check the unbatched run does, including its own
       // bit-for-bit replay (its trace differs -- flushes change the
       // number and timing of stage events -- so it replays separately).
-      RunConfig CfgB = Cfg;
+      RunSpec CfgB = Cfg;
       CfgB.Batched = true;
-      RunResult RB = executeRun(CfgB, nullptr, nullptr,
-                                Opt.Stats ? &Merged : nullptr);
+      RunOutcome RB = runSchedule(CfgB, nullptr, nullptr,
+                                  Opt.Stats ? &Merged : nullptr);
       if (!RB.Ok) {
         R.Ok = false;
         R.Failure += "; batched twin failed: " + RB.Failure;
       }
       if (!Opt.NoReplay) {
-        RunResult RepB = executeRun(CfgB, nullptr, &RB.Trace);
+        RunOutcome RepB = runSchedule(CfgB, nullptr, &RB.Trace);
         if (!(RepB.Trace == RB.Trace)) {
           R.Ok = false;
           R.Failure += "; batched replay produced a different trace";
@@ -584,7 +372,7 @@ int main(int Argc, char **Argv) {
                   R.Trace.Events.size(), R.CompletedOk, R.Rejected,
                   R.LostAtCrashed, R.Skipped, R.Ok ? "PASS" : "FAIL");
     if (!Opt.DumpFile.empty() && (!R.Ok || Opt.Only >= 0))
-      dumpTrace(Opt.DumpFile, Cfg, R.Trace);
+      writeTraceFile(Opt.DumpFile, Cfg, R.Trace);
     if (!R.Ok) {
       ++Failures;
       std::printf("  failure: %s\n  repro: --seed %" PRIu64 " --only %u\n",
