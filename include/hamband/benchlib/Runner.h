@@ -23,7 +23,13 @@
 #include "hamband/rdma/Transport.h"
 #include "hamband/runtime/HambandNode.h"
 
+#include <functional>
+
 namespace hamband {
+namespace runtime {
+class HambandCluster;
+} // namespace runtime
+
 namespace benchlib {
 
 /// Which system to run.
@@ -58,6 +64,13 @@ struct RunnerOptions {
   unsigned NumShards = 0;
   /// Virtual nodes per shard on the placement ring (NumShards > 0 only).
   unsigned KeyspaceVirtualNodes = 64;
+  /// Invoked once per run on the freshly started cluster, before any
+  /// workload call is issued (unsharded Hamband deployments only).
+  /// Lets big-state experiments pre-load every replica with an agreed
+  /// summary (HambandCluster::seedReducibleState) so the measured phase
+  /// ships images proportional to a large resident state without paying
+  /// for building it call by call.
+  std::function<void(runtime::HambandCluster &)> PreSeed;
 };
 
 /// Runs the workload once with the given seed.

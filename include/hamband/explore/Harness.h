@@ -66,6 +66,10 @@ struct RunSpec {
   std::uint64_t FaultSeed = 0; // Fault-plan seed.
   sim::FaultSpec Spec;
   bool Batched = false; // Enable the call-batching layer.
+  /// Enable delta-state summary propagation (docs/deltas.md), with the
+  /// anti-entropy period shortened so full-image rounds fire within a
+  /// fuzz-sized schedule.
+  bool Deltas = false;
 };
 
 struct RunOutcome {
@@ -131,8 +135,10 @@ RunOutcome runSchedule(const RunSpec &Spec,
 bool writeTraceFile(const std::string &Path, const RunSpec &Spec,
                     const sim::FaultTrace &Trace);
 
-/// Parses a dumped trace file back into a RunSpec + FaultTrace. Accepts
-/// both the 4-field legacy header and the 5-field header with mutation=.
+/// Parses a dumped trace file back into a RunSpec + FaultTrace. The
+/// header is a sequence of key=value tokens; legacy 4-field headers
+/// (without mutation=/batched=/deltas=) and headers with unknown extra
+/// keys are both accepted.
 bool readTraceFile(const std::string &Path, RunSpec &Spec,
                    sim::FaultTrace &Trace);
 

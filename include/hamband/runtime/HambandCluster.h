@@ -106,6 +106,15 @@ public:
   /// Test helper: all nodes' visible states are equal.
   bool converged();
 
+  /// Test/bench helper: installs \p Summary as node \p Issuer's summary of
+  /// group \p Group at version \p Seq on EVERY node, inside
+  /// withPausedWorld(). The cluster behaves as if \p Issuer had issued
+  /// and fully replicated the folded calls -- big-state workloads start
+  /// from a large converged image without paying one wire ship per
+  /// element (docs/deltas.md).
+  void seedReducibleState(unsigned Group, rdma::NodeId Issuer,
+                          const Call &Summary, std::uint64_t Seq);
+
   /// Test helper: all nodes' applied tables are equal.
   bool appliedTablesEqual() const;
 

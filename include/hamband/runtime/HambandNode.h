@@ -70,6 +70,27 @@ struct BatchingConfig {
   sim::SimDuration FlushInterval = sim::micros(2);
 };
 
+/// Delta-state propagation for reducible sync groups (docs/deltas.md).
+///
+/// When enabled, a flush ships the *fold of the calls since the last
+/// shipped image* as a bounded F-ring frame tagged with the half-open
+/// version interval it covers, instead of overwriting every peer's
+/// summary slot with the full image. Periodic full-image anti-entropy
+/// (chunked over the same rings) bounds divergence after gaps and keeps
+/// recovery idempotent. Off by default: full images preserve the
+/// classic per-flush summary-slot path unchanged.
+struct DeltaConfig {
+  /// Master switch.
+  bool Enabled = false;
+  /// Anti-entropy period: every this many delta flushes of a group, ship
+  /// a full image instead of a delta (0 = never; gaps then heal only
+  /// through backup-slot recovery).
+  std::uint32_t AntiEntropyEvery = 64;
+  /// Cap of buffered out-of-order frames per (group, source); frames
+  /// beyond it are dropped (counted) and heal via anti-entropy.
+  std::uint32_t MaxBufferedFrames = 64;
+};
+
 /// Tunables of the Hamband runtime.
 struct HambandConfig {
   RingGeometry FreeGeom{4096, 256};
@@ -96,6 +117,8 @@ struct HambandConfig {
   bool RespondAfterCompletion = true;
   /// Reduction-aware batching of the broadcast hot path.
   BatchingConfig Batch;
+  /// Delta-state propagation of reducible summaries (docs/deltas.md).
+  DeltaConfig Delta;
   /// Rotates initial consensus leadership: group G starts led by node
   /// (G + LeaderOffset) % N. A sharded deployment gives each shard a
   /// distinct offset so shard leaders spread across the cluster instead
@@ -245,6 +268,34 @@ public:
   /// off or nothing is pending.
   void flushOutgoing();
 
+  // -- Delta propagation (docs/deltas.md) ---------------------------------
+
+  /// Test hook: when set, outgoing *delta* frames are not posted to any
+  /// peer (the local fold and the version advance still happen), creating
+  /// version gaps at every peer. Full-image frames (anti-entropy,
+  /// slot-overflow fallback) still ship, so convergence is restored by
+  /// the next anti-entropy round. Only meaningful with Cfg.Delta.Enabled.
+  void dropOutgoingDeltasForTest(bool Drop) { DropDeltasForTest = Drop; }
+
+  /// Test/bench hook: installs \p Summary as the cached image of
+  /// (\p Group, \p Src) at version \p Seq, as if \p Src had shipped it and
+  /// this node applied it -- including the applied-count row, so seeded
+  /// clusters still satisfy the applied-table equality oracles. When
+  /// \p Src is this node, the own-summary fold state and the delta ship
+  /// cursor advance too. Callers must seed all nodes identically (see
+  /// HambandCluster::seedReducibleState) and only while the world is
+  /// paused/quiescent.
+  void seedSummary(unsigned Group, ProcessId Src, const Call &Summary,
+                   std::uint64_t Seq);
+
+  /// Delta-frame introspection for tests: frames buffered out-of-order
+  /// for (\p Group, \p Src) and the version this node has seen from
+  /// \p Src in \p Group.
+  std::size_t bufferedDeltaFrames(unsigned Group, ProcessId Src) const;
+  std::uint64_t summarySeqSeen(unsigned Group, ProcessId Src) const {
+    return SummarySeqSeen[Group][Src];
+  }
+
 private:
   struct PendingConfRequest {
     Call TheCall;
@@ -322,6 +373,55 @@ private:
   /// Effective byte cap for the encoded free-batch record.
   std::size_t freeBatchCapBytes() const;
 
+  // Delta propagation (docs/deltas.md).
+  /// Encoded size of a SummaryImage with \p NumArgs summary arguments and
+  /// \p NumCounts applied-count entries (arithmetic twin of encodeSummary;
+  /// lets the ship path size-check huge images without encoding them).
+  static std::size_t summaryImageBytes(std::size_t NumArgs,
+                                       std::size_t NumCounts);
+  /// Methods of summarization group \p G (the applied-count rows a
+  /// summary image of the group carries).
+  std::vector<MethodId> groupMethods(unsigned G) const;
+  /// Maximum summary arguments per full-image chunk so the encoded frame
+  /// fits one (possibly spanning) F-ring record. Always >= 1.
+  std::size_t frameChunkMaxArgs() const;
+  /// True when the group's full image at the candidate size can be
+  /// shipped at all: it fits the classic summary slot, or it can be
+  /// chunked/carried over the F-rings. The reduce path checks this
+  /// BEFORE folding, so an unshippable call is rejected (Done(false))
+  /// without mutating any replicated state.
+  bool fullImageShippable(const Call &Summary, std::size_t NumCounts) const;
+  /// Posts one encoded frame record to every peer's F-ring; \p OnOne runs
+  /// per completed peer write.
+  void postFrameToPeers(const std::vector<std::uint8_t> &Bytes,
+                        std::function<void()> OnOne);
+  /// Enqueues one F-ring record for \p Peer and drains the per-peer
+  /// outbound queue strictly head-first. Both the chunk-reassembly rules
+  /// and the FreeSeqNext dedup cursor assume the F-ring is FIFO per
+  /// source, so a full ring must STALL the stream, never reorder it:
+  /// independent per-record retries would let a retried chunk of one
+  /// image land after a later image's chunks, wedging reassembly.
+  void appendFreeOrdered(rdma::NodeId Peer, std::vector<std::uint8_t> Bytes,
+                         rdma::CompletionFn Done);
+  /// Appends queued records for \p Peer until the ring fills; re-arms a
+  /// retry timer while records remain.
+  void drainFreeOutbound(rdma::NodeId Peer);
+  /// Encodes group \p G's image \p Img as Full=1 chunk frames (element-
+  /// wise decomposition when the type supports it).
+  std::vector<std::vector<std::uint8_t>>
+  encodeFullFrames(unsigned G, const SummaryImage &Img) const;
+  /// Receive path shared by the ring poller and backup-slot recovery.
+  /// Returns true when the frame advanced the (group, src) version.
+  bool handleSummaryFrame(ProcessId Src, const SummaryDeltaFrame &F);
+  /// Joins a delta frame whose FromSeq matches the seen version; false
+  /// on a gap (caller buffers the frame).
+  bool tryApplyDeltaFrame(ProcessId Src, const SummaryDeltaFrame &F);
+  /// Re-tries buffered frames of (\p G, \p Src) until no more apply.
+  void retryBufferedFrames(unsigned G, ProcessId Src);
+  /// Install of a reassembled full image (dedups by version), plus retry
+  /// of buffered frames now unblocked by the version jump.
+  bool installFullImage(unsigned G, ProcessId Src, SummaryImage Img);
+
   rdma::Transport &Fabric;
   rdma::NodeId Self;
   const ObjectType &Type;
@@ -359,6 +459,16 @@ private:
   // Rings.
   std::vector<std::unique_ptr<RingReader>> FreeReaders;  // [issuer]
   std::vector<std::unique_ptr<RingWriter>> FreeWriters;  // [peer]
+  /// Outbound F-ring records waiting for ring space, drained head-first
+  /// per peer (see appendFreeOrdered: the F-ring must stay FIFO per
+  /// source even when a full ring forces retries).
+  struct OutboundRecord {
+    std::vector<std::uint8_t> Bytes;
+    rdma::CompletionFn Done;
+  };
+  std::vector<std::deque<OutboundRecord>> FreeOutbound; // [peer]
+  /// Whether a retry timer is already armed for the peer's queue.
+  std::vector<char> FreeOutboundArmed; // [peer]
   std::vector<std::unique_ptr<RingReader>> ConfReaders;  // [group]
   std::vector<std::unique_ptr<RingReader>> MailReaders;  // [peer]
   std::vector<std::unique_ptr<RingWriter>> MailWriters;  // [peer]
@@ -415,6 +525,39 @@ private:
   obs::Counter *CtrFlushConf = nullptr;
   obs::Histogram *HistBatchCalls = nullptr;
   obs::Histogram *HistBatchBytes = nullptr;
+
+  // Delta-propagation state (dormant unless Cfg.Delta.Enabled, except the
+  // full-frame receive machinery, which also serves the slot-overflow
+  // fallback in classic mode).
+  /// Fold of the local calls of each group since its last shipped frame
+  /// (batched mode; unbatched deltas are the single prepared call).
+  std::vector<std::optional<Call>> PendingDelta; // [group]
+  /// Version up to which peers have been shipped this node's summary
+  /// (the FromSeq of the next outgoing delta frame).
+  std::vector<std::uint64_t> DeltaShippedSeq; // [group]
+  /// Delta flushes since the last full-image ship (anti-entropy trigger).
+  std::vector<std::uint32_t> DeltaFlushesSinceFull; // [group]
+  /// Out-of-order delta frames parked until the version gap closes.
+  std::vector<std::vector<std::deque<SummaryDeltaFrame>>>
+      BufferedFrames; // [group][src]
+  /// Partial full-image chunk sets keyed by target version.
+  struct ChunkAssembly {
+    std::uint64_t Seq = 0;
+    std::vector<std::optional<SummaryImage>> Parts;
+    std::uint32_t Have = 0;
+  };
+  std::vector<std::vector<ChunkAssembly>> Assemblies; // [group][src]
+  bool DropDeltasForTest = false;
+  obs::Counter *CtrDeltaOut = nullptr;
+  obs::Counter *CtrDeltaIn = nullptr;
+  obs::Counter *CtrDeltaDup = nullptr;
+  obs::Counter *CtrDeltaGap = nullptr;
+  obs::Counter *CtrDeltaDropped = nullptr;
+  obs::Counter *CtrDeltaFullOut = nullptr;
+  obs::Counter *CtrDeltaFullIn = nullptr;
+  obs::Counter *CtrSlotOverflow = nullptr;
+  obs::Counter *CtrOversizeReject = nullptr;
+  obs::Counter *CtrStageSkipped = nullptr;
 
   sim::SimDuration PollBaseCost = 0;
   bool Started = false;

@@ -44,6 +44,12 @@ public:
     /// plus the free-call batch record of one batched flush, staged as a
     /// single unit so the whole flush is recovered atomically.
     FreeBatch = 3,
+    /// Payload is a summary-delta frame (encodeSummaryDelta); Aux is the
+    /// summarization group. Staged only when the corresponding *full*
+    /// image outgrows the backup slot: recovery then degrades to the
+    /// delta's gap-checked delivery rules instead of the idempotent
+    /// full-image install (docs/deltas.md).
+    SummaryDelta = 4,
   };
 
   /// A fetched backup message.

@@ -138,6 +138,46 @@ std::vector<std::uint8_t> encodeFlushImage(const FlushImage &Img);
 bool decodeFlushImage(const std::uint8_t *Data, std::size_t Len,
                       FlushImage &Out);
 
+/// Marker distinguishing a summary-delta frame from a single encoded call
+/// or a call batch on the F-rings: like CallBatchMarker it occupies the
+/// u16 method slot and is never a valid method id.
+inline constexpr std::uint16_t SummaryDeltaMarker = 0xFFFE;
+
+/// A delta-state summary frame shipped over the F-rings
+/// (docs/deltas.md). A *delta* frame carries the fold of the source's
+/// reducible calls in the half-open version interval (FromSeq, ToSeq] of
+/// one summarization group; the receiver joins it into its cached image
+/// when FromSeq matches the version it has seen. A *full* frame
+/// (Full = 1) carries chunk ChunkIdx of ChunkCount of a complete summary
+/// image at version ToSeq (anti-entropy / slot-overflow fallback); the
+/// receiver reassembles all chunks and installs the image atomically.
+struct SummaryDeltaFrame {
+  std::uint8_t Group = 0;
+  /// 0: delta over (FromSeq, ToSeq]; 1: full-image chunk at ToSeq.
+  std::uint8_t Full = 0;
+  std::uint16_t ChunkIdx = 0;
+  std::uint16_t ChunkCount = 1;
+  std::uint64_t FromSeq = 0;
+  std::uint64_t ToSeq = 0;
+  /// encodeSummary output: the delta call (or full-image chunk call) plus
+  /// the source's per-method applied counts; Image.Seq == ToSeq.
+  std::vector<std::uint8_t> Image;
+};
+
+/// True when \p Data starts with the summary-delta marker.
+bool isSummaryDelta(const std::uint8_t *Data, std::size_t Len);
+
+/// Fixed frame overhead preceding the embedded summary image (ship-path
+/// size budgeting).
+inline constexpr std::size_t SummaryDeltaHeaderBytes =
+    2 + 1 + 1 + 2 + 2 + 8 + 8 + 4;
+
+/// Layout: u16 marker | u8 group | u8 full | u16 chunkIdx | u16 chunkCnt |
+///         u64 fromSeq | u64 toSeq | u32 len | encodeSummary bytes
+std::vector<std::uint8_t> encodeSummaryDelta(const SummaryDeltaFrame &F);
+bool decodeSummaryDelta(const std::uint8_t *Data, std::size_t Len,
+                        SummaryDeltaFrame &Out);
+
 /// Kinds of mailbox messages (leader redirection of conflicting calls).
 enum class MailKind : std::uint8_t {
   /// A client's conflicting call forwarded to the group leader.

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Benchmark-regression harness: runs the fig8/fig9 headline points (plus
-# the batched fig8 twin) and the fig_shard keyspace-scaling sweep through
-# hamband_bench_report and emits BENCH_pr7.json, then validates it. Three
-# gates run on every invocation:
+# the batched fig8 twin), the fig_shard keyspace-scaling sweep and the
+# fig_bigstate delta-bytes sweep through hamband_bench_report and emits
+# BENCH_pr9.json, then validates it. Four gates run on every invocation:
 #
 #  - batching on/off: fig8_batched throughput must beat fig8 by at least
 #    --min-batch-speedup (default 1.25x);
@@ -10,6 +10,12 @@
 #    beat its 1-shard point by at least --min-shard-speedup (default 2x;
 #    the sweep is deterministic simulated time, so the gate holds in
 #    smoke runs too);
+#  - delta bytes: every gated fig_bigstate entry (gset and two-phase-set
+#    pre-seeded with --big-elems elements) must ship at least
+#    --min-delta-bytes-factor (default 5x) fewer transport bytes per
+#    delivered call in delta mode than in full-image mode (the
+#    lww-register entry is the ungated tiny-image contrast case, see
+#    docs/deltas.md);
 #  - unbatched no-regression: fig8 throughput must stay within --tolerance
 #    of the committed BENCH_pr4.json baseline (full runs only -- the smoke
 #    op count is too small to compare against the full-run baseline).
@@ -36,22 +42,25 @@
 #                                 [--reps N] [--tolerance T]
 #                                 [--min-batch-speedup X]
 #                                 [--min-shard-speedup X] [--shards LIST]
-#                                 [--shard-objects N]
+#                                 [--shard-objects N] [--big-elems N]
+#                                 [--min-delta-bytes-factor X]
 #                                 [--transport sim|shm|both] [build-dir]
 
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$REPO/build"
-OUT="$REPO/BENCH_pr7.json"
+OUT="$REPO/BENCH_pr9.json"
 BASELINE="$REPO/BENCH_pr4.json"
 OPS="${HAMBAND_OPS:-6000}"
 REPS="${HAMBAND_REPS:-1}"
 TOLERANCE=0.05
 MIN_BATCH_SPEEDUP=1.25
 MIN_SHARD_SPEEDUP=2.0
+MIN_DELTA_BYTES_FACTOR=5
 SHARDS=1,2,4,8
 SHARD_OBJECTS=100000
+BIG_ELEMS=100000
 TRANSPORT=both
 SMOKE=0
 
@@ -64,8 +73,10 @@ while [ $# -gt 0 ]; do
     --tolerance) TOLERANCE="$2"; shift ;;
     --min-batch-speedup) MIN_BATCH_SPEEDUP="$2"; shift ;;
     --min-shard-speedup) MIN_SHARD_SPEEDUP="$2"; shift ;;
+    --min-delta-bytes-factor) MIN_DELTA_BYTES_FACTOR="$2"; shift ;;
     --shards) SHARDS="$2"; shift ;;
     --shard-objects) SHARD_OBJECTS="$2"; shift ;;
+    --big-elems) BIG_ELEMS="$2"; shift ;;
     --transport) TRANSPORT="$2"; shift ;;
     -*) echo "usage: $0 [--smoke] [--out FILE] [--ops N] [--reps N]" \
              "[--tolerance T] [--transport sim|shm|both] [build-dir]" >&2
@@ -76,7 +87,8 @@ while [ $# -gt 0 ]; do
 done
 
 REPORT_ARGS=(--ops "$OPS" --reps "$REPS" --transport "$TRANSPORT"
-             --shards "$SHARDS" --shard-objects "$SHARD_OBJECTS")
+             --shards "$SHARDS" --shard-objects "$SHARD_OBJECTS"
+             --big-elems "$BIG_ELEMS")
 [ "$SMOKE" = 1 ] && REPORT_ARGS+=(--smoke)
 
 cmake -B "$BUILD" -S "$REPO" >/dev/null
@@ -85,7 +97,8 @@ cmake --build "$BUILD" -j"$(nproc)" --target hamband_bench_report
 "$BUILD/tools/hamband_bench_report" "${REPORT_ARGS[@]}" --out "$OUT"
 "$BUILD/tools/hamband_bench_report" --check "$OUT" \
   --min-batch-speedup "$MIN_BATCH_SPEEDUP" \
-  --min-shard-speedup "$MIN_SHARD_SPEEDUP"
+  --min-shard-speedup "$MIN_SHARD_SPEEDUP" \
+  --min-delta-bytes-factor "$MIN_DELTA_BYTES_FACTOR"
 
 if [ "$SMOKE" = 1 ]; then
   echo "bench_regress: smoke ok ($OUT)"
@@ -107,7 +120,8 @@ fi
 BUILD_OFF="${BUILD}-obs-off"
 OUT_OFF="$BUILD_OFF/$(basename "${OUT%.json}")_obs_off.json"
 OFF_ARGS=(--ops "$OPS" --reps "$REPS" --transport sim
-          --shards "$SHARDS" --shard-objects "$SHARD_OBJECTS")
+          --shards "$SHARDS" --shard-objects "$SHARD_OBJECTS"
+          --big-elems "$BIG_ELEMS")
 cmake -B "$BUILD_OFF" -S "$REPO" -DHAMBAND_OBS=OFF >/dev/null
 cmake --build "$BUILD_OFF" -j"$(nproc)" --target hamband_bench_report
 "$BUILD_OFF/tools/hamband_bench_report" "${OFF_ARGS[@]}" --out "$OUT_OFF"

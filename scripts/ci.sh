@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a fault-schedule fuzz smoke, the bounded
-# coordination-verifier gate (including keyed-lift preservation), the
-# hamband_mc exhaustive small-scope sweep, a TSan flavor (threaded obs
-# mutation, shm ring stress, the shm transport conformance corpus, and
-# the shm sharded keyspace corpus), and lint.
+# Tier-1 verification plus fault-schedule fuzz smokes (baseline, batched
+# twin, delta twin), the bounded coordination-verifier gate (including
+# keyed-lift preservation), the hamband_mc exhaustive small-scope sweep
+# (plus a delta-mode exploration), a TSan flavor (threaded obs mutation,
+# shm ring stress, the shm transport conformance corpus, the shm sharded
+# keyspace corpus, and the shm delta corpus), and lint.
 #
 # Usage: scripts/ci.sh [build-dir]
 #   HAMBAND_SANITIZE=ON|address|thread  configure with ASan+UBSan or TSan
@@ -27,6 +28,12 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 # against the unbatched twin (see docs/batching.md).
 "$BUILD/tools/hamband_fuzz" --runs "$((FUZZ_RUNS / 2))" --seed 43 --batch
 
+# Delta smoke: the same twin-diff discipline for delta-state summary
+# propagation (bounded SummaryDelta frames + anti-entropy full images,
+# see docs/deltas.md). Delta shipping is a transport-level optimization
+# and must be invisible in the converged states.
+"$BUILD/tools/hamband_fuzz" --runs "$((FUZZ_RUNS / 2))" --seed 44 --deltas
+
 # Bench smoke: the regression harness must produce a well-formed report.
 "$REPO/scripts/bench_regress.sh" --smoke --out "$BUILD/BENCH_smoke.json" \
   "$BUILD"
@@ -49,6 +56,13 @@ echo "ci: exhaustive schedule exploration (hamband_mc small-scope sweep)"
 "$BUILD/tools/hamband_mc" --type all --calls 4 --crashes 1 --json \
   > "$BUILD/MC_sweep.json"
 echo "ci: explored-state counts recorded in $BUILD/MC_sweep.json"
+
+# A smaller delta-mode exploration: every interleaving of the counter at
+# 3 calls with one crash point, against a cluster shipping SummaryDelta
+# frames. Exercises the delta apply/gap/anti-entropy paths under
+# exhaustive scheduling rather than random fuzz.
+echo "ci: exhaustive delta-mode exploration (hamband_mc --deltas)"
+"$BUILD/tools/hamband_mc" --type counter --calls 3 --crashes 1 --deltas
 
 # Transport policy smoke: fault-schedule fuzzing is sim-only and must
 # refuse the shm transport with a clear error (exit 2), not fall through
@@ -95,12 +109,15 @@ fi
 #    equivalence corpus over every registered type plus the sim-only
 #    fault-injection policy pin, with several shards multiplexed onto
 #    each node thread.
+#  - the shm half of the delta-propagation suite -- the delta-vs-semantics
+#    lockstep corpus, batched and unbatched, with delta frames and
+#    anti-entropy full images flowing between real node threads.
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
-  echo "ci: TSan threaded smoke (obs + shm transport + sharded keyspace)"
+  echo "ci: TSan threaded smoke (obs + shm transport + sharding + deltas)"
   cmake -B "$BUILD-tsan" -S "$REPO" -DHAMBAND_SANITIZE=thread
   cmake --build "$BUILD-tsan" -j"$(nproc)" \
     --target obs_tests shm_ring_stress_tests transport_conformance_tests \
-             sharding_tests
+             sharding_tests delta_tests
   "$BUILD-tsan/tests/obs_tests" \
     --gtest_filter='ObsRegistry.ConcurrentMutationIsExact'
   "$BUILD-tsan/tests/shm_ring_stress_tests"
@@ -108,6 +125,7 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
     --gtest_filter='*shm*:*FaultInjection*'
   "$BUILD-tsan/tests/sharding_tests" \
     --gtest_filter='*shm_*:*FaultInjectionIsSimOnly*'
+  "$BUILD-tsan/tests/delta_tests" --gtest_filter='*shm_*'
 fi
 
 # Lint: no-op (with a notice) when clang-tidy is not installed.

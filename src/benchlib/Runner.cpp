@@ -150,7 +150,8 @@ RunResult benchlib::runOnce(const ObjectType &Type,
     }
     }
   }
-  (void)Cluster;
+  if (Opts.PreSeed && Cluster)
+    Opts.PreSeed(*Cluster);
 
   rdma::Transport &T = RT->transport();
   const CoordinationSpec &Spec = RT->objectType().coordination();

@@ -33,6 +33,33 @@ bool ObjectType::summarize(const Call &, const Call &, Call &) const {
   return false;
 }
 
+bool ObjectType::applyDelta(const Call &Base, const Call &Delta,
+                            Call &Out) const {
+  // Summarize is the group's join: folding the delta into the base is the
+  // same operation the issuer used to fold the underlying calls.
+  return summarize(Base, Delta, Out);
+}
+
+bool ObjectType::summaryArgsDecomposable(MethodId) const { return false; }
+
+std::vector<Call> ObjectType::decomposeSummary(
+    const Call &Summary, std::size_t MaxArgsPerChunk) const {
+  if (MaxArgsPerChunk == 0)
+    MaxArgsPerChunk = 1;
+  if (!summaryArgsDecomposable(Summary.Method) ||
+      Summary.Args.size() <= MaxArgsPerChunk)
+    return {Summary};
+  std::vector<Call> Chunks;
+  for (std::size_t I = 0; I < Summary.Args.size(); I += MaxArgsPerChunk) {
+    std::size_t End = std::min(I + MaxArgsPerChunk, Summary.Args.size());
+    Chunks.emplace_back(Summary.Method,
+                        std::vector<Value>(Summary.Args.begin() + I,
+                                           Summary.Args.begin() + End),
+                        Summary.Issuer, Summary.Req);
+  }
+  return Chunks;
+}
+
 bool ObjectType::concurrentlyIssuable(const Call &, const Call &) const {
   return true;
 }

@@ -78,6 +78,10 @@ RunOutcome explore::runSchedule(const RunSpec &Cfg,
   HambandConfig HCfg;
   HCfg.Batch.Enabled = Cfg.Batched;
   HCfg.Batch.MaxCalls = 6;
+  HCfg.Delta.Enabled = Cfg.Deltas;
+  // Short anti-entropy period so fuzz-sized schedules exercise both the
+  // delta-frame and the full-image rounds.
+  HCfg.Delta.AntiEntropyEvery = 3;
   HCfg.RecordApplyLog = true;
   HambandCluster C(Sim, Cfg.Nodes, *T, {}, HCfg);
   std::unique_ptr<FaultInjector> FI;
@@ -311,6 +315,10 @@ bool explore::writeTraceFile(const std::string &Path, const RunSpec &Cfg,
      << " calls=" << Cfg.Calls << " workseed=" << Cfg.WorkSeed;
   if (!Cfg.Mutation.empty())
     OS << " mutation=" << Cfg.Mutation;
+  if (Cfg.Batched)
+    OS << " batched=1";
+  if (Cfg.Deltas)
+    OS << " deltas=1";
   OS << "\n";
   OS << Trace.serialize();
   return static_cast<bool>(OS);
@@ -324,17 +332,43 @@ bool explore::readTraceFile(const std::string &Path, RunSpec &Cfg,
   std::string Header;
   if (!std::getline(IS, Header))
     return false;
-  char TypeName[64] = {};
-  char Mutation[128] = {};
-  int Fields = std::sscanf(Header.c_str(),
-                           "# hamband_fuzz type=%63s nodes=%u calls=%u "
-                           "workseed=%" SCNu64 " mutation=%127s",
-                           TypeName, &Cfg.Nodes, &Cfg.Calls, &Cfg.WorkSeed,
-                           Mutation);
-  if (Fields != 4 && Fields != 5)
+  // Key=value header; unknown keys are skipped so newer dumps still load.
+  std::istringstream HS(Header);
+  std::string Tok;
+  if (!(HS >> Tok) || Tok != "#" || !(HS >> Tok) || Tok != "hamband_fuzz")
     return false;
-  Cfg.TypeName = TypeName;
-  Cfg.Mutation = Fields == 5 ? Mutation : "";
+  Cfg.Mutation.clear();
+  Cfg.Batched = false;
+  Cfg.Deltas = false;
+  bool HaveType = false, HaveNodes = false, HaveCalls = false,
+       HaveSeed = false;
+  while (HS >> Tok) {
+    std::size_t Eq = Tok.find('=');
+    if (Eq == std::string::npos)
+      return false;
+    std::string K = Tok.substr(0, Eq), V = Tok.substr(Eq + 1);
+    if (K == "type") {
+      Cfg.TypeName = V;
+      HaveType = true;
+    } else if (K == "nodes") {
+      Cfg.Nodes = static_cast<unsigned>(std::strtoul(V.c_str(), nullptr, 10));
+      HaveNodes = true;
+    } else if (K == "calls") {
+      Cfg.Calls = static_cast<unsigned>(std::strtoul(V.c_str(), nullptr, 10));
+      HaveCalls = true;
+    } else if (K == "workseed") {
+      Cfg.WorkSeed = std::strtoull(V.c_str(), nullptr, 10);
+      HaveSeed = true;
+    } else if (K == "mutation") {
+      Cfg.Mutation = V;
+    } else if (K == "batched") {
+      Cfg.Batched = V != "0";
+    } else if (K == "deltas") {
+      Cfg.Deltas = V != "0";
+    }
+  }
+  if (!HaveType || !HaveNodes || !HaveCalls || !HaveSeed)
+    return false;
   std::stringstream Rest;
   Rest << IS.rdbuf();
   return sim::FaultTrace::deserialize(Rest.str(), Trace);

@@ -134,6 +134,15 @@ bool HambandCluster::converged() {
   return true;
 }
 
+void HambandCluster::seedReducibleState(unsigned Group, rdma::NodeId Issuer,
+                                        const Call &Summary,
+                                        std::uint64_t Seq) {
+  withPausedWorld([&]() {
+    for (auto &N : Nodes)
+      N->seedSummary(Group, Issuer, Summary, Seq);
+  });
+}
+
 void HambandCluster::withPausedWorld(const std::function<void()> &Fn) {
   Trans->pauseWorld();
   Fn();

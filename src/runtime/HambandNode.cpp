@@ -110,6 +110,16 @@ HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
   CtrFlushConf = &Stats.counter("node.batch.flush.conf");
   HistBatchCalls = &Stats.histogram("node.batch.calls");
   HistBatchBytes = &Stats.histogram("node.batch.bytes");
+  CtrDeltaOut = &Stats.counter("node.delta.out");
+  CtrDeltaIn = &Stats.counter("node.delta.in");
+  CtrDeltaDup = &Stats.counter("node.delta.dup");
+  CtrDeltaGap = &Stats.counter("node.delta.gap");
+  CtrDeltaDropped = &Stats.counter("node.delta.dropped");
+  CtrDeltaFullOut = &Stats.counter("node.delta.full_out");
+  CtrDeltaFullIn = &Stats.counter("node.delta.full_in");
+  CtrSlotOverflow = &Stats.counter("node.summary.slot_overflow");
+  CtrOversizeReject = &Stats.counter("node.summary.oversize_reject");
+  CtrStageSkipped = &Stats.counter("node.delta.stage_skipped");
 
   Stored = Type.initialState();
   Applied.assign(N, std::vector<std::uint64_t>(Type.numMethods(), 0));
@@ -121,6 +131,12 @@ HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
   FreeSeqNext.assign(N, 0);
   SumBatchCalls.assign(SumGroups, 0);
   SumBatchDone.resize(SumGroups);
+  PendingDelta.assign(SumGroups, std::nullopt);
+  DeltaShippedSeq.assign(SumGroups, 0);
+  DeltaFlushesSinceFull.assign(SumGroups, 0);
+  BufferedFrames.assign(SumGroups,
+                        std::vector<std::deque<SummaryDeltaFrame>>(N));
+  Assemblies.assign(SumGroups, std::vector<ChunkAssembly>(N));
   ConfPending.resize(Groups);
   ConfReceivedContig.assign(Groups, 0);
   ConfAppliedIdx.assign(Groups, 0);
@@ -132,6 +148,8 @@ HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
 
   FreeReaders.resize(N);
   FreeWriters.resize(N);
+  FreeOutbound.resize(N);
+  FreeOutboundArmed.assign(N, 0);
   MailReaders.resize(N);
   MailWriters.resize(N);
   for (rdma::NodeId J = 0; J < N; ++J) {
@@ -314,6 +332,13 @@ bool HambandNode::idle() const {
   for (const auto &Q : LeaderQueue)
     if (!Q.empty())
       return false;
+  // Out-of-order delta frames are undelivered payload; a partially
+  // assembled full image is not (its remaining chunks are still in
+  // flight and will arrive through the rings).
+  for (const auto &PerSrc : BufferedFrames)
+    for (const auto &Q : PerSrc)
+      if (!Q.empty())
+        return false;
   return AwaitingResponse.empty();
 }
 
@@ -371,6 +396,14 @@ std::uint64_t HambandNode::stateDigest() {
   Mix(BatchedPending);
   Mix(FreeBatchBytes);
   Mix(FlushesInFlight);
+  for (std::uint64_t V : DeltaShippedSeq)
+    Mix(V);
+  for (const auto &PerSrc : BufferedFrames)
+    for (const auto &Q : PerSrc)
+      Mix(Q.size());
+  for (const auto &PerSrc : Assemblies)
+    for (const ChunkAssembly &A : PerSrc)
+      Mix(A.Seq + A.Have);
   return H;
 }
 
@@ -445,26 +478,61 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
           return;
         }
         unsigned G = *Spec.sumGroup(P.Method);
+        unsigned N = Fabric.numNodes();
         Call NewSummary = P;
+        bool Folded = false;
         if (OwnSummary[G]) {
           bool Ok = Type.summarize(*OwnSummary[G], P, NewSummary);
           assert(Ok && "summarization group not closed");
           (void)Ok;
-          CtrReductions->add();
+          Folded = true;
         }
+        // Shippability gate BEFORE any replicated-state mutation: if the
+        // grown image can neither fit the summary slot nor be chunked
+        // over the F-rings, folding this call would wedge every future
+        // ship of the group (the old code tripped an assert deep in the
+        // slot encoder instead). Reject with no side effects.
+        if (N > 1 &&
+            !fullImageShippable(NewSummary, groupMethods(G).size())) {
+          CtrOversizeReject->add();
+          Done(false, 0);
+          return;
+        }
+        if (Folded)
+          CtrReductions->add();
         OwnSummary[G] = NewSummary;
         std::uint64_t Seq = ++OwnSummarySeq[G];
         Applied[Self][P.Method] += 1;
         ++NumLocalUpdates;
         SummaryCache[G][Self] = NewSummary;
-        VisibleDirty = true;
+        // The fold appends exactly the prepared call, and reducible calls
+        // are conflict-free (they S-commute with everything a rebuild
+        // applies after them), so the visible cache can absorb the call
+        // incrementally -- a rebuild is O(summary size), ruinous for
+        // big-state workloads.
+        if (VisibleCache && !VisibleDirty)
+          Type.apply(*VisibleCache, P);
+        else
+          VisibleDirty = true;
 
         if (Cfg.Batch.Enabled) {
           // The call is already folded into OwnSummary[G]; the flush
           // ships one image covering every fold since the last one.
-          if (Fabric.numNodes() == 1) {
+          if (N == 1) {
             Done(true, 0);
             return;
+          }
+          if (Cfg.Delta.Enabled) {
+            // The per-flush delta folds alongside the full summary.
+            if (PendingDelta[G]) {
+              Call D;
+              bool Ok = Type.applyDelta(*PendingDelta[G], P, D);
+              assert(Ok && "summarization group not closed");
+              (void)Ok;
+              PendingDelta[G] = std::move(D);
+            } else {
+              PendingDelta[G] = P;
+            }
           }
           ++SumBatchCalls[G];
           if (Cfg.RespondAfterCompletion)
@@ -480,45 +548,138 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
         SummaryImage Img;
         Img.Seq = Seq;
         Img.Summary = NewSummary;
-        for (MethodId U = 0; U < Type.numMethods(); ++U)
-          if (Spec.isUpdate(U) && Spec.sumGroup(U) &&
-              *Spec.sumGroup(U) == G)
-            Img.AppliedCounts.emplace_back(U, Applied[Self][U]);
-        std::vector<std::uint8_t> Payload = encodeSummary(Img);
-        if (Cfg.UseBackupSlot)
-          Broadcast->stage(ReliableBroadcast::Kind::Summary,
-                           static_cast<std::uint8_t>(G), Payload);
+        for (MethodId U : groupMethods(G))
+          Img.AppliedCounts.emplace_back(U, Applied[Self][U]);
+        std::size_t FullBytes = summaryImageBytes(
+            NewSummary.Args.size(), Img.AppliedCounts.size());
+        bool FitsSlot = FullBytes + 13 <= Cfg.SummarySlotBytes;
 
-        unsigned N = Fabric.numNodes();
-        if (N == 1) {
+        if (!Cfg.Delta.Enabled && FitsSlot) {
+          // Classic path: stage the image, overwrite every peer's
+          // summary slot.
+          std::vector<std::uint8_t> Payload = encodeSummary(Img);
           if (Cfg.UseBackupSlot)
-            Broadcast->clear();
+            Broadcast->stage(ReliableBroadcast::Kind::Summary,
+                             static_cast<std::uint8_t>(G), Payload);
+          if (N == 1) {
+            if (Cfg.UseBackupSlot)
+              Broadcast->clear();
+            Done(true, 0);
+            return;
+          }
+          std::vector<std::uint8_t> Slot =
+              slotBytes(Payload, Cfg.SummarySlotBytes);
+          auto Remaining = std::make_shared<unsigned>(N - 1);
+          auto DoneP = std::make_shared<SubmitCallback>(std::move(Done));
+          bool RespondLate = Cfg.RespondAfterCompletion;
+          if (!RespondLate)
+            (*DoneP)(true, 0);
+          for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
+            if (Peer == Self)
+              continue;
+            Fabric.postWrite(
+                Self, Peer, Map.summarySlot(G, Self), Slot,
+                rdma::UnprotectedRegion,
+                [this, Remaining, DoneP, RespondLate](rdma::WcStatus) {
+                  if (--*Remaining != 0)
+                    return;
+                  if (Cfg.UseBackupSlot)
+                    Broadcast->clear();
+                  if (RespondLate)
+                    (*DoneP)(true, 0);
+                },
+                rdma::Transport::LaneClient);
+          }
+          return;
+        }
+
+        // Frame path: delta propagation, or the slot-overflow fallback
+        // in classic mode (docs/deltas.md).
+        if (N == 1) {
           Done(true, 0);
           return;
         }
-        std::vector<std::uint8_t> Slot =
-            slotBytes(Payload, Cfg.SummarySlotBytes);
-        auto Remaining = std::make_shared<unsigned>(N - 1);
+        bool AntiEntropyDue =
+            Cfg.Delta.Enabled && Cfg.Delta.AntiEntropyEvery > 0 &&
+            DeltaFlushesSinceFull[G] + 1 >= Cfg.Delta.AntiEntropyEvery;
+        bool ShipFull = !Cfg.Delta.Enabled || AntiEntropyDue;
+        if (!Cfg.Delta.Enabled)
+          CtrSlotOverflow->add();
+        std::vector<std::vector<std::uint8_t>> Frames;
+        if (!ShipFull) {
+          // The unbatched delta is the single prepared call, covering
+          // (DeltaShippedSeq, Seq].
+          SummaryImage DImg;
+          DImg.Seq = Seq;
+          DImg.Summary = P;
+          DImg.AppliedCounts = Img.AppliedCounts;
+          SummaryDeltaFrame F;
+          F.Group = static_cast<std::uint8_t>(G);
+          F.Full = 0;
+          F.FromSeq = DeltaShippedSeq[G];
+          F.ToSeq = Seq;
+          F.Image = encodeSummary(DImg);
+          std::vector<std::uint8_t> Enc = encodeSummaryDelta(F);
+          if (Enc.size() <= Cfg.FreeGeom.maxRecordPayload()) {
+            Frames.push_back(std::move(Enc));
+            CtrDeltaOut->add();
+            ++DeltaFlushesSinceFull[G];
+          } else {
+            // A delta too large for one record (giant call arguments):
+            // ship the full image instead, which chunks.
+            ShipFull = true;
+          }
+        }
+        if (ShipFull) {
+          Frames = encodeFullFrames(G, Img);
+          CtrDeltaFullOut->add();
+          DeltaFlushesSinceFull[G] = 0;
+        }
+        DeltaShippedSeq[G] = Seq;
+
+        if (Cfg.UseBackupSlot) {
+          // Crash-atomicity: stage the full image when it fits (recovery
+          // installs it idempotently); degrade to staging the delta frame
+          // when only the delta fits; otherwise skip (counted) -- the gap
+          // a crash then leaves heals through anti-entropy.
+          if (FullBytes + 7 <= Cfg.BackupSlotBytes)
+            Broadcast->stage(ReliableBroadcast::Kind::Summary,
+                             static_cast<std::uint8_t>(G),
+                             encodeSummary(Img));
+          else if (!ShipFull && Frames.size() == 1 &&
+                   Frames[0].size() + 7 <= Cfg.BackupSlotBytes)
+            Broadcast->stage(ReliableBroadcast::Kind::SummaryDelta,
+                             static_cast<std::uint8_t>(G), Frames[0]);
+          else
+            CtrStageSkipped->add();
+        }
+
         auto DoneP = std::make_shared<SubmitCallback>(std::move(Done));
         bool RespondLate = Cfg.RespondAfterCompletion;
         if (!RespondLate)
           (*DoneP)(true, 0);
-        for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
-          if (Peer == Self)
-            continue;
-          Fabric.postWrite(
-              Self, Peer, Map.summarySlot(G, Self), Slot,
-              rdma::UnprotectedRegion,
-              [this, Remaining, DoneP, RespondLate](rdma::WcStatus) {
-                if (--*Remaining != 0)
-                  return;
-                if (Cfg.UseBackupSlot)
-                  Broadcast->clear();
-                if (RespondLate)
-                  (*DoneP)(true, 0);
-              },
-              rdma::Transport::LaneClient);
+        if (DropDeltasForTest && !ShipFull) {
+          // Test hook: the delta evaporates on the wire (and the backup
+          // slot clears, so recovery cannot resurrect it); every peer now
+          // has a version gap that only anti-entropy heals.
+          if (Cfg.UseBackupSlot)
+            Broadcast->clear();
+          if (RespondLate)
+            (*DoneP)(true, 0);
+          return;
         }
+        auto Remaining =
+            std::make_shared<unsigned>(Frames.size() * (N - 1));
+        auto OnOne = [this, Remaining, DoneP, RespondLate]() {
+          if (--*Remaining != 0)
+            return;
+          if (Cfg.UseBackupSlot)
+            Broadcast->clear();
+          if (RespondLate)
+            (*DoneP)(true, 0);
+        };
+        for (const std::vector<std::uint8_t> &FrameBytes : Frames)
+          postFrameToPeers(FrameBytes, OnOne);
       },
       rdma::Transport::LaneClient);
 }
@@ -597,8 +758,7 @@ void HambandNode::handleFree(Call C, SubmitCallback Done) {
         for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
           if (Peer == Self)
             continue;
-          appendWithRetry(this->Fabric, *FreeWriters[Peer],
-                          Bytes, Cfg.PollInterval, OnOne);
+          appendFreeOrdered(Peer, Bytes, OnOne);
         }
       },
       rdma::Transport::LaneClient);
@@ -889,6 +1049,16 @@ unsigned HambandNode::pollFreeRings() {
       continue;
     // Bounded batch per traversal; a missed call is picked up next round.
     for (unsigned K = 0; K < 64 && FreeReaders[J]->peek(Bytes); ++K) {
+      if (isSummaryDelta(Bytes.data(), Bytes.size())) {
+        SummaryDeltaFrame F;
+        bool Ok = decodeSummaryDelta(Bytes.data(), Bytes.size(), F);
+        assert(Ok && "malformed summary-delta frame");
+        FreeReaders[J]->consume();
+        ++Parsed;
+        if (Ok)
+          handleSummaryFrame(J, F);
+        continue;
+      }
       if (isCallBatch(Bytes.data(), Bytes.size())) {
         std::vector<WireCall> Calls;
         if (!decodeCallBatch(Spec, Fabric.numNodes(), Bytes.data(),
@@ -940,9 +1110,11 @@ unsigned HambandNode::pollSummaries() {
       rdma::MemOffset Off = Map.summarySlot(G, Src);
       if (Mem.readU8(Off + Cfg.SummarySlotBytes - 1) != 1)
         continue; // Canary clear: never written or mid-write.
-      // The image starts with its sequence number; skip unchanged slots.
+      // The image starts with its sequence number; skip unchanged slots
+      // (or stale ones -- delta frames can advance the seen version past
+      // the last slot overwrite).
       std::uint64_t Seq = Mem.readU64(Off + 4);
-      if (Seq == SummarySeqSeen[G][Src])
+      if (Seq <= SummarySeqSeen[G][Src])
         continue;
       // Snapshot the whole slot before parsing: on the shm transport a
       // concurrent overwrite with a newer image could otherwise tear the
@@ -982,6 +1154,272 @@ void HambandNode::installSummary(unsigned Group, ProcessId From,
     if (N > Applied[From][U])
       Applied[From][U] = N;
   VisibleDirty = true;
+  // The version may have leapt over buffered delta frames; drain them.
+  retryBufferedFrames(Group, From);
+}
+
+// -- Delta propagation (docs/deltas.md) --------------------------------------
+
+std::size_t HambandNode::summaryImageBytes(std::size_t NumArgs,
+                                           std::size_t NumCounts) {
+  // encodeSummary: u64 seq | u16 method | u16 argc | u32 issuer | u64 req
+  // | i64 args[argc] | u16 k | k x (u16 method, u64 count).
+  return 24 + 8 * NumArgs + 2 + 10 * NumCounts;
+}
+
+std::vector<MethodId> HambandNode::groupMethods(unsigned G) const {
+  std::vector<MethodId> Out;
+  for (MethodId U = 0; U < Type.numMethods(); ++U)
+    if (Spec.isUpdate(U) && Spec.sumGroup(U) && *Spec.sumGroup(U) == G)
+      Out.push_back(U);
+  return Out;
+}
+
+std::size_t HambandNode::frameChunkMaxArgs() const {
+  std::size_t Budget = Cfg.FreeGeom.maxRecordPayload();
+  // Frame header plus an argument-free image with a worst-case
+  // applied-count block.
+  std::size_t Fixed =
+      SummaryDeltaHeaderBytes + summaryImageBytes(0, Type.numMethods());
+  if (Budget <= Fixed + 8)
+    return 1;
+  return (Budget - Fixed) / 8;
+}
+
+bool HambandNode::fullImageShippable(const Call &Summary,
+                                     std::size_t NumCounts) const {
+  std::size_t Full = summaryImageBytes(Summary.Args.size(), NumCounts);
+  if (Full + 13 <= Cfg.SummarySlotBytes)
+    return true; // Classic slot overwrite.
+  if (Type.summaryArgsDecomposable(Summary.Method)) {
+    std::size_t MaxArgs = frameChunkMaxArgs();
+    std::size_t Chunks =
+        std::max<std::size_t>(1, (Summary.Args.size() + MaxArgs - 1) /
+                                     MaxArgs);
+    return Chunks <= 0xFFFF; // ChunkCount is a u16.
+  }
+  // A non-decomposable image must fit one (possibly spanning) record.
+  return Full + SummaryDeltaHeaderBytes <= Cfg.FreeGeom.maxRecordPayload();
+}
+
+void HambandNode::postFrameToPeers(const std::vector<std::uint8_t> &Bytes,
+                                   std::function<void()> OnOne) {
+  unsigned N = Fabric.numNodes();
+  for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
+    if (Peer == Self)
+      continue;
+    appendFreeOrdered(Peer, Bytes,
+                      [OnOne](rdma::WcStatus) { OnOne(); });
+  }
+}
+
+void HambandNode::appendFreeOrdered(rdma::NodeId Peer,
+                                    std::vector<std::uint8_t> Bytes,
+                                    rdma::CompletionFn Done) {
+  FreeOutbound[Peer].push_back({std::move(Bytes), std::move(Done)});
+  drainFreeOutbound(Peer);
+}
+
+void HambandNode::drainFreeOutbound(rdma::NodeId Peer) {
+  auto &Q = FreeOutbound[Peer];
+  while (!Q.empty() &&
+         FreeWriters[Peer]->appendRecord(Q.front().Bytes, Q.front().Done))
+    Q.pop_front();
+  if (Q.empty() || FreeOutboundArmed[Peer])
+    return;
+  // Ring full mid-stream: hold the queue and retry head-first. The retry
+  // runs on this node's timer so the writer stays single-threaded.
+  FreeOutboundArmed[Peer] = 1;
+  Fabric.runAfter(Self, Cfg.PollInterval, [this, Peer]() {
+    FreeOutboundArmed[Peer] = 0;
+    drainFreeOutbound(Peer);
+  });
+}
+
+std::vector<std::vector<std::uint8_t>>
+HambandNode::encodeFullFrames(unsigned G, const SummaryImage &Img) const {
+  std::vector<Call> Chunks =
+      Type.decomposeSummary(Img.Summary, frameChunkMaxArgs());
+  assert(!Chunks.empty() && Chunks.size() <= 0xFFFF &&
+         "fullImageShippable() admits at most 65535 chunks");
+  std::vector<std::vector<std::uint8_t>> Out;
+  Out.reserve(Chunks.size());
+  for (std::size_t I = 0; I < Chunks.size(); ++I) {
+    SummaryImage Part;
+    Part.Seq = Img.Seq;
+    Part.Summary = std::move(Chunks[I]);
+    Part.AppliedCounts = Img.AppliedCounts;
+    SummaryDeltaFrame F;
+    F.Group = static_cast<std::uint8_t>(G);
+    F.Full = 1;
+    F.ChunkIdx = static_cast<std::uint16_t>(I);
+    F.ChunkCount = static_cast<std::uint16_t>(Chunks.size());
+    F.FromSeq = 0;
+    F.ToSeq = Img.Seq;
+    F.Image = encodeSummary(Part);
+    Out.push_back(encodeSummaryDelta(F));
+  }
+  return Out;
+}
+
+bool HambandNode::handleSummaryFrame(ProcessId Src,
+                                     const SummaryDeltaFrame &F) {
+  unsigned G = F.Group;
+  if (G >= SummaryCache.size() || Src >= Fabric.numNodes() || Src == Self)
+    return false;
+  if (F.Full) {
+    CtrDeltaFullIn->add();
+    SummaryImage Img;
+    if (!decodeSummary(F.Image.data(), F.Image.size(), Img)) {
+      CtrDeltaDropped->add();
+      return false;
+    }
+    if (F.ChunkCount <= 1)
+      return installFullImage(G, Src, std::move(Img));
+    if (F.ToSeq <= SummarySeqSeen[G][Src])
+      return false; // A chunk of an image we already superseded.
+    ChunkAssembly &A = Assemblies[G][Src];
+    if (A.Seq != F.ToSeq || A.Parts.size() != F.ChunkCount) {
+      // A newer (or differently shaped) image abandons the partial set:
+      // the F-ring is FIFO per source, so the rest of the old set is
+      // never coming.
+      A.Seq = F.ToSeq;
+      A.Parts.assign(F.ChunkCount, std::nullopt);
+      A.Have = 0;
+    }
+    if (!A.Parts[F.ChunkIdx]) {
+      A.Parts[F.ChunkIdx] = std::move(Img);
+      ++A.Have;
+    }
+    if (A.Have < F.ChunkCount)
+      return false;
+    // All chunks present. decomposeSummary slices the argument list
+    // contiguously, so concatenating the chunk arguments in index order
+    // rebuilds the exact image in O(n); re-folding the chunks through
+    // summarize would be quadratic for set-valued summaries.
+    SummaryImage Whole = std::move(*A.Parts[0]);
+    for (std::size_t I = 1; I < A.Parts.size(); ++I) {
+      Call &Part = A.Parts[I]->Summary;
+      Whole.Summary.Args.insert(Whole.Summary.Args.end(),
+                                Part.Args.begin(), Part.Args.end());
+    }
+    Whole.Seq = A.Seq;
+    A.Seq = 0;
+    A.Parts.clear();
+    A.Have = 0;
+    return installFullImage(G, Src, std::move(Whole));
+  }
+  // Delta frame.
+  if (F.ToSeq <= SummarySeqSeen[G][Src]) {
+    CtrDeltaDup->add();
+    return false;
+  }
+  if (tryApplyDeltaFrame(Src, F)) {
+    retryBufferedFrames(G, Src);
+    return true;
+  }
+  // Version gap: park the frame until the gap closes or anti-entropy
+  // leapfrogs it.
+  CtrDeltaGap->add();
+  auto &Buf = BufferedFrames[G][Src];
+  if (Buf.size() >= Cfg.Delta.MaxBufferedFrames) {
+    CtrDeltaDropped->add();
+    return false;
+  }
+  Buf.push_back(F);
+  return false;
+}
+
+bool HambandNode::tryApplyDeltaFrame(ProcessId Src,
+                                     const SummaryDeltaFrame &F) {
+  unsigned G = F.Group;
+  std::uint64_t &Seen = SummarySeqSeen[G][Src];
+  if (F.ToSeq <= Seen)
+    return true; // Duplicate: consumed, nothing to apply.
+  if (F.FromSeq != Seen)
+    return false; // Gap.
+  SummaryImage Img;
+  if (!decodeSummary(F.Image.data(), F.Image.size(), Img)) {
+    CtrDeltaDropped->add();
+    return true; // Malformed: consume rather than wedge the buffer.
+  }
+  Call Joined = Img.Summary;
+  if (SummaryCache[G][Src]) {
+    bool Ok = Type.applyDelta(*SummaryCache[G][Src], Img.Summary, Joined);
+    assert(Ok && "delta join failed for a closed summarization group");
+    (void)Ok;
+  }
+  SummaryCache[G][Src] = std::move(Joined);
+  Seen = F.ToSeq;
+  for (const auto &[U, Cnt] : Img.AppliedCounts)
+    if (Cnt > Applied[Src][U])
+      Applied[Src][U] = Cnt;
+  // The join appends exactly the delta's calls, which are conflict-free:
+  // absorb them into the visible cache instead of invalidating it.
+  if (VisibleCache && !VisibleDirty)
+    Type.apply(*VisibleCache, Img.Summary);
+  else
+    VisibleDirty = true;
+  CtrDeltaIn->add();
+  return true;
+}
+
+void HambandNode::retryBufferedFrames(unsigned G, ProcessId Src) {
+  auto &Buf = BufferedFrames[G][Src];
+  bool Progress = true;
+  while (Progress && !Buf.empty()) {
+    Progress = false;
+    for (auto It = Buf.begin(); It != Buf.end();) {
+      if (It->ToSeq <= SummarySeqSeen[G][Src]) {
+        It = Buf.erase(It); // Superseded (a full image leapt over it).
+        Progress = true;
+      } else if (tryApplyDeltaFrame(Src, *It)) {
+        It = Buf.erase(It);
+        Progress = true;
+      } else {
+        ++It;
+      }
+    }
+  }
+}
+
+bool HambandNode::installFullImage(unsigned G, ProcessId Src,
+                                   SummaryImage Img) {
+  if (Img.Seq <= SummarySeqSeen[G][Src])
+    return false;
+  SummaryCache[G][Src] = std::move(Img.Summary);
+  SummarySeqSeen[G][Src] = Img.Seq;
+  for (const auto &[U, Cnt] : Img.AppliedCounts)
+    if (Cnt > Applied[Src][U])
+      Applied[Src][U] = Cnt;
+  // A full install replaces the cached image wholesale; the incremental
+  // shortcut does not apply (the delta from the old image is unknown).
+  VisibleDirty = true;
+  retryBufferedFrames(G, Src);
+  return true;
+}
+
+void HambandNode::seedSummary(unsigned Group, ProcessId Src,
+                              const Call &Summary, std::uint64_t Seq) {
+  assert(Group < SummaryCache.size() && Src < Fabric.numNodes());
+  SummaryCache[Group][Src] = Summary;
+  SummarySeqSeen[Group][Src] = Seq;
+  // The applied-count row travels with shipped images; a seeded image
+  // must carry it too or the applied-table equality oracles would see a
+  // seeded cluster as diverged.
+  if (Seq > Applied[Src][Summary.Method])
+    Applied[Src][Summary.Method] = Seq;
+  if (Src == Self) {
+    OwnSummary[Group] = Summary;
+    OwnSummarySeq[Group] = Seq;
+    DeltaShippedSeq[Group] = Seq;
+  }
+  VisibleDirty = true;
+}
+
+std::size_t HambandNode::bufferedDeltaFrames(unsigned Group,
+                                             ProcessId Src) const {
+  return BufferedFrames[Group][Src].size();
 }
 
 unsigned HambandNode::pollConfRings() {
@@ -1216,18 +1654,85 @@ void HambandNode::flushBatches(FlushCause Cause) {
 
   // One image per dirty group covering every call folded since the last
   // shipped image (the Seq jump is fine: peers only check for newer).
+  // Each group ships through one of three channels: the classic summary
+  // slot (fits, deltas off), a delta frame over the F-rings (deltas on),
+  // or chunked full-image frames (anti-entropy round, slot overflow, or
+  // an oversized delta). Full frames are exempt from the test-only delta
+  // drop hook, so anti-entropy always heals.
   FlushImage Img;
+  bool StageOk = true;
   std::vector<std::vector<std::uint8_t>> SummarySlots;
+  std::vector<unsigned> SlotGroups;
+  std::vector<std::vector<std::uint8_t>> FullFrames;
+  std::vector<std::vector<std::uint8_t>> DeltaFrames;
   for (unsigned G : DirtyGroups) {
     SummaryImage SImg;
     SImg.Seq = OwnSummarySeq[G];
     SImg.Summary = *OwnSummary[G];
-    for (MethodId U = 0; U < Type.numMethods(); ++U)
-      if (Spec.isUpdate(U) && Spec.sumGroup(U) && *Spec.sumGroup(U) == G)
-        SImg.AppliedCounts.emplace_back(U, Applied[Self][U]);
-    std::vector<std::uint8_t> Payload = encodeSummary(SImg);
-    Img.Summaries.emplace_back(static_cast<std::uint8_t>(G), Payload);
-    SummarySlots.push_back(slotBytes(Payload, Cfg.SummarySlotBytes));
+    for (MethodId U : groupMethods(G))
+      SImg.AppliedCounts.emplace_back(U, Applied[Self][U]);
+    std::size_t FullBytes = summaryImageBytes(SImg.Summary.Args.size(),
+                                              SImg.AppliedCounts.size());
+    bool FitsSlot = FullBytes + 13 <= Cfg.SummarySlotBytes;
+    // The staged flush image carries the full summary (idempotent
+    // recovery) -- unless it cannot possibly fit the backup slot, in
+    // which case the whole flush goes unstaged (counted): staging a
+    // partial flush image would break the flush's crash atomicity.
+    std::vector<std::uint8_t> Payload;
+    if (FitsSlot || FullBytes + 7 <= Cfg.BackupSlotBytes)
+      Payload = encodeSummary(SImg);
+    if (FullBytes + 7 <= Cfg.BackupSlotBytes)
+      Img.Summaries.emplace_back(static_cast<std::uint8_t>(G), Payload);
+    else
+      StageOk = false;
+
+    if (!Cfg.Delta.Enabled) {
+      if (FitsSlot) {
+        SummarySlots.push_back(slotBytes(Payload, Cfg.SummarySlotBytes));
+        SlotGroups.push_back(G);
+      } else {
+        CtrSlotOverflow->add();
+        for (auto &FB : encodeFullFrames(G, SImg))
+          FullFrames.push_back(std::move(FB));
+        CtrDeltaFullOut->add();
+      }
+      DeltaShippedSeq[G] = OwnSummarySeq[G];
+      continue;
+    }
+
+    bool AntiEntropyDue =
+        Cfg.Delta.AntiEntropyEvery > 0 &&
+        DeltaFlushesSinceFull[G] + 1 >= Cfg.Delta.AntiEntropyEvery;
+    bool ShipFull = AntiEntropyDue;
+    if (!ShipFull) {
+      assert(PendingDelta[G] && "dirty group without a pending delta");
+      SummaryImage DImg;
+      DImg.Seq = OwnSummarySeq[G];
+      DImg.Summary = *PendingDelta[G];
+      DImg.AppliedCounts = SImg.AppliedCounts;
+      SummaryDeltaFrame F;
+      F.Group = static_cast<std::uint8_t>(G);
+      F.Full = 0;
+      F.FromSeq = DeltaShippedSeq[G];
+      F.ToSeq = OwnSummarySeq[G];
+      F.Image = encodeSummary(DImg);
+      std::vector<std::uint8_t> Enc = encodeSummaryDelta(F);
+      if (Enc.size() <= Cfg.FreeGeom.maxRecordPayload()) {
+        DeltaFrames.push_back(std::move(Enc));
+        CtrDeltaOut->add();
+        ++DeltaFlushesSinceFull[G];
+      } else {
+        ShipFull = true; // Oversized delta: fall back to a full ship.
+      }
+    }
+    if (ShipFull) {
+      for (auto &FB : encodeFullFrames(G, SImg))
+        FullFrames.push_back(std::move(FB));
+      CtrDeltaFullOut->add();
+      DeltaFlushesSinceFull[G] = 0;
+    }
+    DeltaShippedSeq[G] = OwnSummarySeq[G];
+    PendingDelta[G].reset();
   }
 
   // The free calls, chunked into wire records that each fit a spanning
@@ -1260,13 +1765,28 @@ void HambandNode::flushBatches(FlushCause Cause) {
     I = J;
   }
 
-  if (Cfg.UseBackupSlot)
-    Broadcast->stage(ReliableBroadcast::Kind::FreeBatch, 0,
-                     encodeFlushImage(Img));
-
+  bool DropDeltas = DropDeltasForTest && !DeltaFrames.empty();
   unsigned Writes = static_cast<unsigned>(
-      (DirtyGroups.size() + Records.size()) * (N - 1));
-  assert(Writes > 0 && "pending batch with nothing to ship");
+      (SlotGroups.size() + Records.size() + FullFrames.size() +
+       (DropDeltas ? 0 : DeltaFrames.size())) *
+      (N - 1));
+  if (Writes == 0) {
+    // Every record of this flush was a delta the drop hook swallowed:
+    // complete locally without staging (recovery must not resurrect
+    // dropped deltas -- the point of the hook is a durable gap).
+    for (SubmitCallback &D : Dones)
+      D(true, 0);
+    return;
+  }
+
+  if (Cfg.UseBackupSlot) {
+    std::vector<std::uint8_t> Staged = encodeFlushImage(Img);
+    if (StageOk && Staged.size() + 7 <= Cfg.BackupSlotBytes)
+      Broadcast->stage(ReliableBroadcast::Kind::FreeBatch, 0, Staged);
+    else
+      CtrStageSkipped->add();
+  }
+
   ++FlushesInFlight;
   // One serialization charge per flush (vs one per call unbatched).
   Fabric.runOnCpu(Self, M.ParseCpu, []() {}, rdma::Transport::LaneClient);
@@ -1288,23 +1808,29 @@ void HambandNode::flushBatches(FlushCause Cause) {
                                                         : FlushCause::Pipe);
   };
 
-  // Summaries post before the free records: a free call's dependency
-  // array may reference applied counts that travel with a summary image,
-  // and the per-lane FIFO fabric delivers writes in post order.
-  for (std::size_t K = 0; K < DirtyGroups.size(); ++K)
+  // Summaries (slot writes and frames) post before the free records: a
+  // free call's dependency array may reference applied counts that travel
+  // with a summary image, and the per-lane FIFO fabric delivers writes in
+  // post order.
+  for (std::size_t K = 0; K < SlotGroups.size(); ++K)
     for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
       if (Peer == Self)
         continue;
-      Fabric.postWrite(Self, Peer, Map.summarySlot(DirtyGroups[K], Self),
+      Fabric.postWrite(Self, Peer, Map.summarySlot(SlotGroups[K], Self),
                        SummarySlots[K], rdma::UnprotectedRegion, Finish,
                        rdma::Transport::LaneClient);
     }
+  auto FinishOne = [Finish]() { Finish(rdma::WcStatus::Success); };
+  for (const std::vector<std::uint8_t> &FB : FullFrames)
+    postFrameToPeers(FB, FinishOne);
+  if (!DropDeltas)
+    for (const std::vector<std::uint8_t> &DF : DeltaFrames)
+      postFrameToPeers(DF, FinishOne);
   for (const std::vector<std::uint8_t> &Rec : Records)
     for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
       if (Peer == Self)
         continue;
-      appendWithRetry(Fabric, *FreeWriters[Peer], Rec,
-                      Cfg.PollInterval, Finish);
+      appendFreeOrdered(Peer, Rec, Finish);
     }
 }
 
@@ -1327,6 +1853,19 @@ void HambandNode::onPeerSuspected(rdma::NodeId Peer) {
       if (G < SummaryCache.size() &&
           Img.Seq > SummarySeqSeen[G][Peer]) {
         installSummary(G, Peer, Img);
+        ++NumRecovered;
+        CtrRecovered->add();
+      }
+      return;
+    }
+    case ReliableBroadcast::Kind::SummaryDelta: {
+      // A delta frame staged because the full image outgrew the backup
+      // slot: feed it through the regular gap-checked receive rules (a
+      // dup is dropped, a gap is buffered and heals via anti-entropy).
+      SummaryDeltaFrame F;
+      if (!decodeSummaryDelta(Msg.Payload.data(), Msg.Payload.size(), F))
+        return;
+      if (handleSummaryFrame(Peer, F)) {
         ++NumRecovered;
         CtrRecovered->add();
       }

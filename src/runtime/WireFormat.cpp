@@ -220,6 +220,51 @@ bool runtime::decodeCallBatch(const CoordinationSpec &Spec,
   return R.ok();
 }
 
+bool runtime::isSummaryDelta(const std::uint8_t *Data, std::size_t Len) {
+  if (Len < 2)
+    return false;
+  std::uint16_t Marker = 0;
+  std::memcpy(&Marker, Data, 2);
+  return Marker == SummaryDeltaMarker;
+}
+
+std::vector<std::uint8_t>
+runtime::encodeSummaryDelta(const SummaryDeltaFrame &F) {
+  ByteWriter W;
+  W.u16(SummaryDeltaMarker);
+  W.u8(F.Group);
+  W.u8(F.Full);
+  W.u16(F.ChunkIdx);
+  W.u16(F.ChunkCount);
+  W.u64(F.FromSeq);
+  W.u64(F.ToSeq);
+  W.u32(static_cast<std::uint32_t>(F.Image.size()));
+  for (std::uint8_t B : F.Image)
+    W.u8(B);
+  return W.take();
+}
+
+bool runtime::decodeSummaryDelta(const std::uint8_t *Data, std::size_t Len,
+                                 SummaryDeltaFrame &Out) {
+  if (!isSummaryDelta(Data, Len))
+    return false;
+  ByteReader R(Data, Len);
+  (void)R.u16(); // Marker, already checked.
+  Out.Group = R.u8();
+  Out.Full = R.u8();
+  Out.ChunkIdx = R.u16();
+  Out.ChunkCount = R.u16();
+  Out.FromSeq = R.u64();
+  Out.ToSeq = R.u64();
+  std::uint32_t ImgLen = R.u32();
+  constexpr std::size_t Header = 2 + 1 + 1 + 2 + 2 + 8 + 8 + 4;
+  if (!R.ok() || Header + ImgLen > Len || Out.ChunkCount == 0 ||
+      Out.ChunkIdx >= Out.ChunkCount)
+    return false;
+  Out.Image.assign(Data + Header, Data + Header + ImgLen);
+  return true;
+}
+
 std::vector<std::uint8_t> runtime::encodeFlushImage(const FlushImage &Img) {
   assert(Img.Summaries.size() <= 0xFF && "too many summary groups");
   ByteWriter W;

@@ -84,6 +84,12 @@ bool GSet::summarize(const Call &First, const Call &Second,
   return true;
 }
 
+bool GSet::summaryArgsDecomposable(MethodId M) const {
+  // An add-summary's argument vector is the added set: any partition of
+  // it, re-folded through the union summarize, rebuilds the summary.
+  return TheMode == Mode::Summarized && M == Add;
+}
+
 Call GSet::randomClientCall(MethodId M, ProcessId Issuer, RequestId Req,
                             sim::Rng &R) const {
   if (M == Contains)

@@ -146,6 +146,11 @@ bool TwoEntitySchema::summarize(const Call &First, const Call &Second,
   return true;
 }
 
+bool TwoEntitySchema::summaryArgsDecomposable(MethodId M) const {
+  // The B-entity summary is a grow-only union of entity keys.
+  return M == AddB;
+}
+
 std::vector<Call> TwoEntitySchema::sampleCalls(MethodId M) const {
   switch (M) {
   case AddA:

@@ -84,6 +84,11 @@ bool TwoPhaseSet::summarize(const Call &First, const Call &Second,
   return true;
 }
 
+bool TwoPhaseSet::summaryArgsDecomposable(MethodId M) const {
+  // Both the add-set and the tombstone-set summaries are plain unions.
+  return M == Add || M == Remove;
+}
+
 std::vector<Call> TwoPhaseSet::sampleCalls(MethodId M) const {
   if (M == Contains)
     return {Call(Contains, {0}), Call(Contains, {1})};

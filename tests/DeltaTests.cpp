@@ -1,0 +1,974 @@
+//===- tests/DeltaTests.cpp - Delta propagation equivalence suite -------===//
+//
+// Part of the Hamband reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Delta-state summary propagation must be *observationally invisible*: a
+// cluster shipping bounded delta frames (plus periodic full-image
+// anti-entropy) fed the same client schedule as a classic full-image
+// cluster must reach the same converged state and answer every query the
+// same way at every quiescent point. This suite drives randomized
+// schedules through classic, delta-unbatched and delta-batched worlds in
+// lockstep for every registered type, replays delta executions under
+// recorded fault schedules, pins the crash-mid-delta-stream and
+// crash-mid-anti-entropy recovery paths deterministically, exercises gap
+// healing after dropped frames, and regression-tests the summary-slot
+// overflow fallback and the oversize-reject gate (docs/deltas.md).
+//
+// The cluster-level corpus also runs on the shared-memory transport (one
+// OS thread per node); those instances carry "shm_" in their names so the
+// CI TSan pass can select them.
+//
+// Schedule count per type defaults to a smoke-sized value; set the
+// HAMBAND_DELTA_SCHEDULES environment variable (e.g. to 1000) for the
+// long randomized acceptance runs under ASan/TSan.
+//===----------------------------------------------------------------------===//
+
+#include "hamband/core/TypeRegistry.h"
+#include "hamband/runtime/HambandCluster.h"
+#include "hamband/semantics/RdmaSemantics.h"
+#include "hamband/sim/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+
+using namespace hamband;
+using namespace hamband::rdma;
+using namespace hamband::runtime;
+
+namespace {
+
+template <typename PredT>
+bool runUntil(sim::Simulator &Sim, PredT Pred, double CapUs = 300000.0) {
+  sim::SimTime Cap = Sim.now() + sim::micros(CapUs);
+  while (Sim.now() < Cap) {
+    if (Pred())
+      return true;
+    Sim.run(Sim.now() + sim::micros(20));
+  }
+  return Pred();
+}
+
+/// Stable per-type seed (std::hash is not stable across libraries).
+std::uint64_t typeSeed(const std::string &Name) {
+  std::uint64_t H = 1469598103934665603ull;
+  for (char C : Name) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string sanitized(std::string Name) {
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+/// Types whose prepared effect does not depend on the issuing replica's
+/// observations: the final state is a pure function of the call multiset,
+/// so delta and classic worlds must agree *exactly*, replica by replica
+/// (see BatchingTests.cpp for the ORSet counterexample).
+bool isObservationIndependent(const std::string &Name) {
+  return Name == "counter" || Name == "pn-counter" || Name == "gset" ||
+         Name == "gset-buffered" || Name == "two-phase-set" ||
+         Name == "lww-register";
+}
+
+unsigned scheduleCount() {
+  if (const char *E = std::getenv("HAMBAND_DELTA_SCHEDULES")) {
+    long N = std::atol(E);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  return 3;
+}
+
+struct IssuedCall {
+  ProcessId Origin;
+  Call TheCall;
+};
+
+std::vector<IssuedCall> makeSchedule(const ObjectType &T, unsigned NumNodes,
+                                     unsigned Count, std::uint64_t Seed) {
+  const CoordinationSpec &Spec = T.coordination();
+  sim::Rng R(Seed);
+  std::vector<MethodId> Updates = Spec.updateMethods();
+  std::vector<IssuedCall> Out;
+  for (unsigned I = 0; I < Count; ++I) {
+    MethodId M = R.pick(Updates);
+    ProcessId P;
+    if (Spec.category(M) == MethodCategory::Conflicting)
+      P = *Spec.syncGroup(M) % NumNodes;
+    else
+      P = static_cast<ProcessId>(R.index(NumNodes));
+    Out.push_back({P, T.randomClientCall(M, P, 1000 + I, R)});
+  }
+  return Out;
+}
+
+/// One cluster plus its private simulator, so the compared worlds advance
+/// independently but can be inspected at quiescent points.
+struct World {
+  sim::Simulator Sim;
+  HambandCluster C;
+  unsigned Done = 0;
+
+  World(const ObjectType &T, unsigned Nodes, const HambandConfig &Cfg)
+      : C(Sim, Nodes, T, {}, Cfg) {
+    C.start();
+  }
+
+  void submit(const IssuedCall &IC) {
+    C.submit(IC.Origin, IC.TheCall, [this](bool, Value) { ++Done; });
+  }
+
+  bool drain(unsigned Expect) {
+    return runUntil(Sim, [&] { return Done == Expect && C.fullyReplicated(); });
+  }
+};
+
+HambandConfig deltaConfig(std::uint32_t AntiEntropyEvery = 3) {
+  HambandConfig Cfg;
+  Cfg.Delta.Enabled = true;
+  Cfg.Delta.AntiEntropyEvery = AntiEntropyEvery;
+  return Cfg;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Randomized delta-vs-classic equivalence, all registered types
+//===----------------------------------------------------------------------===//
+// Three worlds in lockstep per schedule: the classic full-image reference,
+// a delta-unbatched world and a delta-batched world, with the anti-entropy
+// period randomized small enough that full-image rounds interleave with
+// delta rounds inside every schedule.
+
+class DeltaEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeltaEquivalence, MatchesClassicAtEveryQuiescentPoint) {
+  auto T = makeType(GetParam());
+  const CoordinationSpec &Spec = T->coordination();
+  const unsigned Nodes = 3;
+  const bool Exact = isObservationIndependent(GetParam());
+  const unsigned Schedules = scheduleCount();
+
+  for (unsigned S = 0; S < Schedules; ++S) {
+    std::uint64_t Seed = typeSeed(GetParam()) ^ (0xde17a5ull * (S + 1));
+    sim::Rng Knobs(Seed);
+    HambandConfig DCfg;
+    DCfg.Delta.Enabled = true;
+    DCfg.Delta.AntiEntropyEvery =
+        static_cast<std::uint32_t>(Knobs.uniformInt(2, 8));
+    HambandConfig BCfg = DCfg;
+    BCfg.Batch.Enabled = true;
+    BCfg.Batch.MaxCalls =
+        static_cast<std::uint32_t>(Knobs.uniformInt(2, 16));
+    BCfg.Batch.FlushInterval = sim::micros(Knobs.uniformInt(1, 4));
+    const unsigned Burst = static_cast<unsigned>(Knobs.uniformInt(1, 6));
+
+    World R(*T, Nodes, HambandConfig{});
+    World D(*T, Nodes, DCfg);
+    World B(*T, Nodes, BCfg);
+    std::vector<IssuedCall> Calls = makeSchedule(*T, Nodes, 24, Seed);
+    sim::Rng QueryRng(Seed ^ 0x9e5ull);
+
+    unsigned Submitted = 0;
+    while (Submitted < Calls.size()) {
+      unsigned ChunkEnd = std::min<unsigned>(Submitted + 8, Calls.size());
+      while (Submitted < ChunkEnd) {
+        unsigned BurstEnd = std::min<unsigned>(Submitted + Burst, ChunkEnd);
+        for (; Submitted < BurstEnd; ++Submitted) {
+          R.submit(Calls[Submitted]);
+          D.submit(Calls[Submitted]);
+          B.submit(Calls[Submitted]);
+        }
+        R.Sim.run(R.Sim.now() + sim::micros(2));
+        D.Sim.run(D.Sim.now() + sim::micros(2));
+        B.Sim.run(B.Sim.now() + sim::micros(2));
+      }
+      ASSERT_TRUE(R.drain(Submitted)) << GetParam() << " schedule " << S;
+      ASSERT_TRUE(D.drain(Submitted)) << GetParam() << " schedule " << S;
+      ASSERT_TRUE(B.drain(Submitted)) << GetParam() << " schedule " << S;
+
+      ASSERT_TRUE(R.C.converged()) << GetParam() << " schedule " << S;
+      ASSERT_TRUE(D.C.converged()) << GetParam() << " schedule " << S;
+      ASSERT_TRUE(B.C.converged()) << GetParam() << " schedule " << S;
+      for (ProcessId P = 0; P < Nodes; ++P) {
+        EXPECT_TRUE(T->invariant(D.C.node(P).visibleState()))
+            << GetParam() << " schedule " << S << " node " << P;
+        EXPECT_TRUE(T->invariant(B.C.node(P).visibleState()))
+            << GetParam() << " schedule " << S << " node " << P;
+      }
+      if (!Exact)
+        continue;
+      for (ProcessId P = 0; P < Nodes; ++P) {
+        EXPECT_TRUE(R.C.node(P).visibleState().equals(
+            D.C.node(P).visibleState()))
+            << GetParam() << " schedule " << S << " node " << P
+            << ":\n  classic: " << R.C.node(P).visibleState().str()
+            << "\n  delta:   " << D.C.node(P).visibleState().str();
+        EXPECT_TRUE(R.C.node(P).visibleState().equals(
+            B.C.node(P).visibleState()))
+            << GetParam() << " schedule " << S << " node " << P
+            << ":\n  classic:       " << R.C.node(P).visibleState().str()
+            << "\n  delta+batched: " << B.C.node(P).visibleState().str();
+        for (ProcessId From = 0; From < Nodes; ++From)
+          for (MethodId M = 0; M < T->numMethods(); ++M) {
+            EXPECT_EQ(R.C.node(P).applied(From, M),
+                      D.C.node(P).applied(From, M))
+                << GetParam() << " schedule " << S;
+            EXPECT_EQ(R.C.node(P).applied(From, M),
+                      B.C.node(P).applied(From, M))
+                << GetParam() << " schedule " << S;
+          }
+        // Every query method answers identically in all three worlds.
+        for (MethodId M = 0; M < T->numMethods(); ++M) {
+          if (Spec.category(M) != MethodCategory::Query)
+            continue;
+          Call QC = T->randomClientCall(M, P, 9000 + Submitted, QueryRng);
+          Value Ref = T->query(R.C.node(P).visibleState(), QC);
+          EXPECT_EQ(Ref, T->query(D.C.node(P).visibleState(), QC))
+              << GetParam() << " schedule " << S << " query " << QC.str();
+          EXPECT_EQ(Ref, T->query(B.C.node(P).visibleState(), QC))
+              << GetParam() << " schedule " << S << " query " << QC.str();
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Delta executions under fault schedules, with seed replay
+//===----------------------------------------------------------------------===//
+// A delta-shipping batched cluster runs under a generated fault schedule
+// (one-sided delays model dropped/late doorbells; CrashOnStageProb crashes
+// sources in the exact window where a flush image is staged but its remote
+// writes are not yet posted), with the anti-entropy period small enough
+// that full-image rounds fire during the run. The recorded trace then
+// drives a second, identical run: determinism demands bit-identical traces
+// and per-node outcomes.
+
+namespace {
+
+struct FaultRunResult {
+  sim::FaultTrace Trace;
+  std::vector<bool> Live;
+  std::vector<std::string> States;
+  bool Replicated = false;
+};
+
+FaultRunResult runDeltaUnderFaults(const ObjectType &T, unsigned Nodes,
+                                   unsigned Count, std::uint64_t Seed,
+                                   const sim::FaultSpec &Spec,
+                                   const sim::FaultTrace *Replay) {
+  const CoordinationSpec &CSpec = T.coordination();
+  HambandConfig Cfg = deltaConfig(3);
+  Cfg.Batch.Enabled = true;
+  Cfg.Batch.MaxCalls = 6;
+  sim::Simulator Sim;
+  HambandCluster C(Sim, Nodes, T, {}, Cfg);
+  std::unique_ptr<sim::FaultInjector> FI;
+  if (Replay)
+    FI = std::make_unique<sim::FaultInjector>(Sim, *Replay);
+  else
+    FI = std::make_unique<sim::FaultInjector>(
+        Sim, sim::FaultPlan::generate(Seed, Spec, Nodes));
+  C.attachFaultInjector(*FI);
+  FI->arm();
+  C.start();
+
+  sim::Rng R(Seed ^ 0x5ca1ab1eull);
+  std::vector<MethodId> Updates = CSpec.updateMethods();
+  for (unsigned I = 0; I < Count; ++I) {
+    MethodId M = R.pick(Updates);
+    ProcessId P0;
+    if (CSpec.category(M) == MethodCategory::Conflicting)
+      P0 = *CSpec.syncGroup(M) % Nodes;
+    else
+      P0 = static_cast<ProcessId>(R.index(Nodes));
+    ProcessId P = P0;
+    bool Routed = false;
+    for (unsigned K = 0; K < Nodes; ++K) {
+      ProcessId Q = (P0 + K) % Nodes;
+      if (C.isLive(Q) && !C.node(Q).isOutOfService()) {
+        P = Q;
+        Routed = true;
+        break;
+      }
+    }
+    if (!Routed)
+      continue;
+    C.submit(P, T.randomClientCall(M, P, 1000 + I, R), [](bool, Value) {});
+    if (I % 3 == 2)
+      Sim.run(Sim.now() + sim::micros(3));
+  }
+
+  Sim.run(std::max(Spec.Horizon, Spec.HealBy) + sim::millis(1));
+  FaultRunResult Out;
+  Out.Replicated =
+      runUntil(Sim, [&] { return C.fullyReplicatedLive(); }, 400000.0);
+  Out.Trace = FI->trace();
+  for (ProcessId P = 0; P < Nodes; ++P) {
+    Out.Live.push_back(C.isLive(P));
+    Out.States.push_back(C.isLive(P) ? C.node(P).visibleState().str()
+                                     : std::string());
+    if (C.isLive(P))
+      EXPECT_TRUE(T.invariant(C.node(P).visibleState()))
+          << T.name() << " node " << P;
+  }
+  EXPECT_TRUE(C.convergedLive()) << T.name();
+  return Out;
+}
+
+} // namespace
+
+TEST_P(DeltaEquivalence, FaultScheduleRecordsAndReplaysIdentically) {
+  auto T = makeType(GetParam());
+  const unsigned Nodes = 4;
+  sim::FaultSpec Spec;
+  Spec.OneSidedDelayProb = 0.05;
+  Spec.NumSuspends = 1;
+  Spec.NumCrashes = 1;
+  Spec.CrashOnStageProb = 0.01;
+  std::uint64_t Seed = typeSeed(GetParam()) ^ 0xde17af17ull;
+
+  FaultRunResult First =
+      runDeltaUnderFaults(*T, Nodes, 30, Seed, Spec, nullptr);
+  ASSERT_TRUE(First.Replicated) << GetParam();
+  EXPECT_FALSE(First.Trace.Events.empty()) << GetParam();
+
+  FaultRunResult Second =
+      runDeltaUnderFaults(*T, Nodes, 30, Seed, Spec, &First.Trace);
+  ASSERT_TRUE(Second.Replicated) << GetParam();
+  EXPECT_TRUE(First.Trace == Second.Trace) << GetParam();
+  EXPECT_EQ(First.Live, Second.Live) << GetParam();
+  EXPECT_EQ(First.States, Second.States) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredTypes, DeltaEquivalence,
+    ::testing::ValuesIn(registeredTypeNames()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return sanitized(Info.param);
+    });
+
+//===----------------------------------------------------------------------===//
+// Deterministic crash recovery
+//===----------------------------------------------------------------------===//
+
+TEST(DeltaCrashRecovery, CrashMidDeltaStreamRecoversFromStagedImage) {
+  // Unbatched delta mode: each add ships one delta frame and stages the
+  // full image (it fits the backup slot) for crash-atomicity. The source
+  // crashes at stage #2 -- the second frame's image is staged but its
+  // remote writes are not posted -- so peers sit one version behind with
+  // no torn delta, and recovery installs the staged FULL image (the
+  // idempotent tier), not a replayed delta.
+  sim::Simulator Sim;
+  auto T = makeType("counter");
+  MethodId Add = T->methodId("add");
+  HambandCluster C(Sim, 3, *T, {}, deltaConfig(/*AntiEntropyEvery=*/64));
+  C.start();
+
+  unsigned Stages = 0;
+  C.node(0).broadcast().setOnStage([&] {
+    if (++Stages == 2)
+      C.crashNode(0);
+  });
+  // Delta #1 replicates over the rings; the remaining five never get past
+  // the second stage (the crash also cancels their in-flight writes).
+  unsigned Done = 0;
+  C.submit(0, Call(Add, {5}, 0, 100), [&](bool, Value) { ++Done; });
+  ASSERT_TRUE(runUntil(Sim, [&] { return Done == 1 && C.fullyReplicated(); }));
+  for (unsigned I = 1; I < 6; ++I)
+    C.submit(0, Call(Add, {5}, 0, 100 + I), [](bool, Value) {});
+
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return C.node(1).applied(0, Add) == 2 && C.node(2).applied(0, Add) == 2;
+  }));
+  EXPECT_EQ(Stages, 2u);
+  EXPECT_FALSE(C.isLive(0));
+  MethodId Read = T->methodId("read");
+  EXPECT_EQ(T->query(C.node(1).visibleState(), Call(Read, {}, 1, 0)), 10);
+  EXPECT_TRUE(C.node(1).visibleState().equals(C.node(2).visibleState()));
+  // Both peers saw delta #1 over the ring and recovered version 2 from the
+  // staged image; neither buffered a torn frame.
+  for (ProcessId P = 1; P < 3; ++P) {
+    obs::StatsSnapshot S = C.node(P).statsSnapshot();
+    EXPECT_GE(S.counter("node.delta.in"), 1u) << "node " << P;
+    EXPECT_EQ(C.node(P).recoveredBroadcasts(), 1u) << "node " << P;
+    EXPECT_EQ(C.node(P).bufferedDeltaFrames(0, 0), 0u) << "node " << P;
+    EXPECT_EQ(C.node(P).summarySeqSeen(0, 0), 2u) << "node " << P;
+  }
+}
+
+namespace {
+
+/// A gset summary holding {0, .., N-1}, used to seed big-state clusters.
+Call bigGSetSummary(const ObjectType &T, unsigned N) {
+  std::vector<Value> Elems;
+  Elems.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Elems.push_back(static_cast<Value>(I));
+  return Call(T.methodId("add"), std::move(Elems), 0, 0);
+}
+
+} // namespace
+
+TEST(DeltaCrashRecovery, ChunkedAntiEntropyDeliversAtomically) {
+  // A seeded 300-element gset with AntiEntropyEvery=1 makes the very next
+  // ship a full image, and a ring geometry with ~240 summary args per
+  // record forces it into two chunks. Both chunks must reassemble into one
+  // atomic install: the peers jump from the seeded version straight to the
+  // new one with the complete element set.
+  sim::Simulator Sim;
+  auto T = makeType("gset");
+  MethodId Add = T->methodId("add");
+  HambandConfig Cfg = deltaConfig(/*AntiEntropyEvery=*/1);
+  Cfg.FreeGeom = RingGeometry{64, 64};
+  HambandCluster C(Sim, 3, *T, {}, Cfg);
+  C.start();
+  C.seedReducibleState(0, 0, bigGSetSummary(*T, 300), 300);
+
+  unsigned Done = 0;
+  C.submit(0, Call(Add, {1000}, 0, 1), [&](bool Ok, Value) {
+    EXPECT_TRUE(Ok);
+    ++Done;
+  });
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return Done == 1 && C.fullyReplicated();
+  }));
+
+  MethodId Size = T->methodId("size");
+  MethodId Contains = T->methodId("contains");
+  for (ProcessId P = 0; P < 3; ++P) {
+    EXPECT_EQ(C.node(P).applied(0, Add), 301u) << "node " << P;
+    EXPECT_EQ(T->query(C.node(P).visibleState(), Call(Size, {}, P, 0)), 301)
+        << "node " << P;
+    EXPECT_EQ(
+        T->query(C.node(P).visibleState(), Call(Contains, {1000}, P, 0)), 1)
+        << "node " << P;
+  }
+  for (ProcessId P = 1; P < 3; ++P)
+    EXPECT_GE(C.node(P).statsSnapshot().counter("node.delta.full_in"), 2u)
+        << "node " << P << " must receive both chunks";
+  EXPECT_GE(C.node(0).statsSnapshot().counter("node.delta.full_out"), 1u);
+}
+
+TEST(DeltaCrashRecovery, CrashMidAntiEntropyRecoversUntorn) {
+  // Same chunked-anti-entropy setup, but the source crashes at the stage
+  // point: the full image is staged whole while NONE of its chunk writes
+  // are posted. Peers must recover the complete 301-element image from the
+  // backup slot -- never a torn prefix of its chunks.
+  sim::Simulator Sim;
+  auto T = makeType("gset");
+  MethodId Add = T->methodId("add");
+  HambandConfig Cfg = deltaConfig(/*AntiEntropyEvery=*/1);
+  Cfg.FreeGeom = RingGeometry{64, 64};
+  HambandCluster C(Sim, 3, *T, {}, Cfg);
+  C.start();
+  C.seedReducibleState(0, 0, bigGSetSummary(*T, 300), 300);
+
+  unsigned Stages = 0;
+  C.node(0).broadcast().setOnStage([&] {
+    if (++Stages == 1)
+      C.crashNode(0);
+  });
+  C.submit(0, Call(Add, {1000}, 0, 1), [](bool, Value) {});
+
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return C.node(1).applied(0, Add) == 301 &&
+           C.node(2).applied(0, Add) == 301;
+  }));
+  EXPECT_EQ(Stages, 1u);
+  EXPECT_FALSE(C.isLive(0));
+  MethodId Size = T->methodId("size");
+  for (ProcessId P = 1; P < 3; ++P) {
+    EXPECT_EQ(T->query(C.node(P).visibleState(), Call(Size, {}, P, 0)), 301)
+        << "node " << P;
+    EXPECT_EQ(C.node(P).summarySeqSeen(0, 0), 301u) << "node " << P;
+    EXPECT_EQ(C.node(P).recoveredBroadcasts(), 1u) << "node " << P;
+  }
+  EXPECT_TRUE(C.node(1).visibleState().equals(C.node(2).visibleState()));
+}
+
+//===----------------------------------------------------------------------===//
+// Gap healing: dropped deltas buffer, anti-entropy repairs
+//===----------------------------------------------------------------------===//
+
+TEST(DeltaGapHealing, DroppedDeltasBufferThenHealViaAntiEntropy) {
+  // Frame #1 arrives normally; frame #2 is dropped on the wire (the test
+  // hook models a lost doorbell with its backup cleared); frame #3 then
+  // arrives with FromSeq=2 against a seen version of 1 -- a GAP the peers
+  // must buffer, not apply. The 4th ship hits the anti-entropy period
+  // (dropped deltas still advance it), so a full image at version 4
+  // arrives, supersedes the buffered frame and restores convergence.
+  sim::Simulator Sim;
+  auto T = makeType("counter");
+  MethodId Add = T->methodId("add");
+  HambandCluster C(Sim, 3, *T, {}, deltaConfig(/*AntiEntropyEvery=*/4));
+  C.start();
+
+  unsigned Done = 0;
+  auto Submit = [&](Value V, RequestId R) {
+    C.submit(0, Call(Add, {V}, 0, R), [&](bool, Value) { ++Done; });
+  };
+
+  Submit(1, 1);
+  ASSERT_TRUE(runUntil(Sim, [&] { return Done == 1 && C.fullyReplicated(); }));
+  EXPECT_EQ(C.node(1).summarySeqSeen(0, 0), 1u);
+
+  C.node(0).dropOutgoingDeltasForTest(true);
+  Submit(2, 2);
+  ASSERT_TRUE(runUntil(Sim, [&] { return Done == 2; }));
+  Sim.run(Sim.now() + sim::micros(50));
+  // The drop is invisible to the source but the peers never advance.
+  EXPECT_EQ(C.node(1).summarySeqSeen(0, 0), 1u);
+  EXPECT_EQ(C.node(2).summarySeqSeen(0, 0), 1u);
+
+  C.node(0).dropOutgoingDeltasForTest(false);
+  Submit(4, 3);
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return Done == 3 && C.node(1).bufferedDeltaFrames(0, 0) == 1 &&
+           C.node(2).bufferedDeltaFrames(0, 0) == 1;
+  }));
+  // The gap frame is parked: versions and state stay at the last applied.
+  for (ProcessId P = 1; P < 3; ++P) {
+    obs::StatsSnapshot S = C.node(P).statsSnapshot();
+    EXPECT_GE(S.counter("node.delta.gap"), 1u) << "node " << P;
+    EXPECT_EQ(C.node(P).summarySeqSeen(0, 0), 1u) << "node " << P;
+    EXPECT_EQ(C.node(P).applied(0, Add), 1u) << "node " << P;
+  }
+
+  // 4th ship: DeltaFlushesSinceFull reaches the period, so a full image
+  // at version 4 ships, installs, and supersedes the buffered frame.
+  Submit(8, 4);
+  ASSERT_TRUE(runUntil(Sim, [&] { return Done == 4 && C.fullyReplicated(); }));
+  MethodId Read = T->methodId("read");
+  for (ProcessId P = 0; P < 3; ++P)
+    EXPECT_EQ(T->query(C.node(P).visibleState(), Call(Read, {}, P, 0)), 15)
+        << "node " << P;
+  for (ProcessId P = 1; P < 3; ++P) {
+    obs::StatsSnapshot S = C.node(P).statsSnapshot();
+    EXPECT_GE(S.counter("node.delta.full_in"), 1u) << "node " << P;
+    EXPECT_EQ(C.node(P).bufferedDeltaFrames(0, 0), 0u) << "node " << P;
+    EXPECT_EQ(C.node(P).summarySeqSeen(0, 0), 4u) << "node " << P;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Summary-slot overflow: graceful fallback, not an assert
+//===----------------------------------------------------------------------===//
+// Regression for the ship path that used to assert once a summary image
+// outgrew the 512-byte slot (~57 args): classic mode must fall back to
+// chunked full-image frames over the F-rings, count the overflow, and
+// keep replicating.
+
+TEST(SummarySlotOverflow, UnbatchedOverflowFallsBackToChunkedFrames) {
+  sim::Simulator Sim;
+  auto T = makeType("gset");
+  MethodId Add = T->methodId("add");
+  HambandCluster C(Sim, 3, *T); // Classic config: no deltas, no batching.
+  C.start();
+
+  unsigned Done = 0;
+  for (unsigned I = 0; I < 100; ++I)
+    C.submit(0, Call(Add, {static_cast<Value>(I)}, 0, 100 + I),
+             [&](bool Ok, Value) {
+               EXPECT_TRUE(Ok);
+               ++Done;
+             });
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return Done == 100 && C.fullyReplicated();
+  }));
+
+  obs::StatsSnapshot S = C.node(0).statsSnapshot();
+  EXPECT_GE(S.counter("node.summary.slot_overflow"), 1u);
+  EXPECT_GE(S.counter("node.delta.full_out"), 1u);
+  MethodId Size = T->methodId("size");
+  for (ProcessId P = 0; P < 3; ++P) {
+    EXPECT_EQ(C.node(P).applied(0, Add), 100u) << "node " << P;
+    EXPECT_EQ(T->query(C.node(P).visibleState(), Call(Size, {}, P, 0)), 100)
+        << "node " << P;
+  }
+  for (ProcessId P = 1; P < 3; ++P)
+    EXPECT_GE(C.node(P).statsSnapshot().counter("node.delta.full_in"), 1u)
+        << "node " << P;
+}
+
+TEST(SummarySlotOverflow, BatchedOverflowFallsBackToChunkedFrames) {
+  sim::Simulator Sim;
+  auto T = makeType("gset");
+  MethodId Add = T->methodId("add");
+  HambandConfig Cfg;
+  Cfg.Batch.Enabled = true;
+  Cfg.Batch.MaxCalls = 8;
+  HambandCluster C(Sim, 3, *T, {}, Cfg);
+  C.start();
+
+  unsigned Done = 0;
+  for (unsigned I = 0; I < 100; ++I) {
+    C.submit(0, Call(Add, {static_cast<Value>(I)}, 0, 100 + I),
+             [&](bool, Value) { ++Done; });
+    if (I % 4 == 3)
+      Sim.run(Sim.now() + sim::micros(2));
+  }
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return Done == 100 && C.fullyReplicated();
+  }));
+
+  EXPECT_GE(
+      C.node(0).statsSnapshot().counter("node.summary.slot_overflow"), 1u);
+  MethodId Size = T->methodId("size");
+  for (ProcessId P = 0; P < 3; ++P)
+    EXPECT_EQ(T->query(C.node(P).visibleState(), Call(Size, {}, P, 0)), 100)
+        << "node " << P;
+}
+
+TEST(SummarySlotOverflow, ConcurrentChunkStreamsStayFIFOUnderRingPressure) {
+  // Regression for a liveness bug: each F-ring record used to carry its
+  // own independent retry loop, so when a ring filled mid-chunk-stream a
+  // retried chunk of one image could land AFTER a later image's chunks.
+  // The reassembler (correctly) treats a version change as "the rest of
+  // the old set is never coming", so two interleaved streams kept
+  // abandoning each other and the final image never installed -- and in
+  // classic slot-overflow mode there is no anti-entropy round to heal
+  // the wedge. The outbound queue must stall head-first instead.
+  //
+  // The shape that reproduced it (mirroring the fig_bigstate bench): a
+  // seeded summary big enough that every flush is a multi-chunk
+  // full-image stream filling most of the (default-geometry) ring, and
+  // concurrent closed-loop clients on every node, so chunk streams from
+  // successive flushes overlap and hit ring-full retries mid-stream.
+  sim::Simulator Sim;
+  auto T = makeType("gset");
+  MethodId Add = T->methodId("add");
+  const unsigned Nodes = 4;
+  HambandConfig Cfg; // Classic mode: a dropped/wedged image stays lost.
+  HambandCluster C(Sim, Nodes, *T, {}, Cfg);
+  C.start();
+
+  const std::uint64_t Elems = 100000; // ~800 KB image vs a 1 MB ring.
+  {
+    std::vector<Value> Seed;
+    Seed.reserve(Elems);
+    for (std::uint64_t I = 0; I < Elems; ++I)
+      Seed.push_back(static_cast<Value>(I));
+    for (unsigned N = 0; N < Nodes; ++N)
+      C.seedReducibleState(0, N,
+                           Call(Add, Seed, static_cast<ProcessId>(N), 0),
+                           Elems);
+  }
+
+  // Pipelined closed-loop clients (the bench runner's shape: depth 8 per
+  // node): each node keeps 8 submissions in flight, so chunk streams from
+  // successive flushes of the SAME source genuinely overlap.
+  const unsigned TotalOps = 24, Depth = 8;
+  unsigned Issued = 0, Done = 0;
+  auto Issue = std::make_shared<std::function<void(unsigned)>>();
+  *Issue = [&, Issue](unsigned Node) {
+    if (Issued >= TotalOps)
+      return;
+    unsigned I = Issued++;
+    C.submit(static_cast<ProcessId>(Node),
+             Call(Add, {static_cast<Value>(200000 + I)},
+                  static_cast<ProcessId>(Node), 1000 + I),
+             [&, Issue, Node](bool Ok, Value) {
+               EXPECT_TRUE(Ok);
+               ++Done;
+               (*Issue)(Node);
+             });
+  };
+  // Staggered pipeline priming, as the bench runner does.
+  for (unsigned N = 0; N < Nodes; ++N)
+    for (unsigned D = 0; D < Depth; ++D)
+      Sim.schedule(sim::nanos(10) * (N * Depth + D + 1),
+                   [Issue, N]() { (*Issue)(N); });
+
+  ASSERT_TRUE(runUntil(Sim, [&] {
+    return Done == TotalOps && C.fullyReplicated();
+  }));
+  std::uint64_t AppliedTotal = 0;
+  for (ProcessId P = 0; P < Nodes; ++P) {
+    std::uint64_t Sum = 0;
+    for (ProcessId From = 0; From < Nodes; ++From) {
+      EXPECT_GE(C.node(P).applied(From, Add), Elems)
+          << "node " << P << " from " << From;
+      Sum += C.node(P).applied(From, Add) - Elems;
+    }
+    EXPECT_EQ(Sum, TotalOps) << "node " << P;
+    AppliedTotal += Sum;
+  }
+  EXPECT_EQ(AppliedTotal, static_cast<std::uint64_t>(TotalOps) * Nodes);
+  EXPECT_GE(C.node(0).statsSnapshot().counter("node.summary.slot_overflow"),
+            1u);
+}
+
+TEST(SummarySlotOverflow, UnshippableCallRejectedWithoutStateMutation) {
+  // A geometry where a counter's summary image fits NEITHER the summary
+  // slot NOR one spanning F-ring record, and the type is not decomposable:
+  // the reduce path must reject the call up front (Done(false)) with zero
+  // replicated-state mutation, instead of folding it and wedging every
+  // future ship of the group.
+  sim::Simulator Sim;
+  auto T = makeType("counter");
+  MethodId Add = T->methodId("add");
+  HambandConfig Cfg;
+  Cfg.SummarySlotBytes = 48;          // Image (44B) + slot overhead > 48.
+  Cfg.FreeGeom = RingGeometry{4, 32}; // maxRecordPayload = 51 < 44 + 28.
+  HambandCluster C(Sim, 3, *T, {}, Cfg);
+  C.start();
+
+  bool Called = false, Ok = true;
+  C.submit(0, Call(Add, {5}, 0, 1), [&](bool CallOk, Value) {
+    Called = true;
+    Ok = CallOk;
+  });
+  ASSERT_TRUE(runUntil(Sim, [&] { return Called; }));
+  EXPECT_FALSE(Ok);
+
+  EXPECT_EQ(
+      C.node(0).statsSnapshot().counter("node.summary.oversize_reject"), 1u);
+  MethodId Read = T->methodId("read");
+  for (ProcessId P = 0; P < 3; ++P) {
+    EXPECT_EQ(C.node(P).applied(0, Add), 0u) << "node " << P;
+    EXPECT_EQ(T->query(C.node(P).visibleState(), Call(Read, {}, P, 0)), 0)
+        << "node " << P;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Big-state bytes: deltas ship a fraction of full images
+//===----------------------------------------------------------------------===//
+// The point of the feature (fig_bigstate in the bench report makes it a
+// hard >= 5x gate at 1e5 elements): with a large seeded summary, classic
+// mode re-ships the whole image per call while delta mode ships one
+// bounded frame. A coarse sim-level sanity pin at 1e4 elements.
+
+TEST(DeltaBytes, BigStateDeltaShipsFractionOfFullImageBytes) {
+  auto T = makeType("gset");
+  MethodId Add = T->methodId("add");
+  const unsigned SeedElems = 10000;
+
+  auto runWorld = [&](const HambandConfig &Cfg) {
+    sim::Simulator Sim;
+    HambandCluster C(Sim, 3, *T, {}, Cfg);
+    C.start();
+    C.seedReducibleState(0, 0, bigGSetSummary(*T, SeedElems), SeedElems);
+    std::uint64_t Before = C.statsSnapshot().counter("rdma.bytes_written");
+    unsigned Done = 0;
+    for (unsigned I = 0; I < 8; ++I)
+      C.submit(0, Call(Add, {static_cast<Value>(20000 + I)}, 0, 1 + I),
+               [&](bool Ok, Value) {
+                 EXPECT_TRUE(Ok);
+                 ++Done;
+               });
+    EXPECT_TRUE(runUntil(Sim, [&] {
+      return Done == 8 && C.fullyReplicated();
+    }));
+    MethodId Size = T->methodId("size");
+    for (ProcessId P = 0; P < 3; ++P)
+      EXPECT_EQ(T->query(C.node(P).visibleState(), Call(Size, {}, P, 0)),
+                static_cast<Value>(SeedElems + 8))
+          << "node " << P;
+    return C.statsSnapshot().counter("rdma.bytes_written") - Before;
+  };
+
+  std::uint64_t ClassicBytes = runWorld(HambandConfig{});
+  std::uint64_t DeltaBytes = runWorld(deltaConfig(/*AntiEntropyEvery=*/64));
+  ASSERT_GT(DeltaBytes, 0u);
+  EXPECT_GE(ClassicBytes, 5 * DeltaBytes)
+      << "classic shipped " << ClassicBytes << "B, delta " << DeltaBytes
+      << "B";
+}
+
+//===----------------------------------------------------------------------===//
+// Cluster-level corpus on both transports (shm half selected in CI TSan)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One cluster deployment on the parameterized backend, with a drive loop
+/// appropriate to it (see TransportConformanceTests.cpp).
+struct ClusterWorld {
+  ClusterWorld(TransportKind Kind, unsigned Nodes, const ObjectType &T,
+               HambandConfig Cfg)
+      : Kind(Kind), C(Kind, Nodes, T, NetworkModel(), std::move(Cfg)) {
+    C.start();
+  }
+
+  sim::Simulator *sim() { return C.transport().simulatorOrNull(); }
+
+  void pace() {
+    if (sim::Simulator *S = sim())
+      S->run(S->now() + sim::micros(3));
+  }
+
+  /// Drives until \p Done reaches \p Expect and replication finishes.
+  /// After a successful shm drain the node threads are STOPPED, so
+  /// callers can compare node state race-free.
+  bool drain(const std::atomic<unsigned> &Done, unsigned Expect) {
+    if (sim::Simulator *S = sim()) {
+      sim::SimTime Cap = S->now() + sim::millis(500);
+      while (S->now() < Cap &&
+             !(Done.load() == Expect && C.fullyReplicated()))
+        S->run(S->now() + sim::micros(20));
+      return Done.load() == Expect && C.fullyReplicated();
+    }
+    auto Deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    bool Ok = false;
+    while (std::chrono::steady_clock::now() < Deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      if (Done.load() == Expect && C.fullyReplicatedQuiesced()) {
+        Ok = true;
+        break;
+      }
+    }
+    C.stopTransport();
+    return Ok;
+  }
+
+  TransportKind Kind;
+  HambandCluster C;
+};
+
+using ClusterParam = std::tuple<TransportKind, std::string>;
+
+std::string clusterParamName(
+    const ::testing::TestParamInfo<ClusterParam> &Info) {
+  return std::string(transportKindName(std::get<0>(Info.param))) + "_" +
+         sanitized(std::get<1>(Info.param));
+}
+
+/// Exact-match corpus against the executable semantics: for
+/// observation-independent conflict-free types the final state is a pure
+/// function of the call multiset, so the delta-shipping runtime -- on
+/// EITHER backend -- must land bit-for-bit on the semantics world's state.
+void deltaConformConflictFree(TransportKind Kind, const std::string &Name,
+                              const HambandConfig &Cfg,
+                              unsigned BurstSize) {
+  auto T = makeType(Name);
+  ASSERT_EQ(T->coordination().numSyncGroups(), 0u);
+  const unsigned Nodes = 3;
+  std::vector<IssuedCall> Calls = makeSchedule(*T, Nodes, 40, 0xde17a);
+
+  semantics::RdmaConfiguration K(*T, Nodes);
+  for (const IssuedCall &IC : Calls) {
+    Call Prepared = K.prepareAt(IC.Origin, IC.TheCall);
+    ASSERT_TRUE(K.tryUpdate(IC.Origin, Prepared)) << Prepared.str();
+  }
+  K.drain();
+  ASSERT_TRUE(K.quiescent());
+  ASSERT_TRUE(K.checkConvergence());
+
+  ClusterWorld W(Kind, Nodes, *T, Cfg);
+  std::atomic<unsigned> Done{0};
+  std::atomic<unsigned> Failed{0};
+  for (std::size_t I = 0; I < Calls.size(); ++I) {
+    W.C.submit(Calls[I].Origin, Calls[I].TheCall,
+               [&Done, &Failed](bool Ok, Value) {
+                 if (!Ok)
+                   ++Failed;
+                 ++Done;
+               });
+    if ((I + 1) % BurstSize == 0)
+      W.pace();
+  }
+  ASSERT_TRUE(W.drain(Done, static_cast<unsigned>(Calls.size())))
+      << Name << ": cluster did not finish (" << Done.load() << "/"
+      << Calls.size() << " done)";
+  EXPECT_EQ(Failed.load(), 0u) << Name;
+
+  for (ProcessId P = 0; P < Nodes; ++P) {
+    StatePtr FromSemantics = K.visibleState(P);
+    EXPECT_TRUE(FromSemantics->equals(W.C.node(P).visibleState()))
+        << Name << " node " << P << ":\n  semantics: "
+        << FromSemantics->str()
+        << "\n  runtime:   " << W.C.node(P).visibleState().str();
+    for (ProcessId From = 0; From < Nodes; ++From)
+      for (MethodId U = 0; U < T->numMethods(); ++U)
+        EXPECT_EQ(K.applied(P, From, U), W.C.node(P).applied(From, U))
+            << Name;
+  }
+}
+
+/// Conflicting / observation-dependent corpus with deltas on: each world
+/// converges internally and keeps the type's integrity invariant.
+void deltaConformConflicting(TransportKind Kind, const std::string &Name,
+                             const HambandConfig &Cfg, unsigned BurstSize) {
+  auto T = makeType(Name);
+  const unsigned Nodes = 3;
+  std::vector<IssuedCall> Calls = makeSchedule(*T, Nodes, 30, 0xde17b);
+
+  ClusterWorld W(Kind, Nodes, *T, Cfg);
+  std::atomic<unsigned> Done{0};
+  for (std::size_t I = 0; I < Calls.size(); ++I) {
+    W.C.submit(Calls[I].Origin, Calls[I].TheCall,
+               [&Done](bool, Value) { ++Done; });
+    if ((I + 1) % BurstSize == 0)
+      W.pace();
+  }
+  ASSERT_TRUE(W.drain(Done, static_cast<unsigned>(Calls.size())))
+      << Name << ": cluster did not finish (" << Done.load() << "/"
+      << Calls.size() << " done)";
+  EXPECT_TRUE(W.C.converged()) << Name;
+  EXPECT_TRUE(W.C.appliedTablesEqual()) << Name;
+  for (ProcessId P = 0; P < Nodes; ++P)
+    EXPECT_TRUE(T->invariant(W.C.node(P).visibleState()))
+        << Name << " node " << P;
+}
+
+} // namespace
+
+class DeltaConflictFreeConformance
+    : public ::testing::TestWithParam<ClusterParam> {};
+
+TEST_P(DeltaConflictFreeConformance, DeltaRuntimeMatchesSemanticsExactly) {
+  deltaConformConflictFree(std::get<0>(GetParam()), std::get<1>(GetParam()),
+                           deltaConfig(3), 1);
+}
+
+TEST_P(DeltaConflictFreeConformance,
+       BatchedDeltaRuntimeMatchesSemanticsExactly) {
+  HambandConfig Cfg = deltaConfig(3);
+  Cfg.Batch.Enabled = true;
+  Cfg.Batch.MaxCalls = 6;
+  deltaConformConflictFree(std::get<0>(GetParam()), std::get<1>(GetParam()),
+                           Cfg, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, DeltaConflictFreeConformance,
+    ::testing::Combine(
+        ::testing::Values(TransportKind::Sim, TransportKind::Shm),
+        ::testing::Values("counter", "pn-counter", "gset", "gset-buffered",
+                          "two-phase-set", "lww-register")),
+    clusterParamName);
+
+class DeltaConflictingConformance
+    : public ::testing::TestWithParam<ClusterParam> {};
+
+TEST_P(DeltaConflictingConformance, WorldConvergesWithInvariantIntact) {
+  HambandConfig Cfg = deltaConfig(3);
+  Cfg.Batch.Enabled = true;
+  Cfg.Batch.MaxCalls = 6;
+  deltaConformConflicting(std::get<0>(GetParam()), std::get<1>(GetParam()),
+                          Cfg, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, DeltaConflictingConformance,
+    ::testing::Combine(
+        ::testing::Values(TransportKind::Sim, TransportKind::Shm),
+        ::testing::Values("bank-account", "project-management")),
+    clusterParamName);

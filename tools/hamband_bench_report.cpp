@@ -15,6 +15,7 @@
 //   hamband_bench_report --check BENCH.json        # validate a report
 //   hamband_bench_report --check BENCH.json --min-batch-speedup 1.25
 //   hamband_bench_report --check BENCH.json --min-shard-speedup 2.0
+//   hamband_bench_report --check BENCH.json --min-delta-bytes-factor 5
 //   hamband_bench_report --compare A.json B.json --tolerance 0.05
 //
 // --transport selects the backend dimension: "sim" (default) emits the
@@ -33,6 +34,17 @@
 // are recorded for trend-watching but never gated on a speedup floor,
 // and --compare only ever examines the sim fig8 section.
 //
+// The fig_bigstate sweep measures what delta-state propagation
+// (docs/deltas.md) buys on large resident state: each replica is
+// pre-seeded with a --big-elems-element summary (gset and two-phase-set;
+// HambandCluster::seedReducibleState), then an update-only workload runs
+// with full-image shipping and again with delta shipping, recording
+// rdma.bytes_written per delivered call. --check with
+// --min-delta-bytes-factor gates the full/delta bytes-per-call ratio of
+// every seeded entry. The lww-register companion entry is the contrast
+// case -- its image is a single stamped value, so deltas cannot help --
+// and is recorded ungated.
+//
 // Latency percentiles come from the merged per-node node.resp_ns
 // histograms when the observability layer is compiled in, with the
 // driver's exact per-call samples as the fallback (and as a cross-check).
@@ -45,6 +57,7 @@
 #include "hamband/benchlib/Runner.h"
 #include "hamband/core/TypeRegistry.h"
 #include "hamband/obs/Json.h"
+#include "hamband/runtime/HambandCluster.h"
 
 #include <cmath>
 #include <cstdio>
@@ -75,12 +88,18 @@ struct Options {
   /// throughput to be at least this multiple of its 1-shard point
   /// (0 = no gate).
   double MinShardSpeedup = 0;
+  /// With --check: require every gated fig_bigstate entry's full-image
+  /// bytes-per-call to be at least this multiple of its delta-mode
+  /// bytes-per-call (0 = no gate).
+  double MinDeltaBytesFactor = 0;
   /// Backend dimension: "sim", "shm", or "both".
   std::string Transport = "sim";
   /// Shard counts for the fig_shard sweep (sim only; empty disables it).
   std::vector<unsigned> Shards = {1, 2, 4, 8};
   /// Distinct objects in the fig_shard keyspace.
   std::uint64_t ShardObjects = 100000;
+  /// Pre-seeded summary size for the fig_bigstate sweep (0 disables it).
+  std::uint64_t BigElems = 100000;
 };
 
 /// One figure point: the workload result plus the percentile source.
@@ -160,6 +179,59 @@ PointReport runShardPoint(unsigned Shards, double ZipfSkew,
   return P;
 }
 
+/// One fig_bigstate mode point: the update-only workload over a seeded
+/// big state, plus the transport bytes it shipped per delivered call.
+struct BigStatePoint {
+  PointReport P;
+  std::uint64_t BytesWritten = 0;
+  double BytesPerCall = 0;
+};
+
+/// Runs the fig_bigstate workload for one (type, mode) cell. With
+/// \p Elems > 0 every replica's sum-group-0 summary is pre-seeded with
+/// the elements {0..Elems-1} for every source, so a call issued at any
+/// node makes that node re-ship an Elems-sized image in full-image mode.
+/// Repetitions are pinned to 1: the run is deterministic simulated time,
+/// and bytes_per_call divides one run's rdma.bytes_written by that same
+/// run's delivered-call count.
+BigStatePoint runBigStatePoint(const std::string &TypeName,
+                               std::uint64_t Elems, bool Deltas,
+                               const Options &Opt) {
+  auto Type = makeType(TypeName);
+  WorkloadSpec W;
+  W.NumOps = Opt.Smoke ? 60 : 240;
+  W.UpdateRatio = 1.0;
+  W.UpdateMethods = {
+      Type->methodId(TypeName == "lww-register" ? "write" : "add")};
+  RunnerOptions RO;
+  RO.Kind = RuntimeKind::Hamband;
+  RO.NumNodes = 4;
+  RO.Repetitions = 1;
+  RO.Transport = rdma::TransportKind::Sim;
+  RO.Cfg.Delta.Enabled = Deltas;
+  if (Elems) {
+    MethodId Add = Type->methodId("add");
+    RO.PreSeed = [&, Add](runtime::HambandCluster &C) {
+      std::vector<Value> Seed;
+      Seed.reserve(Elems);
+      for (std::uint64_t I = 0; I < Elems; ++I)
+        Seed.push_back(static_cast<Value>(I));
+      for (unsigned N = 0; N < RO.NumNodes; ++N)
+        C.seedReducibleState(
+            /*Group=*/0, /*Issuer=*/N,
+            Call(Add, Seed, static_cast<ProcessId>(N), /*Req=*/0), Elems);
+    };
+  }
+  BigStatePoint B;
+  B.P.R = runWorkload(*Type, W, RO);
+  fillPercentiles(B.P);
+  B.BytesWritten = B.P.R.ClusterStats.counter("rdma.bytes_written");
+  if (B.P.R.CompletedOps)
+    B.BytesPerCall = static_cast<double>(B.BytesWritten) /
+                     static_cast<double>(B.P.R.CompletedOps);
+  return B;
+}
+
 json::Value pointToJson(const std::string &TypeName, unsigned Nodes,
                         double UpdateRatio, const PointReport &P,
                         const char *Transport = "sim") {
@@ -186,26 +258,30 @@ const char *const PointFields[] = {
     "p99_response_us",   "max_response_us",
 };
 
-bool checkPoint(const json::Value &Doc, const char *Fig, std::string &Err) {
-  const json::Value *P = Doc.find(Fig);
+bool checkPointObject(const json::Value *P, const std::string &Name,
+                      std::string &Err) {
   if (!P || !P->isObject()) {
-    Err = std::string(Fig) + " missing or not an object";
+    Err = Name + " missing or not an object";
     return false;
   }
   for (const char *F : PointFields) {
     const json::Value *V = P->find(F);
     if (!V || !V->isNumber() || !std::isfinite(V->asDouble()) ||
         V->asDouble() < 0) {
-      Err = std::string(Fig) + "." + F + " missing or not a finite number";
+      Err = Name + "." + F + " missing or not a finite number";
       return false;
     }
   }
   const json::Value *C = P->find("completed");
   if (!C || !C->isBool() || !C->B) {
-    Err = std::string(Fig) + " run did not complete";
+    Err = Name + " run did not complete";
     return false;
   }
   return true;
+}
+
+bool checkPoint(const json::Value &Doc, const char *Fig, std::string &Err) {
+  return checkPointObject(Doc.find(Fig), Fig, Err);
 }
 
 bool loadDoc(const std::string &Path, json::Value &Doc, std::string &Err) {
@@ -305,6 +381,77 @@ int checkMode(const Options &Opt) {
         }
       }
   }
+  // fig_bigstate, like the other optional sections, is validated when
+  // present (reports predating delta propagation stay checkable) and
+  // required by the delta-bytes gate. Every entry carries a full-image
+  // point and a delta point, each with a finite bytes_per_call, plus the
+  // full/delta ratio as bytes_factor.
+  const json::Value *BigSweep = Doc.find("fig_bigstate");
+  if (BigSweep) {
+    const json::Value *Entries = BigSweep->find("types");
+    if (!Entries || !Entries->isArray() || Entries->Arr.empty()) {
+      std::fprintf(stderr,
+                   "check failed: fig_bigstate.types missing or empty\n");
+      return 1;
+    }
+    for (const json::Value &E : Entries->Arr) {
+      const json::Value *TN = E.find("type");
+      std::string Name = "fig_bigstate." +
+                         (TN && TN->isString() ? TN->Str : std::string("?"));
+      const json::Value *G = E.find("gated");
+      if (!TN || !TN->isString() || !G || !G->isBool()) {
+        std::fprintf(stderr, "check failed: %s entry missing type or "
+                             "gated flag\n",
+                     Name.c_str());
+        return 1;
+      }
+      for (const char *Mode : {"full", "delta"}) {
+        const json::Value *P = E.find(Mode);
+        if (!checkPointObject(P, Name + "." + Mode, Err)) {
+          std::fprintf(stderr, "check failed: %s\n", Err.c_str());
+          return 1;
+        }
+        const json::Value *B = P->find("bytes_per_call");
+        if (!B || !B->isNumber() || !std::isfinite(B->asDouble()) ||
+            B->asDouble() <= 0) {
+          std::fprintf(stderr, "check failed: %s.%s.bytes_per_call "
+                               "missing or not positive\n",
+                       Name.c_str(), Mode);
+          return 1;
+        }
+      }
+      const json::Value *F = E.find("bytes_factor");
+      if (!F || !F->isNumber() || !std::isfinite(F->asDouble()) ||
+          F->asDouble() < 0) {
+        std::fprintf(stderr, "check failed: %s.bytes_factor missing or "
+                             "not a finite number\n",
+                     Name.c_str());
+        return 1;
+      }
+    }
+  }
+  if (Opt.MinDeltaBytesFactor > 0) {
+    if (!BigSweep) {
+      std::fprintf(stderr, "check failed: --min-delta-bytes-factor needs "
+                           "a fig_bigstate sweep\n");
+      return 1;
+    }
+    for (const json::Value &E : BigSweep->find("types")->Arr) {
+      const std::string &TN = E.find("type")->Str;
+      double Factor = E.find("bytes_factor")->asDouble();
+      bool Gated = E.find("gated")->B;
+      std::printf("fig_bigstate %s: full/delta bytes-per-call factor "
+                  "%.2fx (%s, floor %.2fx)\n",
+                  TN.c_str(), Factor, Gated ? "gated" : "ungated contrast",
+                  Opt.MinDeltaBytesFactor);
+      if (Gated && Factor < Opt.MinDeltaBytesFactor) {
+        std::fprintf(stderr, "check failed: fig_bigstate %s delta bytes "
+                             "reduction below floor\n",
+                     TN.c_str());
+        return 1;
+      }
+    }
+  }
   if (Opt.MinBatchSpeedup > 0) {
     if (!HasBatched) {
       std::fprintf(stderr,
@@ -392,9 +539,10 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--ops N] [--reps N] [--smoke] [--out FILE]\n"
                "          [--transport sim|shm|both] [--shards LIST]\n"
-               "          [--shard-objects N]\n"
+               "          [--shard-objects N] [--big-elems N]\n"
                "       %s --check FILE [--min-batch-speedup X]\n"
                "          [--min-shard-speedup X]\n"
+               "          [--min-delta-bytes-factor X]\n"
                "       %s --compare A.json B.json [--tolerance T]\n",
                Argv0, Argv0, Argv0);
   return 2;
@@ -426,6 +574,10 @@ int main(int Argc, char **Argv) {
       Opt.MinBatchSpeedup = std::strtod(V, nullptr);
     else if (A == "--min-shard-speedup" && (V = Next()))
       Opt.MinShardSpeedup = std::strtod(V, nullptr);
+    else if (A == "--min-delta-bytes-factor" && (V = Next()))
+      Opt.MinDeltaBytesFactor = std::strtod(V, nullptr);
+    else if (A == "--big-elems" && (V = Next()))
+      Opt.BigElems = std::strtoull(V, nullptr, 10);
     else if (A == "--shards" && (V = Next())) {
       // Comma-separated shard counts, e.g. "1,2,4,8"; "0" or an empty
       // list disables the fig_shard sweep.
@@ -456,6 +608,7 @@ int main(int Argc, char **Argv) {
   if (Opt.Smoke) {
     Opt.Ops = std::min<std::uint64_t>(Opt.Ops, 600);
     Opt.ShardObjects = std::min<std::uint64_t>(Opt.ShardObjects, 1000);
+    Opt.BigElems = std::min<std::uint64_t>(Opt.BigElems, 5000);
   }
 
   if (!Opt.CheckFile.empty())
@@ -547,6 +700,61 @@ int main(int Argc, char **Argv) {
                     Shard1Tput, ShardTopTput, TopShards,
                     ShardTopTput / Shard1Tput);
     }
+
+    // fig_bigstate: bytes shipped per delivered call with a big resident
+    // state, full-image mode vs delta mode, per reducible set type. The
+    // lww-register entry has a constant-size image and is the ungated
+    // contrast case. The sweep reads the transport's rdma.bytes_written
+    // counter, so an HAMBAND_OBS=OFF build (the bench_regress overhead
+    // twin) omits the section instead of reporting zero bytes.
+#if HAMBAND_OBS_ENABLED
+    if (Opt.BigElems) {
+      struct BigCase {
+        const char *Type;
+        bool Seeded;
+        bool Gated;
+      };
+      const BigCase Cases[] = {
+          {"gset", true, true},
+          {"two-phase-set", true, true},
+          {"lww-register", false, false},
+      };
+      json::Value Big = json::Value::makeObject();
+      Big.add("nodes", json::Value::makeUInt(4));
+      Big.add("elements", json::Value::makeUInt(Opt.BigElems));
+      json::Value Entries = json::Value::makeArray();
+      for (const BigCase &BC : Cases) {
+        std::uint64_t Elems = BC.Seeded ? Opt.BigElems : 0;
+        BigStatePoint Full = runBigStatePoint(BC.Type, Elems, false, Opt);
+        BigStatePoint Delta = runBigStatePoint(BC.Type, Elems, true, Opt);
+        json::Value E = json::Value::makeObject();
+        E.add("type", json::Value::makeString(BC.Type));
+        E.add("gated", json::Value::makeBool(BC.Gated));
+        E.add("seeded_elements", json::Value::makeUInt(Elems));
+        for (const auto &Mode :
+             {std::make_pair("full", &Full), std::make_pair("delta", &Delta)}) {
+          json::Value PJ = pointToJson(BC.Type, 4, 1.0, Mode.second->P);
+          PJ.add("deltas", json::Value::makeBool(Mode.second == &Delta));
+          PJ.add("bytes_written",
+                 json::Value::makeUInt(Mode.second->BytesWritten));
+          PJ.add("bytes_per_call",
+                 json::Value::makeDouble(Mode.second->BytesPerCall));
+          E.add(Mode.first, std::move(PJ));
+        }
+        double Factor = Delta.BytesPerCall > 0
+                            ? Full.BytesPerCall / Delta.BytesPerCall
+                            : 0;
+        E.add("bytes_factor", json::Value::makeDouble(Factor));
+        std::printf("fig_bigstate %s: %.0f B/call full-image, %.0f B/call "
+                    "delta (%.2fx%s)\n",
+                    BC.Type, Full.BytesPerCall, Delta.BytesPerCall, Factor,
+                    BC.Gated ? "" : ", ungated contrast");
+        Entries.Arr.push_back(std::move(E));
+      }
+      Big.add("types", std::move(Entries));
+      Doc.add("fig_bigstate", std::move(Big));
+    }
+#endif
   }
 
   double ShmTput = 0, ShmBTput = 0;

@@ -26,6 +26,7 @@
 //
 //   hamband_fuzz --runs 100 --seed 42            # the full sweep
 //   hamband_fuzz --runs 100 --seed 42 --batch    # + batched-twin diffing
+//   hamband_fuzz --runs 100 --seed 42 --deltas   # + delta-twin diffing
 //   hamband_fuzz --seed 42 --only 17 --verbose   # re-run one schedule
 //   hamband_fuzz --seed 42 --only 17 --dump t.ftrace
 //   hamband_fuzz --replay-trace t.ftrace         # re-execute a dumped run
@@ -36,6 +37,12 @@
 // own bit-for-bit replay, and for crash-free schedules over
 // observation-independent types the batched and unbatched final states
 // are diffed replica by replica -- batching must be invisible.
+//
+// --deltas does the same for delta-state summary propagation (bounded
+// SummaryDelta frames plus anti-entropy full images, see docs/deltas.md):
+// a delta twin of every schedule, and a delta+batched twin when both
+// flags are given. Like batching, delta shipping is a transport-level
+// optimization and must be invisible in the final states.
 //
 // On failure, --minimize greedily shrinks the fault schedule (removing
 // timed faults and zeroing probabilities while the failure persists) and
@@ -72,7 +79,8 @@ struct Options {
   bool Verbose = false;
   bool NoReplay = false;
   bool Minimize = false;
-  bool Batch = false; // Also run a batched twin and diff the outcomes.
+  bool Batch = false;  // Also run a batched twin and diff the outcomes.
+  bool Deltas = false; // Also run a delta-propagation twin and diff.
   bool Stats = false; // Dump the merged metrics snapshot as JSON.
   std::string Transport = "sim"; // Only "sim" is accepted; see below.
   unsigned Shards = 1;           // Only 1 is accepted; see below.
@@ -177,8 +185,8 @@ int usage(const char *Argv0) {
       "usage: %s [--runs N] [--seed S] [--calls N] [--nodes N]\n"
       "          [--type NAME] [--only RUN] [--dump FILE]\n"
       "          [--replay-trace FILE] [--minimize] [--no-replay]\n"
-      "          [--batch] [--stats] [--verbose] [--transport sim]\n"
-      "          [--shards 1]\n",
+      "          [--batch] [--deltas] [--stats] [--verbose]\n"
+      "          [--transport sim] [--shards 1]\n",
       Argv0);
   return 2;
 }
@@ -213,6 +221,8 @@ int main(int Argc, char **Argv) {
       Opt.Minimize = true;
     else if (A == "--batch")
       Opt.Batch = true;
+    else if (A == "--deltas")
+      Opt.Deltas = true;
     else if (A == "--no-replay")
       Opt.NoReplay = true;
     else if (A == "--stats")
@@ -326,44 +336,56 @@ int main(int Argc, char **Argv) {
       }
     }
 
-    if (Opt.Batch) {
-      // The batched twin: same workload, same fault plan, batching on.
-      // It faces every check the unbatched run does, including its own
-      // bit-for-bit replay (its trace differs -- flushes change the
-      // number and timing of stage events -- so it replays separately).
-      RunSpec CfgB = Cfg;
-      CfgB.Batched = true;
-      RunOutcome RB = runSchedule(CfgB, nullptr, nullptr,
+    // Twin runs: the same workload and fault plan against a cluster with
+    // one transport-level optimization enabled. A twin faces every check
+    // the baseline run does, including its own bit-for-bit replay (its
+    // trace differs -- flushes and delta/anti-entropy rounds change the
+    // number and timing of stage events -- so it replays separately).
+    // For crash-free schedules over observation-independent types the
+    // final state is a pure function of the call multiset, so the twin
+    // must agree with the baseline replica by replica. (Crashes are
+    // excluded because probabilistic stage-crash decisions fire at
+    // different points once the stage sequence changes.)
+    auto runTwin = [&](const char *Label, bool Batched, bool Deltas) {
+      RunSpec CfgT = Cfg;
+      CfgT.Batched = Batched;
+      CfgT.Deltas = Deltas;
+      RunOutcome RT = runSchedule(CfgT, nullptr, nullptr,
                                   Opt.Stats ? &Merged : nullptr);
-      if (!RB.Ok) {
+      if (!RT.Ok) {
         R.Ok = false;
-        R.Failure += "; batched twin failed: " + RB.Failure;
+        R.Failure += std::string("; ") + Label + " twin failed: " +
+                     RT.Failure;
       }
       if (!Opt.NoReplay) {
-        RunOutcome RepB = runSchedule(CfgB, nullptr, &RB.Trace);
-        if (!(RepB.Trace == RB.Trace)) {
+        RunOutcome RepT = runSchedule(CfgT, nullptr, &RT.Trace);
+        if (!(RepT.Trace == RT.Trace)) {
           R.Ok = false;
-          R.Failure += "; batched replay produced a different trace";
-        } else if (!RepB.Ok) {
+          R.Failure += std::string("; ") + Label +
+                       " replay produced a different trace";
+        } else if (!RepT.Ok) {
           R.Ok = false;
-          R.Failure += "; batched replayed run failed: " + RepB.Failure;
+          R.Failure += std::string("; ") + Label +
+                       " replayed run failed: " + RepT.Failure;
         }
       }
-      // Crash-free schedules over observation-independent types: the
-      // final state is a pure function of the call multiset, so the two
-      // modes must agree replica by replica. (Crashes are excluded
-      // because probabilistic stage-crash decisions fire at different
-      // points once flushes change the stage sequence.)
-      if (!R.HadCrash && !RB.HadCrash &&
-          isObservationIndependent(Cfg.TypeName) && R.States != RB.States) {
+      if (!R.HadCrash && !RT.HadCrash &&
+          isObservationIndependent(Cfg.TypeName) && R.States != RT.States) {
         R.Ok = false;
         for (unsigned P = 0; P < Cfg.Nodes; ++P)
-          if (R.States[P] != RB.States[P])
-            R.Failure += "; batched/unbatched state diff at node " +
-                         std::to_string(P) + ": unbatched=" + R.States[P] +
-                         " batched=" + RB.States[P];
+          if (R.States[P] != RT.States[P])
+            R.Failure += std::string("; ") + Label +
+                         "/baseline state diff at node " +
+                         std::to_string(P) + ": baseline=" + R.States[P] +
+                         " " + Label + "=" + RT.States[P];
       }
-    }
+    };
+    if (Opt.Batch)
+      runTwin("batched", /*Batched=*/true, /*Deltas=*/false);
+    if (Opt.Deltas)
+      runTwin("delta", /*Batched=*/false, /*Deltas=*/true);
+    if (Opt.Batch && Opt.Deltas)
+      runTwin("delta+batched", /*Batched=*/true, /*Deltas=*/true);
 
     if (Opt.Verbose || !R.Ok)
       std::printf("run %3u type=%-18s nodes=%u faults=%zu ok=%u rej=%u "

@@ -15,6 +15,7 @@
 //
 //   hamband_mc --type counter --calls 4            # one type
 //   hamband_mc --type all --calls 4 --crashes 1    # the CI sweep
+//   hamband_mc --type counter --calls 3 --deltas   # delta-mode cluster
 //   hamband_mc --type bank-account \
 //       --mutate drop-conflict:withdraw/withdraw \
 //       --dump ce.ftrace                           # certified CE
@@ -62,6 +63,9 @@ struct Options {
   bool NoSleep = false;
   bool NoDedup = false;
   bool NoMinimize = false;
+  // Explore the cluster with delta-state summary propagation enabled
+  // (bounded SummaryDelta frames + anti-entropy, see docs/deltas.md).
+  bool Deltas = false;
   std::string Transport = "sim"; // Only "sim" is accepted; see below.
   unsigned Shards = 1;           // Only 1 is accepted; see below.
 };
@@ -73,7 +77,7 @@ int usage(const char *Argv0) {
       "          [--seed S] [--budget RUNS] [--max-branch IDX]\n"
       "          [--mutate KIND:mA/mB] [--dump FILE] [--json] [--verbose]\n"
       "          [--no-dpor] [--no-sleep] [--no-dedup] [--no-minimize]\n"
-      "          [--transport sim] [--shards 1]\n",
+      "          [--deltas] [--transport sim] [--shards 1]\n",
       Argv0);
   return 2;
 }
@@ -98,6 +102,7 @@ obs::json::Value reportToJson(const McReport &R) {
   O.add("nodes", Value::makeUInt(R.Base.Nodes));
   O.add("calls", Value::makeUInt(R.Base.Calls));
   O.add("work_seed", Value::makeUInt(R.Base.WorkSeed));
+  O.add("deltas", Value::makeBool(R.Base.Deltas));
   O.add("ok", Value::makeBool(R.Ok));
   O.add("explored", Value::makeUInt(R.Explored));
   O.add("choice_points", Value::makeUInt(R.ChoicePoints));
@@ -162,6 +167,8 @@ int main(int Argc, char **Argv) {
       Opt.NoDedup = true;
     else if (A == "--no-minimize")
       Opt.NoMinimize = true;
+    else if (A == "--deltas")
+      Opt.Deltas = true;
     else if (A == "--transport" && (V = Next()))
       Opt.Transport = V;
     else if (A == "--shards" && (V = Next()))
@@ -256,6 +263,7 @@ int main(int Argc, char **Argv) {
     RS.Nodes = Opt.Nodes;
     RS.Calls = Opt.Calls;
     RS.WorkSeed = Opt.Seed;
+    RS.Deltas = Opt.Deltas;
     McReport R = exploreType(RS, MO);
     AllOk &= R.Ok;
     if (!Opt.Json || Opt.Verbose)
