@@ -72,6 +72,20 @@ struct RunResult {
   /// runtime does not report stats or HAMBAND_OBS is off). averageRuns()
   /// merges the snapshots of all repetitions.
   obs::StatsSnapshot ClusterStats;
+
+  // -- Online-reconfiguration runs (RunnerOptions::ReconfigAction) --------
+  // Throughput split around the membership transition: before it starts
+  // (steady), between start and install/abort (during), and after. All
+  // zero on fixed-membership runs.
+  double SteadyThroughputOpsPerUs = 0;
+  double DuringThroughputOpsPerUs = 0;
+  double AfterThroughputOpsPerUs = 0;
+  /// Simulated length of the transition window, us.
+  double TransitionUs = 0;
+  /// True when the transition installed (false = aborted or none ran).
+  bool ReconfigInstalled = false;
+  /// Client calls that hit the closed-epoch window and were retried.
+  std::uint64_t WrongEpochRetries = 0;
 };
 
 /// Averages the scalar fields of several runs (the paper reports the

@@ -71,6 +71,15 @@ struct RunnerOptions {
   /// ships images proportional to a large resident state without paying
   /// for building it call by call.
   std::function<void(runtime::HambandCluster &)> PreSeed;
+  /// Online membership transition mid-run (unsharded Hamband runtime on
+  /// the sim transport only; docs/reconfig.md): "" = none, "add" = the
+  /// last provisioned node starts as a standby and joins, "remove" = the
+  /// last node leaves. Enables Cfg.Reconfig automatically; the run splits
+  /// its throughput into steady/during/after phases (RunResult) and
+  /// clients retry closed-epoch rejections against the new epoch.
+  std::string ReconfigAction;
+  /// Fraction of ops issued when the transition starts.
+  double ReconfigAtFraction = 0.4;
 };
 
 /// Runs the workload once with the given seed.

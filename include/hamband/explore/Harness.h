@@ -70,6 +70,16 @@ struct RunSpec {
   /// anti-entropy period shortened so full-image rounds fire within a
   /// fuzz-sized schedule.
   bool Deltas = false;
+  /// Run an online membership transition through the middle of the
+  /// workload (docs/reconfig.md): the last provisioned node starts as a
+  /// standby and is added once half the calls are issued. Clients whose
+  /// updates land in the closed-epoch window observe the documented
+  /// Done(false, WrongEpochValue) rejection and retry after the
+  /// transition terminates. Adds two oracles: no cross-epoch record may
+  /// ever reach apply, and (for crash-free observation-independent runs)
+  /// the surviving state must equal a static-membership twin cluster fed
+  /// the same completed calls.
+  bool Reconfig = false;
 };
 
 struct RunOutcome {
@@ -90,6 +100,12 @@ struct RunOutcome {
   std::uint64_t SchedChoices = 0;
   /// Broadcast stage points observed (candidate crash points).
   std::uint64_t BroadcastStages = 0;
+  /// Reconfig runs only: whether the transition installed, the epoch it
+  /// left the cluster in, and how many closed-window rejections were
+  /// retried.
+  bool ReconfigInstalled = false;
+  std::uint32_t FinalEpoch = 0;
+  unsigned WrongEpochRetries = 0;
 };
 
 /// Explorer steering for one run. All fields optional; a default

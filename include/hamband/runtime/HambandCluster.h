@@ -96,6 +96,19 @@ public:
     return Outstanding.load(std::memory_order_acquire);
   }
 
+  /// Outstanding *update* calls only. Queries keep flowing during a
+  /// membership transition, so drain-style checks look at updates, not
+  /// at outstanding().
+  std::uint64_t updatesOutstanding() const {
+    return OutstandingUpdates.load(std::memory_order_acquire);
+  }
+
+  /// Outstanding updates whose origin node is still alive. A call
+  /// submitted at a node that later hard-crashes never completes (its
+  /// callback died with the node), so the reconfiguration drain stage
+  /// waits on this; counting the lost call would wedge the transition.
+  std::uint64_t liveUpdatesOutstanding() const;
+
   /// Outstanding calls submitted at \p Origin. A call submitted at a node
   /// that later hard-crashes never completes; live-cluster checks use this
   /// to discount such losses.
@@ -173,6 +186,34 @@ public:
   /// visited configurations.
   std::uint64_t stateFingerprint();
 
+  // -- Membership reconfiguration (docs/reconfig.md) -----------------------
+
+  /// Begins an online membership transition to \p TargetActive (one byte
+  /// per provisioned node). Returns false when reconfiguration is not
+  /// enabled, a transition is in progress, or the target is malformed.
+  /// \p Done fires with (installed?, current epoch).
+  bool reconfigure(std::vector<std::uint8_t> TargetActive,
+                   ReconfigManager::DoneFn Done);
+
+  /// The transition driver; null unless Cfg.Reconfig.Enabled.
+  ReconfigManager *reconfigManager() { return Reconfig.get(); }
+
+  /// The installed membership epoch (0 on fixed-membership clusters).
+  std::uint32_t membershipEpoch() const {
+    return Reconfig ? Reconfig->epoch() : 0;
+  }
+
+  /// The attached fault injector, if any (ReconfigManager reports its
+  /// stage transitions through it).
+  sim::FaultInjector *faultInjector() const { return FaultInj; }
+
+  /// True when \p N is in service under the installed membership (always
+  /// true on fixed-membership clusters). Convergence/replication checks
+  /// skip out-of-membership standbys.
+  bool inService(rdma::NodeId N) const {
+    return !Reconfig || Reconfig->membership().isActive(N);
+  }
+
 private:
   void build(unsigned NumNodes, rdma::NetworkModel Model);
 
@@ -188,7 +229,12 @@ private:
   std::vector<std::unique_ptr<HambandNode>> Nodes;
   std::vector<bool> Failed;
   std::atomic<std::uint64_t> Outstanding{0};
+  std::atomic<std::uint64_t> OutstandingUpdates{0};
   std::unique_ptr<std::atomic<std::uint64_t>[]> OutstandingPer;
+  /// Per-origin update counts backing liveUpdatesOutstanding().
+  std::unique_ptr<std::atomic<std::uint64_t>[]> OutstandingUpdatesPer;
+  sim::FaultInjector *FaultInj = nullptr;
+  std::unique_ptr<ReconfigManager> Reconfig;
 };
 
 } // namespace runtime

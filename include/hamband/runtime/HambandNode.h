@@ -33,6 +33,7 @@
 #include "hamband/runtime/HeartbeatDetector.h"
 #include "hamband/runtime/MemoryMap.h"
 #include "hamband/runtime/MuConsensus.h"
+#include "hamband/runtime/Reconfig.h"
 #include "hamband/runtime/ReliableBroadcast.h"
 #include "hamband/runtime/RingBuffer.h"
 #include "hamband/runtime/Runtime.h"
@@ -89,6 +90,13 @@ struct DeltaConfig {
   /// Cap of buffered out-of-order frames per (group, source); frames
   /// beyond it are dropped (counted) and heal via anti-entropy.
   std::uint32_t MaxBufferedFrames = 64;
+  /// Adaptive anti-entropy backoff (0 = off): after this many consecutive
+  /// full-image ships during which the node observed no delta gap
+  /// (node.delta.gap unchanged), the effective AntiEntropyEvery period
+  /// doubles (capped at 8x). Any observed gap snaps it back to 1x. Quiet,
+  /// loss-free steady states then spend fewer full-image ships while
+  /// lossy phases keep the configured healing cadence (docs/deltas.md).
+  std::uint32_t AdaptiveBackoffRounds = 0;
 };
 
 /// Tunables of the Hamband runtime.
@@ -119,6 +127,8 @@ struct HambandConfig {
   BatchingConfig Batch;
   /// Delta-state propagation of reducible summaries (docs/deltas.md).
   DeltaConfig Delta;
+  /// Online membership reconfiguration (docs/reconfig.md).
+  ReconfigConfig Reconfig;
   /// Rotates initial consensus leadership: group G starts led by node
   /// (G + LeaderOffset) % N. A sharded deployment gives each shard a
   /// distinct offset so shard leaders spread across the cluster instead
@@ -294,6 +304,70 @@ public:
   std::size_t bufferedDeltaFrames(unsigned Group, ProcessId Src) const;
   std::uint64_t summarySeqSeen(unsigned Group, ProcessId Src) const {
     return SummarySeqSeen[Group][Src];
+  }
+
+  // -- Membership reconfiguration (docs/reconfig.md) ----------------------
+
+  /// The installed membership epoch (0 on fixed-membership clusters).
+  std::uint32_t currentEpoch() const { return CurrentEpoch; }
+
+  /// Closes the current epoch: new update submissions are rejected with
+  /// Done(false, WrongEpochValue) until openEpoch(); queries keep being
+  /// served. In-flight work is unaffected (the coordinator drains it).
+  void closeEpoch();
+
+  /// Reopens submissions in the (possibly new) current epoch.
+  void openEpoch();
+  bool epochClosed() const { return EpochClosed; }
+
+  /// True when this node holds no unshipped, unapplied or unacknowledged
+  /// work: the drain predicate of a membership transition (idle() plus
+  /// no in-flight flushes, no queued outbound F-ring records and no
+  /// speculative leader entries).
+  bool reconfigQuiesced() const;
+
+  /// Cross-node-comparable digest of the replicated state (visible state
+  /// plus applied table; unlike stateDigest() it does NOT mix in the node
+  /// id or local-only cursors). Drained members of a group must agree.
+  std::uint64_t reconfigDigest();
+
+  /// True when \p N is in service under this node's installed membership.
+  bool activeNode(rdma::NodeId N) const {
+    return Active.empty() || Active[N] != 0;
+  }
+
+  /// Donor side of the state transfer: packages everything a joiner needs
+  /// (applied table, broadcast cursors, summary images, per-group log
+  /// positions \p ConfNext, and the retained irreducible-call log).
+  TransferImage buildTransferImage(
+      const std::vector<std::uint64_t> &ConfNext) const;
+
+  /// Joiner side: installs a drained donor image wholesale -- applied
+  /// table and cursors verbatim, summary caches from the encoded images,
+  /// and the irreducible log replayed into the stored state in donor
+  /// apply order.
+  void absorbTransfer(const TransferImage &Img);
+
+  /// Installs membership \p M on this node: swaps the epoch and active
+  /// set, re-tags the F-ring writers and summary writes with \p NewKey,
+  /// restricts the failure detector to active peers, and hands each sync
+  /// group to its deterministic post-transition leader at log index
+  /// \p ConfNext[group]. The caller must have one-sided-written the
+  /// encoded membership record into this node's membership slot first;
+  /// installMembership verifies it matches.
+  void installMembership(const Membership &M, rdma::RegionKey NewKey,
+                         const std::vector<std::uint64_t> &ConfNext);
+
+  /// The retained irreducible-call log (Cfg.Reconfig.Enabled only).
+  const std::vector<std::vector<std::uint8_t>> &reconfigLog() const {
+    return ReconfigLog;
+  }
+
+  /// Contiguously received L-ring position of \p Group; after a drain
+  /// every member agrees on it, and the coordinator captures it as the
+  /// post-transition log index (docs/reconfig.md).
+  std::uint64_t confReceivedContig(unsigned Group) const {
+    return ConfReceivedContig[Group];
   }
 
 private:
@@ -558,6 +632,39 @@ private:
   obs::Counter *CtrSlotOverflow = nullptr;
   obs::Counter *CtrOversizeReject = nullptr;
   obs::Counter *CtrStageSkipped = nullptr;
+
+  // Membership-reconfiguration state (docs/reconfig.md). All dormant on
+  // fixed-membership clusters: epoch 0, empty mask, unprotected key.
+  std::uint32_t CurrentEpoch = 0;
+  bool EpochClosed = false;
+  /// Data-plane region key of the current epoch; tags the F-ring writers
+  /// and summary-slot writes so a fence can revoke the whole old data
+  /// plane in one sweep.
+  rdma::RegionKey DataKey = rdma::UnprotectedRegion;
+  /// Installed active set; empty = every provisioned node.
+  std::vector<std::uint8_t> Active;
+  /// Irreducible calls in local apply order (Cfg.Reconfig.Enabled only):
+  /// the donor's transfer log for joiners.
+  std::vector<std::vector<std::uint8_t>> ReconfigLog;
+  obs::Counter *CtrWrongEpochReject = nullptr;
+  obs::Counter *CtrCrossEpochDrop = nullptr;
+  obs::Counter *CtrCrossEpochApply = nullptr;
+  obs::Counter *CtrEpochInstall = nullptr;
+
+  // Adaptive anti-entropy state (docs/deltas.md). GapEvents mirrors the
+  // node.delta.gap counter; the per-group streaks compare against its
+  // value at that group's last full-image ship.
+  std::uint64_t GapEvents = 0;
+  std::vector<std::uint64_t> GapEventsAtFull;   // [group]
+  std::vector<std::uint32_t> AeCleanStreak;     // [group]
+  std::vector<std::uint32_t> AeFactor;          // [group], 1..8
+  obs::Counter *CtrAeBackoff = nullptr;
+  /// Effective anti-entropy period of \p G under the adaptive backoff.
+  std::uint32_t effectiveAntiEntropyEvery(unsigned G) const;
+  /// Streak bookkeeping at a full-image ship of \p G.
+  void noteFullImageShip(unsigned G);
+  /// Number of active peers (broadcast fan-out / completion quorum size).
+  unsigned activePeerCount() const;
 
   sim::SimDuration PollBaseCost = 0;
   bool Started = false;

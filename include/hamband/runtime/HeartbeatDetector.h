@@ -60,6 +60,13 @@ public:
 
   bool isSuspected(rdma::NodeId Peer) const { return Suspected[Peer]; }
 
+  /// Includes or excludes \p Peer from the check loop. Membership changes
+  /// stop monitoring removed nodes (their counter legitimately freezes)
+  /// and start monitoring joiners; re-monitoring resets the miss count and
+  /// any previous suspicion so a joiner starts with a clean slate.
+  void setMonitored(rdma::NodeId Peer, bool M);
+  bool isMonitored(rdma::NodeId Peer) const { return Monitored[Peer]; }
+
 private:
   void beat();
   void checkPeers();
@@ -73,6 +80,7 @@ private:
   std::vector<std::uint64_t> LastSeen;
   std::vector<unsigned> Misses;
   std::vector<bool> Suspected;
+  std::vector<bool> Monitored;
   std::function<void(rdma::NodeId)> SuspectFn;
 };
 

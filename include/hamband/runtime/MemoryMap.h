@@ -44,11 +44,13 @@ public:
             unsigned NumSyncGroups, RingGeometry FreeGeom,
             RingGeometry ConfGeom, RingGeometry MailGeom,
             std::uint32_t SummarySlotBytes = 512,
-            std::uint32_t BackupSlotBytes = 1024, rdma::MemOffset Base = 0)
+            std::uint32_t BackupSlotBytes = 1024, rdma::MemOffset Base = 0,
+            std::uint32_t TransferSlotBytes = 0)
       : Procs(NumProcesses), SumGroups(NumSumGroups),
         SyncGroups(NumSyncGroups), FreeGeom(FreeGeom), ConfGeom(ConfGeom),
         MailGeom(MailGeom), SummaryBytes(SummarySlotBytes),
-        BackupBytes(BackupSlotBytes), Base(Base) {
+        BackupBytes(BackupSlotBytes), TransferBytes(TransferSlotBytes),
+        Base(Base) {
     // Keep the first 64 bytes of every map unused to catch zero-offset
     // bugs; with a non-zero Base the map occupies [Base, totalBytes()),
     // which lets several maps (one per shard) share one registered region.
@@ -75,6 +77,12 @@ public:
     Cur += static_cast<rdma::MemOffset>(SyncGroups) * Procs * 16;
     AckBase = Cur;
     Cur += static_cast<rdma::MemOffset>(SyncGroups) * Procs * 24;
+    // Reconfiguration regions ride at the tail so every pre-reconfig
+    // offset is unchanged. Both are sized 0 on fixed-membership maps.
+    MembershipBase = Cur;
+    Cur += TransferBytes > 0 ? MembershipSlotBytes : 0;
+    TransferBase = Cur;
+    Cur += TransferBytes;
     Total = Cur;
   }
 
@@ -156,6 +164,26 @@ public:
            (static_cast<rdma::MemOffset>(Group) * Procs + Voter) * 24;
   }
 
+  /// Fixed size of the membership slot (docs/reconfig.md): an encoded
+  /// Membership record the coordinator one-sided-writes during a
+  /// transition. Bounds the active bitmap at ~1000 nodes.
+  static constexpr std::uint32_t MembershipSlotBytes = 1024;
+
+  /// Membership record slot; only present when the map was built with a
+  /// non-zero TransferSlotBytes (reconfig-enabled clusters).
+  rdma::MemOffset membershipSlot() const {
+    assert(TransferBytes > 0 && "map built without reconfig regions");
+    return MembershipBase;
+  }
+
+  /// One-sided state-transfer staging slot on the joiner.
+  rdma::MemOffset transferSlot() const {
+    assert(TransferBytes > 0 && "map built without reconfig regions");
+    return TransferBase;
+  }
+
+  std::uint32_t transferSlotBytes() const { return TransferBytes; }
+
   /// End offset of the map: the number of bytes a node must register for
   /// its slots to be addressable (includes the [0, baseOffset()) prefix).
   std::size_t totalBytes() const { return Total; }
@@ -175,12 +203,14 @@ private:
   RingGeometry MailGeom;
   std::uint32_t SummaryBytes;
   std::uint32_t BackupBytes;
+  std::uint32_t TransferBytes = 0;
   rdma::MemOffset Base = 0;
 
   rdma::MemOffset SummaryBase = 0, FreeDataBase = 0, FreeFeedbackBase = 0,
                   ConfDataBase = 0, ConfFeedbackBase = 0, MailDataBase = 0,
                   MailFeedbackBase = 0, BackupBase = 0, HeartbeatBase = 0,
-                  ProposalBase = 0, AckBase = 0;
+                  ProposalBase = 0, AckBase = 0, MembershipBase = 0,
+                  TransferBase = 0;
   std::size_t Total = 0;
 };
 

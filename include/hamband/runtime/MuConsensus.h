@@ -63,9 +63,14 @@ public:
     std::function<bool(rdma::NodeId)> IsSuspected;
   };
 
+  /// \p ActiveMask restricts the group to a subset of the provisioned
+  /// nodes (per-node flags; empty means all active). Inactive nodes are
+  /// excluded from replication targets, majorities and campaign quorums
+  /// (docs/reconfig.md).
   MuConsensus(rdma::Transport &Fabric, rdma::NodeId Self, unsigned Group,
               rdma::NodeId InitialLeader, const MemoryMap &Map,
-              rdma::RegionKey LogKey, Hooks TheHooks);
+              rdma::RegionKey LogKey, Hooks TheHooks,
+              std::vector<std::uint8_t> ActiveMask = {});
 
   rdma::NodeId currentLeader() const { return Leader; }
   bool isLeader() const { return Leader == Self && !CatchingUp; }
@@ -93,6 +98,27 @@ public:
 
   /// Failure-detector hook: if \p Peer is the current leader, campaign.
   void onPeerSuspected(rdma::NodeId Peer);
+
+  /// Replaces the active-node mask (membership installation). Writers to
+  /// now-inactive followers are dropped; a newly active follower gains a
+  /// writer on the next adoptLeadership (the join protocol always follows
+  /// a mask change with one).
+  void setActiveMask(std::vector<std::uint8_t> Mask);
+
+  /// True when \p Node participates in this group's quorums.
+  bool isActive(rdma::NodeId Node) const {
+    return Active.empty() || Active[Node] != 0;
+  }
+
+  /// Deterministic leadership handoff during a membership installation:
+  /// every member calls this with the same (NewLeader, LogIndex) computed
+  /// from the drained, agreed state, so no campaign round is needed. Bumps
+  /// the consensus epoch (failing any in-flight appends of the old
+  /// leadership), swaps L-ring write permission on this node's own ring,
+  /// and -- on the new leader -- resumes appending at \p LogIndex with
+  /// writers to every active follower. A no-op epoch-wise when the leader
+  /// is unchanged; still (re)creates the writer to a joiner.
+  void adoptLeadership(rdma::NodeId NewLeader, std::uint64_t LogIndex);
 
   /// Periodic poll (on the node's poller loop): observe proposals, grant
   /// permissions and ack; as a candidate, count acks and take over.
@@ -125,8 +151,12 @@ private:
   rdma::RegionKey LogKey;
   Hooks TheHooks;
 
+  unsigned activeCount() const;
+
   rdma::NodeId Leader;
   std::uint64_t Epoch = 0;
+  /// Per-node participation flags; empty = every provisioned node.
+  std::vector<std::uint8_t> Active;
   /// Leader state.
   std::uint64_t NextIndex = 0;
   bool CatchingUp = false;

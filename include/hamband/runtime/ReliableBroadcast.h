@@ -13,7 +13,9 @@
 /// detector suspects the source, each peer remotely reads the backup slot
 /// and delivers any pending message it has not received.
 ///
-/// Slot layout: u8 kind | u8 aux | u32 len | payload | canary byte at end.
+/// Slot layout: u8 kind | u8 aux | u32 epoch | u32 len | payload | canary
+/// byte at end. The epoch is the stager's membership epoch; recovery
+/// drops a fetched message staged in a different epoch (docs/reconfig.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,6 +58,7 @@ public:
   struct BackupMessage {
     Kind TheKind = Kind::None;
     std::uint8_t Aux = 0;
+    std::uint32_t Epoch = 0;
     std::vector<std::uint8_t> Payload;
   };
 
@@ -63,9 +66,11 @@ public:
                     rdma::MemOffset BackupOff, std::uint32_t SlotBytes);
 
   /// Stages a message in the local backup slot (a local store -- it must
-  /// happen before the remote writes are posted).
+  /// happen before the remote writes are posted). \p Epoch is the
+  /// stager's membership epoch (0 on fixed-membership clusters).
   void stage(Kind K, std::uint8_t Aux,
-             const std::vector<std::uint8_t> &Payload);
+             const std::vector<std::uint8_t> &Payload,
+             std::uint32_t Epoch = 0);
 
   /// Clears the slot after all remote writes completed.
   void clear();

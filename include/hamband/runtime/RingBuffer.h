@@ -113,6 +113,13 @@ public:
   /// Overrides the tail; used by a new consensus leader after catch-up.
   void setTail(std::uint64_t T) { Tail = T; }
 
+  /// Retags subsequent writes with a new region key. A membership epoch
+  /// installation swaps every data-plane writer onto the new epoch's key
+  /// so writes straggling from the fenced epoch fault with AccessError
+  /// (docs/reconfig.md).
+  void setRegionKey(rdma::RegionKey K) { Key = K; }
+  rdma::RegionKey regionKey() const { return Key; }
+
   rdma::NodeId reader() const { return Reader; }
   rdma::NodeId writer() const { return Writer; }
 

@@ -28,6 +28,13 @@ namespace runtime {
 /// (permissible / committed) and, for queries, the result value.
 using SubmitCallback = std::function<void(bool Ok, Value Result)>;
 
+/// Distinguished result value accompanying Done(false, WrongEpochValue)
+/// when an update arrives while a membership transition has the current
+/// epoch closed (docs/reconfig.md). The client contract is retry: resubmit
+/// the same call after a short backoff and it completes once the new epoch
+/// opens. Queries are never rejected with this value.
+inline constexpr Value WrongEpochValue = -0x7EC0;
+
 /// A replicated object runtime over an RDMA transport.
 class ReplicaRuntime {
 public:

@@ -77,10 +77,14 @@ struct WireCall {
   Call TheCall;
   semantics::DepMap Deps;
   std::uint64_t BcastSeq = 0;
+  /// Membership epoch the record was issued in (docs/reconfig.md).
+  /// Receivers drop records whose epoch differs from their installed
+  /// membership; fixed-membership clusters leave this 0 everywhere.
+  std::uint32_t Epoch = 0;
 };
 
 /// Serializes a call with its dependency arrays. The layout is:
-///   u16 method, u16 argc, u32 issuer, u64 req, u64 bcastSeq,
+///   u16 method, u16 argc, u32 issuer, u64 req, u64 bcastSeq, u32 epoch,
 ///   i64 args[argc], u64 depCounts[|P| * |Dep(method)|]
 /// The dependency block length is implied by the method id and the
 /// process count, as in the paper.
@@ -159,6 +163,8 @@ struct SummaryDeltaFrame {
   std::uint16_t ChunkCount = 1;
   std::uint64_t FromSeq = 0;
   std::uint64_t ToSeq = 0;
+  /// Membership epoch of the shipping source (docs/reconfig.md).
+  std::uint32_t Epoch = 0;
   /// encodeSummary output: the delta call (or full-image chunk call) plus
   /// the source's per-method applied counts; Image.Seq == ToSeq.
   std::vector<std::uint8_t> Image;
@@ -170,10 +176,11 @@ bool isSummaryDelta(const std::uint8_t *Data, std::size_t Len);
 /// Fixed frame overhead preceding the embedded summary image (ship-path
 /// size budgeting).
 inline constexpr std::size_t SummaryDeltaHeaderBytes =
-    2 + 1 + 1 + 2 + 2 + 8 + 8 + 4;
+    2 + 1 + 1 + 2 + 2 + 8 + 8 + 4 + 4;
 
 /// Layout: u16 marker | u8 group | u8 full | u16 chunkIdx | u16 chunkCnt |
-///         u64 fromSeq | u64 toSeq | u32 len | encodeSummary bytes
+///         u64 fromSeq | u64 toSeq | u32 epoch | u32 len |
+///         encodeSummary bytes
 std::vector<std::uint8_t> encodeSummaryDelta(const SummaryDeltaFrame &F);
 bool decodeSummaryDelta(const std::uint8_t *Data, std::size_t Len,
                         SummaryDeltaFrame &Out);
@@ -192,6 +199,9 @@ struct MailMsg {
   ProcessId Origin = 0;
   RequestId ReqId = 0;
   std::uint8_t Ok = 0;
+  /// Membership epoch of the sender; requests carrying a stale epoch are
+  /// answered with a Retry response (docs/reconfig.md).
+  std::uint32_t Epoch = 0;
   Call TheCall; // Meaningful for requests only.
 };
 

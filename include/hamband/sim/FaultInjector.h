@@ -105,8 +105,11 @@ enum class FaultChannel : std::uint8_t {
   External = 4,
   /// Simulator schedule-choice consultations (ties at the earliest time).
   Sched = 5,
+  /// Membership-reconfiguration stage entries (runtime::ReconfigManager);
+  /// the crash points of the epoch-transition protocol.
+  Reconfig = 6,
 };
-inline constexpr unsigned NumFaultChannels = 6;
+inline constexpr unsigned NumFaultChannels = 7;
 
 /// Tunable fault intensities. All probabilities are per operation; all
 /// timed-event counts are upper bounds (the generator never fails more
@@ -242,6 +245,21 @@ public:
   /// about to post its remote writes.
   void onBroadcastStaged(std::uint32_t Node);
 
+  /// ReconfigManager stage hook: the coordinator \p Node entered
+  /// transition stage \p Stage (a runtime::ReconfigManager::Stage value).
+  /// Record mode applies the forced crash when its op index matches;
+  /// replay re-applies recorded crashes at the same consultation.
+  void onReconfigStage(unsigned Stage, std::uint32_t Node);
+
+  /// Record mode: deterministically crash \p Victim at the reconfig-stage
+  /// consultation with index \p OpIdx (crash-during-transition tests; see
+  /// docs/reconfig.md). The minority budget still applies. Pass -1 to
+  /// disable.
+  void forceReconfigCrash(std::int64_t OpIdx, std::uint32_t Victim) {
+    ForcedReconfigCrash = OpIdx;
+    ReconfigVictim = Victim;
+  }
+
   /// Explorer override for schedule choices (record mode only). Called
   /// with the consultation index and the enabled set; the returned index
   /// is applied and, when non-zero, recorded as a SchedChoice event.
@@ -326,6 +344,8 @@ private:
   NodeAction CrashFn, SuspendFn, RecoverFn;
   ScheduleChoiceFn ScheduleOverride;
   std::int64_t ForcedStageCrash = -1;
+  std::int64_t ForcedReconfigCrash = -1;
+  std::uint32_t ReconfigVictim = 0;
   bool ChooserInstalled = false;
   /// Active partitions: link -> heal time.
   std::map<std::pair<std::uint32_t, std::uint32_t>, SimTime> Partitioned;

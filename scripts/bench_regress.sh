@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Benchmark-regression harness: runs the fig8/fig9 headline points (plus
-# the batched fig8 twin), the fig_shard keyspace-scaling sweep and the
-# fig_bigstate delta-bytes sweep through hamband_bench_report and emits
-# BENCH_pr9.json, then validates it. Four gates run on every invocation:
+# the batched fig8 twin), the fig_shard keyspace-scaling sweep, the
+# fig_bigstate delta-bytes sweep and the fig_reconfig online-membership
+# sweep through hamband_bench_report and emits BENCH_pr10.json, then
+# validates it. Five gates run on every invocation:
 #
 #  - batching on/off: fig8_batched throughput must beat fig8 by at least
 #    --min-batch-speedup (default 1.25x);
@@ -16,9 +17,16 @@
 #    delivered call in delta mode than in full-image mode (the
 #    lww-register entry is the ungated tiny-image contrast case, see
 #    docs/deltas.md);
+#  - reconfig retention: the fig_reconfig add-one/remove-one points
+#    (docs/reconfig.md) must sustain --min-reconfig-retention (default
+#    0.70x) of steady-state throughput during the membership transition
+#    and return to 95% of the capacity-adjusted steady rate after (the
+#    sweep's op count is pinned inside the tool, so the gate holds in
+#    smoke runs too);
 #  - unbatched no-regression: fig8 throughput must stay within --tolerance
-#    of the committed BENCH_pr4.json baseline (full runs only -- the smoke
-#    op count is too small to compare against the full-run baseline).
+#    of the committed baseline report, BENCH_pr4.json unless --baseline
+#    points elsewhere (full runs only -- the smoke op count is too small
+#    to compare against a full-run baseline).
 #
 # The report also carries a transport dimension (--transport, default
 # "both"): alongside the simulated-time figures it records fig8_shm /
@@ -38,19 +46,20 @@
 # The obs-off twin runs sim-only: the comparison never reads shm points,
 # and wall-clock reruns would double the harness time for no signal.
 #
-# Usage: scripts/bench_regress.sh [--smoke] [--out FILE] [--ops N]
-#                                 [--reps N] [--tolerance T]
+# Usage: scripts/bench_regress.sh [--smoke] [--out FILE] [--baseline FILE]
+#                                 [--ops N] [--reps N] [--tolerance T]
 #                                 [--min-batch-speedup X]
 #                                 [--min-shard-speedup X] [--shards LIST]
 #                                 [--shard-objects N] [--big-elems N]
 #                                 [--min-delta-bytes-factor X]
+#                                 [--min-reconfig-retention X]
 #                                 [--transport sim|shm|both] [build-dir]
 
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$REPO/build"
-OUT="$REPO/BENCH_pr9.json"
+OUT="$REPO/BENCH_pr10.json"
 BASELINE="$REPO/BENCH_pr4.json"
 OPS="${HAMBAND_OPS:-6000}"
 REPS="${HAMBAND_REPS:-1}"
@@ -58,6 +67,7 @@ TOLERANCE=0.05
 MIN_BATCH_SPEEDUP=1.25
 MIN_SHARD_SPEEDUP=2.0
 MIN_DELTA_BYTES_FACTOR=5
+MIN_RECONFIG_RETENTION=0.70
 SHARDS=1,2,4,8
 SHARD_OBJECTS=100000
 BIG_ELEMS=100000
@@ -68,18 +78,21 @@ while [ $# -gt 0 ]; do
   case "$1" in
     --smoke) SMOKE=1 ;;
     --out) OUT="$2"; shift ;;
+    --baseline) BASELINE="$2"; shift ;;
     --ops) OPS="$2"; shift ;;
     --reps) REPS="$2"; shift ;;
     --tolerance) TOLERANCE="$2"; shift ;;
     --min-batch-speedup) MIN_BATCH_SPEEDUP="$2"; shift ;;
     --min-shard-speedup) MIN_SHARD_SPEEDUP="$2"; shift ;;
     --min-delta-bytes-factor) MIN_DELTA_BYTES_FACTOR="$2"; shift ;;
+    --min-reconfig-retention) MIN_RECONFIG_RETENTION="$2"; shift ;;
     --shards) SHARDS="$2"; shift ;;
     --shard-objects) SHARD_OBJECTS="$2"; shift ;;
     --big-elems) BIG_ELEMS="$2"; shift ;;
     --transport) TRANSPORT="$2"; shift ;;
-    -*) echo "usage: $0 [--smoke] [--out FILE] [--ops N] [--reps N]" \
-             "[--tolerance T] [--transport sim|shm|both] [build-dir]" >&2
+    -*) echo "usage: $0 [--smoke] [--out FILE] [--baseline FILE] [--ops N]" \
+             "[--reps N] [--tolerance T] [--transport sim|shm|both]" \
+             "[build-dir]" >&2
         exit 2 ;;
     *) BUILD="$1" ;;
   esac
@@ -98,7 +111,8 @@ cmake --build "$BUILD" -j"$(nproc)" --target hamband_bench_report
 "$BUILD/tools/hamband_bench_report" --check "$OUT" \
   --min-batch-speedup "$MIN_BATCH_SPEEDUP" \
   --min-shard-speedup "$MIN_SHARD_SPEEDUP" \
-  --min-delta-bytes-factor "$MIN_DELTA_BYTES_FACTOR"
+  --min-delta-bytes-factor "$MIN_DELTA_BYTES_FACTOR" \
+  --min-reconfig-retention "$MIN_RECONFIG_RETENTION"
 
 if [ "$SMOKE" = 1 ]; then
   echo "bench_regress: smoke ok ($OUT)"

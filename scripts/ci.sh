@@ -34,6 +34,13 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 # and must be invisible in the converged states.
 "$BUILD/tools/hamband_fuzz" --runs "$((FUZZ_RUNS / 2))" --seed 44 --deltas
 
+# Reconfig smoke: every schedule runs an online membership transition at
+# the midpoint of its call sequence (docs/reconfig.md). The harness
+# retries closed-epoch rejections, asserts the cross-epoch delivery
+# counters stay zero, and diffs the converged states against a
+# static-membership twin cluster.
+"$BUILD/tools/hamband_fuzz" --runs "$((FUZZ_RUNS / 2))" --seed 45 --reconfig
+
 # Bench smoke: the regression harness must produce a well-formed report.
 "$REPO/scripts/bench_regress.sh" --smoke --out "$BUILD/BENCH_smoke.json" \
   "$BUILD"
@@ -63,6 +70,15 @@ echo "ci: explored-state counts recorded in $BUILD/MC_sweep.json"
 # exhaustive scheduling rather than random fuzz.
 echo "ci: exhaustive delta-mode exploration (hamband_mc --deltas)"
 "$BUILD/tools/hamband_mc" --type counter --calls 3 --crashes 1 --deltas
+
+# A reconfig-mode exploration: schedule interleavings of the counter
+# with an online membership transition at the midpoint (no crash points
+# -- the crash-during-transition matrix lives in reconfig_tests). The
+# budget keeps the sweep small; the cross-epoch and transfer-atomicity
+# oracles run on every explored schedule.
+echo "ci: exhaustive reconfig-mode exploration (hamband_mc --reconfig)"
+"$BUILD/tools/hamband_mc" --type counter --calls 2 --nodes 3 --crashes 0 \
+  --budget 40 --reconfig
 
 # Transport policy smoke: fault-schedule fuzzing is sim-only and must
 # refuse the shm transport with a clear error (exit 2), not fall through
@@ -97,6 +113,20 @@ if "$BUILD/tools/hamband_fuzz" --runs 1 --shards 4 2>/dev/null; then
   exit 1
 fi
 
+# Reconfig replay policy: a trace dumped from a fixed-membership run
+# carries no membership transition, so replaying it under --reconfig
+# would silently change the schedule being reproduced. hamband_fuzz must
+# refuse the mismatch with the usage error code.
+"$BUILD/tools/hamband_fuzz" --runs 1 --seed 46 --dump "$BUILD/plain.ftrace" \
+  >/dev/null
+rc=0; "$BUILD/tools/hamband_fuzz" --reconfig \
+  --replay-trace "$BUILD/plain.ftrace" >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "ci: hamband_fuzz --reconfig with a pre-epoch trace must exit 2" \
+       "(got $rc)" >&2
+  exit 1
+fi
+
 # TSan flavor, in a separate build tree (TSan and ASan cannot mix):
 #  - the observability registry's threaded-mutation test;
 #  - the shm ring stress suite (real writer/reader threads hammering one
@@ -112,12 +142,18 @@ fi
 #  - the shm half of the delta-propagation suite -- the delta-vs-semantics
 #    lockstep corpus, batched and unbatched, with delta frames and
 #    anti-entropy full images flowing between real node threads.
+#  - the reconfig suite -- the full membership-transition matrix
+#    (join/leave, epoch-fence rejections, crash-at-every-stage with
+#    FaultTrace replay). The suite is sim-deterministic, but under TSan
+#    it pins the epoch-fence and permission-revocation paths that the
+#    shm backend drives from real threads.
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
-  echo "ci: TSan threaded smoke (obs + shm transport + sharding + deltas)"
+  echo "ci: TSan threaded smoke (obs + shm transport + sharding + deltas" \
+       "+ reconfig)"
   cmake -B "$BUILD-tsan" -S "$REPO" -DHAMBAND_SANITIZE=thread
   cmake --build "$BUILD-tsan" -j"$(nproc)" \
     --target obs_tests shm_ring_stress_tests transport_conformance_tests \
-             sharding_tests delta_tests
+             sharding_tests delta_tests reconfig_tests
   "$BUILD-tsan/tests/obs_tests" \
     --gtest_filter='ObsRegistry.ConcurrentMutationIsExact'
   "$BUILD-tsan/tests/shm_ring_stress_tests"
@@ -126,6 +162,7 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
   "$BUILD-tsan/tests/sharding_tests" \
     --gtest_filter='*shm_*:*FaultInjectionIsSimOnly*'
   "$BUILD-tsan/tests/delta_tests" --gtest_filter='*shm_*'
+  "$BUILD-tsan/tests/reconfig_tests"
 fi
 
 # Lint: no-op (with a notice) when clang-tidy is not installed.

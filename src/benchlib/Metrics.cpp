@@ -38,6 +38,14 @@ RunResult hamband::benchlib::averageRuns(const std::vector<RunResult> &Runs) {
     Avg.MeanBacklogCalls += R.MeanBacklogCalls;
     Avg.MaxBacklogCalls = std::max(Avg.MaxBacklogCalls, R.MaxBacklogCalls);
     Avg.Completed = Avg.Completed && R.Completed;
+    Avg.SteadyThroughputOpsPerUs += R.SteadyThroughputOpsPerUs;
+    Avg.DuringThroughputOpsPerUs += R.DuringThroughputOpsPerUs;
+    Avg.AfterThroughputOpsPerUs += R.AfterThroughputOpsPerUs;
+    Avg.TransitionUs += R.TransitionUs;
+    // Installed only when EVERY repetition installed (mirrors Completed).
+    Avg.ReconfigInstalled = (&R == &Runs.front() || Avg.ReconfigInstalled) &&
+                            R.ReconfigInstalled;
+    Avg.WrongEpochRetries += R.WrongEpochRetries;
     // Per-method results are reported as a mean of per-run means.
     for (const auto &[Name, S] : R.PerMethod)
       if (S.count())
@@ -53,6 +61,10 @@ RunResult hamband::benchlib::averageRuns(const std::vector<RunResult> &Runs) {
   Avg.P99ResponseUs /= K;
   Avg.DurationUs /= K;
   Avg.MeanBacklogCalls /= K;
+  Avg.SteadyThroughputOpsPerUs /= K;
+  Avg.DuringThroughputOpsPerUs /= K;
+  Avg.AfterThroughputOpsPerUs /= K;
+  Avg.TransitionUs /= K;
   Avg.CompletedOps /= Runs.size();
   Avg.RejectedOps /= Runs.size();
   return Avg;

@@ -15,6 +15,8 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cmath>
 #include <memory>
 #include <mutex>
@@ -50,6 +52,18 @@ struct DriverState {
   std::uint64_t Rejected = 0;
   RequestId NextReq = 1;
   bool FailureInjected = false;
+  // Membership-transition phase accounting (ReconfigAction runs only):
+  // 0 = steady, 1 = transition in flight, 2 = after.
+  int Phase = 0;
+  std::uint64_t PhaseCompleted[3] = {0, 0, 0};
+  bool ReconfigTriggered = false;
+  bool ReconfigInstalled = false;
+  std::uint64_t WrongEpochRetries = 0;
+  sim::SimTime TransStartT = 0;
+  sim::SimTime TransEndT = 0;
+  /// When the most recent call completed -- the after-phase window ends
+  /// here, not at the full-replication drain.
+  sim::SimTime LastDoneT = 0;
   RunResult Result;
   double UpdateRespSum = 0;
   std::uint64_t UpdateRespN = 0;
@@ -78,6 +92,19 @@ RunResult benchlib::runOnce(const ObjectType &Type,
                             const RunnerOptions &Opts, std::uint64_t Seed) {
   const bool OnShm = Opts.Transport == rdma::TransportKind::Shm;
   const bool IsSharded = Opts.NumShards > 0;
+  // Online membership transitions are defined for the unsharded Hamband
+  // runtime on the deterministic transport only (docs/reconfig.md).
+  const bool DoReconfig = !Opts.ReconfigAction.empty() && !OnShm &&
+                          !IsSharded && Opts.Kind == RuntimeKind::Hamband;
+  assert((Opts.ReconfigAction.empty() || DoReconfig) &&
+         "ReconfigAction needs the unsharded Hamband runtime on sim");
+  runtime::HambandConfig BaseCfg = Opts.Cfg;
+  if (DoReconfig) {
+    BaseCfg.Reconfig.Enabled = true;
+    BaseCfg.Reconfig.InitialActive.assign(Opts.NumNodes, 1);
+    if (Opts.ReconfigAction == "add")
+      BaseCfg.Reconfig.InitialActive.back() = 0;
+  }
   sim::Simulator SimObj; // Used only by the sim transport.
   std::unique_ptr<ReplicaRuntime> RT;
   runtime::HambandCluster *Cluster = nullptr;
@@ -128,7 +155,7 @@ RunResult benchlib::runOnce(const ObjectType &Type,
     switch (Opts.Kind) {
     case RuntimeKind::Hamband: {
       auto C = std::make_unique<runtime::HambandCluster>(
-          SimObj, Opts.NumNodes, Type, Opts.Model, Opts.Cfg);
+          SimObj, Opts.NumNodes, Type, Opts.Model, BaseCfg);
       Cluster = C.get();
       C->start();
       RT = std::move(C);
@@ -173,13 +200,20 @@ RunResult benchlib::runOnce(const ObjectType &Type,
   // requests to the next available node. Rotating the start point spreads
   // the orphaned load across the survivors. Called under State->Mu.
   auto Rotation = std::make_shared<unsigned>(0);
-  auto AliveOrigin = [&RT, Rotation](unsigned N) {
+  auto AliveOrigin = [&RT, &Cluster, Rotation](unsigned N) {
     unsigned Nodes = RT->numNodes();
-    if (!RT->isFailed(N))
+    auto Usable = [&](unsigned Q) {
+      // A provisioned standby / removed node is not a client origin.
+      // The out-of-service flag flips on the node itself before the
+      // cluster-level membership view catches up, so check both.
+      return !RT->isFailed(Q) && (!Cluster || (Cluster->inService(Q) &&
+                                               !Cluster->node(Q).isOutOfService()));
+    };
+    if (Usable(N))
       return N;
     for (unsigned K = 0; K < Nodes; ++K) {
       unsigned Cand = (N + ++*Rotation) % Nodes;
-      if (!RT->isFailed(Cand))
+      if (Usable(Cand))
         return Cand;
     }
     return N;
@@ -193,10 +227,117 @@ RunResult benchlib::runOnce(const ObjectType &Type,
   // discarded -- before runOnce returns.
   auto IssueNext = std::make_shared<std::function<void(unsigned)>>();
   std::weak_ptr<std::function<void(unsigned)>> WeakIssue = IssueNext;
-  *IssueNext = [&, State, WeakIssue, OnShm](unsigned Node) {
+
+  // Submits one prepared call and handles its completion. A closed-epoch
+  // rejection (WrongEpochValue, docs/reconfig.md) is not a terminal
+  // outcome: the client parks the call as a detached retry -- re-routed
+  // and re-submitted every couple of microseconds until the fence lifts
+  // -- and immediately issues its next operation, so queries keep
+  // flowing through the closed window. The parked call keeps its
+  // original issue time so the transition stall shows up in the
+  // response-time figures, and its completion does not re-trigger the
+  // loop (the loop already moved on when the call was parked).
+  using SubmitFn = std::function<void(unsigned Node, Call C, unsigned Target,
+                                      sim::SimTime IssuedAt, bool IsUpdate,
+                                      std::string MethodName, bool Detached)>;
+  auto DoSubmit = std::make_shared<SubmitFn>();
+  std::weak_ptr<SubmitFn> WeakSubmit = DoSubmit;
+  *DoSubmit = [&, State, WeakIssue, WeakSubmit,
+               DoReconfig](unsigned Node, Call C, unsigned Target,
+                           sim::SimTime IssuedAt, bool IsUpdate,
+                           std::string MethodName, bool Detached) {
+    RT->submit(Target, C,
+               [&, State, WeakIssue, WeakSubmit, DoReconfig, Node, C,
+                IssuedAt, IsUpdate, MethodName, Detached](bool Ok, Value V) {
+                 if (DoReconfig && !Ok && V == runtime::WrongEpochValue) {
+                   {
+                     std::lock_guard<std::mutex> G(State->Mu);
+                     ++State->WrongEpochRetries;
+                   }
+                   T.runAfter(Node, sim::micros(2),
+                              [&, State, WeakSubmit, Node, C, IssuedAt,
+                               IsUpdate, MethodName]() {
+                                auto Resub = WeakSubmit.lock();
+                                if (!Resub)
+                                  return;
+                                Call C2 = C;
+                                unsigned Tgt;
+                                {
+                                  std::lock_guard<std::mutex> G(State->Mu);
+                                  Tgt = AliveOrigin(Node);
+                                  if (Spec.category(C2.Method) ==
+                                      MethodCategory::Conflicting) {
+                                    unsigned Observer = AliveOrigin(0);
+                                    unsigned Lead = RT->leaderOf(
+                                        *Spec.syncGroup(C2.Method), Observer);
+                                    if (!RT->isFailed(Lead))
+                                      Tgt = Lead;
+                                  }
+                                  C2.Issuer = Tgt;
+                                }
+                                (*Resub)(Node, C2, Tgt, IssuedAt, IsUpdate,
+                                         MethodName, /*Detached=*/true);
+                              });
+                   // First rejection of this call: park it and keep the
+                   // closed loop going so the client's queries are not
+                   // starved behind the fence. The continuation is
+                   // scheduled a beat comparable to a normal update's
+                   // service time away -- rejections are synchronous, so
+                   // an inline continuation would both recurse without
+                   // bound and let the loop spin far past its
+                   // closed-loop pace while the fence is up.
+                   if (!Detached)
+                     T.runAfter(Node, sim::micros(1),
+                                [State, WeakIssue, Node]() {
+                                  if (auto Next = WeakIssue.lock())
+                                    (*Next)(Node);
+                                });
+                   return;
+                 }
+                 double RespUs = sim::toMicros(T.now() - IssuedAt);
+                 {
+                   std::lock_guard<std::mutex> G(State->Mu);
+                   State->RespSum += RespUs;
+                   State->RespSamples.push_back(RespUs);
+                   State->Result.PerMethod[MethodName].add(RespUs);
+                   if (IsUpdate) {
+                     State->UpdateRespSum += RespUs;
+                     ++State->UpdateRespN;
+                   } else {
+                     State->QueryRespSum += RespUs;
+                     ++State->QueryRespN;
+                   }
+                   if (!Ok)
+                     ++State->Rejected;
+                   ++State->Completed;
+                   ++State->PhaseCompleted[State->Phase];
+                   State->LastDoneT = T.now();
+                 }
+                 if (Detached)
+                   return;
+                 // Hard rejections complete synchronously (no modeled
+                 // cost), so during a membership transition the loop
+                 // must continue through the event queue: a rejecting
+                 // straggler node would otherwise recurse through the
+                 // whole remaining issue budget in zero simulated time.
+                 if (DoReconfig && !Ok) {
+                   T.runAfter(Node, sim::nanos(300),
+                              [State, WeakIssue, Node]() {
+                                if (auto Next = WeakIssue.lock())
+                                  (*Next)(Node);
+                              });
+                   return;
+                 }
+                 if (auto Next = WeakIssue.lock())
+                   (*Next)(Node);
+               });
+  };
+
+  *IssueNext = [&, State, WeakIssue, DoSubmit, OnShm](unsigned Node) {
     Call C;
     unsigned Target;
     bool IsUpdate;
+    bool TriggerReconfig = false;
     std::string MethodName;
     {
       std::lock_guard<std::mutex> G(State->Mu);
@@ -207,6 +348,14 @@ RunResult benchlib::runOnce(const ObjectType &Type,
               W.FailAtFraction * static_cast<double>(W.NumOps)) {
         State->FailureInjected = true;
         RT->injectFailure(*W.FailNode);
+      }
+      if (DoReconfig && !State->ReconfigTriggered &&
+          static_cast<double>(State->IssuedTotal) >=
+              Opts.ReconfigAtFraction * static_cast<double>(W.NumOps)) {
+        State->ReconfigTriggered = true;
+        State->Phase = 1;
+        State->TransStartT = T.now();
+        TriggerReconfig = true; // Start it below, outside the lock.
       }
       ++State->IssuedTotal;
       unsigned Origin = AliveOrigin(Node);
@@ -243,39 +392,46 @@ RunResult benchlib::runOnce(const ObjectType &Type,
       }
       MethodName = RT->objectType().method(C.Method).Name;
     }
-    sim::SimTime IssuedAt = T.now();
-    RT->submit(Target, C,
-               [&, State, WeakIssue, Node, IsUpdate, IssuedAt,
-                MethodName](bool Ok, Value) {
-                 double RespUs = sim::toMicros(T.now() - IssuedAt);
-                 {
-                   std::lock_guard<std::mutex> G(State->Mu);
-                   State->RespSum += RespUs;
-                   State->RespSamples.push_back(RespUs);
-                   State->Result.PerMethod[MethodName].add(RespUs);
-                   if (IsUpdate) {
-                     State->UpdateRespSum += RespUs;
-                     ++State->UpdateRespN;
-                   } else {
-                     State->QueryRespSum += RespUs;
-                     ++State->QueryRespN;
-                   }
-                   if (!Ok)
-                     ++State->Rejected;
-                   ++State->Completed;
-                 }
-                 if (auto Next = WeakIssue.lock())
-                   (*Next)(Node);
-               });
+    if (TriggerReconfig) {
+      std::vector<std::uint8_t> Tgt(Opts.NumNodes, 1);
+      if (Opts.ReconfigAction == "remove")
+        Tgt.back() = 0;
+      const unsigned Joiner = Opts.NumNodes - 1;
+      const bool IsAdd = Opts.ReconfigAction == "add";
+      Cluster->reconfigure(
+          Tgt, [&, State, WeakIssue, IsAdd, Joiner](bool Ok, std::uint32_t) {
+            {
+              std::lock_guard<std::mutex> G(State->Mu);
+              State->Phase = 2;
+              State->TransEndT = T.now();
+              State->ReconfigInstalled = Ok;
+            }
+            // The joiner starts its own closed-loop clients the moment it
+            // is in service.
+            if (Ok && IsAdd)
+              for (unsigned D = 0; D < W.PipelineDepth; ++D)
+                T.runAfter(Joiner, sim::nanos(10) * (D + 1),
+                           [WeakIssue, Joiner]() {
+                             if (auto Next = WeakIssue.lock())
+                               (*Next)(Joiner);
+                           });
+          });
+    }
+    (*DoSubmit)(Node, C, Target, T.now(), IsUpdate, MethodName,
+                /*Detached=*/false);
   };
 
   // Prime the pipelines with a slight stagger. On the sim fabric this is
   // exactly the old Sim.schedule; on shm it seeds each node's timer heap.
   const sim::SimTime StartT = T.now();
-  for (unsigned N = 0; N < Opts.NumNodes; ++N)
+  for (unsigned N = 0; N < Opts.NumNodes; ++N) {
+    // An "add" run's standby issues nothing until it joins mid-run.
+    if (DoReconfig && Opts.ReconfigAction == "add" && N == Opts.NumNodes - 1)
+      continue;
     for (unsigned D = 0; D < W.PipelineDepth; ++D)
       T.runAfter(N, sim::nanos(10) * (N * W.PipelineDepth + D + 1),
                  [IssueNext, N]() { (*IssueNext)(N); });
+  }
 
   // Run in slices until every call completed and replication finished,
   // sampling the replication backlog (staleness) along the way.
@@ -357,6 +513,40 @@ RunResult benchlib::runOnce(const ObjectType &Type,
     R.P50ResponseUs = sortedQuantile(State->RespSamples, 0.50);
     R.P99ResponseUs = sortedQuantile(State->RespSamples, 0.99);
     R.MaxResponseUs = State->RespSamples.back();
+  }
+  if (DoReconfig && State->ReconfigTriggered) {
+    if (std::getenv("HAMBAND_RECONFIG_DEBUG"))
+      std::fprintf(stderr,
+                   "reconfig-debug: start=%lld transStart=%lld transEnd=%lld "
+                   "lastDone=%lld end=%lld phases=%llu/%llu/%llu retries=%llu\n",
+                   (long long)StartT, (long long)State->TransStartT,
+                   (long long)State->TransEndT, (long long)State->LastDoneT,
+                   (long long)EndT, (unsigned long long)State->PhaseCompleted[0],
+                   (unsigned long long)State->PhaseCompleted[1],
+                   (unsigned long long)State->PhaseCompleted[2],
+                   (unsigned long long)State->WrongEpochRetries);
+    R.ReconfigInstalled = State->ReconfigInstalled;
+    R.WrongEpochRetries = State->WrongEpochRetries;
+    double SteadyUs = sim::toMicros(State->TransStartT - StartT);
+    if (SteadyUs > 0)
+      R.SteadyThroughputOpsPerUs =
+          static_cast<double>(State->PhaseCompleted[0]) / SteadyUs;
+    if (State->Phase == 2) {
+      double DuringUs =
+          sim::toMicros(State->TransEndT - State->TransStartT);
+      // The after window ends at the last completion: the tail from
+      // there to EndT is the full-replication drain (no client is
+      // being served), which would dilute the after-phase rate.
+      sim::SimTime AfterEnd = std::max(State->LastDoneT, State->TransEndT);
+      double AfterUs = sim::toMicros(AfterEnd - State->TransEndT);
+      R.TransitionUs = DuringUs;
+      if (DuringUs > 0)
+        R.DuringThroughputOpsPerUs =
+            static_cast<double>(State->PhaseCompleted[1]) / DuringUs;
+      if (AfterUs > 0)
+        R.AfterThroughputOpsPerUs =
+            static_cast<double>(State->PhaseCompleted[2]) / AfterUs;
+    }
   }
   R.ClusterStats = RT->statsSnapshot();
   return R;

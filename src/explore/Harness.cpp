@@ -83,6 +83,16 @@ RunOutcome explore::runSchedule(const RunSpec &Cfg,
   // delta-frame and the full-image rounds.
   HCfg.Delta.AntiEntropyEvery = 3;
   HCfg.RecordApplyLog = true;
+  if (Cfg.Reconfig) {
+    if (Cfg.Nodes < 2) {
+      Fail("reconfig runs need at least 2 provisioned nodes");
+      return Res;
+    }
+    // The last provisioned node starts as a standby and joins mid-run.
+    HCfg.Reconfig.Enabled = true;
+    HCfg.Reconfig.InitialActive.assign(Cfg.Nodes, 1);
+    HCfg.Reconfig.InitialActive.back() = 0;
+  }
   HambandCluster C(Sim, Cfg.Nodes, *T, {}, HCfg);
   std::unique_ptr<FaultInjector> FI;
   if (ReplayFrom)
@@ -111,41 +121,81 @@ RunOutcome explore::runSchedule(const RunSpec &Cfg,
   struct Issue {
     ProcessId Origin;
     Call TheCall;
-    int Status = 0; // 0 pending, 1 ok, 2 rejected.
+    int Status = 0; // 0 pending, 1 ok, 2 rejected, 3 wrong-epoch retry due.
   };
   std::vector<Issue> Issued;
   sim::Rng WR(Cfg.WorkSeed);
   std::vector<MethodId> Updates = Spec.updateMethods();
+  // 0 = not started, 1 = in flight, 2 = installed, 3 = aborted.
+  auto ReconfigState = std::make_shared<int>(Cfg.Reconfig ? 0 : 2);
+  auto SubmitAt = [&](ProcessId P, std::size_t Idx, unsigned I) {
+    FI->note(P, I, 0);
+    C.submit(P, Issued[Idx].TheCall, [&Issued, &FI, Idx, I](bool Ok, Value V) {
+      // A closed-epoch rejection is a documented client-visible retry
+      // signal, not a terminal rejection (docs/reconfig.md).
+      Issued[Idx].Status = Ok ? 1 : (V == WrongEpochValue ? 3 : 2);
+      FI->note(Issued[Idx].Origin, I, Issued[Idx].Status);
+    });
+  };
+  auto RouteFrom = [&](ProcessId P0, ProcessId &P) {
+    for (unsigned K = 0; K < Cfg.Nodes; ++K) {
+      ProcessId Q = (P0 + K) % Cfg.Nodes;
+      if (C.isLive(Q) && C.inService(Q) && !C.node(Q).isOutOfService()) {
+        P = Q;
+        return true;
+      }
+    }
+    return false;
+  };
   for (unsigned I = 0; I < Cfg.Calls; ++I) {
+    if (Cfg.Reconfig && I == Cfg.Calls / 2 && *ReconfigState == 0) {
+      *ReconfigState = 1;
+      C.reconfigure(std::vector<std::uint8_t>(Cfg.Nodes, 1),
+                    [ReconfigState](bool Ok, std::uint32_t) {
+                      *ReconfigState = Ok ? 2 : 3;
+                    });
+    }
     MethodId M = WR.pick(Updates);
     ProcessId P0;
     if (Spec.category(M) == MethodCategory::Conflicting)
       P0 = *Spec.syncGroup(M) % Cfg.Nodes;
     else
       P0 = static_cast<ProcessId>(WR.index(Cfg.Nodes));
-    bool Routed = false;
     ProcessId P = P0;
-    for (unsigned K = 0; K < Cfg.Nodes; ++K) {
-      ProcessId Q = (P0 + K) % Cfg.Nodes;
-      if (C.isLive(Q) && !C.node(Q).isOutOfService()) {
-        P = Q;
-        Routed = true;
-        break;
-      }
-    }
-    if (!Routed) {
+    if (!RouteFrom(P0, P)) {
       ++Res.Skipped;
       continue;
     }
     Issued.push_back({P, T->randomClientCall(M, P, 1000 + I, WR), 0});
-    std::size_t Idx = Issued.size() - 1;
-    FI->note(P, I, 0);
-    C.submit(P, Issued[Idx].TheCall,
-             [&Issued, &FI, Idx, I](bool Ok, Value) {
-               Issued[Idx].Status = Ok ? 1 : 2;
-               FI->note(Issued[Idx].Origin, I, Ok ? 1 : 2);
-             });
+    SubmitAt(P, Issued.size() - 1, I);
     Sim.run(Sim.now() + sim::micros(3));
+  }
+
+  // Wait out the transition (the coordinator's timer keeps driving even
+  // across its own crash, so it always terminates), then replay the
+  // closed-window rejections into the reopened epoch.
+  if (Cfg.Reconfig) {
+    sim::SimTime RCap = Sim.now() + sim::millis(400);
+    while (Sim.now() < RCap && *ReconfigState < 2)
+      Sim.run(Sim.now() + sim::micros(20));
+    if (*ReconfigState < 2)
+      Fail("membership transition never terminated");
+    for (std::size_t Idx = 0; Idx < Issued.size(); ++Idx) {
+      if (Issued[Idx].Status != 3)
+        continue;
+      ++Res.WrongEpochRetries;
+      ProcessId P = Issued[Idx].Origin;
+      if (!RouteFrom(Issued[Idx].Origin, P))
+        continue; // Stays status 3; tallied below against liveness.
+      Issued[Idx].Origin = P;
+      // The runtime attributes a submitted call to the submitting node,
+      // so a redirected retry must re-stamp the issuer or the semantics
+      // replay below would execute it at the wrong process.
+      Issued[Idx].TheCall.Issuer = P;
+      Issued[Idx].Status = 0;
+      SubmitAt(P, Idx, static_cast<unsigned>(Idx));
+      Sim.run(Sim.now() + sim::micros(3));
+    }
   }
 
   // Let the fault schedule finish (suspensions recover, partitions heal),
@@ -163,6 +213,8 @@ RunOutcome explore::runSchedule(const RunSpec &Cfg,
       ++Res.CompletedOk;
     else if (I.Status == 2)
       ++Res.Rejected;
+    else if (I.Status == 3)
+      ++Res.Rejected; // Wrong-epoch rejection with no live node to retry at.
     else if (!C.isLive(I.Origin))
       ++Res.LostAtCrashed;
     else
@@ -175,8 +227,24 @@ RunOutcome explore::runSchedule(const RunSpec &Cfg,
   if (!C.convergedLive())
     Fail("live replicas diverged");
   for (ProcessId P = 0; P < Cfg.Nodes; ++P)
-    if (C.isLive(P) && !T->invariant(C.node(P).visibleState()))
+    if (C.isLive(P) && C.inService(P) &&
+        !T->invariant(C.node(P).visibleState()))
       Fail("integrity violated at node " + std::to_string(P));
+
+  // Reconfig oracle: the epoch fence must make cross-epoch records
+  // undeliverable *before* apply -- a record from a closed epoch reaching
+  // a state table would be a fence breach regardless of convergence.
+  if (Cfg.Reconfig) {
+    Res.ReconfigInstalled = *ReconfigState == 2;
+    Res.FinalEpoch = C.membershipEpoch();
+    std::uint64_t CrossApply = 0;
+    for (ProcessId P = 0; P < Cfg.Nodes; ++P)
+      CrossApply +=
+          C.node(P).statsSnapshot().counter("reconfig.cross_epoch_apply");
+    if (CrossApply != 0)
+      Fail("cross-epoch record reached apply (" +
+           std::to_string(CrossApply) + " times)");
+  }
 
   // Apply-log and ring-cursor oracles (see the file header). Only
   // meaningful at quiescence; when full replication already failed above
@@ -184,7 +252,7 @@ RunOutcome explore::runSchedule(const RunSpec &Cfg,
   if (C.fullyReplicatedLive()) {
     int Ref = -1;
     for (ProcessId P = 0; P < Cfg.Nodes; ++P)
-      if (C.isLive(P)) {
+      if (C.isLive(P) && C.inService(P)) {
         Ref = static_cast<int>(P);
         break;
       }
@@ -197,6 +265,10 @@ RunOutcome explore::runSchedule(const RunSpec &Cfg,
       const auto &RefFree = C.node(Ref).freeApplyLog();
       for (ProcessId P = 0; P < Cfg.Nodes; ++P) {
         if (static_cast<int>(P) == Ref)
+          continue;
+        // A standby outside the installed membership never sees the
+        // workload; its (empty) logs are not comparable.
+        if (!C.inService(P))
           continue;
         const auto &Conf = C.node(P).confApplyLog();
         for (unsigned G = 0; G < RefConf.size(); ++G) {
@@ -235,7 +307,8 @@ RunOutcome explore::runSchedule(const RunSpec &Cfg,
     // number of consumed free-ring cells once the cluster is quiescent.
     for (ProcessId W = 0; W < Cfg.Nodes; ++W)
       for (ProcessId R = 0; R < Cfg.Nodes; ++R) {
-        if (W == R || !C.isLive(W) || !C.isLive(R))
+        if (W == R || !C.isLive(W) || !C.isLive(R) || !C.inService(W) ||
+            !C.inService(R))
           continue;
         std::uint64_t Tail = C.node(W).freeWriterTail(R);
         std::uint64_t Head = C.node(R).freeReaderHead(W);
@@ -252,11 +325,14 @@ RunOutcome explore::runSchedule(const RunSpec &Cfg,
   for (const TraceEvent &E : FI->trace().Events)
     HadCrash |= E.Kind == FaultKind::Crash;
   Res.HadCrash = HadCrash;
-  bool Exact = !HadCrash && isObservationIndependent(Cfg.TypeName) &&
-               Cfg.Mutation.empty();
+  // Under reconfig the runtime's node set changes mid-run while the
+  // semantics world's does not; the exact state-for-state check is
+  // replaced by the static-membership twin below.
+  bool Exact = !HadCrash && !Cfg.Reconfig &&
+               isObservationIndependent(Cfg.TypeName) && Cfg.Mutation.empty();
   semantics::RdmaConfiguration Konf(*T, Cfg.Nodes);
   for (const Issue &I : Issued) {
-    if (I.Status == 0)
+    if (I.Status == 0 || I.Status == 3)
       continue; // Lost at a crashed origin: the semantics never saw it.
     if (Spec.category(I.TheCall.Method) == MethodCategory::Conflicting) {
       unsigned G = *Spec.syncGroup(I.TheCall.Method);
@@ -286,6 +362,39 @@ RunOutcome explore::runSchedule(const RunSpec &Cfg,
         for (MethodId U = 0; U < T->numMethods(); ++U)
           if (Konf.applied(P, From, U) != C.node(P).applied(From, U))
             Fail("applied-table mismatch at node " + std::to_string(P));
+    }
+  }
+
+  // Static-membership reference twin (docs/reconfig.md): for a crash-free
+  // observation-independent run, the state that survived the online
+  // transition must be byte-identical to the same completed calls applied
+  // on a cluster that never reconfigured. This is the runtime-level
+  // analogue of the Exact check disabled above.
+  if (Cfg.Reconfig && Res.Ok && !HadCrash &&
+      isObservationIndependent(Cfg.TypeName) && Cfg.Mutation.empty()) {
+    sim::Simulator TwinSim;
+    HambandConfig TwinCfg;
+    TwinCfg.Batch = HCfg.Batch;
+    TwinCfg.Delta = HCfg.Delta;
+    HambandCluster Twin(TwinSim, Cfg.Nodes, *T, {}, TwinCfg);
+    Twin.start();
+    for (const Issue &I : Issued)
+      if (I.Status == 1)
+        Twin.submit(I.Origin, I.TheCall, nullptr);
+    sim::SimTime TwinCap = TwinSim.now() + sim::millis(400);
+    while (TwinSim.now() < TwinCap && !Twin.fullyReplicated())
+      TwinSim.run(TwinSim.now() + sim::micros(20));
+    if (!Twin.fullyReplicated()) {
+      Fail("static-membership twin did not replicate");
+    } else {
+      for (ProcessId P = 0; P < Cfg.Nodes; ++P) {
+        if (!C.isLive(P) || !C.inService(P))
+          continue;
+        if (!Twin.node(0).visibleState().equals(C.node(P).visibleState()))
+          Fail("reconfigured state differs from static-membership twin at "
+               "node " +
+               std::to_string(P));
+      }
     }
   }
 
@@ -319,6 +428,8 @@ bool explore::writeTraceFile(const std::string &Path, const RunSpec &Cfg,
     OS << " batched=1";
   if (Cfg.Deltas)
     OS << " deltas=1";
+  if (Cfg.Reconfig)
+    OS << " reconfig=1";
   OS << "\n";
   OS << Trace.serialize();
   return static_cast<bool>(OS);
@@ -340,6 +451,7 @@ bool explore::readTraceFile(const std::string &Path, RunSpec &Cfg,
   Cfg.Mutation.clear();
   Cfg.Batched = false;
   Cfg.Deltas = false;
+  Cfg.Reconfig = false;
   bool HaveType = false, HaveNodes = false, HaveCalls = false,
        HaveSeed = false;
   while (HS >> Tok) {
@@ -365,6 +477,8 @@ bool explore::readTraceFile(const std::string &Path, RunSpec &Cfg,
       Cfg.Batched = V != "0";
     } else if (K == "deltas") {
       Cfg.Deltas = V != "0";
+    } else if (K == "reconfig") {
+      Cfg.Reconfig = V != "0";
     }
   }
   if (!HaveType || !HaveNodes || !HaveCalls || !HaveSeed)

@@ -25,8 +25,8 @@ HambandCluster::HambandCluster(sim::Simulator &Sim, unsigned NumNodes,
   assert(Spec.finalized() && "coordination spec must be finalized");
   Map = std::make_unique<MemoryMap>(
       NumNodes, Spec.numSumGroups(), Spec.numSyncGroups(), Cfg.FreeGeom,
-      Cfg.ConfGeom, Cfg.MailGeom, Cfg.SummarySlotBytes,
-      Cfg.BackupSlotBytes);
+      Cfg.ConfGeom, Cfg.MailGeom, Cfg.SummarySlotBytes, Cfg.BackupSlotBytes,
+      0, Cfg.Reconfig.Enabled ? Cfg.Reconfig.TransferSlotBytes : 0);
   std::size_t MemBytes = Map->totalBytes() + (1u << 20);
   Trans = std::make_unique<rdma::Fabric>(Sim, NumNodes, Model, MemBytes);
   build(NumNodes, Model);
@@ -41,7 +41,8 @@ HambandCluster::HambandCluster(rdma::TransportKind Kind, unsigned NumNodes,
   Map = std::make_unique<MemoryMap>(
       NumNodes, Spec.numSumGroups(), Spec.numSyncGroups(),
       this->Cfg.FreeGeom, this->Cfg.ConfGeom, this->Cfg.MailGeom,
-      this->Cfg.SummarySlotBytes, this->Cfg.BackupSlotBytes);
+      this->Cfg.SummarySlotBytes, this->Cfg.BackupSlotBytes, 0,
+      this->Cfg.Reconfig.Enabled ? this->Cfg.Reconfig.TransferSlotBytes : 0);
   std::size_t MemBytes = Map->totalBytes() + (1u << 20);
   if (Kind == rdma::TransportKind::Sim) {
     OwnedSim = std::make_unique<sim::Simulator>();
@@ -58,17 +59,38 @@ void HambandCluster::build(unsigned NumNodes, rdma::NetworkModel Model) {
   Failed.assign(NumNodes, false);
   OutstandingPer =
       std::make_unique<std::atomic<std::uint64_t>[]>(NumNodes);
-  for (unsigned N = 0; N < NumNodes; ++N)
+  OutstandingUpdatesPer =
+      std::make_unique<std::atomic<std::uint64_t>[]>(NumNodes);
+  for (unsigned N = 0; N < NumNodes; ++N) {
     OutstandingPer[N].store(0, std::memory_order_relaxed);
+    OutstandingUpdatesPer[N].store(0, std::memory_order_relaxed);
+  }
   Trans->setObs(ClusterStats);
   // Reserve the mapped range so nothing else lands in it.
   for (rdma::NodeId N = 0; N < NumNodes; ++N)
     Trans->memory(N).alloc(Map->totalBytes());
   for (unsigned G = 0; G < Type.coordination().numSyncGroups(); ++G)
     ConfKeys.push_back(Trans->createRegionKey());
+  if (Cfg.Reconfig.Enabled) {
+    // The epoch-0 data-plane key; every transition mints a successor and
+    // fences this one. Filled in before the nodes capture their config.
+    Cfg.Reconfig.InitialDataKey = Trans->createRegionKey();
+    if (Cfg.Reconfig.InitialActive.empty())
+      Cfg.Reconfig.InitialActive.assign(NumNodes, 1);
+    assert(Cfg.Reconfig.InitialActive.size() == NumNodes &&
+           "InitialActive must name every provisioned node");
+  }
   for (rdma::NodeId N = 0; N < NumNodes; ++N)
     Nodes.push_back(std::make_unique<HambandNode>(*Trans, N, Type, *Map,
                                                   Cfg, ConfKeys));
+  if (Cfg.Reconfig.Enabled) {
+    Membership Init;
+    Init.Epoch = 0;
+    Init.Active = Cfg.Reconfig.InitialActive;
+    Reconfig = std::make_unique<ReconfigManager>(
+        *this, std::move(Init), Cfg.Reconfig.InitialDataKey);
+    Reconfig->attachStats(ClusterStats);
+  }
 }
 
 HambandCluster::~HambandCluster() {
@@ -97,12 +119,25 @@ void HambandCluster::start() {
 void HambandCluster::submit(rdma::NodeId Origin, const Call &C,
                             SubmitCallback Done) {
   assert(Origin < Nodes.size());
+  bool IsUpdate =
+      Type.coordination().category(C.Method) != MethodCategory::Query;
   Outstanding.fetch_add(1, std::memory_order_acq_rel);
+  if (IsUpdate) {
+    OutstandingUpdates.fetch_add(1, std::memory_order_acq_rel);
+    OutstandingUpdatesPer[Origin].fetch_add(1, std::memory_order_acq_rel);
+  }
   OutstandingPer[Origin].fetch_add(1, std::memory_order_acq_rel);
-  Trans->callOn(Origin, [this, Origin, C, Done = std::move(Done)]() {
+  Trans->callOn(Origin, [this, Origin, C, IsUpdate,
+                         Done = std::move(Done)]() {
     Nodes[Origin]->submit(
-        C, [this, Origin, Done = std::move(Done)](bool Ok, Value V) {
+        C, [this, Origin, IsUpdate, Done = std::move(Done)](bool Ok,
+                                                            Value V) {
           Outstanding.fetch_sub(1, std::memory_order_acq_rel);
+          if (IsUpdate) {
+            OutstandingUpdates.fetch_sub(1, std::memory_order_acq_rel);
+            OutstandingUpdatesPer[Origin].fetch_sub(1,
+                                                    std::memory_order_acq_rel);
+          }
           OutstandingPer[Origin].fetch_sub(1, std::memory_order_acq_rel);
           if (Done)
             Done(Ok, V);
@@ -110,27 +145,46 @@ void HambandCluster::submit(rdma::NodeId Origin, const Call &C,
   });
 }
 
+std::uint64_t HambandCluster::liveUpdatesOutstanding() const {
+  std::uint64_t Pending = 0;
+  for (rdma::NodeId N = 0; N < numNodes(); ++N)
+    if (Trans->isAlive(N))
+      Pending += OutstandingUpdatesPer[N].load(std::memory_order_acquire);
+  return Pending;
+}
+
 bool HambandCluster::fullyReplicated() const {
   if (outstanding() != 0)
     return false;
-  for (const auto &N : Nodes)
-    if (!N->idle())
+  for (rdma::NodeId N = 0; N < numNodes(); ++N)
+    if (inService(N) && !Nodes[N]->idle())
       return false;
   return appliedTablesEqual();
 }
 
 bool HambandCluster::appliedTablesEqual() const {
-  for (std::size_t N = 1; N < Nodes.size(); ++N)
-    if (Nodes[N]->appliedTable() != Nodes[0]->appliedTable())
+  const HambandNode *First = nullptr;
+  for (rdma::NodeId N = 0; N < numNodes(); ++N) {
+    if (!inService(N))
+      continue; // A standby holds no replica yet.
+    if (!First)
+      First = Nodes[N].get();
+    else if (Nodes[N]->appliedTable() != First->appliedTable())
       return false;
+  }
   return true;
 }
 
 bool HambandCluster::converged() {
-  const ObjectState &First = Nodes[0]->visibleState();
-  for (std::size_t N = 1; N < Nodes.size(); ++N)
-    if (!First.equals(Nodes[N]->visibleState()))
+  const ObjectState *First = nullptr;
+  for (rdma::NodeId N = 0; N < numNodes(); ++N) {
+    if (!inService(N))
+      continue;
+    if (!First)
+      First = &Nodes[N]->visibleState();
+    else if (!First->equals(Nodes[N]->visibleState()))
       return false;
+  }
   return true;
 }
 
@@ -199,13 +253,21 @@ bool HambandCluster::attachFaultInjector(sim::FaultInjector &FI) {
     Nodes[N]->broadcast().setOnStage(
         [&FI, N]() { FI.onBroadcastStaged(N); });
   Trans->setFaultHook(&FI);
+  FaultInj = &FI;
   return true;
+}
+
+bool HambandCluster::reconfigure(std::vector<std::uint8_t> TargetActive,
+                                 ReconfigManager::DoneFn Done) {
+  if (!Reconfig)
+    return false;
+  return Reconfig->start(std::move(TargetActive), std::move(Done));
 }
 
 bool HambandCluster::fullyReplicatedLive() const {
   const HambandNode *First = nullptr;
   for (rdma::NodeId N = 0; N < numNodes(); ++N) {
-    if (!isLive(N))
+    if (!isLive(N) || !inService(N))
       continue;
     if (outstandingAt(N) != 0 || !Nodes[N]->idle())
       return false;
@@ -220,7 +282,7 @@ bool HambandCluster::fullyReplicatedLive() const {
 bool HambandCluster::convergedLive() {
   const ObjectState *First = nullptr;
   for (rdma::NodeId N = 0; N < numNodes(); ++N) {
-    if (!isLive(N))
+    if (!isLive(N) || !inService(N))
       continue;
     if (!First)
       First = &Nodes[N]->visibleState();

@@ -74,6 +74,7 @@ HambandConfig HambandConfig::tunedFor(rdma::TransportKind Kind) const {
   Floor(Out.ConfRetryTimeout, sim::millis(2));
   Floor(Out.PermissibilityWait, sim::millis(1));
   Floor(Out.Batch.FlushInterval, sim::micros(200));
+  Floor(Out.Reconfig.TickInterval, sim::micros(200));
   Floor(Out.Heartbeat.BeatInterval, sim::millis(2));
   Floor(Out.Heartbeat.CheckInterval, sim::millis(10));
   // A scheduler stall under sanitizers can easily exceed a few check
@@ -120,6 +121,26 @@ HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
   CtrSlotOverflow = &Stats.counter("node.summary.slot_overflow");
   CtrOversizeReject = &Stats.counter("node.summary.oversize_reject");
   CtrStageSkipped = &Stats.counter("node.delta.stage_skipped");
+  CtrWrongEpochReject = &Stats.counter("reconfig.wrong_epoch_reject");
+  CtrCrossEpochDrop = &Stats.counter("reconfig.cross_epoch_drop");
+  CtrCrossEpochApply = &Stats.counter("reconfig.cross_epoch_apply");
+  CtrEpochInstall = &Stats.counter("reconfig.installs");
+  CtrAeBackoff = &Stats.counter("node.delta.ae_backoff");
+
+  // Membership-reconfiguration state. With the feature off everything
+  // stays at its identity value (epoch 0, empty mask, unprotected key)
+  // and no code path below behaves differently.
+  if (Cfg.Reconfig.Enabled) {
+    DataKey = Cfg.Reconfig.InitialDataKey;
+    if (!Cfg.Reconfig.InitialActive.empty()) {
+      assert(Cfg.Reconfig.InitialActive.size() == N &&
+             "one InitialActive flag per provisioned node");
+      Active = Cfg.Reconfig.InitialActive;
+    }
+    // A provisioned standby starts with its epoch closed: it rejects
+    // client updates until a transition adds it to the membership.
+    EpochClosed = !activeNode(Self);
+  }
 
   Stored = Type.initialState();
   Applied.assign(N, std::vector<std::uint64_t>(Type.numMethods(), 0));
@@ -134,6 +155,9 @@ HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
   PendingDelta.assign(SumGroups, std::nullopt);
   DeltaShippedSeq.assign(SumGroups, 0);
   DeltaFlushesSinceFull.assign(SumGroups, 0);
+  GapEventsAtFull.assign(SumGroups, 0);
+  AeCleanStreak.assign(SumGroups, 0);
+  AeFactor.assign(SumGroups, 1);
   BufferedFrames.assign(SumGroups,
                         std::vector<std::deque<SummaryDeltaFrame>>(N));
   Assemblies.assign(SumGroups, std::vector<ChunkAssembly>(N));
@@ -160,7 +184,7 @@ HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
         Map.freeGeom(), rdma::Transport::LanePoller);
     FreeWriters[J] = std::make_unique<RingWriter>(
         Fabric, Self, J, Map.freeRingData(Self), Map.freeRingFeedback(J),
-        Map.freeGeom(), rdma::UnprotectedRegion, rdma::Transport::LaneClient);
+        Map.freeGeom(), DataKey, rdma::Transport::LaneClient);
     MailReaders[J] = std::make_unique<RingReader>(
         Fabric, Self, J, Map.mailRingData(J), Map.mailRingFeedback(Self),
         Map.mailGeom(), rdma::Transport::LanePoller);
@@ -176,7 +200,16 @@ HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
   ConfReaders.resize(Groups);
   Consensus.resize(Groups);
   for (unsigned G = 0; G < Groups; ++G) {
+    // The group's home leader, skipping initially inactive nodes (all
+    // nodes share the config, so every replica picks the same one).
     rdma::NodeId InitialLeader = (G + Cfg.LeaderOffset) % N;
+    for (unsigned S = 0; S < N; ++S) {
+      rdma::NodeId Cand = (G + Cfg.LeaderOffset + S) % N;
+      if (activeNode(Cand)) {
+        InitialLeader = Cand;
+        break;
+      }
+    }
     ConfReaders[G] = std::make_unique<RingReader>(
         Fabric, Self, InitialLeader, Map.confRingData(G),
         Map.confRingFeedback(G, Self), Map.confGeom(),
@@ -214,7 +247,8 @@ HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
     };
     ConfReaders[G]->attachStats(Stats);
     Consensus[G] = std::make_unique<MuConsensus>(
-        Fabric, Self, G, InitialLeader, Map, ConfKeys[G], std::move(Hooks));
+        Fabric, Self, G, InitialLeader, Map, ConfKeys[G], std::move(Hooks),
+        Active);
     Consensus[G]->attachStats(Stats);
     Consensus[G]->installInitialPermissions();
   }
@@ -223,6 +257,12 @@ HambandNode::HambandNode(rdma::Transport &Fabric, rdma::NodeId Self,
                                                  Map.heartbeat(),
                                                  Cfg.Heartbeat);
   Detector->onSuspect([this](rdma::NodeId Peer) { onPeerSuspected(Peer); });
+  // Monitor only in-service peers (and nobody while we are a standby);
+  // installMembership re-enables monitoring when the active set changes.
+  if (!Active.empty())
+    for (rdma::NodeId P = 0; P < N; ++P)
+      if (P != Self)
+        Detector->setMonitored(P, activeNode(Self) && activeNode(P));
   Broadcast = std::make_unique<ReliableBroadcast>(
       Fabric, Self, Map.backupSlot(), Cfg.BackupSlotBytes);
   Broadcast->attachStats(Stats);
@@ -272,6 +312,11 @@ const ObjectState &HambandNode::visibleState() {
 
 void HambandNode::applyToStored(const Call &C) {
   Type.apply(*Stored, C);
+  // The retained irreducible-call log: everything folded into the stored
+  // state, in apply order. It is what a joiner replays, since irreducible
+  // calls have no summary image to transfer (docs/reconfig.md).
+  if (Cfg.Reconfig.Enabled)
+    ReconfigLog.push_back(encodeLoggedCall(C));
   // Buffered and summarized calls commute (summaries are conflict-free),
   // so the visible cache can be maintained incrementally.
   if (VisibleCache && !VisibleDirty)
@@ -416,6 +461,15 @@ void HambandNode::submit(const Call &C, SubmitCallback Done) {
       Done(false, 0);
     return;
   }
+  if (EpochClosed && Spec.category(C.Method) != MethodCategory::Query) {
+    // The epoch is closed for a membership transition: queries keep
+    // flowing, updates bounce with the retry-contract sentinel (the
+    // client resubmits after the new epoch opens).
+    CtrWrongEpochReject->add();
+    if (Done)
+      Done(false, WrongEpochValue);
+    return;
+  }
 #if HAMBAND_OBS_ENABLED
   // The submit→completion latency in simulated time; the wrap is compiled
   // out entirely in HAMBAND_OBS=OFF builds.
@@ -518,7 +572,7 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
         if (Cfg.Batch.Enabled) {
           // The call is already folded into OwnSummary[G]; the flush
           // ships one image covering every fold since the last one.
-          if (N == 1) {
+          if (activePeerCount() == 0) {
             Done(true, 0);
             return;
           }
@@ -560,8 +614,9 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
           std::vector<std::uint8_t> Payload = encodeSummary(Img);
           if (Cfg.UseBackupSlot)
             Broadcast->stage(ReliableBroadcast::Kind::Summary,
-                             static_cast<std::uint8_t>(G), Payload);
-          if (N == 1) {
+                             static_cast<std::uint8_t>(G), Payload,
+                             CurrentEpoch);
+          if (activePeerCount() == 0) {
             if (Cfg.UseBackupSlot)
               Broadcast->clear();
             Done(true, 0);
@@ -569,17 +624,16 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
           }
           std::vector<std::uint8_t> Slot =
               slotBytes(Payload, Cfg.SummarySlotBytes);
-          auto Remaining = std::make_shared<unsigned>(N - 1);
+          auto Remaining = std::make_shared<unsigned>(activePeerCount());
           auto DoneP = std::make_shared<SubmitCallback>(std::move(Done));
           bool RespondLate = Cfg.RespondAfterCompletion;
           if (!RespondLate)
             (*DoneP)(true, 0);
           for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
-            if (Peer == Self)
+            if (Peer == Self || !activeNode(Peer))
               continue;
             Fabric.postWrite(
-                Self, Peer, Map.summarySlot(G, Self), Slot,
-                rdma::UnprotectedRegion,
+                Self, Peer, Map.summarySlot(G, Self), Slot, DataKey,
                 [this, Remaining, DoneP, RespondLate](rdma::WcStatus) {
                   if (--*Remaining != 0)
                     return;
@@ -595,13 +649,13 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
 
         // Frame path: delta propagation, or the slot-overflow fallback
         // in classic mode (docs/deltas.md).
-        if (N == 1) {
+        if (activePeerCount() == 0) {
           Done(true, 0);
           return;
         }
         bool AntiEntropyDue =
             Cfg.Delta.Enabled && Cfg.Delta.AntiEntropyEvery > 0 &&
-            DeltaFlushesSinceFull[G] + 1 >= Cfg.Delta.AntiEntropyEvery;
+            DeltaFlushesSinceFull[G] + 1 >= effectiveAntiEntropyEvery(G);
         bool ShipFull = !Cfg.Delta.Enabled || AntiEntropyDue;
         if (!Cfg.Delta.Enabled)
           CtrSlotOverflow->add();
@@ -618,6 +672,7 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
           F.Full = 0;
           F.FromSeq = DeltaShippedSeq[G];
           F.ToSeq = Seq;
+          F.Epoch = CurrentEpoch;
           F.Image = encodeSummary(DImg);
           std::vector<std::uint8_t> Enc = encodeSummaryDelta(F);
           if (Enc.size() <= Cfg.FreeGeom.maxRecordPayload()) {
@@ -634,6 +689,7 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
           Frames = encodeFullFrames(G, Img);
           CtrDeltaFullOut->add();
           DeltaFlushesSinceFull[G] = 0;
+          noteFullImageShip(G);
         }
         DeltaShippedSeq[G] = Seq;
 
@@ -642,14 +698,15 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
           // installs it idempotently); degrade to staging the delta frame
           // when only the delta fits; otherwise skip (counted) -- the gap
           // a crash then leaves heals through anti-entropy.
-          if (FullBytes + 7 <= Cfg.BackupSlotBytes)
+          if (FullBytes + 11 <= Cfg.BackupSlotBytes)
             Broadcast->stage(ReliableBroadcast::Kind::Summary,
                              static_cast<std::uint8_t>(G),
-                             encodeSummary(Img));
+                             encodeSummary(Img), CurrentEpoch);
           else if (!ShipFull && Frames.size() == 1 &&
-                   Frames[0].size() + 7 <= Cfg.BackupSlotBytes)
+                   Frames[0].size() + 11 <= Cfg.BackupSlotBytes)
             Broadcast->stage(ReliableBroadcast::Kind::SummaryDelta,
-                             static_cast<std::uint8_t>(G), Frames[0]);
+                             static_cast<std::uint8_t>(G), Frames[0],
+                             CurrentEpoch);
           else
             CtrStageSkipped->add();
         }
@@ -668,8 +725,8 @@ void HambandNode::handleReduce(Call C, SubmitCallback Done) {
             (*DoneP)(true, 0);
           return;
         }
-        auto Remaining =
-            std::make_shared<unsigned>(Frames.size() * (N - 1));
+        auto Remaining = std::make_shared<unsigned>(
+            static_cast<unsigned>(Frames.size()) * activePeerCount());
         auto OnOne = [this, Remaining, DoneP, RespondLate]() {
           if (--*Remaining != 0)
             return;
@@ -704,11 +761,12 @@ void HambandNode::handleFree(Call C, SubmitCallback Done) {
         WC.TheCall = P;
         WC.Deps = projectDeps(P.Method);
         WC.BcastSeq = BcastSeqOut++;
+        WC.Epoch = CurrentEpoch;
         std::vector<std::uint8_t> Bytes =
             encodeCall(Spec, Fabric.numNodes(), WC);
 
         if (Cfg.Batch.Enabled) {
-          if (Fabric.numNodes() == 1) {
+          if (activePeerCount() == 0) {
             Done(true, 0);
             return;
           }
@@ -732,16 +790,17 @@ void HambandNode::handleFree(Call C, SubmitCallback Done) {
         }
 
         if (Cfg.UseBackupSlot)
-          Broadcast->stage(ReliableBroadcast::Kind::FreeCall, 0, Bytes);
+          Broadcast->stage(ReliableBroadcast::Kind::FreeCall, 0, Bytes,
+                           CurrentEpoch);
 
         unsigned N = Fabric.numNodes();
-        if (N == 1) {
+        if (activePeerCount() == 0) {
           if (Cfg.UseBackupSlot)
             Broadcast->clear();
           Done(true, 0);
           return;
         }
-        auto Remaining = std::make_shared<unsigned>(N - 1);
+        auto Remaining = std::make_shared<unsigned>(activePeerCount());
         auto DoneP = std::make_shared<SubmitCallback>(std::move(Done));
         bool RespondLate = Cfg.RespondAfterCompletion;
         if (!RespondLate)
@@ -756,7 +815,7 @@ void HambandNode::handleFree(Call C, SubmitCallback Done) {
             (*DoneP)(true, 0);
         };
         for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
-          if (Peer == Self)
+          if (Peer == Self || !activeNode(Peer))
             continue;
           appendFreeOrdered(Peer, Bytes, OnOne);
         }
@@ -792,6 +851,7 @@ void HambandNode::handleConf(Call C, SubmitCallback Done) {
   Msg.Kind = MailKind::ConfRequest;
   Msg.Origin = Self;
   Msg.ReqId = C.Req;
+  Msg.Epoch = CurrentEpoch;
   Msg.TheCall = C;
   std::vector<std::uint8_t> Bytes = encodeMail(Msg);
   Fabric.runOnCpu(
@@ -884,6 +944,7 @@ void HambandNode::leaderProcessConf(unsigned G, ProcessId Origin,
   WC.TheCall = Prepared;
   WC.Deps = projectDeps(Prepared.Method);
   WC.BcastSeq = Consensus[G]->nextIndex();
+  WC.Epoch = CurrentEpoch;
   std::vector<std::uint8_t> Bytes =
       encodeCall(this->Spec, Fabric.numNodes(), WC);
 
@@ -967,6 +1028,7 @@ void HambandNode::respondConf(ProcessId Origin, RequestId ReqId,
   Msg.Origin = Self;
   Msg.ReqId = ReqId;
   Msg.Ok = static_cast<std::uint8_t>(Outcome);
+  Msg.Epoch = CurrentEpoch;
   appendWithRetry(Fabric, *MailWriters[Origin],
                   encodeMail(Msg), Cfg.PollInterval, nullptr);
 }
@@ -990,6 +1052,7 @@ void HambandNode::checkConfTimeouts() {
     Msg.Kind = MailKind::ConfRequest;
     Msg.Origin = Self;
     Msg.ReqId = ReqId;
+    Msg.Epoch = CurrentEpoch;
     Msg.TheCall = Req.TheCall;
     appendWithRetry(Fabric, *MailWriters[Leader],
                     encodeMail(Msg), Cfg.PollInterval, nullptr);
@@ -1090,6 +1153,14 @@ unsigned HambandNode::pollFreeRings() {
 void HambandNode::enqueueDecodedFree(ProcessId Issuer,
                                      std::vector<WireCall> Calls) {
   for (WireCall &WC : Calls) {
+    // A record from another epoch is dropped without advancing the
+    // cursor: the epoch fence guarantees its writer can never complete,
+    // so the slot it claimed is dead and the post-install resync
+    // (absorbTransfer / installMembership) re-aligns the cursors.
+    if (WC.Epoch != CurrentEpoch) {
+      CtrCrossEpochDrop->add();
+      continue;
+    }
     // The cursor is the reader-side dedup of reliable broadcast: ring
     // delivery and backup-slot recovery both advance it, so an entry
     // arriving through both paths is delivered exactly once.
@@ -1206,7 +1277,7 @@ void HambandNode::postFrameToPeers(const std::vector<std::uint8_t> &Bytes,
                                    std::function<void()> OnOne) {
   unsigned N = Fabric.numNodes();
   for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
-    if (Peer == Self)
+    if (Peer == Self || !activeNode(Peer))
       continue;
     appendFreeOrdered(Peer, Bytes,
                       [OnOne](rdma::WcStatus) { OnOne(); });
@@ -1256,6 +1327,7 @@ HambandNode::encodeFullFrames(unsigned G, const SummaryImage &Img) const {
     F.ChunkCount = static_cast<std::uint16_t>(Chunks.size());
     F.FromSeq = 0;
     F.ToSeq = Img.Seq;
+    F.Epoch = CurrentEpoch;
     F.Image = encodeSummary(Part);
     Out.push_back(encodeSummaryDelta(F));
   }
@@ -1321,6 +1393,7 @@ bool HambandNode::handleSummaryFrame(ProcessId Src,
   // Version gap: park the frame until the gap closes or anti-entropy
   // leapfrogs it.
   CtrDeltaGap->add();
+  ++GapEvents;
   auto &Buf = BufferedFrames[G][Src];
   if (Buf.size() >= Cfg.Delta.MaxBufferedFrames) {
     CtrDeltaDropped->add();
@@ -1472,6 +1545,13 @@ void HambandNode::handleMail(ProcessId /*From*/, const MailMsg &Msg) {
   if (Msg.Kind == MailKind::ConfRequest) {
     if (OutOfService)
       return; // Dropped; the origin retries against the next leader.
+    if (Msg.Epoch != CurrentEpoch) {
+      // Cross-epoch request (mailboxes are unfenced): tell the origin to
+      // retry so it re-resolves the leader under its installed epoch.
+      CtrCrossEpochDrop->add();
+      respondConf(Msg.Origin, Msg.ReqId, ConfOutcome::Retry, nullptr);
+      return;
+    }
     if (Spec.category(Msg.TheCall.Method) != MethodCategory::Conflicting)
       return;
     unsigned G = *Spec.syncGroup(Msg.TheCall.Method);
@@ -1509,6 +1589,14 @@ unsigned HambandNode::applyPendingFree() {
       continue;
     auto &Q = FreePending[J];
     while (!Q.empty() && depsSatisfied(Q.front().Deps)) {
+      if (Q.front().Epoch != CurrentEpoch) {
+        // Enqueued before an epoch install that the drain stage should
+        // have flushed; counted so the reconfig oracles can assert it
+        // never happens (reconfig.cross_epoch_apply stays 0).
+        CtrCrossEpochApply->add();
+        Q.pop_front();
+        continue;
+      }
       const Call &C = Q.front().TheCall;
       applyToStored(C);
       Applied[C.Issuer][C.Method] += 1;
@@ -1532,6 +1620,13 @@ unsigned HambandNode::applyPendingConf() {
     auto &M = ConfPending[G];
     auto It = M.find(ConfAppliedIdx[G]);
     while (It != M.end() && depsSatisfied(It->second.Deps)) {
+      if (It->second.Epoch != CurrentEpoch) {
+        CtrCrossEpochApply->add();
+        M.erase(It);
+        ++ConfAppliedIdx[G];
+        It = M.find(ConfAppliedIdx[G]);
+        continue;
+      }
       const Call &C = It->second.TheCall;
       applyToStored(C);
       Applied[C.Issuer][C.Method] += 1;
@@ -1679,9 +1774,9 @@ void HambandNode::flushBatches(FlushCause Cause) {
     // which case the whole flush goes unstaged (counted): staging a
     // partial flush image would break the flush's crash atomicity.
     std::vector<std::uint8_t> Payload;
-    if (FitsSlot || FullBytes + 7 <= Cfg.BackupSlotBytes)
+    if (FitsSlot || FullBytes + 11 <= Cfg.BackupSlotBytes)
       Payload = encodeSummary(SImg);
-    if (FullBytes + 7 <= Cfg.BackupSlotBytes)
+    if (FullBytes + 11 <= Cfg.BackupSlotBytes)
       Img.Summaries.emplace_back(static_cast<std::uint8_t>(G), Payload);
     else
       StageOk = false;
@@ -1702,7 +1797,7 @@ void HambandNode::flushBatches(FlushCause Cause) {
 
     bool AntiEntropyDue =
         Cfg.Delta.AntiEntropyEvery > 0 &&
-        DeltaFlushesSinceFull[G] + 1 >= Cfg.Delta.AntiEntropyEvery;
+        DeltaFlushesSinceFull[G] + 1 >= effectiveAntiEntropyEvery(G);
     bool ShipFull = AntiEntropyDue;
     if (!ShipFull) {
       assert(PendingDelta[G] && "dirty group without a pending delta");
@@ -1715,6 +1810,7 @@ void HambandNode::flushBatches(FlushCause Cause) {
       F.Full = 0;
       F.FromSeq = DeltaShippedSeq[G];
       F.ToSeq = OwnSummarySeq[G];
+      F.Epoch = CurrentEpoch;
       F.Image = encodeSummary(DImg);
       std::vector<std::uint8_t> Enc = encodeSummaryDelta(F);
       if (Enc.size() <= Cfg.FreeGeom.maxRecordPayload()) {
@@ -1730,6 +1826,7 @@ void HambandNode::flushBatches(FlushCause Cause) {
         FullFrames.push_back(std::move(FB));
       CtrDeltaFullOut->add();
       DeltaFlushesSinceFull[G] = 0;
+      noteFullImageShip(G);
     }
     DeltaShippedSeq[G] = OwnSummarySeq[G];
     PendingDelta[G].reset();
@@ -1769,7 +1866,7 @@ void HambandNode::flushBatches(FlushCause Cause) {
   unsigned Writes = static_cast<unsigned>(
       (SlotGroups.size() + Records.size() + FullFrames.size() +
        (DropDeltas ? 0 : DeltaFrames.size())) *
-      (N - 1));
+      activePeerCount());
   if (Writes == 0) {
     // Every record of this flush was a delta the drop hook swallowed:
     // complete locally without staging (recovery must not resurrect
@@ -1781,8 +1878,9 @@ void HambandNode::flushBatches(FlushCause Cause) {
 
   if (Cfg.UseBackupSlot) {
     std::vector<std::uint8_t> Staged = encodeFlushImage(Img);
-    if (StageOk && Staged.size() + 7 <= Cfg.BackupSlotBytes)
-      Broadcast->stage(ReliableBroadcast::Kind::FreeBatch, 0, Staged);
+    if (StageOk && Staged.size() + 11 <= Cfg.BackupSlotBytes)
+      Broadcast->stage(ReliableBroadcast::Kind::FreeBatch, 0, Staged,
+                       CurrentEpoch);
     else
       CtrStageSkipped->add();
   }
@@ -1814,10 +1912,10 @@ void HambandNode::flushBatches(FlushCause Cause) {
   // post order.
   for (std::size_t K = 0; K < SlotGroups.size(); ++K)
     for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
-      if (Peer == Self)
+      if (Peer == Self || !activeNode(Peer))
         continue;
       Fabric.postWrite(Self, Peer, Map.summarySlot(SlotGroups[K], Self),
-                       SummarySlots[K], rdma::UnprotectedRegion, Finish,
+                       SummarySlots[K], DataKey, Finish,
                        rdma::Transport::LaneClient);
     }
   auto FinishOne = [Finish]() { Finish(rdma::WcStatus::Success); };
@@ -1828,7 +1926,7 @@ void HambandNode::flushBatches(FlushCause Cause) {
       postFrameToPeers(DF, FinishOne);
   for (const std::vector<std::uint8_t> &Rec : Records)
     for (rdma::NodeId Peer = 0; Peer < N; ++Peer) {
-      if (Peer == Self)
+      if (Peer == Self || !activeNode(Peer))
         continue;
       appendFreeOrdered(Peer, Rec, Finish);
     }
@@ -1842,6 +1940,13 @@ void HambandNode::onPeerSuspected(rdma::NodeId Peer) {
   if (!Cfg.UseBackupSlot)
     return;
   Broadcast->fetch(Peer, [this, Peer](ReliableBroadcast::BackupMessage Msg) {
+    if (Msg.TheKind != ReliableBroadcast::Kind::None &&
+        Msg.Epoch != CurrentEpoch) {
+      // A slot staged in another epoch: the fence already killed its
+      // writes, and recovery must not resurrect them across the boundary.
+      CtrCrossEpochDrop->add();
+      return;
+    }
     switch (Msg.TheKind) {
     case ReliableBroadcast::Kind::None:
       return;
@@ -1925,4 +2030,218 @@ void HambandNode::onPeerSuspected(rdma::NodeId Peer) {
     }
     }
   });
+}
+
+// -- Membership reconfiguration (docs/reconfig.md) ---------------------------
+
+void HambandNode::closeEpoch() {
+  EpochClosed = true;
+  // Push out whatever the batcher holds so the drain stage only waits on
+  // in-flight completions, never on a timer-held batch.
+  flushOutgoing();
+}
+
+void HambandNode::openEpoch() { EpochClosed = false; }
+
+bool HambandNode::reconfigQuiesced() const {
+  if (!idle() || FlushesInFlight != 0)
+    return false;
+  for (const auto &Q : FreeOutbound)
+    if (!Q.empty())
+      return false;
+  for (const auto &Q : LeaderSpeculative)
+    if (!Q.empty())
+      return false;
+  return true;
+}
+
+std::uint64_t HambandNode::reconfigDigest() {
+  // Like stateDigest() but restricted to replicated state and seeded
+  // without the node id: drained members must produce the same value.
+  std::uint64_t H = 0x5bd1e9955bd1e995ull;
+  auto Mix = [&H](std::uint64_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  };
+  const std::string S = visibleState().str();
+  std::uint64_t SH = 1469598103934665603ull; // FNV-1a
+  for (char Ch : S) {
+    SH ^= static_cast<unsigned char>(Ch);
+    SH *= 1099511628211ull;
+  }
+  Mix(SH);
+  for (const auto &Row : Applied)
+    for (std::uint64_t V : Row)
+      Mix(V);
+  for (std::uint64_t V : ConfReceivedContig)
+    Mix(V);
+  return H;
+}
+
+unsigned HambandNode::activePeerCount() const {
+  unsigned N = Fabric.numNodes();
+  if (Active.empty())
+    return N - 1;
+  unsigned C = 0;
+  for (rdma::NodeId P = 0; P < N; ++P)
+    if (P != Self && Active[P] != 0)
+      ++C;
+  return C;
+}
+
+std::uint32_t HambandNode::effectiveAntiEntropyEvery(unsigned G) const {
+  std::uint32_t Base = Cfg.Delta.AntiEntropyEvery;
+  if (Base == 0 || Cfg.Delta.AdaptiveBackoffRounds == 0)
+    return Base;
+  return Base * AeFactor[G];
+}
+
+void HambandNode::noteFullImageShip(unsigned G) {
+  if (Cfg.Delta.AdaptiveBackoffRounds == 0)
+    return;
+  if (GapEvents == GapEventsAtFull[G]) {
+    // No receive gap observed since this group's last full ship: the
+    // fabric looks loss-free, anti-entropy can afford a longer period.
+    if (++AeCleanStreak[G] >= Cfg.Delta.AdaptiveBackoffRounds &&
+        AeFactor[G] < 8) {
+      AeFactor[G] *= 2;
+      AeCleanStreak[G] = 0;
+      CtrAeBackoff->add();
+    }
+  } else {
+    // A gap appeared: snap straight back to the configured period.
+    AeCleanStreak[G] = 0;
+    AeFactor[G] = 1;
+  }
+  GapEventsAtFull[G] = GapEvents;
+}
+
+TransferImage HambandNode::buildTransferImage(
+    const std::vector<std::uint64_t> &ConfNext) const {
+  TransferImage Img;
+  Img.Epoch = CurrentEpoch;
+  Img.Applied = Applied;
+  Img.FreeSeqNext = FreeSeqNext;
+  // The donor's own cursor entry is unused locally; the joiner needs the
+  // donor's *outgoing* position there.
+  Img.FreeSeqNext[Self] = BcastSeqOut;
+  unsigned N = Fabric.numNodes();
+  Img.Summaries.resize(SummaryCache.size());
+  for (unsigned G = 0; G < SummaryCache.size(); ++G) {
+    Img.Summaries[G].resize(N);
+    for (rdma::NodeId Src = 0; Src < N; ++Src) {
+      const std::optional<Call> &C = SummaryCache[G][Src];
+      if (!C)
+        continue;
+      SummaryImage SImg;
+      SImg.Seq = SummarySeqSeen[G][Src];
+      SImg.Summary = *C;
+      Img.Summaries[G][Src] = {SImg.Seq, encodeSummary(SImg)};
+    }
+  }
+  Img.ConfNextIndex = ConfNext;
+  Img.IrreducibleLog = ReconfigLog;
+  return Img;
+}
+
+void HambandNode::absorbTransfer(const TransferImage &Img) {
+  Applied = Img.Applied;
+  FreeSeqNext = Img.FreeSeqNext;
+  // Our entry in the transferred cursor table is the next broadcast the
+  // cluster expects *from us* -- resume our outgoing numbering there.
+  BcastSeqOut = std::max(BcastSeqOut, FreeSeqNext[Self]);
+  for (unsigned G = 0; G < SummaryCache.size() && G < Img.Summaries.size();
+       ++G) {
+    for (rdma::NodeId Src = 0;
+         Src < Fabric.numNodes() && Src < Img.Summaries[G].size(); ++Src) {
+      const auto &[Seq, Bytes] = Img.Summaries[G][Src];
+      if (Bytes.empty())
+        continue;
+      SummaryImage SImg;
+      if (!decodeSummary(Bytes.data(), Bytes.size(), SImg))
+        continue;
+      SummaryCache[G][Src] = SImg.Summary;
+      SummarySeqSeen[G][Src] = Seq;
+      if (Src == Self) {
+        OwnSummary[G] = SImg.Summary;
+        OwnSummarySeq[G] = Seq;
+        DeltaShippedSeq[G] = Seq;
+      }
+    }
+  }
+  // Replay the donor's irreducible log in its apply order; applied counts
+  // came with the table above, so only the stored state (and the logs a
+  // future transfer or oracle reads) advance here.
+  for (const std::vector<std::uint8_t> &Enc : Img.IrreducibleLog) {
+    Call C;
+    if (!decodeLoggedCall(Enc.data(), Enc.size(), C))
+      continue;
+    Type.apply(*Stored, C);
+    if (Cfg.Reconfig.Enabled)
+      ReconfigLog.push_back(Enc);
+    if (Cfg.RecordApplyLog) {
+      if (Spec.category(C.Method) == MethodCategory::Conflicting) {
+        if (auto G = Spec.syncGroup(C.Method))
+          ConfApplyLog[*G].push_back({C.Issuer, C.Req});
+      } else {
+        FreeApplyLog[C.Issuer].push_back(C.Req);
+      }
+    }
+  }
+  ConfReceivedContig = Img.ConfNextIndex;
+  ConfAppliedIdx = Img.ConfNextIndex;
+  VisibleDirty = true;
+  VisibleCache.reset();
+}
+
+void HambandNode::installMembership(const Membership &M,
+                                    rdma::RegionKey NewKey,
+                                    const std::vector<std::uint64_t> &ConfNext) {
+  // The coordinator one-sided-writes the membership record before asking
+  // for the install; verify it landed (the record, not the argument, is
+  // the durable source of truth a restarted node would read).
+  {
+    const rdma::MemoryRegion &Mem = Fabric.memory(Self);
+    std::vector<std::uint8_t> Slot = Mem.sliceStable(
+        Map.membershipSlot(), MemoryMap::MembershipSlotBytes);
+    Membership Rec;
+    bool Ok = decodeMembership(Slot.data(), Slot.size(), Rec);
+    assert(Ok && Rec.Epoch == M.Epoch &&
+           "membership record missing from the membership slot");
+    (void)Ok;
+    (void)Rec;
+  }
+  CurrentEpoch = M.Epoch;
+  Active = M.Active;
+  DataKey = NewKey;
+  for (auto &W : FreeWriters)
+    if (W)
+      W->setRegionKey(NewKey);
+  bool SelfActive = activeNode(Self);
+  if (Detector)
+    for (rdma::NodeId P = 0; P < Fabric.numNodes(); ++P)
+      if (P != Self)
+        Detector->setMonitored(P, SelfActive && activeNode(P));
+  if (!SelfActive)
+    OutOfService = true;
+  unsigned N = Fabric.numNodes();
+  for (unsigned G = 0; G < Consensus.size(); ++G) {
+    Consensus[G]->setActiveMask(Active);
+    rdma::NodeId NewLeader = Self;
+    for (unsigned K = 0; K < N; ++K) {
+      rdma::NodeId Cand = (G + Cfg.LeaderOffset + K) % N;
+      if (activeNode(Cand)) {
+        NewLeader = Cand;
+        break;
+      }
+    }
+    Consensus[G]->adoptLeadership(NewLeader, ConfNext[G]);
+    // adoptLeadership fires the LeaderChanged re-sync only when the
+    // leader actually moved; a joiner whose group kept its leader still
+    // needs its L-ring reader aligned to the agreed log position.
+    ConfReaders[G]->setWriter(NewLeader);
+    ConfReaders[G]->setHead(ConfReceivedContig[G]);
+    if (NewLeader != Self)
+      ConfReaders[G]->forceFeedback();
+  }
+  CtrEpochInstall->add();
 }

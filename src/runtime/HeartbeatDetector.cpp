@@ -16,7 +16,17 @@ HeartbeatDetector::HeartbeatDetector(rdma::Transport &Fabric, rdma::NodeId Self,
                                      Config Cfg)
     : Fabric(Fabric), Self(Self), HeartbeatOff(HeartbeatOff), Cfg(Cfg),
       LastSeen(Fabric.numNodes(), 0), Misses(Fabric.numNodes(), 0),
-      Suspected(Fabric.numNodes(), false) {}
+      Suspected(Fabric.numNodes(), false),
+      Monitored(Fabric.numNodes(), true) {}
+
+void HeartbeatDetector::setMonitored(rdma::NodeId Peer, bool M) {
+  if (M && !Monitored[Peer]) {
+    Misses[Peer] = 0;
+    LastSeen[Peer] = 0;
+    Suspected[Peer] = false;
+  }
+  Monitored[Peer] = M;
+}
 
 void HeartbeatDetector::start() {
   beat();
@@ -45,12 +55,12 @@ void HeartbeatDetector::checkPeers() {
     return;
   }
   for (rdma::NodeId Peer = 0; Peer < Fabric.numNodes(); ++Peer) {
-    if (Peer == Self || Suspected[Peer])
+    if (Peer == Self || Suspected[Peer] || !Monitored[Peer])
       continue;
     Fabric.postRead(
         Self, Peer, HeartbeatOff, 8,
         [this, Peer](rdma::WcStatus, std::vector<std::uint8_t> Data) {
-          if (Data.size() != 8 || Suspected[Peer])
+          if (Data.size() != 8 || Suspected[Peer] || !Monitored[Peer])
             return;
           std::uint64_t Seen = 0;
           std::memcpy(&Seen, Data.data(), 8);

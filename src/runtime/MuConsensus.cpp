@@ -24,14 +24,62 @@ struct CommitTally {
 MuConsensus::MuConsensus(rdma::Transport &Fabric, rdma::NodeId Self,
                          unsigned Group, rdma::NodeId InitialLeader,
                          const MemoryMap &Map, rdma::RegionKey LogKey,
-                         Hooks TheHooks)
+                         Hooks TheHooks, std::vector<std::uint8_t> ActiveMask)
     : Fabric(Fabric), Self(Self), Group(Group), Map(Map), LogKey(LogKey),
       TheHooks(std::move(TheHooks)), Leader(InitialLeader),
+      Active(std::move(ActiveMask)),
       AckReceived(Fabric.numNodes(), 0), AckSeen(Fabric.numNodes(), false) {
   if (Self == InitialLeader)
     for (rdma::NodeId F = 0; F < Fabric.numNodes(); ++F)
-      if (F != Self)
+      if (F != Self && isActive(F))
         writerTo(F);
+}
+
+unsigned MuConsensus::activeCount() const {
+  if (Active.empty())
+    return Fabric.numNodes();
+  unsigned N = 0;
+  for (std::uint8_t A : Active)
+    N += A != 0;
+  return N;
+}
+
+void MuConsensus::setActiveMask(std::vector<std::uint8_t> Mask) {
+  Active = std::move(Mask);
+  for (auto It = Writers.begin(); It != Writers.end();) {
+    if (!isActive(It->first))
+      It = Writers.erase(It);
+    else
+      ++It;
+  }
+}
+
+void MuConsensus::adoptLeadership(rdma::NodeId NewLeader,
+                                  std::uint64_t LogIndex) {
+  rdma::NodeId Old = Leader;
+  if (Old != NewLeader) {
+    ++Epoch;
+    Leader = NewLeader;
+    Campaigning = false;
+    if (CtrViewChange)
+      CtrViewChange->add();
+    // Same permission order as the campaign path: revoke before grant.
+    Fabric.setWritePermission(Self, Old, LogKey, false);
+    Fabric.setWritePermission(Self, Leader, LogKey, true);
+  }
+  CatchingUp = false;
+  if (Self == Leader) {
+    NextIndex = LogIndex;
+    for (rdma::NodeId F = 0; F < Fabric.numNodes(); ++F) {
+      if (F == Self || !isActive(F))
+        continue;
+      writerTo(F).setTail(LogIndex);
+    }
+  } else {
+    Writers.clear();
+  }
+  if (Old != NewLeader && TheHooks.LeaderChanged)
+    TheHooks.LeaderChanged(Leader);
 }
 
 void MuConsensus::attachStats(obs::Registry &R) {
@@ -86,8 +134,7 @@ bool MuConsensus::leaderAppend(const std::vector<std::uint8_t> &EntryBytes,
     };
   }
 
-  unsigned N = Fabric.numNodes();
-  unsigned Majority = N / 2 + 1;
+  unsigned Majority = activeCount() / 2 + 1;
   // The leader's own log copy counts toward the majority.
   unsigned NeededRemote = Majority > 0 ? Majority - 1 : 0;
 
@@ -176,6 +223,8 @@ void MuConsensus::poll() {
   rdma::NodeId BestCand = Leader;
   std::uint64_t BestEpoch = Epoch;
   for (rdma::NodeId Cand = 0; Cand < Fabric.numNodes(); ++Cand) {
+    if (!isActive(Cand))
+      continue; // A removed node's stale proposal must not depose anyone.
     std::uint64_t E = Mem.readU64(Map.proposalSlot(Group, Cand));
     if (E > BestEpoch || (E == BestEpoch && E > Epoch && Cand < BestCand)) {
       BestEpoch = E;
@@ -220,7 +269,7 @@ void MuConsensus::poll() {
     return;
   bool NewAck = false;
   for (rdma::NodeId Voter = 0; Voter < Fabric.numNodes(); ++Voter) {
-    if (AckSeen[Voter])
+    if (AckSeen[Voter] || !isActive(Voter))
       continue;
     std::uint8_t Raw[24];
     // Stable snapshot: on the shm transport a voter may be overwriting
@@ -247,12 +296,14 @@ void MuConsensus::poll() {
     unsigned Acks = 0;
     bool AllResponsive = true;
     for (rdma::NodeId V = 0; V < Fabric.numNodes(); ++V) {
+      if (!isActive(V))
+        continue;
       if (AckSeen[V])
         ++Acks;
       else if (!TheHooks.IsSuspected || !TheHooks.IsSuspected(V))
         AllResponsive = false;
     }
-    if (!AllResponsive || Acks < Fabric.numNodes() / 2 + 1)
+    if (!AllResponsive || Acks < activeCount() / 2 + 1)
       return;
     Campaigning = false;
     std::uint64_t MaxReceived =
@@ -332,7 +383,7 @@ void MuConsensus::becomeLeaderAfterCatchUp(std::uint64_t MaxReceived,
 
 void MuConsensus::replicateMissingToFollowers() {
   for (rdma::NodeId V = 0; V < Fabric.numNodes(); ++V) {
-    if (V == Self || !AckSeen[V] || Writers.count(V))
+    if (V == Self || !isActive(V) || !AckSeen[V] || Writers.count(V))
       continue;
     RingWriter &W = writerTo(V);
     // Clamp: a voter can never legitimately be ahead of the adopted log.

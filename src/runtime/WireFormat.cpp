@@ -93,6 +93,7 @@ std::vector<std::uint8_t> runtime::encodeCall(const CoordinationSpec &Spec,
   W.u32(C.Issuer);
   W.u64(C.Req);
   W.u64(WC.BcastSeq);
+  W.u32(WC.Epoch);
   for (Value V : C.Args)
     W.i64(V);
   for (std::uint64_t N : denseDeps(Spec, NumProcesses, C.Method, WC.Deps))
@@ -106,6 +107,7 @@ std::vector<std::uint8_t> runtime::encodeMail(const MailMsg &Msg) {
   W.u32(Msg.Origin);
   W.u64(Msg.ReqId);
   W.u8(Msg.Ok);
+  W.u32(Msg.Epoch);
   W.u16(Msg.TheCall.Method);
   W.u16(static_cast<std::uint16_t>(Msg.TheCall.Args.size()));
   W.u32(Msg.TheCall.Issuer);
@@ -122,6 +124,7 @@ bool runtime::decodeMail(const std::uint8_t *Data, std::size_t Len,
   Out.Origin = R.u32();
   Out.ReqId = R.u64();
   Out.Ok = R.u8();
+  Out.Epoch = R.u32();
   Out.TheCall.Method = R.u16();
   std::uint16_t Argc = R.u16();
   Out.TheCall.Issuer = R.u32();
@@ -238,6 +241,7 @@ runtime::encodeSummaryDelta(const SummaryDeltaFrame &F) {
   W.u16(F.ChunkCount);
   W.u64(F.FromSeq);
   W.u64(F.ToSeq);
+  W.u32(F.Epoch);
   W.u32(static_cast<std::uint32_t>(F.Image.size()));
   for (std::uint8_t B : F.Image)
     W.u8(B);
@@ -256,8 +260,9 @@ bool runtime::decodeSummaryDelta(const std::uint8_t *Data, std::size_t Len,
   Out.ChunkCount = R.u16();
   Out.FromSeq = R.u64();
   Out.ToSeq = R.u64();
+  Out.Epoch = R.u32();
   std::uint32_t ImgLen = R.u32();
-  constexpr std::size_t Header = 2 + 1 + 1 + 2 + 2 + 8 + 8 + 4;
+  constexpr std::size_t Header = SummaryDeltaHeaderBytes;
   if (!R.ok() || Header + ImgLen > Len || Out.ChunkCount == 0 ||
       Out.ChunkIdx >= Out.ChunkCount)
     return false;
@@ -317,6 +322,7 @@ bool runtime::decodeCall(const CoordinationSpec &Spec,
   Out.TheCall.Issuer = R.u32();
   Out.TheCall.Req = R.u64();
   Out.BcastSeq = R.u64();
+  Out.Epoch = R.u32();
   if (!R.ok() || Out.TheCall.Method >= Spec.numMethods())
     return false;
   Out.TheCall.Args.clear();

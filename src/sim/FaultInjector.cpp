@@ -407,6 +407,29 @@ void FaultInjector::onBroadcastStaged(std::uint32_t Node) {
   crashNode(Node);
 }
 
+void FaultInjector::onReconfigStage(unsigned Stage, std::uint32_t Node) {
+  std::uint64_t Idx =
+      OpCount[static_cast<unsigned>(FaultChannel::Reconfig)]++;
+  (void)Node;
+  if (Replay) {
+    if (const TraceEvent *E = replayMatch(FaultChannel::Reconfig, Idx)) {
+      record(FaultKind::Crash, FaultChannel::Reconfig, Idx, E->A, E->B, 0);
+      crashNode(E->A);
+    }
+    return;
+  }
+  // Deterministic crash point of the crash-during-transition tests: B
+  // remembers the stage so a trace reads "crashed victim V at stage S".
+  if (ForcedReconfigCrash >= 0 &&
+      static_cast<std::uint64_t>(ForcedReconfigCrash) == Idx &&
+      ReconfigVictim < Crashed.size() && !Crashed[ReconfigVictim] &&
+      failedNow() + 1 <= (Plan.NumNodes - 1) / 2) {
+    record(FaultKind::Crash, FaultChannel::Reconfig, Idx, ReconfigVictim,
+           Stage, 0);
+    crashNode(ReconfigVictim);
+  }
+}
+
 void FaultInjector::note(std::uint32_t A, std::uint32_t B,
                          std::int64_t Param) {
   std::uint64_t Idx =

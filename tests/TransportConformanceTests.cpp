@@ -180,6 +180,44 @@ TEST_P(TransportConformance, PermissionsArePerTargetAndWriter) {
   EXPECT_TRUE(T->hasWritePermission(1, 0, UnprotectedRegion));
 }
 
+TEST_P(TransportConformance, EpochFenceRevocationStopsStragglers) {
+  // The reconfig fence (docs/reconfig.md): the coordinator revokes the
+  // old epoch's data key on every (target, writer) pair while the new
+  // epoch's key stays writable. A straggler still posting under the old
+  // key must fail with AccessError on BOTH backends -- the fence is what
+  // makes "no write can complete in a closed epoch" a transport
+  // guarantee rather than a timing assumption.
+  RegionKey OldKey = T->createRegionKey();
+  RegionKey NewKey = T->createRegionKey();
+  for (NodeId Dst = 0; Dst < 3; ++Dst)
+    for (NodeId Src = 0; Src < 3; ++Src)
+      T->setWritePermission(Dst, Src, OldKey, false);
+
+  std::atomic<WcStatus> Straggler{WcStatus::Success};
+  std::atomic<WcStatus> NewEpoch{WcStatus::AccessError};
+  T->postWrite(2, 1, 400, bytes({9}), OldKey,
+               [&](WcStatus St) { Straggler = St; });
+  T->postWrite(2, 1, 408, bytes({7}), NewKey,
+               [&](WcStatus St) { NewEpoch = St; });
+  settle();
+  EXPECT_EQ(Straggler, WcStatus::AccessError);
+  EXPECT_EQ(T->memory(1).readU8(400), 0); // The fence held.
+  EXPECT_EQ(NewEpoch, WcStatus::Success);
+  EXPECT_EQ(T->memory(1).readU8(408), 7);
+
+  // Re-admission (the abort path): re-allowing the old key restores the
+  // exact pre-fence behavior.
+  for (NodeId Dst = 0; Dst < 3; ++Dst)
+    for (NodeId Src = 0; Src < 3; ++Src)
+      T->setWritePermission(Dst, Src, OldKey, true);
+  std::atomic<WcStatus> Readmit{WcStatus::AccessError};
+  T->postWrite(2, 1, 400, bytes({9}), OldKey,
+               [&](WcStatus St) { Readmit = St; });
+  settle();
+  EXPECT_EQ(Readmit, WcStatus::Success);
+  EXPECT_EQ(T->memory(1).readU8(400), 9);
+}
+
 TEST_P(TransportConformance, TwoSidedSendInvokesReceiver) {
   std::vector<std::uint8_t> Got;
   std::atomic<NodeId> GotSrc{99};

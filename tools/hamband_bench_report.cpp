@@ -16,6 +16,7 @@
 //   hamband_bench_report --check BENCH.json --min-batch-speedup 1.25
 //   hamband_bench_report --check BENCH.json --min-shard-speedup 2.0
 //   hamband_bench_report --check BENCH.json --min-delta-bytes-factor 5
+//   hamband_bench_report --check BENCH.json --min-reconfig-retention 0.70
 //   hamband_bench_report --compare A.json B.json --tolerance 0.05
 //
 // --transport selects the backend dimension: "sim" (default) emits the
@@ -45,6 +46,21 @@
 // case -- its image is a single stamped value, so deltas cannot help --
 // and is recorded ungated.
 //
+// The fig_reconfig sweep measures online membership reconfiguration
+// (docs/reconfig.md): the fig8 counter point runs with a membership
+// transition triggered at 40% of issued ops -- "add" provisions the
+// fourth node as a standby and joins it mid-run, "remove" retires the
+// last serving node -- and the report records the throughput split
+// around the transition (steady / during / after) plus the transition
+// length and the number of closed-epoch client retries. --check with
+// --min-reconfig-retention gates the during-transition throughput
+// against the steady rate and requires the post-transition rate to
+// recover to 95% of the capacity-adjusted steady rate (a removal takes
+// a serving node's capacity with it; an addition must at least hold
+// steady). The sweep's op count is pinned (not --ops/--smoke scaled):
+// the after-phase average needs a long window to amortize the
+// pipeline-refill dip right after reopen.
+//
 // Latency percentiles come from the merged per-node node.resp_ns
 // histograms when the observability layer is compiled in, with the
 // driver's exact per-call samples as the fallback (and as a cross-check).
@@ -59,6 +75,7 @@
 #include "hamband/obs/Json.h"
 #include "hamband/runtime/HambandCluster.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -92,6 +109,11 @@ struct Options {
   /// bytes-per-call to be at least this multiple of its delta-mode
   /// bytes-per-call (0 = no gate).
   double MinDeltaBytesFactor = 0;
+  /// With --check: require every fig_reconfig point's during-transition
+  /// throughput to be at least this fraction of its steady-state
+  /// throughput, and its after-transition throughput to recover to 95%
+  /// of steady (0 = no gate).
+  double MinReconfigRetention = 0;
   /// Backend dimension: "sim", "shm", or "both".
   std::string Transport = "sim";
   /// Shard counts for the fig_shard sweep (sim only; empty disables it).
@@ -172,6 +194,35 @@ PointReport runShardPoint(unsigned Shards, double ZipfSkew,
   RO.Repetitions = Opt.Reps;
   RO.Transport = rdma::TransportKind::Sim;
   RO.NumShards = Shards;
+
+  PointReport P;
+  P.R = runWorkload(*Type, W, RO);
+  fillPercentiles(P);
+  return P;
+}
+
+/// One fig_reconfig point: the fig8 counter workload with an online
+/// membership transition triggered at 40% of issued ops. "add" runs 4
+/// provisioned / 3 serving nodes and joins the standby mid-run;
+/// "remove" runs 4 serving nodes and retires the last one. The driver
+/// splits throughput around the transition and retries closed-epoch
+/// rejections, so the point measures what clients see across the fence.
+PointReport runReconfigPoint(const char *Action, const Options &Opt) {
+  auto Type = makeType("counter");
+  WorkloadSpec W;
+  // Pinned independently of --ops/--smoke: the retention measurement
+  // needs a long post-transition window so the pipeline-refill dip
+  // right after reopen amortizes into the after-phase average. The run
+  // is deterministic simulated time, so the extra ops cost wall clock
+  // only.
+  W.NumOps = 24000;
+  W.UpdateRatio = 0.25;
+  RunnerOptions RO;
+  RO.Kind = RuntimeKind::Hamband;
+  RO.NumNodes = 4;
+  RO.Repetitions = Opt.Reps;
+  RO.Transport = rdma::TransportKind::Sim;
+  RO.ReconfigAction = Action;
 
   PointReport P;
   P.R = runWorkload(*Type, W, RO);
@@ -430,6 +481,91 @@ int checkMode(const Options &Opt) {
       }
     }
   }
+  // fig_reconfig, like the other optional sections, is validated when
+  // present (reports predating online reconfiguration stay checkable)
+  // and required by the retention gate. Every point is a sound figure
+  // point whose transition installed, with finite phase throughputs.
+  const json::Value *Reconfig = Doc.find("fig_reconfig");
+  if (Reconfig) {
+    const json::Value *Points = Reconfig->find("points");
+    if (!Points || !Points->isArray() || Points->Arr.empty()) {
+      std::fprintf(stderr,
+                   "check failed: fig_reconfig.points missing or empty\n");
+      return 1;
+    }
+    for (const json::Value &P : Points->Arr) {
+      const json::Value *Act = P.find("action");
+      std::string Name =
+          "fig_reconfig." +
+          (Act && Act->isString() ? Act->Str : std::string("?"));
+      if (!Act || !Act->isString() ||
+          (Act->Str != "add" && Act->Str != "remove")) {
+        std::fprintf(stderr, "check failed: fig_reconfig point missing an "
+                             "add/remove action\n");
+        return 1;
+      }
+      if (!checkPointObject(&P, Name, Err)) {
+        std::fprintf(stderr, "check failed: %s\n", Err.c_str());
+        return 1;
+      }
+      for (const char *F :
+           {"steady_tput_ops_us", "during_tput_ops_us", "after_tput_ops_us",
+            "transition_us", "serving_before", "serving_after"}) {
+        const json::Value *V = P.find(F);
+        if (!V || !V->isNumber() || !std::isfinite(V->asDouble()) ||
+            V->asDouble() < 0) {
+          std::fprintf(stderr, "check failed: %s.%s missing or not a "
+                               "finite number\n",
+                       Name.c_str(), F);
+          return 1;
+        }
+      }
+      const json::Value *Inst = P.find("installed");
+      if (!Inst || !Inst->isBool() || !Inst->B) {
+        std::fprintf(stderr,
+                     "check failed: %s transition did not install\n",
+                     Name.c_str());
+        return 1;
+      }
+    }
+  }
+  if (Opt.MinReconfigRetention > 0) {
+    if (!Reconfig) {
+      std::fprintf(stderr, "check failed: --min-reconfig-retention needs "
+                           "a fig_reconfig section\n");
+      return 1;
+    }
+    for (const json::Value &P : Reconfig->find("points")->Arr) {
+      const std::string &Act = P.find("action")->Str;
+      double Steady = P.find("steady_tput_ops_us")->asDouble();
+      double During = P.find("during_tput_ops_us")->asDouble();
+      double After = P.find("after_tput_ops_us")->asDouble();
+      double Before = P.find("serving_before")->asDouble();
+      double Now = P.find("serving_after")->asDouble();
+      // A removal takes serving capacity with it, so the after-phase
+      // floor scales by the capacity ratio (capped at 1: an addition
+      // must at least hold the steady rate, not multiply it -- per-node
+      // costs grow with the replica count).
+      double Capacity =
+          Before > 0 ? std::min(1.0, Now / Before) : 1.0;
+      double DuringR = Steady > 0 ? During / Steady : 0;
+      double AfterR = Steady > 0 ? After / (Steady * Capacity) : 0;
+      std::printf("fig_reconfig %s: during-transition retention %.0f%% "
+                  "(%.4f / %.4f ops/us, floor %.0f%%), after %.0f%% of "
+                  "the capacity-adjusted steady rate (x%.2f, floor "
+                  "95%%)\n",
+                  Act.c_str(), DuringR * 100.0, During, Steady,
+                  Opt.MinReconfigRetention * 100.0, AfterR * 100.0,
+                  Capacity);
+      if (Steady <= 0 || DuringR < Opt.MinReconfigRetention ||
+          AfterR < 0.95) {
+        std::fprintf(stderr, "check failed: fig_reconfig %s throughput "
+                             "retention below floor\n",
+                     Act.c_str());
+        return 1;
+      }
+    }
+  }
   if (Opt.MinDeltaBytesFactor > 0) {
     if (!BigSweep) {
       std::fprintf(stderr, "check failed: --min-delta-bytes-factor needs "
@@ -543,6 +679,7 @@ int usage(const char *Argv0) {
                "       %s --check FILE [--min-batch-speedup X]\n"
                "          [--min-shard-speedup X]\n"
                "          [--min-delta-bytes-factor X]\n"
+               "          [--min-reconfig-retention X]\n"
                "       %s --compare A.json B.json [--tolerance T]\n",
                Argv0, Argv0, Argv0);
   return 2;
@@ -576,6 +713,8 @@ int main(int Argc, char **Argv) {
       Opt.MinShardSpeedup = std::strtod(V, nullptr);
     else if (A == "--min-delta-bytes-factor" && (V = Next()))
       Opt.MinDeltaBytesFactor = std::strtod(V, nullptr);
+    else if (A == "--min-reconfig-retention" && (V = Next()))
+      Opt.MinReconfigRetention = std::strtod(V, nullptr);
     else if (A == "--big-elems" && (V = Next()))
       Opt.BigElems = std::strtoull(V, nullptr, 10);
     else if (A == "--shards" && (V = Next())) {
@@ -755,6 +894,48 @@ int main(int Argc, char **Argv) {
       Doc.add("fig_bigstate", std::move(Big));
     }
 #endif
+
+    // fig_reconfig: throughput retention across an online membership
+    // transition, one point per direction. The phase split and retry
+    // count come from the driver itself, so the section is present in
+    // HAMBAND_OBS=OFF builds too.
+    {
+      json::Value Rec = json::Value::makeObject();
+      Rec.add("type", json::Value::makeString("counter"));
+      Rec.add("nodes", json::Value::makeUInt(4));
+      Rec.add("at_fraction", json::Value::makeDouble(0.4));
+      json::Value Points = json::Value::makeArray();
+      for (const char *Action : {"add", "remove"}) {
+        PointReport P = runReconfigPoint(Action, Opt);
+        bool IsAdd = std::strcmp(Action, "add") == 0;
+        json::Value J = pointToJson("counter", 4, 0.25, P);
+        J.add("action", json::Value::makeString(Action));
+        // Serving-node counts around the transition: the after-phase
+        // gate scales its floor by the capacity change for removals.
+        J.add("serving_before", json::Value::makeUInt(IsAdd ? 3 : 4));
+        J.add("serving_after", json::Value::makeUInt(IsAdd ? 4 : 3));
+        J.add("steady_tput_ops_us",
+              json::Value::makeDouble(P.R.SteadyThroughputOpsPerUs));
+        J.add("during_tput_ops_us",
+              json::Value::makeDouble(P.R.DuringThroughputOpsPerUs));
+        J.add("after_tput_ops_us",
+              json::Value::makeDouble(P.R.AfterThroughputOpsPerUs));
+        J.add("transition_us", json::Value::makeDouble(P.R.TransitionUs));
+        J.add("installed", json::Value::makeBool(P.R.ReconfigInstalled));
+        J.add("wrong_epoch_retries",
+              json::Value::makeUInt(P.R.WrongEpochRetries));
+        std::printf("fig_reconfig %s: steady %.4f, during %.4f, after "
+                    "%.4f ops/us across a %.0f us transition (%llu "
+                    "closed-epoch retries)\n",
+                    Action, P.R.SteadyThroughputOpsPerUs,
+                    P.R.DuringThroughputOpsPerUs,
+                    P.R.AfterThroughputOpsPerUs, P.R.TransitionUs,
+                    static_cast<unsigned long long>(P.R.WrongEpochRetries));
+        Points.Arr.push_back(std::move(J));
+      }
+      Rec.add("points", std::move(Points));
+      Doc.add("fig_reconfig", std::move(Rec));
+    }
   }
 
   double ShmTput = 0, ShmBTput = 0;

@@ -81,6 +81,7 @@ struct Options {
   bool Minimize = false;
   bool Batch = false;  // Also run a batched twin and diff the outcomes.
   bool Deltas = false; // Also run a delta-propagation twin and diff.
+  bool Reconfig = false; // Run an online membership transition mid-workload.
   bool Stats = false; // Dump the merged metrics snapshot as JSON.
   std::string Transport = "sim"; // Only "sim" is accepted; see below.
   unsigned Shards = 1;           // Only 1 is accepted; see below.
@@ -129,6 +130,7 @@ RunSpec configForRun(const Options &Opt, unsigned RunIdx,
   Cfg.WorkSeed = mixSeed(Opt.Seed, 2 * RunIdx);
   Cfg.FaultSeed = mixSeed(Opt.Seed, 2 * RunIdx + 1);
   Cfg.Spec = specForProfile(RunIdx);
+  Cfg.Reconfig = Opt.Reconfig;
   return Cfg;
 }
 
@@ -185,7 +187,7 @@ int usage(const char *Argv0) {
       "usage: %s [--runs N] [--seed S] [--calls N] [--nodes N]\n"
       "          [--type NAME] [--only RUN] [--dump FILE]\n"
       "          [--replay-trace FILE] [--minimize] [--no-replay]\n"
-      "          [--batch] [--deltas] [--stats] [--verbose]\n"
+      "          [--batch] [--deltas] [--reconfig] [--stats] [--verbose]\n"
       "          [--transport sim] [--shards 1]\n",
       Argv0);
   return 2;
@@ -223,6 +225,8 @@ int main(int Argc, char **Argv) {
       Opt.Batch = true;
     else if (A == "--deltas")
       Opt.Deltas = true;
+    else if (A == "--reconfig")
+      Opt.Reconfig = true;
     else if (A == "--no-replay")
       Opt.NoReplay = true;
     else if (A == "--stats")
@@ -277,6 +281,16 @@ int main(int Argc, char **Argv) {
                    "error: trace names unknown type '%s' or invalid "
                    "mutation '%s'\n",
                    Cfg.TypeName.c_str(), Cfg.Mutation.c_str());
+      return 2;
+    }
+    // A reconfig run consults extra decision points (the transition's
+    // stage events) that a pre-epoch trace never recorded, so replaying
+    // one under --reconfig could only diverge. Fail closed instead.
+    if (Opt.Reconfig && !Cfg.Reconfig) {
+      std::fprintf(stderr,
+                   "error: --reconfig replay needs a trace recorded with "
+                   "reconfig=1; %s was dumped from a fixed-membership run\n",
+                   Opt.ReplayFile.c_str());
       return 2;
     }
     RunOutcome R = runSchedule(Cfg, nullptr, &Recorded);
@@ -387,12 +401,18 @@ int main(int Argc, char **Argv) {
     if (Opt.Batch && Opt.Deltas)
       runTwin("delta+batched", /*Batched=*/true, /*Deltas=*/true);
 
-    if (Opt.Verbose || !R.Ok)
+    if (Opt.Verbose || !R.Ok) {
       std::printf("run %3u type=%-18s nodes=%u faults=%zu ok=%u rej=%u "
-                  "lost=%u skip=%u %s\n",
+                  "lost=%u skip=%u",
                   RunIdx, Cfg.TypeName.c_str(), Cfg.Nodes,
                   R.Trace.Events.size(), R.CompletedOk, R.Rejected,
-                  R.LostAtCrashed, R.Skipped, R.Ok ? "PASS" : "FAIL");
+                  R.LostAtCrashed, R.Skipped);
+      if (Cfg.Reconfig)
+        std::printf(" epoch=%u%s retries=%u", R.FinalEpoch,
+                    R.ReconfigInstalled ? "" : "(aborted)",
+                    R.WrongEpochRetries);
+      std::printf(" %s\n", R.Ok ? "PASS" : "FAIL");
+    }
     if (!Opt.DumpFile.empty() && (!R.Ok || Opt.Only >= 0))
       writeTraceFile(Opt.DumpFile, Cfg, R.Trace);
     if (!R.Ok) {

@@ -66,6 +66,11 @@ struct Options {
   // Explore the cluster with delta-state summary propagation enabled
   // (bounded SummaryDelta frames + anti-entropy, see docs/deltas.md).
   bool Deltas = false;
+  // Explore the cluster with an online membership transition folded into
+  // the workload (docs/reconfig.md): the last provisioned node joins at
+  // the workload midpoint, adding the transition's stage decisions to the
+  // explored schedule space.
+  bool Reconfig = false;
   std::string Transport = "sim"; // Only "sim" is accepted; see below.
   unsigned Shards = 1;           // Only 1 is accepted; see below.
 };
@@ -77,7 +82,7 @@ int usage(const char *Argv0) {
       "          [--seed S] [--budget RUNS] [--max-branch IDX]\n"
       "          [--mutate KIND:mA/mB] [--dump FILE] [--json] [--verbose]\n"
       "          [--no-dpor] [--no-sleep] [--no-dedup] [--no-minimize]\n"
-      "          [--deltas] [--transport sim] [--shards 1]\n",
+      "          [--deltas] [--reconfig] [--transport sim] [--shards 1]\n",
       Argv0);
   return 2;
 }
@@ -103,6 +108,7 @@ obs::json::Value reportToJson(const McReport &R) {
   O.add("calls", Value::makeUInt(R.Base.Calls));
   O.add("work_seed", Value::makeUInt(R.Base.WorkSeed));
   O.add("deltas", Value::makeBool(R.Base.Deltas));
+  O.add("reconfig", Value::makeBool(R.Base.Reconfig));
   O.add("ok", Value::makeBool(R.Ok));
   O.add("explored", Value::makeUInt(R.Explored));
   O.add("choice_points", Value::makeUInt(R.ChoicePoints));
@@ -169,6 +175,8 @@ int main(int Argc, char **Argv) {
       Opt.NoMinimize = true;
     else if (A == "--deltas")
       Opt.Deltas = true;
+    else if (A == "--reconfig")
+      Opt.Reconfig = true;
     else if (A == "--transport" && (V = Next()))
       Opt.Transport = V;
     else if (A == "--shards" && (V = Next()))
@@ -264,6 +272,7 @@ int main(int Argc, char **Argv) {
     RS.Calls = Opt.Calls;
     RS.WorkSeed = Opt.Seed;
     RS.Deltas = Opt.Deltas;
+    RS.Reconfig = Opt.Reconfig;
     McReport R = exploreType(RS, MO);
     AllOk &= R.Ok;
     if (!Opt.Json || Opt.Verbose)
